@@ -1,0 +1,77 @@
+// R1 (§5 Routing ablation) — feed-to-multicast-group co-design.
+//
+// The paper's future-work question: "By co-designing the algorithm used
+// to transform raw market data to normalized feeds as well as the mapping
+// from feeds to multicast groups, can we achieve a more efficient
+// design?" This ablation compares symbol->group mappings under a group
+// budget (the mroute constraint): a subscription-oblivious hash (what a
+// firm does today) vs the subscription-aware optimizer.
+//
+// Workload: 2000 symbols with Zipf activity; 32 strategies subscribing by
+// sector (the common case), by top-of-tape names, or both — the
+// structured subscriptions real partitioning schemes serve.
+#include <cstdio>
+
+#include "core/codesign.hpp"
+#include "sim/random.hpp"
+
+int main() {
+  using namespace tsn;
+  constexpr std::size_t kSymbols = 2'000;
+  constexpr std::size_t kSectors = 24;
+  constexpr std::size_t kStrategies = 32;
+
+  core::CodesignInput input;
+  input.symbol_weight.resize(kSymbols);
+  sim::Rng rng{404};
+  for (std::size_t s = 0; s < kSymbols; ++s) {
+    input.symbol_weight[s] = 1.0 / static_cast<double>(s + 1);  // Zipf activity
+  }
+  // Sector of symbol s: round-robin so sectors mix hot and cold names.
+  auto sector_of = [](std::size_t s) { return s % kSectors; };
+
+  input.subscriptions.resize(kStrategies);
+  for (std::size_t c = 0; c < kStrategies; ++c) {
+    if (c < 20) {
+      // Sector strategies: 1-3 sectors each.
+      const auto n_sectors = 1 + rng.next_below(3);
+      std::vector<std::size_t> sectors;
+      for (std::uint64_t k = 0; k < n_sectors; ++k) sectors.push_back(rng.next_below(kSectors));
+      for (std::size_t s = 0; s < kSymbols; ++s) {
+        for (const auto sec : sectors) {
+          if (sector_of(s) == sec) {
+            input.subscriptions[c].push_back(static_cast<core::SymbolId>(s));
+            break;
+          }
+        }
+      }
+    } else {
+      // Top-of-tape strategies: the hottest 50-200 names.
+      const auto top = 50 + rng.next_below(151);
+      for (std::size_t s = 0; s < top; ++s) {
+        input.subscriptions[c].push_back(static_cast<core::SymbolId>(s));
+      }
+    }
+  }
+
+  std::printf("R1: feed->group co-design (2000 symbols, 32 strategies)\n\n");
+  core::CodesignInput probe = input;
+  probe.group_budget = 1;
+  std::printf("distinct subscriber-set signatures (perfect grouping): %zu groups\n\n",
+              core::perfect_group_count(probe));
+  std::printf("%8s %18s %18s %12s\n", "budget", "hash efficiency", "codesign eff.",
+              "advantage");
+  for (std::size_t budget : {8UL, 16UL, 32UL, 64UL, 128UL, 256UL}) {
+    input.group_budget = budget;
+    const auto hash = core::evaluate_grouping(input, core::hash_grouping(input));
+    const auto designed = core::evaluate_grouping(input, core::codesign_grouping(input));
+    std::printf("%8zu %17.1f%% %17.1f%% %11.2fx\n", budget, hash.efficiency() * 100.0,
+                designed.efficiency() * 100.0,
+                hash.over_delivery / (designed.over_delivery > 0 ? designed.over_delivery
+                                                                 : hash.over_delivery));
+  }
+  std::printf("\nefficiency = wanted bytes / delivered bytes (1.0 = every strategy\n"
+              "receives exactly its subscription; the shortfall is traffic its host\n"
+              "NIC and filter must absorb — the §3 filter-placement cost).\n");
+  return 0;
+}

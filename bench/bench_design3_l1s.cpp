@@ -1,0 +1,137 @@
+// D3 — §4.3 "Design 3: Layer-1 Switches".
+//
+// Three experiments:
+//  1. The full trading stack on the quad-L1S fabric — fabric latency is
+//     nanoseconds, two orders of magnitude below commodity switching.
+//  2. Fan-out latency measured port-to-port: 5-6 ns; merge adds ~50 ns.
+//  3. The merge trade-off: as more bursty feeds merge onto one strategy
+//     NIC, queueing and loss appear at the merged egress — the paper's
+//     "interface proliferation vs merge congestion" dilemma.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/design.hpp"
+#include "deploy/reference.hpp"
+#include "feed/framelen.hpp"
+#include "l1s/layer1_switch.hpp"
+
+namespace {
+
+using namespace tsn;
+
+void run_stack() {
+  deploy::DeploymentConfig config;
+  config.strategy_count = 6;
+  config.events_per_second = 50'000;
+  deploy::QuadL1sDeployment deployment{config};
+  deployment.start();
+  deployment.run(sim::millis(std::int64_t{200}));
+  const auto report = deployment.report();
+
+  std::printf("full stack on quad L1S fabrics (6 strategies, 200 ms):\n");
+  std::printf("  updates at strategies: %llu, orders %llu, acks %llu, gaps %llu\n",
+              static_cast<unsigned long long>(report.updates_received),
+              static_cast<unsigned long long>(report.orders_sent),
+              static_cast<unsigned long long>(report.acks),
+              static_cast<unsigned long long>(report.sequence_gaps));
+  std::printf("  feed path (exch->strategy): mean %7.0f ns  p99 %7.0f ns\n",
+              report.feed_path_ns.mean(), report.feed_path_ns.percentile(99.0));
+  std::printf("  order RTT:                  mean %7.0f ns  p99 %7.0f ns\n\n",
+              report.order_rtt_ns.mean(), report.order_rtt_ns.percentile(99.0));
+}
+
+void measure_hop_latency() {
+  sim::Engine engine;
+  net::Fabric fabric{engine};
+  l1s::Layer1Switch sw{engine, "l1s", l1s::L1SwitchConfig{}};
+  net::LinkConfig ideal;
+  ideal.rate_bps = 0;
+  ideal.propagation = sim::Duration::zero();
+  std::vector<std::unique_ptr<net::Nic>> nics;
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    nics.push_back(std::make_unique<net::Nic>(engine, "h" + std::to_string(i),
+                                              net::MacAddr::from_host_id(i + 1),
+                                              net::Ipv4Addr{10, 0, 0, static_cast<std::uint8_t>(i + 1)}));
+    nics.back()->set_promiscuous(true);
+    fabric.connect(sw, i, *nics.back(), 0, ideal);
+  }
+  sw.patch(0, 1);  // plain circuit
+  sw.patch(0, 3);
+  sw.patch(2, 3);  // port 3 is a merge
+  sim::Time plain;
+  sim::Time merged;
+  nics[1]->set_rx_handler([&](const net::PacketPtr&, sim::Time at) { plain = at; });
+  nics[3]->set_rx_handler([&](const net::PacketPtr&, sim::Time at) { merged = at; });
+  const sim::Time start = engine.now();
+  nics[0]->send_frame(net::build_udp_frame(nics[0]->mac(), net::MacAddr::broadcast(),
+                                           nics[0]->ip(), net::Ipv4Addr{10, 0, 0, 9}, 1, 2,
+                                           {}));
+  engine.run();
+  std::printf("port-to-port latency (ideal links):\n");
+  std::printf("  fan-out circuit: %4.0f ns   (paper: 5-6 ns)\n", (plain - start).nanos());
+  std::printf("  through a merge: %4.0f ns   (paper: +50 ns)\n\n", (merged - start).nanos());
+}
+
+void merge_congestion_sweep() {
+  std::printf("merge congestion: bursty feeds merged onto one 10 GbE strategy NIC\n");
+  std::printf("%12s %12s %12s %14s\n", "merged-feeds", "delivered", "dropped", "max-queue(us)");
+  for (std::size_t merge_width : {1, 2, 4, 8, 16}) {
+    sim::Engine engine;
+    net::Fabric fabric{engine};
+    l1s::L1SwitchConfig sw_config;
+    sw_config.port_count = 40;
+    l1s::Layer1Switch sw{engine, "l1s", sw_config};
+    net::LinkConfig link;  // 10 GbE defaults
+    link.queue_capacity_bytes = 64 * 1024;
+
+    std::vector<std::unique_ptr<net::Nic>> sources;
+    auto sink = std::make_unique<net::Nic>(engine, "strategy", net::MacAddr::from_host_id(999),
+                                           net::Ipv4Addr{10, 0, 1, 1});
+    sink->set_promiscuous(true);
+    std::uint64_t delivered = 0;
+    sink->set_rx_handler([&](const net::PacketPtr&, sim::Time) { ++delivered; });
+    const net::PortId sink_port = 39;
+    fabric.connect(sw, sink_port, *sink, 0, link);
+    for (std::size_t f = 0; f < merge_width; ++f) {
+      sources.push_back(std::make_unique<net::Nic>(
+          engine, "feed" + std::to_string(f),
+          net::MacAddr::from_host_id(static_cast<std::uint32_t>(f + 1)),
+          net::Ipv4Addr{10, 0, 0, static_cast<std::uint8_t>(f + 1)}));
+      fabric.connect(sw, static_cast<net::PortId>(f), *sources[f], 0, link);
+      sw.patch(static_cast<net::PortId>(f), sink_port);
+    }
+
+    // Correlated burst: every feed fires a frame train at the same instant
+    // (§2: bursts across feeds are correlated).
+    feed::FrameLengthSampler sampler{feed::exchange_a_profile(), 42};
+    for (int round = 0; round < 200; ++round) {
+      for (auto& source : sources) source->send_frame(sampler.next_frame());
+    }
+    engine.run();
+    const auto totals = fabric.total_stats();
+    std::printf("%12zu %12llu %12llu %14.2f\n", merge_width,
+                static_cast<unsigned long long>(delivered),
+                static_cast<unsigned long long>(totals.frames_dropped_queue),
+                totals.max_queue_delay.micros());
+  }
+  std::printf("\n(paper: \"market data is bursty, so merged feeds can easily exceed the\n"
+              "available bandwidth, leading to latency from queuing or packet loss\")\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("D3: Layer-1 switch trading network (Design 3)\n\n");
+  core::TraditionalDesign commodity;
+  core::L1SDesign l1s;
+  std::printf("analytic switching latency per round trip: commodity %s vs L1S %s (%.0fx)\n\n",
+              sim::to_string(commodity.tick_to_trade().switching).c_str(),
+              sim::to_string(l1s.tick_to_trade().switching).c_str(),
+              commodity.tick_to_trade().switching.nanos() /
+                  l1s.tick_to_trade().switching.nanos());
+  measure_hop_latency();
+  run_stack();
+  merge_congestion_sweep();
+  return 0;
+}

@@ -1,0 +1,95 @@
+// P1 — §3 "Implications for trading systems": where to filter market data.
+//
+// Sweeps the paper's filter-placement decision across event rates and
+// keep-fractions: in-process filtering is fine until the combined discard +
+// process time exceeds the arrival budget; past that, the filter must move
+// to another core or a shared middlebox (which amortizes cores across
+// consumers using the same partitioning scheme).
+#include <chrono>
+#include <cstdio>
+
+#include "feed/symbols.hpp"
+#include "proto/norm.hpp"
+#include "sim/random.hpp"
+#include "trading/filter.hpp"
+
+namespace {
+
+using namespace tsn;
+
+// Measures the real cost of an inspect-and-discard on this host: decode a
+// NORM update header-on-wire and test a symbol filter.
+double measure_discard_cost_ns() {
+  feed::SymbolUniverse universe{256, 7};
+  trading::SymbolFilter filter;
+  for (std::size_t i = 0; i < 16; ++i) filter.watch(universe.at(i).symbol);
+  // Pre-encode a batch of updates.
+  std::vector<std::byte> wire;
+  net::WireWriter writer{wire};
+  sim::Rng rng{11};
+  constexpr int kUpdates = 4'096;
+  for (int i = 0; i < kUpdates; ++i) {
+    proto::norm::Update u;
+    u.symbol = universe.at(rng.next_below(universe.size())).symbol;
+    u.price = 1000;
+    u.quantity = 100;
+    proto::norm::encode(u, writer);
+  }
+  std::uint64_t kept = 0;
+  const auto start = std::chrono::steady_clock::now();
+  constexpr int kRounds = 200;
+  for (int round = 0; round < kRounds; ++round) {
+    net::WireReader reader{wire};
+    for (int i = 0; i < kUpdates; ++i) {
+      const auto update = proto::norm::decode_one(reader);
+      if (update && filter.relevant(*update)) ++kept;
+    }
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  const double ns = std::chrono::duration<double, std::nano>(elapsed).count();
+  std::printf("measured inspect-and-discard cost on this host: %.1f ns/event "
+              "(kept %llu of %d)\n\n",
+              ns / (kUpdates * kRounds), static_cast<unsigned long long>(kept),
+              kUpdates * kRounds);
+  return ns / (kUpdates * kRounds);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("P1: filter placement for partitioned market data (§3)\n\n");
+  const double measured_discard = measure_discard_cost_ns();
+
+  trading::FilterWorkload workload;
+  workload.discard_cost = sim::nanos(measured_discard);
+  workload.process_cost = sim::nanos(std::int64_t{500});
+
+  std::printf("strategy-core utilization by placement "
+              "(process=500 ns, discard=%.0f ns, keep=10%%):\n",
+              measured_discard);
+  std::printf("%14s %12s %12s %12s %14s\n", "events/sec", "in-process", "ded.-core",
+              "middlebox", "cores/consumer");
+  workload.keep_fraction = 0.10;
+  for (double rate : {5e5, 1e6, 2e6, 5e6, 1e7, 1.5e7}) {
+    workload.event_rate = rate;
+    const auto in_proc = trading::analyze_placement(workload, trading::FilterPlacement::kInProcess);
+    const auto core = trading::analyze_placement(workload, trading::FilterPlacement::kDedicatedCore);
+    const auto mbox =
+        trading::analyze_placement(workload, trading::FilterPlacement::kMiddlebox, 20);
+    std::printf("%14.0f %11.0f%% %11.0f%% %11.0f%% %14.2f\n", rate,
+                in_proc.strategy_utilization * 100.0, core.strategy_utilization * 100.0,
+                mbox.strategy_utilization * 100.0, mbox.cores_per_consumer);
+  }
+
+  std::printf("\nin-process feasibility boundary (max keep-fraction the strategy core "
+              "sustains):\n%14s %16s\n", "events/sec", "max keep-fraction");
+  for (double rate : {1e6, 2e6, 5e6, 1e7, 1.5e7, 2e7}) {
+    const double k = trading::in_process_feasibility_boundary(rate, workload.discard_cost,
+                                                              workload.process_cost);
+    std::printf("%14.0f %15.1f%%\n", rate, k * 100.0);
+  }
+  std::printf("\n(paper: \"if the combined time spent discarding data and the time spent\n"
+              "processing data is larger than the arrival rate, then filtering should\n"
+              "happen outside the trading system\"; middleboxes amortize across consumers)\n");
+  return 0;
+}

@@ -1,0 +1,152 @@
+// R2 (§5 Hardware ablation) — safe feed merging with FPGA filtering.
+//
+// §4.3 shows naive L1S merges drop frames under correlated bursts; §5
+// proposes FPGA-augmented L1Ses that filter at ~100 ns so that "it should
+// be possible to safely merge feeds while avoiding these issues." Here a
+// strategy subscribes to TWO feeds but shares its NIC with a widening
+// merge: a plain L1S mux delivers every merged feed (the strategy's NIC
+// drowns as the merge widens), while the FPGA merge filters to the
+// subscription in hardware and stays inside the link budget no matter how
+// wide the merge gets.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "l1s/fpga_switch.hpp"
+#include "l1s/layer1_switch.hpp"
+#include "net/fabric.hpp"
+#include "net/headers.hpp"
+#include "net/nic.hpp"
+
+namespace {
+
+using namespace tsn;
+
+struct Result {
+  std::uint64_t wanted_delivered = 0;
+  std::uint64_t unwanted_delivered = 0;
+  std::uint64_t dropped = 0;
+  double max_queue_us = 0.0;
+};
+
+// The strategy's fixed subscription: feeds 0 and 1.
+bool wanted(std::uint32_t feed) { return feed < 2; }
+
+constexpr int kRounds = 400;
+// Each feed sends a 1200 B frame every 5 us: ~1.95 Gb/s per feed. Two
+// wanted feeds fit a 10 GbE NIC with room; a 6-wide merge oversubscribes.
+constexpr std::int64_t kPacingUs = 5;
+
+struct Rig {
+  sim::Engine engine;
+  net::Fabric fabric{engine};
+  std::vector<std::unique_ptr<net::Nic>> sources;
+  std::unique_ptr<net::Nic> sink;
+  Result result;
+
+  explicit Rig(std::size_t feeds) {
+    sink = std::make_unique<net::Nic>(engine, "strategy", net::MacAddr::from_host_id(99),
+                                      net::Ipv4Addr{10, 0, 1, 1});
+    sink->set_promiscuous(true);
+    sink->set_rx_handler([this](const net::PacketPtr& p, sim::Time) {
+      const auto decoded = net::decode_frame(p->frame());
+      if (decoded && decoded->ip && wanted(decoded->ip->dst.value() & 0xff)) {
+        ++result.wanted_delivered;
+      } else {
+        ++result.unwanted_delivered;
+      }
+    });
+    for (std::uint32_t f = 0; f < feeds; ++f) {
+      sources.push_back(std::make_unique<net::Nic>(
+          engine, "feed", net::MacAddr::from_host_id(f + 1),
+          net::Ipv4Addr{10, 0, 0, static_cast<std::uint8_t>(f + 1)}));
+    }
+  }
+
+  void drive_and_finish() {
+    for (int round = 0; round < kRounds; ++round) {
+      // Rotate the send order each round so no feed systematically wins
+      // the race into the merged queue.
+      engine.schedule_at(sim::Time::zero() + sim::micros(std::int64_t{round * kPacingUs}),
+                         [this, round] {
+                           const auto n = static_cast<std::uint32_t>(sources.size());
+                           for (std::uint32_t k = 0; k < n; ++k) {
+                             const std::uint32_t f = (k + static_cast<std::uint32_t>(round)) % n;
+                             sources[f]->send_frame(net::build_multicast_frame(
+                                 sources[f]->mac(), sources[f]->ip(),
+                                 net::Ipv4Addr{0xef500000u + f}, 30001,
+                                 std::vector<std::byte>(1'200, std::byte{1})));
+                           }
+                         });
+    }
+    engine.run();
+    const auto totals = fabric.total_stats();
+    result.dropped = totals.frames_dropped_queue;
+    result.max_queue_us = totals.max_queue_delay.micros();
+  }
+};
+
+Result run_plain_l1s(std::size_t feeds) {
+  Rig rig{feeds};
+  l1s::L1SwitchConfig config;
+  config.port_count = 40;
+  l1s::Layer1Switch sw{rig.engine, "l1s", config};
+  net::LinkConfig link;
+  link.queue_capacity_bytes = 48 * 1024;
+  rig.fabric.connect(sw, 39, *rig.sink, 0, link);
+  for (std::uint32_t f = 0; f < feeds; ++f) {
+    rig.fabric.connect(sw, f, *rig.sources[f], 0, link);
+    sw.patch(f, 39);
+  }
+  rig.drive_and_finish();
+  return rig.result;
+}
+
+Result run_fpga_filtered(std::size_t feeds) {
+  Rig rig{feeds};
+  l1s::FpgaSwitchConfig config;
+  config.port_count = 40;
+  l1s::FpgaSwitch sw{rig.engine, "fpga", config};
+  net::LinkConfig link;
+  link.queue_capacity_bytes = 48 * 1024;
+  rig.fabric.connect(sw, 39, *rig.sink, 0, link);
+  for (std::uint32_t f = 0; f < feeds; ++f) {
+    rig.fabric.connect(sw, f, *rig.sources[f], 0, link);
+    // Only the subscription is programmed toward the strategy port; the
+    // rest dies in the FPGA pipeline at line rate.
+    if (wanted(f)) (void)sw.join_group(net::Ipv4Addr{0xef500000u + f}, 39);
+  }
+  rig.drive_and_finish();
+  return rig.result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("R2: safe feed merging via FPGA filtering (§5 Hardware)\n\n");
+  std::printf("strategy subscribes to 2 feeds at ~2 Gb/s each; the merge onto its 10 GbE\n"
+              "NIC widens with feeds it does NOT want (each also ~2 Gb/s)\n\n");
+  std::printf("%8s | %30s | %30s\n", "", "plain L1S merge", "FPGA-filtered merge");
+  std::printf("%8s | %8s %9s %9s | %8s %9s %9s\n", "feeds", "wanted", "unwanted", "dropped",
+              "wanted", "unwanted", "dropped");
+  const auto wanted_total = static_cast<std::uint64_t>(kRounds) * 2;
+  bool fpga_lossless = true;
+  for (std::size_t feeds : {2UL, 4UL, 6UL, 8UL, 16UL, 32UL}) {
+    const auto plain = run_plain_l1s(feeds);
+    const auto fpga = run_fpga_filtered(feeds);
+    std::printf("%8zu | %8llu %9llu %9llu | %8llu %9llu %9llu\n", feeds,
+                static_cast<unsigned long long>(plain.wanted_delivered),
+                static_cast<unsigned long long>(plain.unwanted_delivered),
+                static_cast<unsigned long long>(plain.dropped),
+                static_cast<unsigned long long>(fpga.wanted_delivered),
+                static_cast<unsigned long long>(fpga.unwanted_delivered),
+                static_cast<unsigned long long>(fpga.dropped));
+    fpga_lossless = fpga_lossless && fpga.wanted_delivered == wanted_total &&
+                    fpga.unwanted_delivered == 0;
+  }
+  std::printf("\nFPGA merge delivered every wanted frame and nothing else: %s\n",
+              fpga_lossless ? "yes" : "NO");
+  std::printf("(\"combined with ... data filtering, it should be possible to safely merge\n"
+              "feeds while avoiding these issues\" — the cost is ~100 ns per hop vs 6 ns)\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// L1 — §3 "Latency Trends" and "Multicast Trends": the hardware-generation
+// tables behind the paper's argument that commodity switches are moving
+// the wrong way for trading workloads.
+#include <cstdio>
+
+#include "core/mcast_analysis.hpp"
+#include "l2/trends.hpp"
+
+int main() {
+  using namespace tsn;
+  std::printf("L1: commodity switch generation trends (synthetic roadmap, §3 calibration)\n\n");
+  std::printf("%6s %8s %14s %14s %14s %12s\n", "year", "gen", "bandwidth", "switch-latency",
+              "sw-hop", "mcast-groups");
+  for (const auto& gen : l2::SwitchTrendModel::commodity_roadmap()) {
+    std::printf("%6d %8s %11.2f Tb %11.0f ns %11.2f us %12zu\n", gen.year, gen.name.c_str(),
+                gen.bandwidth_tbps, gen.min_latency.nanos(),
+                l2::SwitchTrendModel::software_hop_at(gen.year).micros(),
+                gen.mcast_group_capacity);
+  }
+
+  const double bw_growth = l2::SwitchTrendModel::bandwidth_at(2024) /
+                           l2::SwitchTrendModel::bandwidth_at(2014);
+  const double lat_growth = l2::SwitchTrendModel::latency_at(2024).nanos() /
+                            l2::SwitchTrendModel::latency_at(2014).nanos();
+  const double grp_growth =
+      static_cast<double>(l2::SwitchTrendModel::mcast_groups_at(2024)) /
+      static_cast<double>(l2::SwitchTrendModel::mcast_groups_at(2014));
+  std::printf("\n2014 -> 2024: bandwidth %.0fx, latency +%.0f%% (paper: ~20%% higher, ~500 ns"
+              " today),\n              multicast groups +%.0f%% (paper: only 80%% more)\n",
+              bw_growth, (lat_growth - 1.0) * 100.0, (grp_growth - 1.0) * 100.0);
+
+  std::printf("\nnetwork share of a 12-switch-hop / 3-software-hop round trip:\n");
+  for (int year : {2014, 2019, 2024}) {
+    const double network = 12.0 * l2::SwitchTrendModel::latency_at(year).nanos();
+    const double software = 3.0 * l2::SwitchTrendModel::software_hop_at(year).nanos();
+    std::printf("  %d: network %5.0f ns, software %5.0f ns -> %4.1f%% in the network\n", year,
+                network, software, 100.0 * network / (network + software));
+  }
+  std::printf("(paper §4.1: \"half of the overall time through the system is spent in the"
+              " network!\")\n");
+
+  std::printf("\npartition demand vs hardware mroute capacity (§3):\n");
+  std::printf("%6s %10s %10s %12s %6s\n", "year", "demand", "capacity", "utilization", "fits");
+  for (int year = 2020; year <= 2028; ++year) {
+    const auto report = core::mcast_capacity_at(year);
+    std::printf("%6d %10zu %10zu %11.0f%% %6s\n", year, report.demand, report.capacity,
+                report.utilization * 100.0, report.fits ? "yes" : "NO");
+  }
+  std::printf("\nfirst infeasible year: %d\n", core::capacity_crossover_year());
+  return 0;
+}

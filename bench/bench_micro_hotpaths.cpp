@@ -1,0 +1,175 @@
+// X1 — hot-path microbenchmarks (google-benchmark).
+//
+// The codec, book and lookup costs that set the software side of the
+// paper's latency budgets: a well-tuned software system gets ~650 ns/event
+// at the busiest second's average and ~100 ns/event at its peak (§3).
+#include <benchmark/benchmark.h>
+
+#include "book/order_book.hpp"
+#include "feed/symbols.hpp"
+#include "mcast/mroute.hpp"
+#include "net/headers.hpp"
+#include "proto/boe.hpp"
+#include "proto/norm.hpp"
+#include "proto/pitch.hpp"
+#include "proto/xpress.hpp"
+#include "sim/random.hpp"
+#include "trading/filter.hpp"
+
+namespace {
+
+using namespace tsn;
+
+void BM_PitchEncodeAddOrder(benchmark::State& state) {
+  proto::pitch::AddOrder add;
+  add.order_id = 42;
+  add.symbol = proto::Symbol{"ACME"};
+  add.quantity = 100;
+  add.price = 60'000;
+  std::vector<std::byte> out;
+  out.reserve(64);
+  for (auto _ : state) {
+    out.clear();
+    net::WireWriter w{out};
+    proto::pitch::encode(proto::pitch::Message{add}, w);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_PitchEncodeAddOrder);
+
+void BM_PitchDecodeFrame(benchmark::State& state) {
+  std::vector<std::byte> payload;
+  proto::pitch::FrameBuilder builder{1, 1458,
+                                     [&payload](std::vector<std::byte> p,
+                                                const proto::pitch::UnitHeader&) {
+                                       payload = std::move(p);
+                                     }};
+  proto::pitch::AddOrder add;
+  add.order_id = 1;
+  add.symbol = proto::Symbol{"ACME"};
+  add.quantity = 100;
+  add.price = 60'000;
+  for (int i = 0; i < 20; ++i) builder.append(proto::pitch::Message{add});
+  builder.flush();
+  std::uint64_t count = 0;
+  for (auto _ : state) {
+    (void)proto::pitch::for_each_message(payload, [&count](const proto::pitch::Message&) {
+      ++count;
+    });
+  }
+  benchmark::DoNotOptimize(count);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 20);
+}
+BENCHMARK(BM_PitchDecodeFrame);
+
+void BM_NormDecodeUpdate(benchmark::State& state) {
+  std::vector<std::byte> wire;
+  net::WireWriter w{wire};
+  proto::norm::Update u;
+  u.symbol = proto::Symbol{"ACME"};
+  u.price = 1'000'000;
+  u.quantity = 100;
+  proto::norm::encode(u, w);
+  for (auto _ : state) {
+    net::WireReader r{wire};
+    auto decoded = proto::norm::decode_one(r);
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_NormDecodeUpdate);
+
+void BM_BoeEncodeNewOrder(benchmark::State& state) {
+  proto::boe::NewOrder order{1, proto::Side::kBuy, 100, proto::Symbol{"ACME"}, 1'000'000,
+                             proto::boe::TimeInForce::kDay};
+  for (auto _ : state) {
+    auto bytes = proto::boe::encode(proto::boe::Message{order}, 1);
+    benchmark::DoNotOptimize(bytes.data());
+  }
+}
+BENCHMARK(BM_BoeEncodeNewOrder);
+
+void BM_BookSubmitCancel(benchmark::State& state) {
+  book::OrderBook book{proto::Symbol{"ACME"}};
+  proto::OrderId id = 1;
+  sim::Rng rng{7};
+  for (auto _ : state) {
+    const auto side = (id & 1) != 0 ? proto::Side::kBuy : proto::Side::kSell;
+    const auto price = 9'000 + static_cast<proto::Price>(rng.next_below(50)) * 100 +
+                       (side == proto::Side::kBuy ? 0 : 5'200);
+    book.submit({id, side, price, 100});
+    if (id > 64) (void)book.cancel(id - 64);
+    ++id;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BookSubmitCancel);
+
+void BM_BookMatchingCrossingFlow(benchmark::State& state) {
+  // The 650 ns / 100 ns-per-event budgets of §3, against a real book.
+  book::OrderBook book{proto::Symbol{"ACME"}};
+  proto::OrderId id = 1;
+  for (int i = 0; i < 1'000; ++i) {
+    book.submit({id++, proto::Side::kSell, 10'000 + (i % 50) * 100, 100});
+  }
+  for (auto _ : state) {
+    // Marketable buy that executes against the best ask, then replenish.
+    const auto best = book.best();
+    if (best.ask_price) book.submit({id++, proto::Side::kBuy, *best.ask_price, 100}, true);
+    book.submit({id++, proto::Side::kSell, best.ask_price.value_or(10'000), 100});
+  }
+}
+BENCHMARK(BM_BookMatchingCrossingFlow);
+
+void BM_MrouteLookup(benchmark::State& state) {
+  mcast::MrouteTable table{4'096};
+  for (std::uint32_t g = 0; g < 2'048; ++g) {
+    table.join(net::Ipv4Addr{0xef000000u + g}, g % 32);
+  }
+  std::uint32_t g = 0;
+  for (auto _ : state) {
+    auto lookup = table.lookup(net::Ipv4Addr{0xef000000u + (g++ & 2'047)});
+    benchmark::DoNotOptimize(lookup.ports);
+  }
+}
+BENCHMARK(BM_MrouteLookup);
+
+void BM_XpressCompress(benchmark::State& state) {
+  proto::xpress::Compressor tx;
+  std::vector<std::byte> out;
+  out.reserve(1 << 20);
+  const std::vector<std::byte> payload(26, std::byte{0x5a});
+  std::uint32_t seq = 1;
+  for (auto _ : state) {
+    if (out.size() > (1 << 19)) out.clear();
+    benchmark::DoNotOptimize(tx.encode(3, seq++, payload, out));
+  }
+}
+BENCHMARK(BM_XpressCompress);
+
+void BM_SymbolFilter(benchmark::State& state) {
+  feed::SymbolUniverse universe{1'024, 3};
+  trading::SymbolFilter filter;
+  for (std::size_t i = 0; i < 64; ++i) filter.watch(universe.at(i).symbol);
+  proto::norm::Update u;
+  std::size_t i = 0;
+  std::uint64_t kept = 0;
+  for (auto _ : state) {
+    u.symbol = universe.at(i++ & 1'023).symbol;
+    kept += filter.relevant(u) ? 1 : 0;
+  }
+  benchmark::DoNotOptimize(kept);
+}
+BENCHMARK(BM_SymbolFilter);
+
+void BM_FrameDecodeFullStack(benchmark::State& state) {
+  const auto frame = net::build_udp_frame(
+      net::MacAddr::from_host_id(1), net::MacAddr::from_host_id(2), net::Ipv4Addr{10, 0, 0, 1},
+      net::Ipv4Addr{10, 0, 0, 2}, 1, 2, std::vector<std::byte>(92, std::byte{1}));
+  for (auto _ : state) {
+    auto decoded = net::decode_frame(frame);
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_FrameDecodeFullStack);
+
+}  // namespace

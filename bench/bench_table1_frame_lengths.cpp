@@ -1,0 +1,69 @@
+// T1 — Table 1: "Frame lengths from market data feeds".
+//
+// Regenerates the paper's table by sampling complete Ethernet frames from
+// the three per-exchange feed profiles (real TsnPitch encoding + UDP/IP
+// framing; lengths are measured on the produced bytes). Also reports the
+// header-share figures §3 quotes against the same sample.
+#include <cstdio>
+
+#include "feed/framelen.hpp"
+#include "net/headers.hpp"
+#include "proto/pitch.hpp"
+#include "sim/stats.hpp"
+
+namespace {
+
+struct Row {
+  const char* name;
+  tsn::feed::FeedProfile profile;
+  int paper[4];  // min avg median max
+};
+
+}  // namespace
+
+int main() {
+  using namespace tsn;
+  constexpr int kFrames = 200'000;
+  const Row rows[] = {
+      {"Exchange A", feed::exchange_a_profile(), {73, 92, 89, 1514}},
+      {"Exchange B", feed::exchange_b_profile(), {64, 113, 76, 1067}},
+      {"Exchange C", feed::exchange_c_profile(), {81, 151, 101, 1442}},
+  };
+
+  std::printf("T1: Table 1 — frame lengths from market data feeds (%d frames per feed)\n\n",
+              kFrames);
+  std::printf("%-12s %8s %8s %8s %8s    %s\n", "Feed", "min", "avg", "median", "max",
+              "(paper: min/avg/median/max)");
+  for (const Row& row : rows) {
+    feed::FrameLengthSampler sampler{row.profile, 0x71feedULL};
+    sim::SampleStats lengths;
+    std::uint64_t header_bytes = 0;
+    std::uint64_t total_bytes = 0;
+    std::uint64_t messages = 0;
+    for (int i = 0; i < kFrames; ++i) {
+      const auto frame = sampler.next_frame();
+      lengths.add(static_cast<double>(frame.size()));
+      total_bytes += frame.size();
+      header_bytes += net::kEthernetHeaderSize + net::kIpv4HeaderSize + net::kUdpHeaderSize +
+                      net::kEthernetFcsSize + proto::pitch::kUnitHeaderSize;
+      const auto decoded = net::decode_frame(frame);
+      if (decoded) {
+        (void)proto::pitch::for_each_message(decoded->payload,
+                                             [&messages](const proto::pitch::Message&) {
+                                               ++messages;
+                                             });
+      }
+    }
+    std::printf("%-12s %8.0f %8.1f %8.0f %8.0f    (%d / %d / %d / %d)\n", row.name,
+                lengths.min(), lengths.mean(), lengths.median(), lengths.max(), row.paper[0],
+                row.paper[1], row.paper[2], row.paper[3]);
+    std::printf("%12s headers+fcs+unit: %.1f%% of bytes; %.2f messages/frame\n", "",
+                100.0 * static_cast<double>(header_bytes) / static_cast<double>(total_bytes),
+                static_cast<double>(messages) / kFrames);
+  }
+  std::printf(
+      "\nPaper claim (§3): 40 bytes of network headers plus 8-16 bytes of protocol\n"
+      "headers are 25%%-40%% of the data sent. Our stack: 42 B eth/ip/udp + 4 B FCS\n"
+      "+ 8 B sequenced-unit header per datagram.\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// The paper's §4 design walk-through, as one program.
+//
+// Prints the analytic design-space comparison (Designs 1-3 plus the §5
+// FPGA-augmented direction), then runs the same application stack on both
+// buildable fabrics (leaf-spine and quad-L1S) and compares the measured
+// feed-path and order-path latencies.
+#include <cstdio>
+
+#include "core/design.hpp"
+#include "deploy/reference.hpp"
+
+int main() {
+  using namespace tsn;
+
+  std::printf("design_comparison: the §4 design space\n\n");
+  const auto designs = core::all_designs();
+  std::vector<const core::NetworkDesign*> raw;
+  for (const auto& d : designs) raw.push_back(d.get());
+  std::printf("%s\n", core::comparison_report(raw, 1300).c_str());
+  for (const auto& design : designs) {
+    std::printf("%-12s %s\n", std::string{design->name()}.c_str(),
+                design->limitations().c_str());
+  }
+
+  std::printf("\nrunning the same stack on both buildable designs (150 ms, 4 strategies)...\n");
+  deploy::DeploymentConfig config;
+  config.strategy_count = 4;
+  config.events_per_second = 40'000;
+
+  deploy::LeafSpineDeployment leaf_spine{config};
+  leaf_spine.start();
+  leaf_spine.run(sim::millis(std::int64_t{150}));
+  const auto d1 = leaf_spine.report();
+
+  deploy::QuadL1sDeployment quad{config};
+  quad.start();
+  quad.run(sim::millis(std::int64_t{150}));
+  const auto d3 = quad.report();
+
+  std::printf("\n%-26s %16s %16s\n", "measured (mean ns)", "design 1", "design 3");
+  std::printf("%-26s %16.0f %16.0f\n", "feed path exch->strategy", d1.feed_path_ns.mean(),
+              d3.feed_path_ns.mean());
+  std::printf("%-26s %16.0f %16.0f\n", "order RTT", d1.order_rtt_ns.mean(),
+              d3.order_rtt_ns.mean());
+  std::printf("%-26s %16.0f %16.0f\n", "tick-to-trade", d1.tick_to_trade_ns.mean(),
+              d3.tick_to_trade_ns.mean());
+  std::printf("\nfeed-path advantage of L1S circuits: %.1fx lower\n",
+              d1.feed_path_ns.mean() / d3.feed_path_ns.mean());
+  std::printf("(the software hops are identical by construction; everything saved is\n"
+              "switch pipeline latency — §4.3's two-orders-of-magnitude claim applies to\n"
+              "the switching component, which the analytic table above isolates)\n");
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Feed partitioning and multicast group management (§2, §3).
+//
+// Shows the machinery a trading firm uses to split and merge feeds:
+// partition schemes mapping symbols to multicast groups, the group
+// allocator carving address blocks per feed, IGMP-snooped delivery through
+// a ToR, and what happens when the partition count crosses the switch's
+// hardware mroute capacity.
+#include <cstdio>
+#include <memory>
+
+#include "feed/symbols.hpp"
+#include "l2/commodity_switch.hpp"
+#include "mcast/group.hpp"
+#include "mcast/subscribe.hpp"
+#include "net/fabric.hpp"
+#include "proto/partition.hpp"
+
+int main() {
+  using namespace tsn;
+
+  // 1. Partitioning schemes: the same universe split three ways.
+  feed::SymbolUniverse universe{2'000, 42};
+  std::printf("multicast_partitioning: 2000 symbols under three schemes\n\n");
+  const proto::AlphabetPartition alpha{8};
+  const proto::KindPartition kind;
+  const proto::HashPartition hash{64};
+  auto spread = [&universe](const proto::PartitionScheme& scheme, const char* name) {
+    std::vector<int> counts(scheme.partition_count(), 0);
+    for (const auto& inst : universe.instruments()) {
+      ++counts[scheme.partition_of(inst.symbol, inst.kind)];
+    }
+    int min = counts[0];
+    int max = counts[0];
+    for (int c : counts) {
+      min = c < min ? c : min;
+      max = c > max ? c : max;
+    }
+    std::printf("  %-10s %3u partitions, %4d..%-4d symbols each (imbalance %.1fx)\n", name,
+                scheme.partition_count(), min, max,
+                static_cast<double>(max) / (min > 0 ? min : 1));
+  };
+  spread(alpha, "alphabet");
+  spread(kind, "kind");
+  spread(hash, "hash-64");
+
+  // 2. Group allocation: one block per feed.
+  mcast::GroupAllocator allocator;
+  const auto exch_a = allocator.allocate_block("exchange-A", 8);
+  const auto norm = allocator.allocate_block("normalized", 64);
+  std::printf("\ngroup blocks: exchange-A %s+8, normalized %s+64 (total %u allocated)\n",
+              exch_a.to_string().c_str(), norm.to_string().c_str(),
+              allocator.total_allocated());
+
+  // 3. Delivery through an IGMP-snooping ToR, and the capacity cliff.
+  sim::Engine engine;
+  net::Fabric fabric{engine};
+  l2::CommoditySwitchConfig sw_config;
+  sw_config.port_count = 8;
+  sw_config.mroute_hardware_capacity = 48;  // deliberately tiny
+  l2::CommoditySwitch tor{engine, "tor", sw_config};
+
+  auto publisher = std::make_unique<net::Nic>(engine, "normalizer",
+                                              net::MacAddr::from_host_id(1),
+                                              net::Ipv4Addr{10, 0, 0, 1});
+  auto subscriber = std::make_unique<net::Nic>(engine, "strategy",
+                                               net::MacAddr::from_host_id(2),
+                                               net::Ipv4Addr{10, 0, 0, 2});
+  fabric.connect(tor, 0, *publisher, 0, net::LinkConfig{});
+  fabric.connect(tor, 1, *subscriber, 0, net::LinkConfig{});
+
+  // The strategy joins all 64 normalized partitions — more than the table.
+  for (std::uint32_t p = 0; p < 64; ++p) {
+    mcast::join_group(*subscriber, allocator.block("normalized").group(p));
+  }
+  engine.run();
+  std::printf("\nafter joining 64 partitions on a 48-entry table:\n");
+  std::printf("  hardware groups: %zu, software groups: %zu (overflowed: %s)\n",
+              tor.mroutes().hardware_group_count(), tor.mroutes().software_group_count(),
+              tor.mroutes().overflowed() ? "yes" : "no");
+
+  std::uint64_t received = 0;
+  subscriber->set_rx_handler([&](const net::PacketPtr&, sim::Time) { ++received; });
+  double hw_latency_us = 0.0;
+  double sw_latency_us = 0.0;
+  for (std::uint32_t p = 0; p < 64; ++p) {
+    const auto group = allocator.block("normalized").group(p);
+    const sim::Time start = engine.now();
+    publisher->send_frame(
+        net::build_multicast_frame(publisher->mac(), publisher->ip(), group, 31001, {}));
+    engine.run();
+    const double us = (engine.now() - start).micros();
+    if (p < 48) {
+      hw_latency_us = us;
+    } else {
+      sw_latency_us = us;
+    }
+  }
+  std::printf("  64 frames sent, %llu delivered\n",
+              static_cast<unsigned long long>(received));
+  std::printf("  per-frame transit: hardware path %.2f us, software path %.2f us\n",
+              hw_latency_us, sw_latency_us);
+  std::printf("  switch: hw-forwarded %llu, sw-forwarded %llu, sw-drops %llu\n",
+              static_cast<unsigned long long>(tor.stats().multicast_hw_forwarded),
+              static_cast<unsigned long long>(tor.stats().multicast_sw_forwarded),
+              static_cast<unsigned long long>(tor.stats().software_queue_drops));
+  std::printf("\n(§3: when the mroute table overflows, \"switches generally fall back to\n"
+              "software forwarding, which cripples performance\" — partition counts that\n"
+              "keep growing 600 -> 1300 run straight into this)\n");
+  return 0;
+}

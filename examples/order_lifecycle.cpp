@@ -1,0 +1,128 @@
+// Order-entry protocol walkthrough (§2).
+//
+// Opens a real TCP session into a simulated exchange, logs in, and walks
+// an order through its life — accept, partial fill, modify, the cancel/
+// fill race, and an IOC — printing every protocol message with its
+// simulation timestamp, like a decoded session capture.
+#include <cstdio>
+
+#include "exchange/exchange.hpp"
+#include "net/fabric.hpp"
+#include "net/stack.hpp"
+
+namespace {
+
+using namespace tsn;
+
+const char* describe(proto::boe::MessageType type) {
+  using proto::boe::MessageType;
+  switch (type) {
+    case MessageType::kLoginRequest: return "LoginRequest";
+    case MessageType::kLoginAccepted: return "LoginAccepted";
+    case MessageType::kLoginRejected: return "LoginRejected";
+    case MessageType::kHeartbeat: return "Heartbeat";
+    case MessageType::kLogout: return "Logout";
+    case MessageType::kNewOrder: return "NewOrder";
+    case MessageType::kCancelOrder: return "CancelOrder";
+    case MessageType::kModifyOrder: return "ModifyOrder";
+    case MessageType::kOrderAccepted: return "OrderAccepted";
+    case MessageType::kOrderRejected: return "OrderRejected";
+    case MessageType::kOrderCancelled: return "OrderCancelled";
+    case MessageType::kOrderModified: return "OrderModified";
+    case MessageType::kCancelRejected: return "CancelRejected";
+    case MessageType::kFill: return "Fill";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  sim::Engine engine;
+  net::Fabric fabric{engine};
+
+  exchange::ExchangeConfig xconfig;
+  xconfig.name = "EXCH";
+  xconfig.symbols = {{proto::Symbol{"ACME"}, proto::InstrumentKind::kEquity,
+                      proto::price_from_dollars(100)}};
+  xconfig.feed_partitioning = std::make_shared<proto::HashPartition>(1);
+  xconfig.feed_mac = net::MacAddr::from_host_id(1);
+  xconfig.feed_ip = net::Ipv4Addr{10, 0, 0, 1};
+  xconfig.order_mac = net::MacAddr::from_host_id(2);
+  xconfig.order_ip = net::Ipv4Addr{10, 0, 0, 2};
+  exchange::Exchange exch{engine, xconfig};
+
+  net::Nic client_nic{engine, "trader", net::MacAddr::from_host_id(10),
+                      net::Ipv4Addr{10, 0, 0, 10}};
+  net::NetStack client{client_nic};
+  fabric.connect(exch.order_nic(), 0, client_nic, 0, net::LinkConfig{});
+
+  proto::boe::StreamParser parser;
+  auto& session = client.connect_tcp(exch.order_nic().mac(), exch.order_nic().ip(),
+                                     xconfig.order_port, 0);
+  session.set_data_handler([&](std::span<const std::byte> bytes, sim::Time) {
+    parser.feed(bytes);
+    while (auto decoded = parser.next()) {
+      std::printf("  %9.2f us  <- %s", engine.now().micros(),
+                  describe(proto::boe::type_of(decoded->message)));
+      if (const auto* fill = std::get_if<proto::boe::Fill>(&decoded->message)) {
+        std::printf(" (order %llu: %u @ $%.2f, leaves %u)",
+                    static_cast<unsigned long long>(fill->client_order_id), fill->quantity,
+                    proto::price_to_dollars(fill->price), fill->leaves_quantity);
+      } else if (const auto* cxl = std::get_if<proto::boe::CancelRejected>(&decoded->message)) {
+        std::printf(" (order %llu: reason=%s)",
+                    static_cast<unsigned long long>(cxl->client_order_id),
+                    cxl->reason == proto::boe::RejectReason::kTooLateToCancel ? "too-late"
+                                                                              : "other");
+      }
+      std::printf("\n");
+    }
+  });
+
+  std::uint32_t seq = 1;
+  auto send = [&](const proto::boe::Message& message, const char* note) {
+    std::printf("  %9.2f us  -> %s %s\n", engine.now().micros(),
+                describe(proto::boe::type_of(message)), note);
+    session.send(proto::boe::encode(message, seq++));
+    engine.run();
+  };
+
+  std::printf("order_lifecycle: one session, one symbol (timestamps are simulation time)\n\n");
+  engine.run();  // TCP handshake
+  std::printf("TCP established after %.2f us\n\n", engine.now().micros());
+
+  send(proto::boe::LoginRequest{7, 0xfeed}, "");
+
+  std::printf("\n-- resting order, then a partial fill --\n");
+  send(proto::boe::NewOrder{1, proto::Side::kSell, 300, proto::Symbol{"ACME"},
+                            proto::price_from_dollars(100.10), proto::boe::TimeInForce::kDay},
+       "(sell 300 @ $100.10)");
+  // Another participant lifts 100 of it.
+  exch.book(proto::Symbol{"ACME"})
+      .submit({exch.next_order_id(), proto::Side::kBuy, proto::price_from_dollars(100.10), 100});
+  engine.run();
+
+  std::printf("\n-- reprice the remainder --\n");
+  send(proto::boe::ModifyOrder{1, 200, proto::price_from_dollars(100.05)},
+       "(200 @ $100.05)");
+
+  std::printf("\n-- the cancel/fill race (§2) --\n");
+  // The rest trades away just before our cancel reaches the matcher...
+  exch.book(proto::Symbol{"ACME"})
+      .submit({exch.next_order_id(), proto::Side::kBuy, proto::price_from_dollars(100.05), 200});
+  send(proto::boe::CancelOrder{1}, "(cancel arrives after the fill)");
+
+  std::printf("\n-- immediate-or-cancel sweep --\n");
+  exch.book(proto::Symbol{"ACME"})
+      .submit({exch.next_order_id(), proto::Side::kSell, proto::price_from_dollars(100.20), 150});
+  send(proto::boe::NewOrder{2, proto::Side::kBuy, 400, proto::Symbol{"ACME"},
+                            proto::price_from_dollars(100.20),
+                            proto::boe::TimeInForce::kImmediateOrCancel},
+       "(IOC buy 400 @ $100.20; only 150 is there)");
+
+  std::printf("\nexchange stats: %llu orders, %llu fills, %llu cancel-rejects\n",
+              static_cast<unsigned long long>(exch.stats().orders_received),
+              static_cast<unsigned long long>(exch.stats().fills_sent),
+              static_cast<unsigned long long>(exch.stats().cancel_rejects));
+  return 0;
+}

@@ -1,0 +1,144 @@
+// Price-time-priority limit order book — the matching substrate every
+// exchange in the simulation runs (§2: exchanges "match up compatible buy
+// and sell orders").
+//
+// The book keeps two price-ordered ladders of FIFO queues. Incoming orders
+// match against the opposite side from the top of book, in price-time
+// priority; any remainder rests. The book reports every state change
+// through a listener interface, which the exchange turns into market-data
+// messages.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <map>
+#include <optional>
+#include <unordered_map>
+
+#include "proto/types.hpp"
+
+namespace tsn::book {
+
+using proto::ExecId;
+using proto::OrderId;
+using proto::Price;
+using proto::Quantity;
+using proto::Side;
+using proto::Symbol;
+
+struct Order {
+  OrderId id = 0;
+  Side side = Side::kBuy;
+  Price price = 0;
+  Quantity quantity = 0;  // remaining
+};
+
+struct BestQuote {
+  std::optional<Price> bid_price;
+  Quantity bid_quantity = 0;
+  std::optional<Price> ask_price;
+  Quantity ask_quantity = 0;
+
+  bool operator==(const BestQuote&) const = default;
+};
+
+// One match between a resting and an aggressive order.
+struct Execution {
+  OrderId resting_id = 0;
+  OrderId aggressive_id = 0;
+  Quantity quantity = 0;
+  Price price = 0;  // the resting order's price
+  ExecId exec_id = 0;
+  Quantity resting_remaining = 0;
+  Quantity aggressive_remaining = 0;
+};
+
+// Receives every book event, in match order.
+class BookListener {
+ public:
+  virtual ~BookListener() = default;
+  virtual void on_accept(const Order& order) = 0;
+  virtual void on_execute(const Execution& execution) = 0;
+  virtual void on_reduce(OrderId order_id, Quantity cancelled) = 0;
+  virtual void on_delete(OrderId order_id) = 0;
+  virtual void on_replace(OrderId order_id, Quantity new_quantity, Price new_price) = 0;
+};
+
+class OrderBook {
+ public:
+  explicit OrderBook(Symbol symbol, BookListener* listener = nullptr) noexcept
+      : symbol_(symbol), listener_(listener) {}
+
+  void set_listener(BookListener* listener) noexcept { listener_ = listener; }
+
+  enum class SubmitResult {
+    kFilled,              // fully executed on entry
+    kRested,              // no fill; resting in full
+    kPartialFill,         // some filled; remainder resting
+    kCancelled,           // IOC remainder cancelled (possibly after fills)
+    kRejectedDuplicate,   // order id already live
+  };
+
+  struct SubmitOutcome {
+    SubmitResult result = SubmitResult::kRested;
+    Quantity filled = 0;
+  };
+
+  // Submits a limit order. Matches as far as possible; the remainder rests
+  // unless `immediate_or_cancel`.
+  SubmitOutcome submit(const Order& order, bool immediate_or_cancel = false);
+
+  // Cancels a resting order in full, returning the cancelled quantity.
+  // nullopt if unknown (e.g. already filled: the cancel/fill race of §2
+  // surfaces here).
+  std::optional<Quantity> cancel(OrderId id);
+
+  // Reduces quantity without losing time priority; false if unknown or the
+  // reduction is not a decrease.
+  bool reduce(OrderId id, Quantity new_quantity);
+
+  // Price or size-increase change: cancels and re-enters (loses priority),
+  // matching immediately if marketable. False if unknown.
+  bool replace(OrderId id, Quantity new_quantity, Price new_price);
+
+  [[nodiscard]] BestQuote best() const;
+  // Visits every resting order, bids first (best to worst), then asks —
+  // the iteration a snapshot service uses to serialize book state.
+  void for_each_order(const std::function<void(const Order&)>& fn) const;
+  [[nodiscard]] std::size_t open_orders() const noexcept { return index_.size(); }
+  [[nodiscard]] std::size_t bid_levels() const noexcept { return bids_.size(); }
+  [[nodiscard]] std::size_t ask_levels() const noexcept { return asks_.size(); }
+  [[nodiscard]] Symbol symbol() const noexcept { return symbol_; }
+  [[nodiscard]] std::uint64_t executions() const noexcept { return exec_count_; }
+  // Depth at a given price level (0 if none).
+  [[nodiscard]] Quantity depth_at(Side side, Price price) const;
+
+ private:
+  // Bids: best = highest price. Asks: best = lowest. Each level is FIFO.
+  using Level = std::list<Order>;
+  using BidLadder = std::map<Price, Level, std::greater<>>;
+  using AskLadder = std::map<Price, Level, std::less<>>;
+
+  struct Locator {
+    Side side;
+    Price price;
+    Level::iterator position;
+  };
+
+  template <typename Ladder>
+  Quantity match_against(Ladder& ladder, Order& incoming);
+  template <typename Ladder>
+  void rest_on(Ladder& ladder, const Order& order);
+  bool erase_located(OrderId id, const Locator& loc);
+
+  Symbol symbol_;
+  BookListener* listener_;
+  BidLadder bids_;
+  AskLadder asks_;
+  std::unordered_map<OrderId, Locator> index_;
+  ExecId next_exec_id_ = 1;
+  std::uint64_t exec_count_ = 0;
+};
+
+}  // namespace tsn::book

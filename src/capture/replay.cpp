@@ -1,0 +1,60 @@
+#include "capture/replay.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+#include "net/wire.hpp"
+
+namespace tsn::capture {
+
+std::vector<std::byte> FrameRecorder::serialize() const {
+  std::vector<std::byte> out;
+  net::WireWriter w{out};
+  w.u32(0x7ca97e01);  // magic + version
+  w.u64(frames_.size());
+  for (const auto& frame : frames_) {
+    w.u64(static_cast<std::uint64_t>(frame.at.picos()));
+    w.u32(static_cast<std::uint32_t>(frame.frame.size()));
+    w.bytes(frame.frame);
+  }
+  return out;
+}
+
+std::vector<RecordedFrame> FrameRecorder::deserialize(std::span<const std::byte> blob) {
+  net::WireReader r{blob};
+  if (r.u32() != 0x7ca97e01) throw std::invalid_argument{"not a capture blob"};
+  const std::uint64_t count = r.u64();
+  std::vector<RecordedFrame> out;
+  out.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    RecordedFrame frame;
+    frame.at = sim::Time{static_cast<std::int64_t>(r.u64())};
+    const std::uint32_t length = r.u32();
+    const auto bytes = r.bytes(length);
+    if (!r.ok()) throw std::invalid_argument{"truncated capture blob"};
+    frame.frame.assign(bytes.begin(), bytes.end());
+    out.push_back(std::move(frame));
+  }
+  return out;
+}
+
+std::size_t FrameReplayer::replay(const std::vector<RecordedFrame>& recording, sim::Time start,
+                                  double speed) {
+  if (speed <= 0.0) throw std::invalid_argument{"speed must be positive"};
+  if (recording.empty()) return 0;
+  const sim::Time origin = recording.front().at;
+  for (const auto& recorded : recording) {
+    const double offset_ps = static_cast<double>((recorded.at - origin).picos()) / speed;
+    const sim::Time at = start + sim::Duration{static_cast<std::int64_t>(offset_ps)};
+    // Own the bytes inside the event: the recording may be destroyed
+    // before the replay fires.
+    auto bytes = std::make_shared<const std::vector<std::byte>>(recorded.frame);
+    engine_.schedule_at(at, [this, bytes] {
+      out_.send_frame(std::vector<std::byte>{*bytes});
+      ++sent_;
+    });
+  }
+  return recording.size();
+}
+
+}  // namespace tsn::capture

@@ -1,0 +1,67 @@
+// Record-and-replay (§2).
+//
+// "Timestamps are also used for conducting simulations after the trading
+// day has ended, and for analyzing the performance of new strategies
+// being developed." This module closes that loop: a FrameRecorder captures
+// complete frames with their timestamps (typically from a Tap's packet
+// hook), and a FrameReplayer re-transmits the recording into a fresh
+// simulation with the original inter-arrival spacing (optionally
+// time-scaled). Because the simulator is deterministic, replaying a
+// recorded feed through the same normalizer/strategy stack reproduces the
+// day exactly — the property research tooling depends on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/nic.hpp"
+#include "sim/engine.hpp"
+
+namespace tsn::capture {
+
+struct RecordedFrame {
+  sim::Time at;
+  std::vector<std::byte> frame;
+};
+
+class FrameRecorder {
+ public:
+  void record(const net::PacketPtr& packet, sim::Time at) {
+    frames_.push_back(RecordedFrame{
+        at, std::vector<std::byte>{packet->frame().begin(), packet->frame().end()}});
+  }
+
+  [[nodiscard]] const std::vector<RecordedFrame>& frames() const noexcept { return frames_; }
+  [[nodiscard]] std::size_t size() const noexcept { return frames_.size(); }
+  void clear() noexcept { frames_.clear(); }
+
+  // Serializes to a compact byte blob (and back): the "capture file".
+  [[nodiscard]] std::vector<std::byte> serialize() const;
+  [[nodiscard]] static std::vector<RecordedFrame> deserialize(
+      std::span<const std::byte> blob);
+
+ private:
+  std::vector<RecordedFrame> frames_;
+};
+
+class FrameReplayer {
+ public:
+  // Replays into `out` (frames are sent exactly as recorded).
+  FrameReplayer(sim::Engine& engine, net::Nic& out) noexcept : engine_(engine), out_(out) {}
+
+  // Schedules every recorded frame: frame i fires at
+  //   start + (recorded[i].at - recorded[0].at) / speed.
+  // speed > 1 compresses time (a whole day in minutes); speed < 1 slows
+  // it down. Returns the number of frames scheduled.
+  std::size_t replay(const std::vector<RecordedFrame>& recording, sim::Time start,
+                     double speed = 1.0);
+
+  [[nodiscard]] std::size_t frames_sent() const noexcept { return sent_; }
+
+ private:
+  sim::Engine& engine_;
+  net::Nic& out_;
+  std::size_t sent_ = 0;
+};
+
+}  // namespace tsn::capture

@@ -1,0 +1,44 @@
+#include "capture/tap.hpp"
+
+#include <utility>
+
+namespace tsn::capture {
+
+Tap::Tap(sim::Engine& engine, std::string name, CaptureClock clock)
+    : engine_(engine), name_(std::move(name)), clock_(clock) {}
+
+void Tap::attach_port(net::PortId port, net::Link& egress) noexcept {
+  if (port < 2) egress_[port] = &egress;
+}
+
+void Tap::receive(const net::PacketPtr& packet, net::PortId port) {
+  if (port >= 2) return;
+  const sim::Time now = engine_.now();
+  if (records_.size() >= record_limit_) {
+    records_.erase(records_.begin(), records_.begin() + static_cast<std::ptrdiff_t>(
+                                                            record_limit_ / 2));
+  }
+  records_.push_back(CaptureRecord{packet->id(), static_cast<std::uint32_t>(packet->size_bytes()),
+                                   port, now, clock_.stamp(now)});
+  if (packet_hook_) packet_hook_(packet, port, now);
+  // Pass-through: a splitter adds no forwarding latency. Port 0 traffic
+  // continues out of port 1's egress and vice versa.
+  net::Link* out = egress_[port ^ 1];
+  if (out != nullptr) out->transmit(packet);
+}
+
+void LatencyTracker::record_cause(std::uint64_t cause_id, sim::Time at) {
+  causes_[cause_id] = at;
+}
+
+bool LatencyTracker::record_effect(std::uint64_t cause_id, sim::Time at) {
+  const auto it = causes_.find(cause_id);
+  if (it == causes_.end()) {
+    ++unmatched_;
+    return false;
+  }
+  samples_.add((at - it->second).nanos());
+  return true;
+}
+
+}  // namespace tsn::capture

@@ -1,0 +1,103 @@
+// Passive network taps and capture appliances (§2).
+//
+// Trading firms record traffic with precise timestamps for monitoring and
+// research: computing a strategy's latency means subtracting the time its
+// most recent input arrived from the time its order left, and research
+// needs event ordering at sub-100-picosecond precision. A `Tap` sits
+// inline on a cable, forwards frames both ways with no added latency (an
+// optical splitter), and stamps every frame with its capture clock — which
+// has realistic offset, drift, and jitter, so clock-quality requirements
+// can be studied rather than assumed away.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/fabric.hpp"
+#include "sim/engine.hpp"
+#include "sim/random.hpp"
+#include "sim/stats.hpp"
+
+namespace tsn::capture {
+
+// A capture clock: measured = true + offset + drift * elapsed + jitter.
+class CaptureClock {
+ public:
+  CaptureClock() = default;
+  CaptureClock(sim::Duration offset, double drift_ppb, sim::Duration jitter_rms,
+               std::uint64_t seed)
+      : offset_(offset), drift_ppb_(drift_ppb), jitter_rms_(jitter_rms), rng_(seed) {}
+
+  [[nodiscard]] sim::Time stamp(sim::Time true_time) noexcept {
+    const double elapsed_s = true_time.seconds();
+    const double drift_ps = drift_ppb_ * 1e-9 * elapsed_s * 1e12;
+    const double jitter_ps = rng_.normal(0.0, static_cast<double>(jitter_rms_.picos()));
+    return true_time + offset_ +
+           sim::Duration{static_cast<std::int64_t>(drift_ps + jitter_ps)};
+  }
+
+ private:
+  sim::Duration offset_ = sim::Duration::zero();
+  double drift_ppb_ = 0.0;
+  sim::Duration jitter_rms_ = sim::Duration::zero();
+  sim::Rng rng_{0x7a95};
+};
+
+struct CaptureRecord {
+  std::uint64_t packet_id = 0;
+  std::uint32_t frame_bytes = 0;
+  net::PortId port = 0;        // which side of the tap saw it
+  sim::Time true_time;         // simulation truth
+  sim::Time stamped_time;      // what the capture clock recorded
+};
+
+class Tap final : public net::PortedDevice {
+ public:
+  // Optional hook receiving every tapped packet (e.g. a FrameRecorder).
+  using PacketHook = std::function<void(const net::PacketPtr&, net::PortId, sim::Time)>;
+
+  Tap(sim::Engine& engine, std::string name, CaptureClock clock = {});
+
+  void attach_port(net::PortId port, net::Link& egress) noexcept override;
+  void receive(const net::PacketPtr& packet, net::PortId port) override;
+  [[nodiscard]] std::string_view name() const noexcept override { return name_; }
+
+  void set_packet_hook(PacketHook hook) { packet_hook_ = std::move(hook); }
+
+  [[nodiscard]] const std::vector<CaptureRecord>& records() const noexcept { return records_; }
+  void clear() noexcept { records_.clear(); }
+  // Bounds memory for long runs: keep only the newest `limit` records.
+  void set_record_limit(std::size_t limit) noexcept { record_limit_ = limit; }
+
+ private:
+  sim::Engine& engine_;
+  std::string name_;
+  CaptureClock clock_;
+  net::Link* egress_[2] = {nullptr, nullptr};
+  PacketHook packet_hook_;
+  std::vector<CaptureRecord> records_;
+  std::size_t record_limit_ = 1 << 22;
+};
+
+// Matches cause/effect event pairs and accumulates latency samples — the
+// paper's strategy-latency measurement (order-out time minus most recent
+// input-event time).
+class LatencyTracker {
+ public:
+  void record_cause(std::uint64_t cause_id, sim::Time at);
+  // Records the effect and, if the cause is known, adds a latency sample
+  // (in nanoseconds). Returns true when matched.
+  bool record_effect(std::uint64_t cause_id, sim::Time at);
+
+  [[nodiscard]] const sim::SampleStats& latencies_ns() const noexcept { return samples_; }
+  [[nodiscard]] std::uint64_t unmatched_effects() const noexcept { return unmatched_; }
+
+ private:
+  std::unordered_map<std::uint64_t, sim::Time> causes_;
+  sim::SampleStats samples_;
+  std::uint64_t unmatched_ = 0;
+};
+
+}  // namespace tsn::capture

@@ -1,0 +1,193 @@
+#include "core/codesign.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+#include <map>
+#include <stdexcept>
+
+namespace tsn::core {
+
+namespace {
+
+// Subscriber set as a bitset over consumers.
+using Signature = std::vector<std::uint64_t>;
+
+struct Cluster {
+  Signature signature;
+  double weight = 0.0;
+  std::vector<SymbolId> symbols;
+  bool alive = true;
+};
+
+int popcount(const Signature& sig) {
+  int count = 0;
+  for (std::uint64_t word : sig) count += std::popcount(word);
+  return count;
+}
+
+Signature merge_signatures(const Signature& a, const Signature& b) {
+  Signature out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] | b[i];
+  return out;
+}
+
+// Delivered weight contributed by a cluster: every subscriber of any of
+// its symbols receives the whole cluster.
+double delivered(const Cluster& cluster) {
+  return static_cast<double>(popcount(cluster.signature)) * cluster.weight;
+}
+
+std::vector<Signature> symbol_signatures(const CodesignInput& input) {
+  const std::size_t words = (input.subscriptions.size() + 63) / 64;
+  std::vector<Signature> out(input.symbol_weight.size(), Signature(words, 0));
+  for (ConsumerId c = 0; c < input.subscriptions.size(); ++c) {
+    for (const SymbolId s : input.subscriptions[c]) {
+      if (s >= out.size()) throw std::out_of_range{"subscription to unknown symbol"};
+      out[s][c / 64] |= std::uint64_t{1} << (c % 64);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+CodesignMetrics evaluate_grouping(const CodesignInput& input, const Grouping& grouping) {
+  if (grouping.group_of.size() != input.symbol_weight.size()) {
+    throw std::invalid_argument{"grouping does not cover the symbol universe"};
+  }
+  CodesignMetrics out;
+  // Wanted: straightforward sum.
+  for (const auto& wants : input.subscriptions) {
+    for (const SymbolId s : wants) out.wanted_weight += input.symbol_weight[s];
+  }
+  // Delivered: per group, total weight and the union of subscribers.
+  std::vector<double> group_weight(grouping.group_count, 0.0);
+  const auto signatures = symbol_signatures(input);
+  const std::size_t words = (input.subscriptions.size() + 63) / 64;
+  std::vector<Signature> group_sig(grouping.group_count, Signature(words, 0));
+  for (SymbolId s = 0; s < grouping.group_of.size(); ++s) {
+    const auto g = grouping.group_of[s];
+    if (g >= grouping.group_count) throw std::invalid_argument{"group index out of range"};
+    group_weight[g] += input.symbol_weight[s];
+    for (std::size_t w = 0; w < words; ++w) group_sig[g][w] |= signatures[s][w];
+  }
+  for (std::size_t g = 0; g < grouping.group_count; ++g) {
+    out.delivered_weight += static_cast<double>(popcount(group_sig[g])) * group_weight[g];
+  }
+  out.over_delivery = out.delivered_weight - out.wanted_weight;
+  return out;
+}
+
+Grouping hash_grouping(const CodesignInput& input) {
+  if (input.group_budget == 0) throw std::invalid_argument{"group budget must be positive"};
+  Grouping out;
+  out.group_count = input.group_budget;
+  out.group_of.resize(input.symbol_weight.size());
+  for (SymbolId s = 0; s < out.group_of.size(); ++s) {
+    // Knuth multiplicative hash for a uniform spread.
+    out.group_of[s] =
+        static_cast<std::uint32_t>((s * 2654435761u) % input.group_budget);
+  }
+  return out;
+}
+
+std::size_t perfect_group_count(const CodesignInput& input) {
+  const auto signatures = symbol_signatures(input);
+  std::map<Signature, int> distinct;
+  for (const auto& sig : signatures) distinct[sig] = 1;
+  return distinct.size();
+}
+
+Grouping codesign_grouping(const CodesignInput& input) {
+  if (input.group_budget == 0) throw std::invalid_argument{"group budget must be positive"};
+  const auto signatures = symbol_signatures(input);
+
+  // Phase 1: free clustering by identical subscriber sets.
+  std::map<Signature, std::size_t> index;
+  std::vector<Cluster> clusters;
+  for (SymbolId s = 0; s < signatures.size(); ++s) {
+    auto [it, inserted] = index.emplace(signatures[s], clusters.size());
+    if (inserted) {
+      Cluster cluster;
+      cluster.signature = signatures[s];
+      clusters.push_back(std::move(cluster));
+    }
+    clusters[it->second].weight += input.symbol_weight[s];
+    clusters[it->second].symbols.push_back(s);
+  }
+
+  // Phase 1b: the pairwise phase below is O(k^3); when the signature
+  // space is huge (every symbol wanted by a different set), coarsen first
+  // by hashing signatures into at most kPairwiseCap buckets. This trades
+  // some optimality for tractability and only engages on pathological
+  // inputs — structured subscriptions (sector/alphabet/top-N) cluster
+  // naturally far below the cap.
+  constexpr std::size_t kPairwiseCap = 768;
+  if (clusters.size() > kPairwiseCap && clusters.size() > input.group_budget) {
+    std::vector<Cluster> coarse(std::min(kPairwiseCap,
+                                         std::max(input.group_budget, std::size_t{1})));
+    const std::size_t buckets = coarse.size();
+    const std::size_t words = clusters.front().signature.size();
+    for (auto& c : coarse) c.signature.assign(words, 0);
+    for (const auto& cluster : clusters) {
+      std::uint64_t h = 0xcbf29ce484222325ULL;
+      for (std::uint64_t word : cluster.signature) {
+        h ^= word;
+        h *= 0x100000001b3ULL;
+      }
+      Cluster& target = coarse[h % buckets];
+      target.signature = merge_signatures(target.signature, cluster.signature);
+      target.weight += cluster.weight;
+      target.symbols.insert(target.symbols.end(), cluster.symbols.begin(),
+                            cluster.symbols.end());
+    }
+    std::erase_if(coarse, [](const Cluster& c) { return c.symbols.empty(); });
+    clusters = std::move(coarse);
+  }
+
+  // Phase 2: cheapest-merge until the budget is met. Merging A and B
+  // changes delivered weight from pop(A)*wA + pop(B)*wB to
+  // pop(A|B)*(wA+wB); the greedy step takes the smallest increase.
+  std::size_t alive = clusters.size();
+  while (alive > input.group_budget) {
+    double best_cost = std::numeric_limits<double>::infinity();
+    std::size_t best_a = 0;
+    std::size_t best_b = 0;
+    for (std::size_t a = 0; a < clusters.size(); ++a) {
+      if (!clusters[a].alive) continue;
+      for (std::size_t b = a + 1; b < clusters.size(); ++b) {
+        if (!clusters[b].alive) continue;
+        const auto merged = merge_signatures(clusters[a].signature, clusters[b].signature);
+        const double cost =
+            static_cast<double>(popcount(merged)) * (clusters[a].weight + clusters[b].weight) -
+            delivered(clusters[a]) - delivered(clusters[b]);
+        if (cost < best_cost) {
+          best_cost = cost;
+          best_a = a;
+          best_b = b;
+        }
+      }
+    }
+    Cluster& a = clusters[best_a];
+    Cluster& b = clusters[best_b];
+    a.signature = merge_signatures(a.signature, b.signature);
+    a.weight += b.weight;
+    a.symbols.insert(a.symbols.end(), b.symbols.begin(), b.symbols.end());
+    b.alive = false;
+    --alive;
+  }
+
+  Grouping out;
+  out.group_of.resize(input.symbol_weight.size());
+  std::uint32_t next_group = 0;
+  for (const auto& cluster : clusters) {
+    if (!cluster.alive) continue;
+    for (const SymbolId s : cluster.symbols) out.group_of[s] = next_group;
+    ++next_group;
+  }
+  out.group_count = next_group;
+  return out;
+}
+
+}  // namespace tsn::core

@@ -1,0 +1,156 @@
+#include "core/design.hpp"
+
+#include <cstdio>
+
+namespace tsn::core {
+
+// --- TraditionalDesign --------------------------------------------------------
+
+TraditionalDesign::TraditionalDesign(DeploymentAssumptions assumptions, sim::Duration switch_hop,
+                                     std::size_t mroute_capacity)
+    : NetworkDesign(assumptions), switch_hop_(switch_hop), mroute_capacity_(mroute_capacity) {}
+
+LatencyBreakdown TraditionalDesign::tick_to_trade() const {
+  PathSpec path;
+  // Four legs, each leaf -> spine -> leaf (functions grouped by rack):
+  // 12 switch hops total (§4.1).
+  path.commodity_switch_hops = 12;
+  path.commodity_hop_latency = switch_hop_;
+  path.software_hops = 3;
+  path.software_hop_latency = assumptions().function_latency;
+  // Each leg serializes onto the host access link twice (in and out).
+  path.link_traversals = 8;
+  path.propagation_total = sim::nanos(std::int64_t{50}) * 16;  // intra-building fiber
+  return evaluate(path);
+}
+
+std::size_t TraditionalDesign::multicast_group_capacity() const { return mroute_capacity_; }
+
+bool TraditionalDesign::supports_partitions(std::size_t partitions) const {
+  return partitions <= mroute_capacity_;
+}
+
+std::string TraditionalDesign::limitations() const {
+  return "network is ~half of tick-to-trade; mroute table caps partitioning; software "
+         "fallback on overflow is catastrophic";
+}
+
+// --- CloudDesign --------------------------------------------------------------
+
+CloudDesign::CloudDesign(DeploymentAssumptions assumptions, sim::Duration equalized_latency)
+    : NetworkDesign(assumptions), equalized_latency_(equalized_latency) {}
+
+LatencyBreakdown CloudDesign::tick_to_trade() const {
+  PathSpec path;
+  path.commodity_switch_hops = 0;
+  path.software_hops = 3;
+  path.software_hop_latency = assumptions().function_latency;
+  // Every one of the four legs crosses the equalized cloud fabric once.
+  path.propagation_total = equalized_latency_ * 4;
+  path.link_traversals = 8;
+  return evaluate(path);
+}
+
+std::size_t CloudDesign::multicast_group_capacity() const {
+  // Provider-managed distribution: effectively unconstrained for a tenant.
+  return 1 << 16;
+}
+
+bool CloudDesign::supports_partitions(std::size_t) const { return true; }
+
+std::string CloudDesign::limitations() const {
+  return "equalized latency is orders of magnitude above colo latency; communication "
+         "beyond the cloud is excessive; broad internal communication and SEC "
+         "cross-market rules are unresolved at scale";
+}
+
+// --- L1SDesign ----------------------------------------------------------------
+
+L1SDesign::L1SDesign(DeploymentAssumptions assumptions) : NetworkDesign(assumptions) {}
+
+LatencyBreakdown L1SDesign::tick_to_trade() const {
+  PathSpec path;
+  // Four L1S stages; the normalized-feed stage merges many feeds onto each
+  // strategy NIC and the order-aggregation stage merges strategies onto
+  // each gateway port.
+  path.l1s_fanout_hops = 2;  // exchange->normalizer, gateway->exchange
+  path.l1s_merge_hops = 2;   // normalizer->strategy, strategy->gateway
+  path.software_hops = 3;
+  path.software_hop_latency = assumptions().function_latency;
+  path.link_traversals = 8;
+  path.propagation_total = sim::nanos(std::int64_t{30}) * 8;
+  return evaluate(path);
+}
+
+std::size_t L1SDesign::multicast_group_capacity() const { return 0; }
+
+bool L1SDesign::supports_partitions(std::size_t partitions) const {
+  // A strategy consuming `partitions` feeds needs them delivered over its
+  // market-data NICs; beyond that, feeds must merge — workable, but §4.3's
+  // caveat applies. "Support" here means without any merging.
+  return partitions <= assumptions().feed_nics_per_strategy;
+}
+
+std::string L1SDesign::limitations() const {
+  return "no classification/filtering/multipath; interface proliferation vs merge "
+         "congestion; coarse feeds, hard to repartition";
+}
+
+// --- FpgaL1SDesign ------------------------------------------------------------
+
+FpgaL1SDesign::FpgaL1SDesign(DeploymentAssumptions assumptions, std::size_t group_capacity)
+    : NetworkDesign(assumptions), group_capacity_(group_capacity) {}
+
+LatencyBreakdown FpgaL1SDesign::tick_to_trade() const {
+  PathSpec path;
+  path.fpga_hops = 4;  // one programmable hop per stage
+  path.software_hops = 3;
+  path.software_hop_latency = assumptions().function_latency;
+  path.link_traversals = 8;
+  path.propagation_total = sim::nanos(std::int64_t{30}) * 8;
+  return evaluate(path);
+}
+
+std::size_t FpgaL1SDesign::multicast_group_capacity() const { return group_capacity_; }
+
+bool FpgaL1SDesign::supports_partitions(std::size_t partitions) const {
+  return partitions <= group_capacity_;
+}
+
+std::string FpgaL1SDesign::limitations() const {
+  return "best of both worlds at ~100 ns with IP multicast, but small forwarding tables "
+         "cap partition counts well below firm demand";
+}
+
+// --- Reporting ----------------------------------------------------------------
+
+std::string comparison_report(std::span<const NetworkDesign* const> designs,
+                              std::size_t partitions_wanted) {
+  std::string out;
+  char line[512];
+  std::snprintf(line, sizeof(line), "%-12s %14s %14s %10s %8s %10s\n", "design", "tick-to-trade",
+                "network", "net-share", "groups", "partitions");
+  out += line;
+  for (const NetworkDesign* design : designs) {
+    const auto breakdown = design->tick_to_trade();
+    std::snprintf(line, sizeof(line), "%-12s %14s %14s %9.1f%% %8zu %10s\n",
+                  std::string{design->name()}.c_str(),
+                  sim::to_string(breakdown.total()).c_str(),
+                  sim::to_string(breakdown.network()).c_str(),
+                  breakdown.network_share() * 100.0, design->multicast_group_capacity(),
+                  design->supports_partitions(partitions_wanted) ? "yes" : "NO");
+    out += line;
+  }
+  return out;
+}
+
+std::vector<std::unique_ptr<NetworkDesign>> all_designs(DeploymentAssumptions assumptions) {
+  std::vector<std::unique_ptr<NetworkDesign>> out;
+  out.push_back(std::make_unique<TraditionalDesign>(assumptions));
+  out.push_back(std::make_unique<CloudDesign>(assumptions));
+  out.push_back(std::make_unique<L1SDesign>(assumptions));
+  out.push_back(std::make_unique<FpgaL1SDesign>(assumptions));
+  return out;
+}
+
+}  // namespace tsn::core

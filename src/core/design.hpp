@@ -1,0 +1,131 @@
+// The design-space framework (§4): each of the paper's three network
+// designs — plus the §5 FPGA-augmented direction — as an object answering
+// the questions the paper asks of it: what is the tick-to-trade latency
+// decomposition, how many multicast groups can it carry, and can it
+// support the firm's partitioning width.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/latency_model.hpp"
+
+namespace tsn::core {
+
+// The paper's reference deployment: ~1000 servers, a few dozen each of
+// normalizers and gateways, functions grouped by rack, every function
+// averaging under 2 us.
+struct DeploymentAssumptions {
+  std::size_t servers = 1000;
+  std::size_t normalizers = 36;
+  std::size_t gateways = 24;
+  std::size_t normalized_partitions = 1300;  // §3: ~600 two years ago, 1300 now
+  sim::Duration function_latency = sim::micros(std::int64_t{2});
+  std::size_t feed_nics_per_strategy = 2;  // market data NICs available
+};
+
+class NetworkDesign {
+ public:
+  virtual ~NetworkDesign() = default;
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+  // Full round trip: exchange -> normalizer -> strategy -> gateway -> exchange.
+  [[nodiscard]] virtual LatencyBreakdown tick_to_trade() const = 0;
+  // Multicast groups the fabric can deliver at hardware speed (0 = the
+  // design does not use multicast groups).
+  [[nodiscard]] virtual std::size_t multicast_group_capacity() const = 0;
+  // Can the design deliver this many normalized partitions to a strategy
+  // that wants all of them?
+  [[nodiscard]] virtual bool supports_partitions(std::size_t partitions) const = 0;
+  [[nodiscard]] virtual std::string limitations() const = 0;
+
+ protected:
+  explicit NetworkDesign(DeploymentAssumptions assumptions) noexcept
+      : assumptions_(assumptions) {}
+  [[nodiscard]] const DeploymentAssumptions& assumptions() const noexcept {
+    return assumptions_;
+  }
+
+ private:
+  DeploymentAssumptions assumptions_;
+};
+
+// Design 1 (§4.1): leaf-spine, functions grouped by rack; 12 switch hops
+// and 3 software hops round trip.
+class TraditionalDesign final : public NetworkDesign {
+ public:
+  explicit TraditionalDesign(DeploymentAssumptions assumptions = {},
+                             sim::Duration switch_hop = sim::nanos(std::int64_t{500}),
+                             std::size_t mroute_capacity = 5040);
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "traditional"; }
+  [[nodiscard]] LatencyBreakdown tick_to_trade() const override;
+  [[nodiscard]] std::size_t multicast_group_capacity() const override;
+  [[nodiscard]] bool supports_partitions(std::size_t partitions) const override;
+  [[nodiscard]] std::string limitations() const override;
+
+ private:
+  sim::Duration switch_hop_;
+  std::size_t mroute_capacity_;
+};
+
+// Design 2 (§4.2): cloud hosting with latency equalization.
+class CloudDesign final : public NetworkDesign {
+ public:
+  explicit CloudDesign(DeploymentAssumptions assumptions = {},
+                       sim::Duration equalized_latency = sim::micros(std::int64_t{100}));
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "cloud"; }
+  [[nodiscard]] LatencyBreakdown tick_to_trade() const override;
+  [[nodiscard]] std::size_t multicast_group_capacity() const override;
+  [[nodiscard]] bool supports_partitions(std::size_t partitions) const override;
+  [[nodiscard]] std::string limitations() const override;
+
+ private:
+  sim::Duration equalized_latency_;
+};
+
+// Design 3 (§4.3): quad L1S networks. Feeds merge onto strategy NICs.
+class L1SDesign final : public NetworkDesign {
+ public:
+  explicit L1SDesign(DeploymentAssumptions assumptions = {});
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "l1s"; }
+  [[nodiscard]] LatencyBreakdown tick_to_trade() const override;
+  [[nodiscard]] std::size_t multicast_group_capacity() const override;
+  // Limited by NICs per strategy, not by group tables.
+  [[nodiscard]] bool supports_partitions(std::size_t partitions) const override;
+  [[nodiscard]] std::string limitations() const override;
+};
+
+// §5 Hardware: FPGA-augmented L1S — ~100 ns with IP multicast but small
+// tables.
+class FpgaL1SDesign final : public NetworkDesign {
+ public:
+  explicit FpgaL1SDesign(DeploymentAssumptions assumptions = {},
+                         std::size_t group_capacity = 96);
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "fpga-l1s"; }
+  [[nodiscard]] LatencyBreakdown tick_to_trade() const override;
+  [[nodiscard]] std::size_t multicast_group_capacity() const override;
+  [[nodiscard]] bool supports_partitions(std::size_t partitions) const override;
+  [[nodiscard]] std::string limitations() const override;
+
+ private:
+  std::size_t group_capacity_;
+};
+
+// Renders the comparison the paper walks through in §4, one row per design.
+[[nodiscard]] std::string comparison_report(
+    std::span<const NetworkDesign* const> designs,
+    std::size_t partitions_wanted);
+
+// Builds all four designs with shared assumptions.
+[[nodiscard]] std::vector<std::unique_ptr<NetworkDesign>> all_designs(
+    DeploymentAssumptions assumptions = {});
+
+}  // namespace tsn::core

@@ -1,0 +1,39 @@
+#include "core/latency_model.hpp"
+
+#include <cstdio>
+
+namespace tsn::core {
+
+std::string LatencyBreakdown::to_string() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "switching=%s software=%s serialization=%s propagation=%s total=%s "
+                "network-share=%.1f%%",
+                sim::to_string(switching).c_str(), sim::to_string(software).c_str(),
+                sim::to_string(serialization).c_str(), sim::to_string(propagation).c_str(),
+                sim::to_string(total()).c_str(), network_share() * 100.0);
+  return buf;
+}
+
+LatencyBreakdown evaluate(const PathSpec& path) noexcept {
+  LatencyBreakdown out;
+  out.switching =
+      path.commodity_hop_latency * static_cast<std::int64_t>(path.commodity_switch_hops) +
+      path.l1s_fanout_latency *
+          static_cast<std::int64_t>(path.l1s_fanout_hops + path.l1s_merge_hops) +
+      path.l1s_merge_extra * static_cast<std::int64_t>(path.l1s_merge_hops) +
+      path.fpga_hop_latency * static_cast<std::int64_t>(path.fpga_hops);
+  out.software = path.software_hop_latency * static_cast<std::int64_t>(path.software_hops);
+  if (path.link_rate_bps > 0) {
+    // +20 wire bytes per traversal: preamble + IPG.
+    const auto bits_per_frame = static_cast<std::int64_t>((path.frame_bytes + 20) * 8);
+    const auto per_link_ps =
+        (static_cast<__int128>(bits_per_frame) * 1'000'000'000'000) / path.link_rate_bps;
+    out.serialization = sim::Duration{static_cast<std::int64_t>(per_link_ps) *
+                                      static_cast<std::int64_t>(path.link_traversals)};
+  }
+  out.propagation = path.propagation_total;
+  return out;
+}
+
+}  // namespace tsn::core

@@ -1,0 +1,62 @@
+// Tick-to-trade latency decomposition (§4).
+//
+// The paper's design analyses are hop arithmetic: count switch hops and
+// software hops along the exchange -> normalizer -> strategy -> gateway ->
+// exchange round trip, multiply by per-hop costs, and see where the time
+// goes. This model makes that arithmetic explicit and auditable, and the
+// event-driven benches check the simulated fabrics against it.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace tsn::core {
+
+struct LatencyBreakdown {
+  sim::Duration switching;      // time inside switch pipelines
+  sim::Duration software;       // time inside application hosts
+  sim::Duration serialization;  // bits-on-wire time across all links
+  sim::Duration propagation;    // distance / signal speed
+
+  [[nodiscard]] sim::Duration network() const noexcept {
+    return switching + serialization + propagation;
+  }
+  [[nodiscard]] sim::Duration total() const noexcept { return network() + software; }
+  // Fraction of end-to-end time spent in the network (§4.1: "half of the
+  // overall time through the system is spent in the network!").
+  [[nodiscard]] double network_share() const noexcept {
+    const auto t = total();
+    return t.picos() == 0 ? 0.0
+                          : static_cast<double>(network().picos()) /
+                                static_cast<double>(t.picos());
+  }
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct PathSpec {
+  // Hop counts along the full round trip.
+  std::size_t commodity_switch_hops = 0;
+  std::size_t l1s_fanout_hops = 0;
+  std::size_t l1s_merge_hops = 0;  // fan-out hops that also cross a mux
+  std::size_t fpga_hops = 0;
+  std::size_t software_hops = 3;  // normalizer, strategy, gateway
+
+  // Per-hop costs (defaults are the paper's numbers).
+  sim::Duration commodity_hop_latency = sim::nanos(std::int64_t{500});
+  sim::Duration l1s_fanout_latency = sim::nanos(std::int64_t{6});
+  sim::Duration l1s_merge_extra = sim::nanos(std::int64_t{50});
+  sim::Duration fpga_hop_latency = sim::nanos(std::int64_t{100});
+  sim::Duration software_hop_latency = sim::micros(std::int64_t{2});
+
+  // Wire accounting.
+  std::size_t link_traversals = 0;   // how many links serialize the frame
+  std::size_t frame_bytes = 92;      // Table 1's average-ish frame
+  std::uint64_t link_rate_bps = 10'000'000'000;
+  sim::Duration propagation_total = sim::Duration::zero();
+};
+
+[[nodiscard]] LatencyBreakdown evaluate(const PathSpec& path) noexcept;
+
+}  // namespace tsn::core

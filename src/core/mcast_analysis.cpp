@@ -1,0 +1,33 @@
+#include "core/mcast_analysis.hpp"
+
+#include <cmath>
+
+#include "l2/trends.hpp"
+
+namespace tsn::core {
+
+std::size_t PartitionDemandModel::partitions_at(int year) const noexcept {
+  const double years = static_cast<double>(year - reference_year);
+  const double value = reference_partitions * std::pow(annual_growth, years);
+  return value < 0.0 ? 0 : static_cast<std::size_t>(value + 0.5);
+}
+
+McastCapacityReport mcast_capacity_at(int year, PartitionDemandModel demand) {
+  McastCapacityReport out;
+  out.demand = demand.partitions_at(year);
+  out.capacity = l2::SwitchTrendModel::mcast_groups_at(year);
+  out.fits = out.demand <= out.capacity;
+  out.utilization = out.capacity == 0
+                        ? 0.0
+                        : static_cast<double>(out.demand) / static_cast<double>(out.capacity);
+  return out;
+}
+
+int capacity_crossover_year(int from_year, int to_year, PartitionDemandModel demand) {
+  for (int year = from_year; year <= to_year; ++year) {
+    if (!mcast_capacity_at(year, demand).fits) return year;
+  }
+  return 0;
+}
+
+}  // namespace tsn::core

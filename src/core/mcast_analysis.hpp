@@ -1,0 +1,40 @@
+// Multicast capacity vs partition demand (§3, Multicast Trends).
+//
+// The collision the paper documents: market data grew ~500% in five years
+// and one representative strategy's partition count doubled from ~600 to
+// ~1300 in two — while switch multicast tables grew only ~80% across
+// hardware generations. This module projects both curves and finds the
+// crossover.
+#pragma once
+
+#include <cstddef>
+
+namespace tsn::core {
+
+struct PartitionDemandModel {
+  // Calibration: ~600 partitions in 2022 doubling to ~1300 by 2024.
+  int reference_year = 2022;
+  double reference_partitions = 600.0;
+  double annual_growth = 1.47;  // sqrt(1300/600) per year
+
+  [[nodiscard]] std::size_t partitions_at(int year) const noexcept;
+};
+
+struct McastCapacityReport {
+  std::size_t demand = 0;
+  std::size_t capacity = 0;
+  bool fits = false;
+  double utilization = 0.0;
+};
+
+// Demand (partition model) vs hardware capacity (l2::SwitchTrendModel).
+[[nodiscard]] McastCapacityReport mcast_capacity_at(int year,
+                                                    PartitionDemandModel demand = {});
+
+// First year (searching from `from_year`) where demand exceeds the
+// hardware table, i.e. where software-fallback pain begins. Returns 0 if
+// it never crosses within the searched horizon.
+[[nodiscard]] int capacity_crossover_year(int from_year = 2018, int to_year = 2032,
+                                          PartitionDemandModel demand = {});
+
+}  // namespace tsn::core

@@ -1,0 +1,466 @@
+#include "exchange/exchange.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace tsn::exchange {
+
+namespace {
+
+constexpr std::int64_t kPicosPerSecond = 1'000'000'000'000;
+
+}  // namespace
+
+// Per-feed-unit packing state.
+struct Exchange::Unit {
+  Unit(Exchange& owner, std::uint8_t index, net::Ipv4Addr group, std::size_t mtu)
+      : group_(group),
+        builder_(index, mtu, [this, &owner](std::vector<std::byte> payload,
+                                            const proto::pitch::UnitHeader& header) {
+          owner.feed_stack_->send_multicast(group_, owner.config_.feed_port, payload);
+          ++owner.stats_.feed_datagrams;
+          (void)header;
+        }) {}
+
+  net::Ipv4Addr group_;
+  proto::pitch::FrameBuilder builder_;
+  bool flush_scheduled = false;
+  std::uint32_t last_time_second = 0xffffffff;
+};
+
+// An order-entry session over one accepted TCP connection.
+struct Exchange::Session {
+  net::TcpEndpoint* endpoint = nullptr;
+  proto::boe::StreamParser parser;
+  std::uint32_t tx_seq = 1;
+  bool logged_in = false;
+  bool timed_out = false;
+  sim::Time last_rx;
+  std::uint32_t session_id = 0;
+  // client order id -> exchange order id, for the orders this session owns
+  // that are still live.
+  std::unordered_map<proto::OrderId, proto::OrderId> open_orders;
+};
+
+// Converts book events for one symbol into feed messages and fills.
+class Exchange::FeedListener final : public book::BookListener {
+ public:
+  FeedListener(Exchange& exchange, proto::Symbol symbol, std::uint8_t unit)
+      : exchange_(exchange), symbol_(symbol), unit_(unit) {}
+
+  void on_accept(const book::Order& order) override {
+    proto::pitch::AddOrder m;
+    m.time_offset_ns = exchange_.now_offset_ns();
+    m.order_id = order.id;
+    m.side = order.side;
+    m.quantity = order.quantity;
+    m.symbol = symbol_;
+    m.price = order.price;
+    exchange_.publish(m, unit_);
+  }
+
+  void on_execute(const book::Execution& execution) override {
+    proto::pitch::OrderExecuted m;
+    m.time_offset_ns = exchange_.now_offset_ns();
+    m.order_id = execution.resting_id;
+    m.executed_quantity = execution.quantity;
+    m.execution_id = execution.exec_id;
+    exchange_.publish(m, unit_);
+    exchange_.notify_fill(execution);
+  }
+
+  void on_reduce(proto::OrderId order_id, book::Quantity cancelled) override {
+    proto::pitch::ReduceSize m;
+    m.time_offset_ns = exchange_.now_offset_ns();
+    m.order_id = order_id;
+    m.cancelled_quantity = cancelled;
+    exchange_.publish(m, unit_);
+  }
+
+  void on_delete(proto::OrderId order_id) override {
+    proto::pitch::DeleteOrder m;
+    m.time_offset_ns = exchange_.now_offset_ns();
+    m.order_id = order_id;
+    exchange_.publish(m, unit_);
+  }
+
+  void on_replace(proto::OrderId order_id, book::Quantity /*new_quantity*/,
+                  book::Price /*new_price*/) override {
+    // A replace leaves the book and re-enters as a fresh order (losing
+    // priority, possibly matching). On the feed that is a delete; the
+    // matching engine's subsequent on_execute/on_accept events describe
+    // what the re-entry did. Publishing a ModifyOrder *and* a later
+    // AddOrder would double-count the order at every consumer.
+    proto::pitch::DeleteOrder m;
+    m.time_offset_ns = exchange_.now_offset_ns();
+    m.order_id = order_id;
+    exchange_.publish(m, unit_);
+  }
+
+ private:
+  Exchange& exchange_;
+  proto::Symbol symbol_;
+  std::uint8_t unit_;
+};
+
+Exchange::Exchange(sim::Engine& engine, ExchangeConfig config)
+    : engine_(engine), config_(std::move(config)) {
+  if (!config_.feed_partitioning) {
+    throw std::invalid_argument{"exchange requires a feed partitioning scheme"};
+  }
+  if (config_.feed_partitioning->partition_count() > 250) {
+    throw std::invalid_argument{"at most 250 feed units"};
+  }
+  host_ = std::make_unique<net::Host>(engine_, config_.name, sim::micros(std::int64_t{1}));
+  feed_nic_ = &host_->add_nic("feed", config_.feed_mac, config_.feed_ip);
+  order_nic_ = &host_->add_nic("orders", config_.order_mac, config_.order_ip);
+  feed_stack_ = std::make_unique<net::NetStack>(*feed_nic_);
+  order_stack_ = std::make_unique<net::NetStack>(*order_nic_);
+
+  const auto units = static_cast<std::uint8_t>(config_.feed_partitioning->partition_count());
+  units_.reserve(units);
+  for (std::uint8_t u = 0; u < units; ++u) {
+    units_.push_back(std::make_unique<Unit>(*this, u, unit_group(u), config_.feed_mtu_payload));
+  }
+
+  for (const auto& spec : config_.symbols) {
+    const std::uint8_t unit =
+        static_cast<std::uint8_t>(config_.feed_partitioning->partition_of(spec.symbol, spec.kind));
+    auto listener = std::make_unique<FeedListener>(*this, spec.symbol, unit);
+    auto book = std::make_unique<book::OrderBook>(spec.symbol, listener.get());
+    books_.emplace(spec.symbol, std::move(book));
+    listeners_.emplace(spec.symbol, std::move(listener));
+    kinds_.emplace(spec.symbol, spec.kind);
+  }
+
+  order_stack_->listen_tcp(config_.order_port,
+                           [this](net::TcpEndpoint& endpoint) { on_accept_session(endpoint); });
+}
+
+Exchange::~Exchange() = default;
+
+std::uint8_t Exchange::unit_count() const noexcept {
+  return static_cast<std::uint8_t>(units_.size());
+}
+
+net::Ipv4Addr Exchange::unit_group(std::uint8_t unit) const noexcept {
+  return net::Ipv4Addr{config_.feed_group_base.value() + unit};
+}
+
+std::uint8_t Exchange::unit_of(const proto::Symbol& symbol) const {
+  const auto kind_it = kinds_.find(symbol);
+  const auto kind = kind_it == kinds_.end() ? proto::InstrumentKind::kEquity : kind_it->second;
+  return static_cast<std::uint8_t>(config_.feed_partitioning->partition_of(symbol, kind));
+}
+
+book::OrderBook& Exchange::book(const proto::Symbol& symbol) {
+  auto it = books_.find(symbol);
+  if (it == books_.end()) throw std::out_of_range{"symbol not listed: " + symbol.str()};
+  return *it->second;
+}
+
+bool Exchange::lists(const proto::Symbol& symbol) const noexcept {
+  return books_.contains(symbol);
+}
+
+std::uint32_t Exchange::now_seconds() const noexcept {
+  return static_cast<std::uint32_t>(engine_.now().picos() / kPicosPerSecond);
+}
+
+std::uint32_t Exchange::now_offset_ns() const noexcept {
+  return static_cast<std::uint32_t>((engine_.now().picos() % kPicosPerSecond) / 1000);
+}
+
+void Exchange::publish(const proto::pitch::Message& message, std::uint8_t unit_index) {
+  Unit& unit = *units_.at(unit_index);
+  const std::uint32_t second = now_seconds();
+  if (unit.last_time_second != second) {
+    unit.last_time_second = second;
+    unit.builder_.append(proto::pitch::Time{second});
+    ++stats_.feed_messages;
+  }
+  unit.builder_.append(message);
+  ++stats_.feed_messages;
+  schedule_flush(unit_index);
+}
+
+void Exchange::schedule_flush(std::uint8_t unit_index) {
+  Unit& unit = *units_.at(unit_index);
+  if (unit.flush_scheduled) return;
+  unit.flush_scheduled = true;
+  // Runs after every event at the current instant: same-instant messages
+  // pack into one datagram, quiet-period messages go out alone.
+  engine_.schedule_in(sim::Duration::zero(), [this, unit_index] {
+    Unit& u = *units_.at(unit_index);
+    u.flush_scheduled = false;
+    u.builder_.flush();
+  });
+}
+
+void Exchange::start_snapshots() {
+  if (snapshots_running_) return;
+  if (config_.snapshot_interval <= sim::Duration::zero()) {
+    throw std::invalid_argument{"snapshot_interval must be positive"};
+  }
+  snapshots_running_ = true;
+  engine_.schedule_in(config_.snapshot_interval, [this] { snapshot_tick(); });
+}
+
+void Exchange::snapshot_tick() {
+  // One snapshot cycle per unit: begin (with the live resume point), the
+  // unit's resting orders, end. Each cycle rides its own datagrams on the
+  // snapshot group so receivers never confuse it with the live stream.
+  for (std::uint8_t u = 0; u < unit_count(); ++u) {
+    proto::pitch::FrameBuilder builder{
+        u, config_.feed_mtu_payload,
+        [this, u](std::vector<std::byte> payload, const proto::pitch::UnitHeader&) {
+          feed_stack_->send_multicast(snapshot_group(u), config_.snapshot_port, payload);
+        }};
+    builder.append(proto::pitch::SnapshotBegin{u, units_[u]->builder_.next_sequence()});
+    std::uint32_t order_count = 0;
+    for (const auto& spec : config_.symbols) {
+      if (unit_of(spec.symbol) != u) continue;
+      books_.at(spec.symbol)->for_each_order([&](const book::Order& order) {
+        proto::pitch::AddOrder add;
+        add.time_offset_ns = now_offset_ns();
+        add.order_id = order.id;
+        add.side = order.side;
+        add.quantity = order.quantity;
+        add.symbol = spec.symbol;
+        add.price = order.price;
+        builder.append(proto::pitch::Message{add});
+        ++order_count;
+      });
+    }
+    builder.append(proto::pitch::SnapshotEnd{u, order_count});
+    builder.flush();
+    ++snapshots_published_;
+  }
+  engine_.schedule_in(config_.snapshot_interval, [this] { snapshot_tick(); });
+}
+
+void Exchange::start_heartbeats() {
+  if (heartbeats_running_) return;
+  if (config_.heartbeat_interval <= sim::Duration::zero()) {
+    throw std::invalid_argument{"heartbeat_interval must be positive"};
+  }
+  if (config_.session_timeout <= sim::Duration::zero()) {
+    config_.session_timeout = config_.heartbeat_interval * 3;
+  }
+  heartbeats_running_ = true;
+  engine_.schedule_in(config_.heartbeat_interval, [this] { heartbeat_tick(); });
+}
+
+void Exchange::heartbeat_tick() {
+  const sim::Time now = engine_.now();
+  for (auto& session : sessions_) {
+    if (session->timed_out || session->endpoint->state() != net::TcpState::kEstablished) {
+      continue;
+    }
+    const auto idle = now - session->last_rx;
+    if (idle > config_.session_timeout) {
+      // A dead counterparty: log the session out and drop the connection —
+      // its resting orders would be pulled by a real exchange's
+      // cancel-on-disconnect; here the owner maps stay for post-mortems.
+      session->timed_out = true;
+      session->logged_in = false;
+      session->endpoint->close();
+      ++stats_.sessions_timed_out;
+      continue;
+    }
+    if (idle > config_.heartbeat_interval) {
+      send_to(*session, proto::boe::Heartbeat{});
+      ++stats_.heartbeats_sent;
+    }
+  }
+  engine_.schedule_in(config_.heartbeat_interval, [this] { heartbeat_tick(); });
+}
+
+void Exchange::notify_fill(const book::Execution& execution) {
+  struct Leg {
+    proto::OrderId exchange_id;
+    proto::Quantity remaining;
+  };
+  const Leg legs[2] = {{execution.resting_id, execution.resting_remaining},
+                       {execution.aggressive_id, execution.aggressive_remaining}};
+  for (const Leg& leg : legs) {
+    auto owner_it = order_owner_.find(leg.exchange_id);
+    if (owner_it == order_owner_.end()) continue;  // background-driver order
+    Session& session = *owner_it->second;
+    const auto client_it = exch_to_client_.find(leg.exchange_id);
+    if (client_it == exch_to_client_.end()) continue;
+    proto::boe::Fill fill;
+    fill.client_order_id = client_it->second;
+    fill.execution_id = execution.exec_id;
+    fill.quantity = execution.quantity;
+    fill.price = execution.price;
+    fill.leaves_quantity = leg.remaining;
+    send_to(session, fill);
+    ++stats_.fills_sent;
+    if (leg.remaining == 0) {
+      session.open_orders.erase(client_it->second);
+      order_owner_.erase(owner_it);
+      exch_to_client_.erase(client_it);
+      order_symbol_.erase(leg.exchange_id);
+    }
+  }
+}
+
+void Exchange::on_accept_session(net::TcpEndpoint& endpoint) {
+  auto session = std::make_unique<Session>();
+  session->endpoint = &endpoint;
+  session->session_id = static_cast<std::uint32_t>(sessions_.size() + 1);
+  session->last_rx = engine_.now();
+  Session* raw = session.get();
+  sessions_.push_back(std::move(session));
+  endpoint.set_data_handler([this, raw](std::span<const std::byte> bytes, sim::Time) {
+    raw->last_rx = engine_.now();
+    raw->parser.feed(bytes);
+    while (auto decoded = raw->parser.next()) {
+      // Matching-engine latency separates wire arrival from book action.
+      const proto::boe::Message message = decoded->message;
+      engine_.schedule_in(config_.matching_latency,
+                          [this, raw, message] { on_session_message(*raw, message); });
+    }
+  });
+}
+
+void Exchange::send_to(Session& session, const proto::boe::Message& message) {
+  const auto bytes = proto::boe::encode(message, session.tx_seq++);
+  session.endpoint->send(bytes);
+}
+
+void Exchange::on_session_message(Session& session, const proto::boe::Message& message) {
+  using namespace proto::boe;
+  if (const auto* login = std::get_if<LoginRequest>(&message)) {
+    if (login->token == 0) {
+      send_to(session, LoginRejected{RejectReason::kNotLoggedIn});
+    } else {
+      session.logged_in = true;
+      send_to(session, LoginAccepted{});
+    }
+    return;
+  }
+  if (std::get_if<Heartbeat>(&message) != nullptr) {
+    return;  // liveness only: the data handler already refreshed the timer
+  }
+  if (std::get_if<Logout>(&message) != nullptr) {
+    session.logged_in = false;
+    return;
+  }
+  if (const auto* order = std::get_if<NewOrder>(&message)) {
+    handle_new_order(session, *order);
+    return;
+  }
+  if (const auto* cancel = std::get_if<CancelOrder>(&message)) {
+    handle_cancel(session, *cancel);
+    return;
+  }
+  if (const auto* modify = std::get_if<ModifyOrder>(&message)) {
+    handle_modify(session, *modify);
+    return;
+  }
+  // Exchange-to-client message types arriving inbound are protocol errors;
+  // ignore them (a production gateway would reset the session).
+}
+
+void Exchange::handle_new_order(Session& session, const proto::boe::NewOrder& request) {
+  using namespace proto::boe;
+  ++stats_.orders_received;
+  auto reject = [&](RejectReason reason) {
+    ++stats_.orders_rejected;
+    send_to(session, OrderRejected{request.client_order_id, reason});
+  };
+  if (!session.logged_in) return reject(RejectReason::kNotLoggedIn);
+  if (!lists(request.symbol)) return reject(RejectReason::kInvalidSymbol);
+  if (request.quantity == 0) return reject(RejectReason::kInvalidQuantity);
+  if (request.price <= 0) return reject(RejectReason::kInvalidPrice);
+  if (session.open_orders.contains(request.client_order_id)) {
+    return reject(RejectReason::kDuplicateOrderId);
+  }
+  const proto::OrderId exchange_id = next_order_id();
+  ++stats_.orders_accepted;
+  OrderAccepted ack;
+  ack.client_order_id = request.client_order_id;
+  ack.exchange_order_id = exchange_id;
+  ack.transact_time_ns = static_cast<std::uint64_t>(engine_.now().picos() / 1000);
+  send_to(session, ack);
+
+  session.open_orders.emplace(request.client_order_id, exchange_id);
+  order_owner_.emplace(exchange_id, &session);
+  exch_to_client_.emplace(exchange_id, request.client_order_id);
+  order_symbol_.emplace(exchange_id, request.symbol);
+
+  auto& target_book = book(request.symbol);
+  const book::Order order{exchange_id, request.side, request.price, request.quantity};
+  const bool ioc = request.tif == TimeInForce::kImmediateOrCancel;
+  const auto outcome = target_book.submit(order, ioc);
+  if (outcome.result == book::OrderBook::SubmitResult::kCancelled) {
+    // IOC remainder evaporates; tell the client.
+    OrderCancelled cancelled;
+    cancelled.client_order_id = request.client_order_id;
+    cancelled.cancelled_quantity = request.quantity - outcome.filled;
+    send_to(session, cancelled);
+  }
+  // Fully-filled or IOC orders are no longer live.
+  if (outcome.result == book::OrderBook::SubmitResult::kFilled ||
+      outcome.result == book::OrderBook::SubmitResult::kCancelled) {
+    session.open_orders.erase(request.client_order_id);
+    order_owner_.erase(exchange_id);
+    exch_to_client_.erase(exchange_id);
+    order_symbol_.erase(exchange_id);
+  }
+}
+
+void Exchange::handle_cancel(Session& session, const proto::boe::CancelOrder& request) {
+  using namespace proto::boe;
+  ++stats_.cancels_received;
+  const auto it = session.open_orders.find(request.client_order_id);
+  if (it == session.open_orders.end()) {
+    // Unknown or already filled — the §2 cancel/fill race lands here.
+    ++stats_.cancel_rejects;
+    send_to(session, CancelRejected{request.client_order_id, RejectReason::kTooLateToCancel});
+    return;
+  }
+  const proto::OrderId exchange_id = it->second;
+  // Find the book holding the order: sessions don't say, so consult the
+  // owner map's symbol via a linear scan fallback. To keep this O(1) we
+  // track symbols alongside; see order_symbol_.
+  const auto symbol_it = order_symbol_.find(exchange_id);
+  if (symbol_it == order_symbol_.end()) {
+    ++stats_.cancel_rejects;
+    send_to(session, CancelRejected{request.client_order_id, RejectReason::kUnknownOrder});
+    return;
+  }
+  auto cancelled = book(symbol_it->second).cancel(exchange_id);
+  if (!cancelled) {
+    ++stats_.cancel_rejects;
+    send_to(session, CancelRejected{request.client_order_id, RejectReason::kTooLateToCancel});
+    return;
+  }
+  send_to(session, OrderCancelled{request.client_order_id, *cancelled});
+  session.open_orders.erase(it);
+  order_owner_.erase(exchange_id);
+  exch_to_client_.erase(exchange_id);
+  order_symbol_.erase(exchange_id);
+}
+
+void Exchange::handle_modify(Session& session, const proto::boe::ModifyOrder& request) {
+  using namespace proto::boe;
+  const auto it = session.open_orders.find(request.client_order_id);
+  if (it == session.open_orders.end()) {
+    send_to(session, CancelRejected{request.client_order_id, RejectReason::kUnknownOrder});
+    return;
+  }
+  const proto::OrderId exchange_id = it->second;
+  const auto symbol_it = order_symbol_.find(exchange_id);
+  if (symbol_it == order_symbol_.end() ||
+      !book(symbol_it->second).replace(exchange_id, request.quantity, request.price)) {
+    send_to(session, CancelRejected{request.client_order_id, RejectReason::kUnknownOrder});
+    return;
+  }
+  send_to(session, OrderModified{request.client_order_id, request.quantity, request.price});
+}
+
+}  // namespace tsn::exchange

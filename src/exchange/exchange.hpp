@@ -1,0 +1,176 @@
+// A simulated exchange (§2).
+//
+// The exchange owns a price-time-priority book per listed symbol, publishes
+// every book change on its PITCH-style multicast feed (partitioned across
+// units by a configurable scheme), and accepts BOE-style order-entry
+// sessions over TCP. It runs on a Host with two NICs: NIC 0 publishes
+// market data, NIC 1 terminates order sessions — mirroring how real
+// cross-connects separate the two (§2).
+//
+// Message packing: events that occur at the same simulation instant pack
+// into one datagram (the flush runs after the current event cascade), which
+// is how real feeds end up with multi-message frames during bursts and
+// single-message frames when quiet — the bimodal frame-length mix of
+// Table 1.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "book/order_book.hpp"
+#include "net/stack.hpp"
+#include "proto/boe.hpp"
+#include "proto/partition.hpp"
+#include "proto/pitch.hpp"
+#include "sim/engine.hpp"
+
+namespace tsn::exchange {
+
+struct SymbolSpec {
+  proto::Symbol symbol;
+  proto::InstrumentKind kind = proto::InstrumentKind::kEquity;
+  proto::Price reference_price = proto::price_from_dollars(100.0);
+};
+
+struct ExchangeConfig {
+  std::string name = "EXCH";
+  std::uint8_t exchange_id = 0;
+  std::vector<SymbolSpec> symbols;
+  // Maps a symbol to a feed unit in [0, unit_count).
+  std::shared_ptr<const proto::PartitionScheme> feed_partitioning;
+  // Multicast group for unit u is feed_group_base + u.
+  net::Ipv4Addr feed_group_base{239, 100, 0, 0};
+  std::uint16_t feed_port = 30001;
+  // Snapshot (gap-recovery) channel: unit u's snapshots go to
+  // snapshot_group_base + u on snapshot_port. Started via start_snapshots().
+  net::Ipv4Addr snapshot_group_base{239, 101, 0, 0};
+  std::uint16_t snapshot_port = 30002;
+  sim::Duration snapshot_interval = sim::millis(std::int64_t{10});
+  std::uint16_t order_port = 34000;
+  // Session liveness: when heartbeat_interval is positive (and
+  // start_heartbeats() is called), the exchange sends a Heartbeat to any
+  // session idle longer than the interval and declares sessions dead after
+  // session_timeout of silence (default 3x the interval). Incoming
+  // heartbeats are pure liveness: they refresh the timer and get no reply
+  // (reply-to-heartbeat schemes ping-pong forever).
+  sim::Duration heartbeat_interval = sim::Duration::zero();
+  sim::Duration session_timeout = sim::Duration::zero();
+  std::size_t feed_mtu_payload = 1458;
+  // Internal processing time between an order-entry message arriving and
+  // the matching engine acting on it (and between a match and the
+  // acknowledgement leaving).
+  sim::Duration matching_latency = sim::micros(std::int64_t{5});
+  net::MacAddr feed_mac;
+  net::Ipv4Addr feed_ip;
+  net::MacAddr order_mac;
+  net::Ipv4Addr order_ip;
+};
+
+struct ExchangeStats {
+  std::uint64_t feed_messages = 0;
+  std::uint64_t feed_datagrams = 0;
+  std::uint64_t orders_received = 0;
+  std::uint64_t orders_accepted = 0;
+  std::uint64_t orders_rejected = 0;
+  std::uint64_t cancels_received = 0;
+  std::uint64_t cancel_rejects = 0;  // includes the §2 cancel/fill race
+  std::uint64_t fills_sent = 0;
+  std::uint64_t heartbeats_sent = 0;
+  std::uint64_t sessions_timed_out = 0;
+};
+
+class Exchange {
+ public:
+  Exchange(sim::Engine& engine, ExchangeConfig config);
+  ~Exchange();
+  Exchange(const Exchange&) = delete;
+  Exchange& operator=(const Exchange&) = delete;
+
+  // The two NICs to wire into a topology.
+  [[nodiscard]] net::Nic& feed_nic() noexcept { return *feed_nic_; }
+  [[nodiscard]] net::Nic& order_nic() noexcept { return *order_nic_; }
+
+  [[nodiscard]] const ExchangeConfig& config() const noexcept { return config_; }
+  [[nodiscard]] std::uint8_t unit_count() const noexcept;
+  [[nodiscard]] net::Ipv4Addr unit_group(std::uint8_t unit) const noexcept;
+  [[nodiscard]] net::Ipv4Addr snapshot_group(std::uint8_t unit) const noexcept {
+    return net::Ipv4Addr{config_.snapshot_group_base.value() + unit};
+  }
+  [[nodiscard]] std::uint8_t unit_of(const proto::Symbol& symbol) const;
+
+  // Begins heartbeat emission and session-timeout enforcement (requires a
+  // positive heartbeat_interval).
+  void start_heartbeats();
+
+  // Begins the periodic snapshot cycle (§2-adjacent operational machinery:
+  // real feeds pair the incremental stream with a recovery channel).
+  // Publishes every unit's resting orders each interval until the run ends.
+  void start_snapshots();
+  [[nodiscard]] std::uint64_t snapshots_published() const noexcept {
+    return snapshots_published_;
+  }
+
+  // Direct book access, used by the background activity driver. Changes
+  // made through the returned book are published on the feed.
+  [[nodiscard]] book::OrderBook& book(const proto::Symbol& symbol);
+  [[nodiscard]] bool lists(const proto::Symbol& symbol) const noexcept;
+  [[nodiscard]] const std::vector<SymbolSpec>& symbols() const noexcept {
+    return config_.symbols;
+  }
+
+  // Allocates an exchange-side order id (the activity driver uses these so
+  // its ids never collide with session orders).
+  [[nodiscard]] proto::OrderId next_order_id() noexcept { return next_order_id_++; }
+
+  [[nodiscard]] const ExchangeStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] sim::Engine& engine() noexcept { return engine_; }
+
+ private:
+  class FeedListener;
+  struct Session;
+  struct Unit;
+
+  void publish(const proto::pitch::Message& message, std::uint8_t unit);
+  void schedule_flush(std::uint8_t unit);
+  void notify_fill(const book::Execution& execution);
+  void snapshot_tick();
+  void heartbeat_tick();
+  void on_accept_session(net::TcpEndpoint& endpoint);
+  void on_session_message(Session& session, const proto::boe::Message& message);
+  void handle_new_order(Session& session, const proto::boe::NewOrder& request);
+  void handle_cancel(Session& session, const proto::boe::CancelOrder& request);
+  void handle_modify(Session& session, const proto::boe::ModifyOrder& request);
+  void send_to(Session& session, const proto::boe::Message& message);
+  [[nodiscard]] std::uint32_t now_seconds() const noexcept;
+  [[nodiscard]] std::uint32_t now_offset_ns() const noexcept;
+
+  sim::Engine& engine_;
+  ExchangeConfig config_;
+  std::unique_ptr<net::Host> host_;
+  net::Nic* feed_nic_ = nullptr;
+  net::Nic* order_nic_ = nullptr;
+  std::unique_ptr<net::NetStack> feed_stack_;
+  std::unique_ptr<net::NetStack> order_stack_;
+
+  std::vector<std::unique_ptr<Unit>> units_;
+  std::unordered_map<proto::Symbol, std::unique_ptr<book::OrderBook>> books_;
+  std::unordered_map<proto::Symbol, std::unique_ptr<FeedListener>> listeners_;
+  std::unordered_map<proto::Symbol, proto::InstrumentKind> kinds_;
+
+  std::vector<std::unique_ptr<Session>> sessions_;
+  // exchange order id -> owning session (nullptr for driver orders).
+  std::unordered_map<proto::OrderId, Session*> order_owner_;
+  std::unordered_map<proto::OrderId, proto::OrderId> exch_to_client_;
+  std::unordered_map<proto::OrderId, proto::Symbol> order_symbol_;
+  proto::OrderId next_order_id_ = 1'000'000'000ULL;
+
+  ExchangeStats stats_;
+  bool snapshots_running_ = false;
+  std::uint64_t snapshots_published_ = 0;
+  bool heartbeats_running_ = false;
+};
+
+}  // namespace tsn::exchange

@@ -1,0 +1,92 @@
+#include "feed/correlated.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/random.hpp"
+
+namespace tsn::feed {
+
+namespace {
+
+// One shock-laden factor series of mean ~1.
+std::vector<double> factor_series(const CorrelatedBurstConfig& config, sim::Rng& rng) {
+  std::vector<double> out(config.window_count, 1.0);
+  const auto n_shocks = rng.poisson(config.shocks_per_series);
+  for (std::uint64_t k = 0; k < n_shocks; ++k) {
+    const auto at = static_cast<std::size_t>(rng.next_below(config.window_count));
+    const double magnitude = 1.0 + rng.exponential(config.shock_magnitude - 1.0);
+    for (std::size_t w = at; w < config.window_count; ++w) {
+      const double decay = std::exp(-static_cast<double>(w - at) / config.shock_decay_windows);
+      if (decay < 0.01) break;
+      out[w] += (magnitude - 1.0) * decay;
+    }
+  }
+  for (double& v : out) {
+    v *= rng.lognormal(-0.5 * config.noise_sigma * config.noise_sigma, config.noise_sigma);
+  }
+  return out;
+}
+
+}  // namespace
+
+CorrelatedBursts generate_correlated_bursts(const CorrelatedBurstConfig& config,
+                                            std::uint64_t seed) {
+  if (config.common_weight < 0.0 || config.common_weight > 1.0) {
+    throw std::invalid_argument{"common_weight must be in [0, 1]"};
+  }
+  sim::Rng rng{seed};
+  const auto market = factor_series(config, rng);
+  CorrelatedBursts out;
+  out.multipliers.resize(config.feed_count);
+  for (std::size_t f = 0; f < config.feed_count; ++f) {
+    const auto own = factor_series(config, rng);
+    auto& series = out.multipliers[f];
+    series.resize(config.window_count);
+    for (std::size_t w = 0; w < config.window_count; ++w) {
+      series[w] = config.common_weight * market[w] + (1.0 - config.common_weight) * own[w];
+    }
+  }
+  return out;
+}
+
+double CorrelatedBursts::correlation(std::size_t a, std::size_t b) const {
+  const auto& x = multipliers.at(a);
+  const auto& y = multipliers.at(b);
+  const auto n = static_cast<double>(x.size());
+  double mx = 0.0;
+  double my = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    mx += x[i];
+    my += y[i];
+  }
+  mx /= n;
+  my /= n;
+  double cov = 0.0;
+  double vx = 0.0;
+  double vy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    cov += (x[i] - mx) * (y[i] - my);
+    vx += (x[i] - mx) * (x[i] - mx);
+    vy += (y[i] - my) * (y[i] - my);
+  }
+  const double denom = std::sqrt(vx * vy);
+  return denom == 0.0 ? 0.0 : cov / denom;
+}
+
+double CorrelatedBursts::peak_to_mean_total() const {
+  if (multipliers.empty() || multipliers.front().empty()) return 0.0;
+  const std::size_t windows = multipliers.front().size();
+  double mean_total = 0.0;
+  double peak_total = 0.0;
+  for (std::size_t w = 0; w < windows; ++w) {
+    double total = 0.0;
+    for (const auto& series : multipliers) total += series[w];
+    mean_total += total;
+    peak_total = total > peak_total ? total : peak_total;
+  }
+  mean_total /= static_cast<double>(windows);
+  return mean_total == 0.0 ? 0.0 : peak_total / mean_total;
+}
+
+}  // namespace tsn::feed

@@ -1,0 +1,46 @@
+// Correlated cross-feed bursts (§2).
+//
+// "Bursts across different feeds are often correlated because the
+// underlying market conditions are related — e.g., the announcement of a
+// new government regulation might cause the value of symbols in a sector
+// to shift, in both equities and options markets." This model produces
+// per-feed rate multipliers that share market-wide shock events: each
+// feed's multiplier is a blend of a common factor (the market) and an
+// idiosyncratic factor, so feeds spike together — the property that makes
+// merged feeds and shared uplinks dangerous.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace tsn::feed {
+
+struct CorrelatedBurstConfig {
+  std::size_t feed_count = 3;
+  std::size_t window_count = 1'000;
+  // Weight of the common (market-wide) factor in each feed's rate; the
+  // remainder is idiosyncratic. 0 = independent feeds, 1 = lockstep.
+  double common_weight = 0.7;
+  // Shock arrivals per series and their magnitude (multiplier).
+  double shocks_per_series = 6.0;
+  double shock_magnitude = 5.0;
+  double shock_decay_windows = 10.0;
+  // Background lognormal noise.
+  double noise_sigma = 0.25;
+};
+
+struct CorrelatedBursts {
+  // multipliers[f][w]: rate multiplier of feed f in window w (mean ~1).
+  std::vector<std::vector<double>> multipliers;
+
+  // Pearson correlation between two feeds' series.
+  [[nodiscard]] double correlation(std::size_t a, std::size_t b) const;
+  // Largest simultaneous (same-window) total across feeds, relative to the
+  // mean total — the sizing number a merged link must absorb.
+  [[nodiscard]] double peak_to_mean_total() const;
+};
+
+[[nodiscard]] CorrelatedBursts generate_correlated_bursts(const CorrelatedBurstConfig& config,
+                                                          std::uint64_t seed);
+
+}  // namespace tsn::feed

@@ -1,0 +1,48 @@
+#include "feed/symbols.hpp"
+
+#include <cmath>
+#include <string>
+
+namespace tsn::feed {
+
+namespace {
+
+// Pronounceable-ish deterministic ticker for index i: base-26 in A..Z with
+// length 1-4 plus a disambiguating suffix when the space is exhausted.
+std::string make_ticker(std::size_t i) {
+  std::string out;
+  std::size_t n = i;
+  do {
+    out.push_back(static_cast<char>('A' + n % 26));
+    n /= 26;
+  } while (n > 0 && out.size() < 6);
+  return out;
+}
+
+}  // namespace
+
+SymbolUniverse::SymbolUniverse(std::size_t count, std::uint64_t seed) {
+  sim::Rng rng{seed};
+  instruments_.reserve(count);
+  weights_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Instrument inst;
+    inst.symbol = proto::Symbol{make_ticker(i)};
+    const double kind_draw = rng.uniform();
+    if (kind_draw < 0.70) {
+      inst.kind = proto::InstrumentKind::kEquity;
+    } else if (kind_draw < 0.85) {
+      inst.kind = proto::InstrumentKind::kEtf;
+    } else {
+      inst.kind = proto::InstrumentKind::kOption;
+    }
+    // Log-normal price distribution: most names $10-$200, a few much higher.
+    inst.reference_price = proto::price_from_dollars(rng.lognormal(3.8, 0.8));
+    // Zipf-like weight by rank with noise.
+    inst.weight = (1.0 / std::pow(static_cast<double>(i + 1), 1.05)) * rng.uniform(0.5, 1.5);
+    instruments_.push_back(inst);
+    weights_.push_back(inst.weight);
+  }
+}
+
+}  // namespace tsn::feed

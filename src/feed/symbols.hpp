@@ -1,0 +1,43 @@
+// Synthetic symbol universe.
+//
+// Generates a deterministic set of instruments (tickers, kinds, reference
+// prices) standing in for the real listed universe, plus Zipf popularity
+// weights — trading volume is heavily concentrated in a few names.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "proto/types.hpp"
+#include "sim/random.hpp"
+
+namespace tsn::feed {
+
+struct Instrument {
+  proto::Symbol symbol;
+  proto::InstrumentKind kind = proto::InstrumentKind::kEquity;
+  proto::Price reference_price = 0;
+  double weight = 0.0;  // relative activity share
+};
+
+class SymbolUniverse {
+ public:
+  // Generates `count` instruments: ~70% equities, 15% ETFs, 15% options
+  // underliers by default. Deterministic for a given seed.
+  SymbolUniverse(std::size_t count, std::uint64_t seed);
+
+  [[nodiscard]] const std::vector<Instrument>& instruments() const noexcept {
+    return instruments_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return instruments_.size(); }
+  [[nodiscard]] const Instrument& at(std::size_t i) const { return instruments_.at(i); }
+
+  // Activity weights as a span for Rng::weighted_index.
+  [[nodiscard]] const std::vector<double>& weights() const noexcept { return weights_; }
+
+ private:
+  std::vector<Instrument> instruments_;
+  std::vector<double> weights_;
+};
+
+}  // namespace tsn::feed

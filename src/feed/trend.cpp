@@ -1,0 +1,41 @@
+#include "feed/trend.hpp"
+
+#include <cmath>
+
+#include "sim/random.hpp"
+
+namespace tsn::feed {
+
+MarketDataTrendModel::MarketDataTrendModel(TrendConfig config, std::uint64_t seed)
+    : config_(config), seed_(seed) {}
+
+double MarketDataTrendModel::expected_events_per_day(double year) const noexcept {
+  const double span = static_cast<double>(config_.last_year + 1 - config_.first_year);
+  double t = (year - static_cast<double>(config_.first_year)) / span;
+  if (t < 0.0) t = 0.0;
+  if (t > 1.0) t = 1.0;
+  // Exponential growth reaching growth_multiple at the end of the span.
+  return config_.base_events_per_day * std::pow(config_.growth_multiple, t);
+}
+
+std::vector<TrendPoint> MarketDataTrendModel::daily_series() const {
+  constexpr int kTradingDaysPerYear = 252;
+  sim::Rng rng{seed_};
+  std::vector<TrendPoint> out;
+  out.reserve(static_cast<std::size_t>(config_.last_year - config_.first_year + 1) *
+              kTradingDaysPerYear);
+  for (int year = config_.first_year; year <= config_.last_year; ++year) {
+    for (int day = 0; day < kTradingDaysPerYear; ++day) {
+      const double fractional_year =
+          static_cast<double>(year) + static_cast<double>(day) / kTradingDaysPerYear;
+      double events = expected_events_per_day(fractional_year);
+      events *= rng.lognormal(-0.5 * config_.daily_sigma * config_.daily_sigma,
+                              config_.daily_sigma);  // mean-one noise
+      if (rng.bernoulli(config_.shock_probability)) events *= config_.shock_multiplier;
+      out.push_back(TrendPoint{year, day, events});
+    }
+  }
+  return out;
+}
+
+}  // namespace tsn::feed

@@ -1,0 +1,58 @@
+// Multi-year market-data growth model — Figure 2(a).
+//
+// The paper's figure shows daily event counts for US options + equities
+// from 2020 through 2024: tens of billions of events per day (an average
+// rate above 500k events/second), substantial day-to-day variability, and
+// ~500% growth over the five years (§3, "market data has increased 500%
+// over the last 5 years").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace tsn::feed {
+
+struct TrendConfig {
+  int first_year = 2020;
+  int last_year = 2024;
+  // Mean events per day at the start of first_year.
+  double base_events_per_day = 3.4e10;
+  // Total growth multiple across the modelled span (500% growth = 6x).
+  double growth_multiple = 6.0;
+  // Day-to-day lognormal variability (sigma of log).
+  double daily_sigma = 0.22;
+  // Occasional high-volatility days (macro events) this much larger.
+  double shock_probability = 0.02;
+  double shock_multiplier = 2.2;
+};
+
+struct TrendPoint {
+  int year = 0;
+  int day_of_year = 0;    // trading day index within the year, 0-based
+  double events = 0.0;    // events that day
+};
+
+class MarketDataTrendModel {
+ public:
+  explicit MarketDataTrendModel(TrendConfig config = {}, std::uint64_t seed = 2020);
+
+  // One point per trading day (252/year), in order.
+  [[nodiscard]] std::vector<TrendPoint> daily_series() const;
+
+  // Expected (noise-free) events/day at a fractional year (e.g. 2022.5).
+  [[nodiscard]] double expected_events_per_day(double year) const noexcept;
+
+  // Average events/second implied by a daily count over 24h (the paper's
+  // ">500k events per second" figure is a whole-day average).
+  [[nodiscard]] static double events_per_second(double events_per_day) noexcept {
+    return events_per_day / 86'400.0;
+  }
+
+  [[nodiscard]] const TrendConfig& config() const noexcept { return config_; }
+
+ private:
+  TrendConfig config_;
+  std::uint64_t seed_;
+};
+
+}  // namespace tsn::feed

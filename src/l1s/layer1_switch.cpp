@@ -1,0 +1,72 @@
+#include "l1s/layer1_switch.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace tsn::l1s {
+
+Layer1Switch::Layer1Switch(sim::Engine& engine, std::string name, L1SwitchConfig config)
+    : engine_(engine),
+      name_(std::move(name)),
+      config_(config),
+      egress_(config.port_count, nullptr),
+      patch_map_(config.port_count),
+      feeders_(config.port_count, 0) {}
+
+void Layer1Switch::attach_port(net::PortId port, net::Link& egress) noexcept {
+  if (port < egress_.size()) egress_[port] = &egress;
+}
+
+void Layer1Switch::patch(net::PortId in, net::PortId out) {
+  if (in >= patch_map_.size() || out >= egress_.size()) {
+    throw std::out_of_range{"L1S port out of range"};
+  }
+  auto& outs = patch_map_[in];
+  if (std::find(outs.begin(), outs.end(), out) != outs.end()) return;
+  outs.push_back(out);
+  ++feeders_[out];
+}
+
+void Layer1Switch::unpatch(net::PortId in, net::PortId out) {
+  if (in >= patch_map_.size() || out >= egress_.size()) return;
+  auto& outs = patch_map_[in];
+  const auto it = std::find(outs.begin(), outs.end(), out);
+  if (it == outs.end()) return;
+  outs.erase(it);
+  if (feeders_[out] > 0) --feeders_[out];
+}
+
+bool Layer1Switch::is_merge_output(net::PortId out) const noexcept {
+  return out < feeders_.size() && feeders_[out] > 1;
+}
+
+std::size_t Layer1Switch::circuit_count() const noexcept {
+  std::size_t count = 0;
+  for (const auto& outs : patch_map_) count += outs.size();
+  return count;
+}
+
+void Layer1Switch::receive(const net::PacketPtr& packet, net::PortId in_port) {
+  if (timestamp_hook_) timestamp_hook_(packet, in_port, engine_.now());
+  if (in_port >= patch_map_.size() || patch_map_[in_port].empty()) {
+    ++stats_.frames_unpatched;
+    return;
+  }
+  auto self = this;
+  for (net::PortId out : patch_map_[in_port]) {
+    net::Link* link = egress_[out];
+    if (link == nullptr) continue;
+    const bool merged = feeders_[out] > 1;
+    const sim::Duration delay =
+        config_.fanout_latency + (merged ? config_.merge_latency : sim::Duration::zero());
+    ++stats_.frames_forwarded;
+    if (merged) ++stats_.merged_frames;
+    engine_.schedule_in(delay, [self, link, packet] {
+      (void)self;
+      link->transmit(packet);
+    });
+  }
+}
+
+}  // namespace tsn::l1s

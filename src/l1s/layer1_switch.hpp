@@ -1,0 +1,74 @@
+// Layer-1 switches (§4.3).
+//
+// An L1S is essentially a crossbar of circuits: any input port can be
+// patched to any set of output ports with 5-6 ns of latency. It performs no
+// packet classification, no filtering, and no multipath — it never looks at
+// the bytes. Two additional capabilities the paper highlights:
+//  - merging: several inputs can be patched onto one output through a mux
+//    stage, at the cost of ~50 ns extra latency — and of contention, since
+//    the output serializes whatever arrives (bursts on merged feeds queue or
+//    drop at the egress link, §4.3's central caveat);
+//  - hardware timestamping: every ingress frame can be stamped with the
+//    arrival time at full precision.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/fabric.hpp"
+#include "sim/engine.hpp"
+
+namespace tsn::l1s {
+
+struct L1SwitchConfig {
+  std::size_t port_count = 32;
+  // Input-to-output circuit latency.
+  sim::Duration fanout_latency = sim::nanos(std::int64_t{6});
+  // Extra latency when the output is a merge (mux) of several inputs.
+  sim::Duration merge_latency = sim::nanos(std::int64_t{50});
+};
+
+struct L1Stats {
+  std::uint64_t frames_forwarded = 0;
+  std::uint64_t frames_unpatched = 0;  // arrived on a port with no circuit
+  std::uint64_t merged_frames = 0;     // frames that crossed a mux stage
+};
+
+class Layer1Switch final : public net::PortedDevice {
+ public:
+  // Callback invoked for every ingress frame with the hardware timestamp.
+  using TimestampHook =
+      std::function<void(const net::PacketPtr&, net::PortId in_port, sim::Time at)>;
+
+  Layer1Switch(sim::Engine& engine, std::string name, L1SwitchConfig config);
+
+  void attach_port(net::PortId port, net::Link& egress) noexcept override;
+
+  // Patches a circuit from `in` to `out`. A given input may feed many
+  // outputs (fan-out); a given output may be fed by many inputs (merge).
+  void patch(net::PortId in, net::PortId out);
+  void unpatch(net::PortId in, net::PortId out);
+  [[nodiscard]] bool is_merge_output(net::PortId out) const noexcept;
+  [[nodiscard]] std::size_t circuit_count() const noexcept;
+
+  void set_timestamp_hook(TimestampHook hook) { timestamp_hook_ = std::move(hook); }
+
+  void receive(const net::PacketPtr& packet, net::PortId in_port) override;
+  [[nodiscard]] std::string_view name() const noexcept override { return name_; }
+  [[nodiscard]] const L1Stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const L1SwitchConfig& config() const noexcept { return config_; }
+
+ private:
+  sim::Engine& engine_;
+  std::string name_;
+  L1SwitchConfig config_;
+  std::vector<net::Link*> egress_;
+  std::vector<std::vector<net::PortId>> patch_map_;  // in-port -> out-ports
+  std::vector<std::uint32_t> feeders_;               // out-port -> #inputs patched to it
+  TimestampHook timestamp_hook_;
+  L1Stats stats_;
+};
+
+}  // namespace tsn::l1s

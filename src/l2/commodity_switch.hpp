@@ -1,0 +1,147 @@
+// The commodity data-center switch model (Design 1's building block, §4.1).
+//
+// Behaviour modelled:
+//  - Cut-through forwarding with a fixed pipeline latency (~500 ns for
+//    current-generation devices, §3 Latency Trends). Serialization is
+//    charged by the egress Link, so "switch hop latency" in the paper's
+//    arithmetic corresponds to `forwarding_latency` here.
+//  - L3 unicast via longest-prefix-match routes with ECMP across equal-cost
+//    egress ports (leaf-spine runs a standard Layer-3 protocol, §4.1); the
+//    route table is programmed by the topology builder, standing in for BGP.
+//  - IP multicast via an mroute table with bounded hardware capacity.
+//    Groups that overflow the ASIC table are forwarded on a software path:
+//    a single-server queue with a much larger per-packet service time and a
+//    bounded queue whose overflow drops frames — "cripples performance and
+//    induces heavy packet loss" (§3 Multicast Trends).
+//  - IGMPv2 snooping to learn receiver ports, with report propagation
+//    toward configured router (uplink) ports.
+//  - Last-hop MAC rewrite for routed unicast so host NIC filters behave.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "mcast/igmp.hpp"
+#include "mcast/mroute.hpp"
+#include "net/fabric.hpp"
+#include "net/headers.hpp"
+#include "sim/engine.hpp"
+
+namespace tsn::l2 {
+
+struct CommoditySwitchConfig {
+  std::size_t port_count = 48;
+  // Pipeline latency of the hardware forwarding path.
+  sim::Duration forwarding_latency = sim::nanos(std::int64_t{500});
+  // ASIC mroute table size (groups).
+  std::size_t mroute_hardware_capacity = 512;
+  // Software (CPU) forwarding path, used when the mroute table overflows:
+  // per-packet service time and bounded queue.
+  sim::Duration software_service_time = sim::micros(std::int64_t{40});
+  std::size_t software_queue_packets = 256;
+  // Frames to unknown multicast groups are dropped (snooping, no querier).
+  bool flood_unknown_multicast = false;
+  // Querier + membership aging (both disabled when zero). With a querier
+  // running, receiver ports that stop answering queries are aged out of
+  // the mroute table after `membership_timeout` — how real snooping state
+  // behaves. Enable via start_querier().
+  sim::Duration igmp_query_interval = sim::Duration::zero();
+  sim::Duration membership_timeout = sim::Duration::zero();
+};
+
+struct SwitchStats {
+  std::uint64_t unicast_forwarded = 0;
+  std::uint64_t multicast_hw_forwarded = 0;
+  std::uint64_t multicast_sw_forwarded = 0;
+  std::uint64_t software_queue_drops = 0;
+  std::uint64_t no_route_drops = 0;
+  std::uint64_t no_group_drops = 0;
+  std::uint64_t igmp_processed = 0;
+  std::uint64_t replications = 0;  // egress copies made for multicast
+};
+
+class CommoditySwitch final : public net::PortedDevice {
+ public:
+  CommoditySwitch(sim::Engine& engine, std::string name, CommoditySwitchConfig config);
+
+  // --- wiring -------------------------------------------------------------
+  void attach_port(net::PortId port, net::Link& egress) noexcept override;
+  // Marks a port as facing another switch/router: IGMP reports are relayed
+  // out of these ports so upstream mroute tables learn the subtree.
+  void set_router_port(net::PortId port, bool is_router = true);
+
+  // --- control plane (programmed by the topology builder / "BGP") ---------
+  // Adds a route for prefix/len; multiple calls with the same prefix add
+  // ECMP next-hop ports.
+  void add_route(net::Ipv4Addr prefix, std::uint8_t prefix_len, net::PortId port);
+  // Binds a directly-attached host: installs a /32 route and enables
+  // last-hop destination-MAC rewrite.
+  void bind_host(net::Ipv4Addr ip, net::MacAddr mac, net::PortId port);
+  // Programs a static multicast route (alternative to IGMP snooping).
+  void join_group(net::Ipv4Addr group, net::PortId port);
+  void leave_group(net::Ipv4Addr group, net::PortId port);
+  // Starts periodic General Queries and membership aging (requires both
+  // intervals in the config to be positive). Runs until the engine stops.
+  void start_querier();
+
+  // --- data plane ----------------------------------------------------------
+  void receive(const net::PacketPtr& packet, net::PortId in_port) override;
+
+  [[nodiscard]] std::string_view name() const noexcept override { return name_; }
+  [[nodiscard]] const SwitchStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::uint64_t memberships_aged_out() const noexcept { return aged_out_; }
+  [[nodiscard]] const mcast::MrouteTable& mroutes() const noexcept { return mroutes_; }
+  [[nodiscard]] mcast::MrouteTable& mroutes() noexcept { return mroutes_; }
+  [[nodiscard]] const CommoditySwitchConfig& config() const noexcept { return config_; }
+
+ private:
+  struct Route {
+    std::uint32_t prefix = 0;
+    std::uint8_t len = 0;
+    std::vector<net::PortId> ports;  // ECMP set
+  };
+
+  void forward_unicast(const net::PacketPtr& packet, const net::DecodedFrame& frame,
+                       net::PortId in_port);
+  void forward_multicast(const net::PacketPtr& packet, net::Ipv4Addr group, net::PortId in_port);
+  void replicate(const net::PacketPtr& packet, const std::vector<net::PortId>& ports,
+                 net::PortId in_port, sim::Duration extra_delay);
+  void handle_igmp(const net::PacketPtr& packet, const mcast::IgmpMessage& message,
+                   net::PortId in_port);
+  void transmit_on(net::PortId port, const net::PacketPtr& packet);
+  [[nodiscard]] const Route* lookup_route(net::Ipv4Addr dst) const noexcept;
+  [[nodiscard]] static std::uint64_t flow_hash(const net::DecodedFrame& frame) noexcept;
+
+  sim::Engine& engine_;
+  std::string name_;
+  CommoditySwitchConfig config_;
+  std::vector<net::Link*> egress_;  // per port, may be null (unused port)
+  std::vector<bool> router_port_;
+  std::vector<Route> routes_;  // sorted by descending prefix length
+  std::unordered_map<net::Ipv4Addr, net::MacAddr> host_macs_;
+  mcast::MrouteTable mroutes_;
+  SwitchStats stats_;
+  // Software forwarding path state (single server queue).
+  sim::Time software_free_at_ = sim::Time::zero();
+  // Querier / aging state.
+  void querier_tick();
+  struct MembershipKey {
+    std::uint32_t group = 0;
+    net::PortId port = 0;
+    bool operator==(const MembershipKey&) const = default;
+  };
+  struct MembershipKeyHash {
+    std::size_t operator()(const MembershipKey& k) const noexcept {
+      return std::hash<std::uint64_t>{}((std::uint64_t{k.group} << 32) | k.port);
+    }
+  };
+  std::unordered_map<MembershipKey, sim::Time, MembershipKeyHash> last_report_;
+  net::PacketFactory query_factory_;
+  bool querier_running_ = false;
+  std::uint64_t aged_out_ = 0;
+};
+
+}  // namespace tsn::l2

@@ -1,0 +1,61 @@
+#include "l2/trends.hpp"
+
+#include <algorithm>
+
+namespace tsn::l2 {
+
+std::vector<SwitchGeneration> SwitchTrendModel::commodity_roadmap() {
+  // Bandwidth doubles per generation; latency +20% across the decade to
+  // ~500 ns; multicast groups +80% across the decade.
+  return {
+      {2014, "gen1", 1.28, sim::nanos(std::int64_t{417}), 2800},
+      {2016, "gen2", 2.56, sim::nanos(std::int64_t{430}), 3100},
+      {2018, "gen3", 5.12, sim::nanos(std::int64_t{445}), 3600},
+      {2020, "gen4", 10.24, sim::nanos(std::int64_t{462}), 4100},
+      {2022, "gen5", 20.48, sim::nanos(std::int64_t{480}), 4600},
+      {2024, "gen6", 40.96, sim::nanos(std::int64_t{500}), 5040},
+  };
+}
+
+namespace {
+
+template <typename Get>
+double interpolate(int year, Get get) {
+  const auto roadmap = SwitchTrendModel::commodity_roadmap();
+  if (year <= roadmap.front().year) return get(roadmap.front());
+  if (year >= roadmap.back().year) return get(roadmap.back());
+  for (std::size_t i = 1; i < roadmap.size(); ++i) {
+    if (year <= roadmap[i].year) {
+      const auto& a = roadmap[i - 1];
+      const auto& b = roadmap[i];
+      const double t = static_cast<double>(year - a.year) / static_cast<double>(b.year - a.year);
+      return get(a) + t * (get(b) - get(a));
+    }
+  }
+  return get(roadmap.back());
+}
+
+}  // namespace
+
+sim::Duration SwitchTrendModel::latency_at(int year) {
+  return sim::nanos(
+      interpolate(year, [](const SwitchGeneration& g) { return g.min_latency.nanos(); }));
+}
+
+std::size_t SwitchTrendModel::mcast_groups_at(int year) {
+  return static_cast<std::size_t>(interpolate(
+      year, [](const SwitchGeneration& g) { return static_cast<double>(g.mcast_group_capacity); }));
+}
+
+double SwitchTrendModel::bandwidth_at(int year) {
+  return interpolate(year, [](const SwitchGeneration& g) { return g.bandwidth_tbps; });
+}
+
+sim::Duration SwitchTrendModel::software_hop_at(int year) {
+  // ~2 us in 2014 falling to ~0.8 us in 2024 (below 1 us today, §3).
+  const int clamped = std::clamp(year, 2014, 2024);
+  const double us = 2.0 - 0.12 * (clamped - 2014);
+  return sim::micros(us);
+}
+
+}  // namespace tsn::l2

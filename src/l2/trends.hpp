@@ -1,0 +1,43 @@
+// Generational trend model for commodity switches (§3, Latency Trends and
+// Multicast Trends).
+//
+// The paper's observations, encoded as data:
+//  - bandwidth roughly doubles with each generation;
+//  - minimum latency has *increased* ~20% over the decade, to ~500 ns;
+//  - multicast group capacity grew only ~80% across the same generations,
+//    while market data grew ~500% in 5 years.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace tsn::l2 {
+
+struct SwitchGeneration {
+  int year = 0;
+  std::string name;
+  double bandwidth_tbps = 0.0;
+  sim::Duration min_latency;          // cut-through, simple pipeline
+  std::size_t mcast_group_capacity = 0;
+};
+
+class SwitchTrendModel {
+ public:
+  // A synthetic six-generation commodity roadmap, 2014-2024, calibrated to
+  // the paper's trend statements (not to any vendor's actual parts).
+  [[nodiscard]] static std::vector<SwitchGeneration> commodity_roadmap();
+
+  // Linear interpolation over the roadmap.
+  [[nodiscard]] static sim::Duration latency_at(int year);
+  [[nodiscard]] static std::size_t mcast_groups_at(int year);
+  [[nodiscard]] static double bandwidth_at(int year);
+
+  // Latency of one hop through a tuned software host (kernel-bypass "ping
+  // pong"), which has been *decreasing* (§3): ~2 us a decade ago, <1 us now.
+  [[nodiscard]] static sim::Duration software_hop_at(int year);
+};
+
+}  // namespace tsn::l2

@@ -1,0 +1,58 @@
+#include "mcast/mroute.hpp"
+
+#include <algorithm>
+
+namespace tsn::mcast {
+
+void MrouteTable::join(net::Ipv4Addr group, net::PortId port) {
+  auto [it, inserted] = entries_.try_emplace(group);
+  Entry& entry = it->second;
+  if (inserted) {
+    entry.hardware = hardware_used_ < hardware_capacity_;
+    if (entry.hardware) ++hardware_used_;
+  }
+  if (std::find(entry.ports.begin(), entry.ports.end(), port) == entry.ports.end()) {
+    entry.ports.push_back(port);
+  }
+}
+
+void MrouteTable::leave(net::Ipv4Addr group, net::PortId port) {
+  auto it = entries_.find(group);
+  if (it == entries_.end()) return;
+  std::erase(it->second.ports, port);
+  if (it->second.ports.empty()) {
+    if (it->second.hardware && hardware_used_ > 0) --hardware_used_;
+    entries_.erase(it);
+  }
+}
+
+MrouteTable::Lookup MrouteTable::lookup(net::Ipv4Addr group) {
+  auto it = entries_.find(group);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return {};
+  }
+  if (it->second.hardware) {
+    ++stats_.hardware_hits;
+  } else {
+    ++stats_.software_hits;
+  }
+  return Lookup{&it->second.ports, it->second.hardware};
+}
+
+void MrouteTable::reprogram() {
+  // Deterministic refill: sort groups numerically, then assign hardware
+  // slots from the front.
+  std::vector<net::Ipv4Addr> groups;
+  groups.reserve(entries_.size());
+  for (const auto& [group, entry] : entries_) groups.push_back(group);
+  std::sort(groups.begin(), groups.end());
+  hardware_used_ = 0;
+  for (const auto& group : groups) {
+    Entry& entry = entries_.at(group);
+    entry.hardware = hardware_used_ < hardware_capacity_;
+    if (entry.hardware) ++hardware_used_;
+  }
+}
+
+}  // namespace tsn::mcast

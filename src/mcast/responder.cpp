@@ -1,0 +1,43 @@
+#include "mcast/responder.hpp"
+
+namespace tsn::mcast {
+
+IgmpResponder::IgmpResponder(net::NetStack& stack) : stack_(stack) {
+  stack_.nic().subscribe_multicast_mac(net::multicast_mac(kAllHostsGroup));
+  stack_.set_igmp_handler([this](std::span<const std::byte> payload, sim::Time) {
+    if (const auto message = IgmpMessage::decode(payload)) on_igmp(*message);
+  });
+}
+
+void IgmpResponder::send_report(net::Ipv4Addr group) {
+  stack_.nic().send_frame(build_igmp_frame(stack_.nic().mac(), stack_.nic().ip(),
+                                           IgmpMessage{IgmpType::kMembershipReport, group}));
+  ++reports_sent_;
+}
+
+void IgmpResponder::join(net::Ipv4Addr group) {
+  if (!groups_.insert(group).second) return;
+  stack_.nic().subscribe_multicast_mac(net::multicast_mac(group));
+  send_report(group);
+}
+
+void IgmpResponder::leave(net::Ipv4Addr group) {
+  if (groups_.erase(group) == 0) return;
+  stack_.nic().unsubscribe_multicast_mac(net::multicast_mac(group));
+  stack_.nic().send_frame(build_igmp_frame(stack_.nic().mac(), stack_.nic().ip(),
+                                           IgmpMessage{IgmpType::kLeaveGroup, group}));
+}
+
+void IgmpResponder::on_igmp(const IgmpMessage& message) {
+  if (message.type != IgmpType::kMembershipQuery) return;
+  ++queries_answered_;
+  // General query (group 0) refreshes everything; group-specific queries
+  // refresh just that group.
+  if (message.group == net::Ipv4Addr{}) {
+    for (const auto group : groups_) send_report(group);
+  } else if (groups_.contains(message.group)) {
+    send_report(message.group);
+  }
+}
+
+}  // namespace tsn::mcast

@@ -1,0 +1,72 @@
+#include "net/addr.hpp"
+
+#include <cstdio>
+
+namespace tsn::net {
+
+std::string MacAddr::to_string() const {
+  char buf[18];
+  std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x:%02x:%02x:%02x", octets_[0], octets_[1],
+                octets_[2], octets_[3], octets_[4], octets_[5]);
+  return buf;
+}
+
+std::optional<MacAddr> MacAddr::parse(std::string_view text) {
+  std::array<std::uint8_t, 6> octets{};
+  std::size_t pos = 0;
+  for (std::size_t i = 0; i < 6; ++i) {
+    if (i > 0) {
+      if (pos >= text.size() || text[pos] != ':') return std::nullopt;
+      ++pos;
+    }
+    if (pos + 2 > text.size()) return std::nullopt;
+    unsigned value = 0;
+    for (int j = 0; j < 2; ++j) {
+      const char c = text[pos++];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        return std::nullopt;
+      }
+    }
+    octets[i] = static_cast<std::uint8_t>(value);
+  }
+  if (pos != text.size()) return std::nullopt;
+  return MacAddr{octets};
+}
+
+std::string Ipv4Addr::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (value_ >> 24) & 0xff, (value_ >> 16) & 0xff,
+                (value_ >> 8) & 0xff, value_ & 0xff);
+  return buf;
+}
+
+std::optional<Ipv4Addr> Ipv4Addr::parse(std::string_view text) {
+  std::uint32_t value = 0;
+  std::size_t pos = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (i > 0) {
+      if (pos >= text.size() || text[pos] != '.') return std::nullopt;
+      ++pos;
+    }
+    if (pos >= text.size() || text[pos] < '0' || text[pos] > '9') return std::nullopt;
+    std::uint32_t octet = 0;
+    std::size_t digits = 0;
+    while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9') {
+      octet = octet * 10 + static_cast<std::uint32_t>(text[pos] - '0');
+      ++pos;
+      if (++digits > 3 || octet > 255) return std::nullopt;
+    }
+    value = (value << 8) | octet;
+  }
+  if (pos != text.size()) return std::nullopt;
+  return Ipv4Addr{value};
+}
+
+}  // namespace tsn::net

@@ -1,0 +1,221 @@
+#include "net/headers.hpp"
+
+namespace tsn::net {
+
+void EthernetHeader::encode(WireWriter& w) const {
+  w.bytes(std::as_bytes(std::span{dst.octets()}));
+  w.bytes(std::as_bytes(std::span{src.octets()}));
+  w.u16(ethertype);
+}
+
+std::optional<EthernetHeader> EthernetHeader::decode(WireReader& r) {
+  EthernetHeader h;
+  auto dst = r.bytes(6);
+  auto src = r.bytes(6);
+  h.ethertype = r.u16();
+  if (!r.ok()) return std::nullopt;
+  std::array<std::uint8_t, 6> octets{};
+  for (int i = 0; i < 6; ++i) octets[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(dst[static_cast<std::size_t>(i)]);
+  h.dst = MacAddr{octets};
+  for (int i = 0; i < 6; ++i) octets[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(src[static_cast<std::size_t>(i)]);
+  h.src = MacAddr{octets};
+  return h;
+}
+
+std::uint16_t internet_checksum(std::span<const std::byte> data) noexcept {
+  std::uint32_t sum = 0;
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += (static_cast<std::uint32_t>(data[i]) << 8) | static_cast<std::uint32_t>(data[i + 1]);
+  }
+  if (i < data.size()) sum += static_cast<std::uint32_t>(data[i]) << 8;
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum);
+}
+
+void Ipv4Header::encode(WireWriter& w) const {
+  std::vector<std::byte> scratch;
+  scratch.reserve(kIpv4HeaderSize);
+  WireWriter hw{scratch};
+  hw.u8(0x45);  // version 4, IHL 5
+  hw.u8(dscp);
+  hw.u16(total_length);
+  hw.u16(identification);
+  hw.u16(0x4000);  // flags: DF, fragment offset 0
+  hw.u8(ttl);
+  hw.u8(protocol);
+  hw.u16(0);  // checksum placeholder
+  hw.u32(src.value());
+  hw.u32(dst.value());
+  const std::uint16_t sum = internet_checksum(scratch);
+  hw.patch_u16(10, sum);
+  w.bytes(scratch);
+}
+
+std::optional<Ipv4Header> Ipv4Header::decode(WireReader& r) {
+  auto raw = r.bytes(kIpv4HeaderSize);
+  if (!r.ok()) return std::nullopt;
+  if (internet_checksum(raw) != 0) return std::nullopt;
+  WireReader hr{raw};
+  const std::uint8_t version_ihl = hr.u8();
+  if (version_ihl != 0x45) return std::nullopt;  // options unsupported
+  Ipv4Header h;
+  h.dscp = hr.u8();
+  h.total_length = hr.u16();
+  h.identification = hr.u16();
+  hr.skip(2);  // flags/fragment
+  h.ttl = hr.u8();
+  h.protocol = hr.u8();
+  h.checksum = hr.u16();
+  h.src = Ipv4Addr{hr.u32()};
+  h.dst = Ipv4Addr{hr.u32()};
+  return h;
+}
+
+void UdpHeader::encode(WireWriter& w) const {
+  w.u16(src_port);
+  w.u16(dst_port);
+  w.u16(length);
+  w.u16(0);  // checksum optional in IPv4; zero = not computed
+}
+
+std::optional<UdpHeader> UdpHeader::decode(WireReader& r) {
+  UdpHeader h;
+  h.src_port = r.u16();
+  h.dst_port = r.u16();
+  h.length = r.u16();
+  (void)r.u16();  // checksum
+  if (!r.ok()) return std::nullopt;
+  return h;
+}
+
+void TcpHeader::encode(WireWriter& w) const {
+  w.u16(src_port);
+  w.u16(dst_port);
+  w.u32(seq);
+  w.u32(ack);
+  w.u8(0x50);  // data offset 5 words
+  w.u8(flags);
+  w.u16(window);
+  w.u16(0);  // checksum (not modelled; links are reliable unless told not to be)
+  w.u16(0);  // urgent pointer
+}
+
+std::optional<TcpHeader> TcpHeader::decode(WireReader& r) {
+  TcpHeader h;
+  h.src_port = r.u16();
+  h.dst_port = r.u16();
+  h.seq = r.u32();
+  h.ack = r.u32();
+  const std::uint8_t offset = r.u8();
+  h.flags = r.u8();
+  h.window = r.u16();
+  r.skip(4);  // checksum + urgent
+  if (!r.ok() || offset != 0x50) return std::nullopt;
+  return h;
+}
+
+std::optional<DecodedFrame> decode_frame(std::span<const std::byte> frame) {
+  WireReader r{frame};
+  auto eth = EthernetHeader::decode(r);
+  if (!eth) return std::nullopt;
+  DecodedFrame out;
+  out.eth = *eth;
+  if (eth->ethertype != kEtherTypeIpv4) {
+    out.payload = frame.subspan(r.position());
+    return out;
+  }
+  auto ip = Ipv4Header::decode(r);
+  if (!ip) return std::nullopt;
+  out.ip = *ip;
+  if (ip->total_length < kIpv4HeaderSize) return std::nullopt;
+  const std::size_t l3_payload = ip->total_length - kIpv4HeaderSize;
+  if (r.remaining() < l3_payload) return std::nullopt;
+  if (ip->protocol == kIpProtoUdp) {
+    auto udp = UdpHeader::decode(r);
+    if (!udp || udp->length < kUdpHeaderSize) return std::nullopt;
+    out.udp = *udp;
+    const std::size_t l4_payload = udp->length - kUdpHeaderSize;
+    if (r.remaining() < l4_payload) return std::nullopt;
+    out.payload = frame.subspan(r.position(), l4_payload);
+  } else if (ip->protocol == kIpProtoTcp) {
+    if (l3_payload < kTcpHeaderSize) return std::nullopt;
+    auto tcp = TcpHeader::decode(r);
+    if (!tcp) return std::nullopt;
+    out.tcp = *tcp;
+    const std::size_t l4_payload = l3_payload - kTcpHeaderSize;
+    if (r.remaining() < l4_payload) return std::nullopt;
+    out.payload = frame.subspan(r.position(), l4_payload);
+  } else {
+    out.payload = frame.subspan(r.position(), l3_payload);
+  }
+  return out;
+}
+
+namespace {
+
+// Pads to the Ethernet minimum and appends a 4-byte FCS placeholder.
+void finish_frame(std::vector<std::byte>& frame) {
+  if (frame.size() + kEthernetFcsSize < kMinEthernetFrame) {
+    frame.resize(kMinEthernetFrame - kEthernetFcsSize, std::byte{0});
+  }
+  frame.insert(frame.end(), kEthernetFcsSize, std::byte{0});
+}
+
+}  // namespace
+
+std::vector<std::byte> build_udp_frame(MacAddr src_mac, MacAddr dst_mac, Ipv4Addr src_ip,
+                                       Ipv4Addr dst_ip, std::uint16_t src_port,
+                                       std::uint16_t dst_port,
+                                       std::span<const std::byte> payload) {
+  std::vector<std::byte> frame;
+  frame.reserve(kEthernetHeaderSize + kIpv4HeaderSize + kUdpHeaderSize + payload.size() +
+                kEthernetFcsSize);
+  WireWriter w{frame};
+  EthernetHeader{dst_mac, src_mac, kEtherTypeIpv4}.encode(w);
+  Ipv4Header ip;
+  ip.total_length =
+      static_cast<std::uint16_t>(kIpv4HeaderSize + kUdpHeaderSize + payload.size());
+  ip.protocol = kIpProtoUdp;
+  ip.src = src_ip;
+  ip.dst = dst_ip;
+  ip.encode(w);
+  UdpHeader udp;
+  udp.src_port = src_port;
+  udp.dst_port = dst_port;
+  udp.length = static_cast<std::uint16_t>(kUdpHeaderSize + payload.size());
+  udp.encode(w);
+  w.bytes(payload);
+  finish_frame(frame);
+  return frame;
+}
+
+std::vector<std::byte> build_tcp_frame(MacAddr src_mac, MacAddr dst_mac, Ipv4Addr src_ip,
+                                       Ipv4Addr dst_ip, const TcpHeader& tcp,
+                                       std::span<const std::byte> payload) {
+  std::vector<std::byte> frame;
+  frame.reserve(kEthernetHeaderSize + kIpv4HeaderSize + kTcpHeaderSize + payload.size() +
+                kEthernetFcsSize);
+  WireWriter w{frame};
+  EthernetHeader{dst_mac, src_mac, kEtherTypeIpv4}.encode(w);
+  Ipv4Header ip;
+  ip.total_length =
+      static_cast<std::uint16_t>(kIpv4HeaderSize + kTcpHeaderSize + payload.size());
+  ip.protocol = kIpProtoTcp;
+  ip.src = src_ip;
+  ip.dst = dst_ip;
+  ip.encode(w);
+  tcp.encode(w);
+  w.bytes(payload);
+  finish_frame(frame);
+  return frame;
+}
+
+std::vector<std::byte> build_multicast_frame(MacAddr src_mac, Ipv4Addr src_ip, Ipv4Addr group,
+                                             std::uint16_t dst_port,
+                                             std::span<const std::byte> payload) {
+  return build_udp_frame(src_mac, multicast_mac(group), src_ip, group, dst_port, dst_port,
+                         payload);
+}
+
+}  // namespace tsn::net

@@ -1,0 +1,71 @@
+#include "net/nic.hpp"
+
+#include <algorithm>
+
+#include "net/headers.hpp"
+
+namespace tsn::net {
+
+Nic::Nic(sim::Engine& engine, std::string name, MacAddr mac, Ipv4Addr ip)
+    : engine_(engine), name_(std::move(name)), mac_(mac), ip_(ip) {}
+
+void Nic::attach_port(PortId /*port*/, Link& egress) noexcept { egress_ = &egress; }
+
+void Nic::subscribe_multicast_mac(MacAddr mac) {
+  if (std::find(mcast_macs_.begin(), mcast_macs_.end(), mac) == mcast_macs_.end()) {
+    mcast_macs_.push_back(mac);
+  }
+}
+
+void Nic::unsubscribe_multicast_mac(MacAddr mac) {
+  std::erase(mcast_macs_, mac);
+}
+
+void Nic::send(const PacketPtr& packet) {
+  if (egress_ == nullptr) return;  // unplugged NIC: frame vanishes, as in life
+  ++tx_frames_;
+  egress_->transmit(packet);
+}
+
+PacketPtr Nic::send_frame(std::vector<std::byte> frame) {
+  auto packet = factory_.make(std::move(frame), engine_.now());
+  send(packet);
+  return packet;
+}
+
+void Nic::receive(const PacketPtr& packet, PortId /*port*/) {
+  if (!promiscuous_) {
+    WireReader r{packet->frame()};
+    const auto eth = EthernetHeader::decode(r);
+    const bool accept =
+        eth && (eth->dst == mac_ || eth->dst.is_broadcast() ||
+                std::find(mcast_macs_.begin(), mcast_macs_.end(), eth->dst) != mcast_macs_.end());
+    if (!accept) {
+      ++rx_filtered_;
+      return;
+    }
+  }
+  ++rx_frames_;
+  if (!rx_handler_) return;
+  const sim::Time arrival = engine_.now();
+  if (rx_delay_ == sim::Duration::zero()) {
+    rx_handler_(packet, arrival);
+    return;
+  }
+  // Capture by value: the handler may be replaced while deliveries are in
+  // flight; the frame still goes to the handler installed at arrival time.
+  auto handler = rx_handler_;
+  engine_.schedule_in(rx_delay_, [handler, packet, arrival] { handler(packet, arrival); });
+}
+
+Host::Host(sim::Engine& engine, std::string name, sim::Duration software_latency)
+    : engine_(engine), name_(std::move(name)), software_latency_(software_latency) {}
+
+Nic& Host::add_nic(std::string suffix, MacAddr mac, Ipv4Addr ip) {
+  auto nic = std::make_unique<Nic>(engine_, name_ + "/" + std::move(suffix), mac, ip);
+  nic->set_rx_delay(software_latency_);
+  nics_.push_back(std::move(nic));
+  return *nics_.back();
+}
+
+}  // namespace tsn::net

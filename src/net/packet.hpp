@@ -1,0 +1,54 @@
+// The unit of transfer in the simulator: an immutable Ethernet frame plus
+// simulation metadata.
+//
+// Packets are shared immutably (`PacketPtr`) so that multicast fan-out
+// through switches does not copy payload bytes — mirroring how a real switch
+// replicates a frame by reference until egress.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace tsn::net {
+
+class Packet {
+ public:
+  Packet(std::vector<std::byte> frame, sim::Time created, std::uint64_t id) noexcept
+      : frame_(std::move(frame)), created_(created), id_(id) {}
+
+  [[nodiscard]] std::span<const std::byte> frame() const noexcept { return frame_; }
+  [[nodiscard]] std::size_t size_bytes() const noexcept { return frame_.size(); }
+  // On-the-wire size including preamble + SFD (8) and inter-packet gap (12),
+  // which is what serialization delay must account for.
+  [[nodiscard]] std::size_t wire_bytes() const noexcept { return frame_.size() + 20; }
+
+  // Origin timestamp: when the sender handed the frame to its NIC.
+  [[nodiscard]] sim::Time created() const noexcept { return created_; }
+  [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
+
+ private:
+  std::vector<std::byte> frame_;
+  sim::Time created_;
+  std::uint64_t id_;
+};
+
+using PacketPtr = std::shared_ptr<const Packet>;
+
+// Process-wide monotonic packet ids; simulation determinism does not depend
+// on ids, only uniqueness within a run.
+class PacketFactory {
+ public:
+  [[nodiscard]] PacketPtr make(std::vector<std::byte> frame, sim::Time created) {
+    return std::make_shared<Packet>(std::move(frame), created, next_id_++);
+  }
+
+ private:
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace tsn::net

@@ -1,0 +1,78 @@
+// Per-NIC protocol stack: demultiplexes received frames to UDP port
+// bindings and TCP endpoints, and owns the lightweight TCP implementation
+// (see tcp_lite.hpp). One NetStack installs itself as its NIC's rx handler.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <span>
+
+#include "net/headers.hpp"
+#include "net/nic.hpp"
+#include "net/tcp_lite.hpp"
+
+namespace tsn::net {
+
+class NetStack {
+ public:
+  using UdpHandler = std::function<void(const Ipv4Header& ip, const UdpHeader& udp,
+                                        std::span<const std::byte> payload, sim::Time arrival)>;
+  using AcceptHandler = std::function<void(TcpEndpoint& endpoint)>;
+  // Raw IGMP payload (IP protocol 2); decoding is the subscriber's job so
+  // the net layer stays independent of the mcast layer.
+  using IgmpHandler = std::function<void(std::span<const std::byte> payload, sim::Time arrival)>;
+
+  explicit NetStack(Nic& nic);
+
+  // --- UDP ------------------------------------------------------------------
+  void bind_udp(std::uint16_t port, UdpHandler handler);
+  void unbind_udp(std::uint16_t port);
+  // Sends a UDP datagram. `dst_mac` is the next-hop MAC (the ToR's router
+  // MAC for routed fabrics, or the RFC1112 mapping for multicast).
+  void send_udp(MacAddr dst_mac, Ipv4Addr dst_ip, std::uint16_t src_port, std::uint16_t dst_port,
+                std::span<const std::byte> payload);
+  void send_multicast(Ipv4Addr group, std::uint16_t port, std::span<const std::byte> payload);
+
+  // --- TCP ------------------------------------------------------------------
+  // Active open. The returned endpoint is owned by the stack and lives until
+  // closed and reaped.
+  TcpEndpoint& connect_tcp(MacAddr dst_mac, Ipv4Addr dst_ip, std::uint16_t dst_port,
+                           std::uint16_t src_port);
+  // Passive open: `on_accept` fires once per new established connection.
+  void listen_tcp(std::uint16_t port, AcceptHandler on_accept);
+
+  // --- IGMP -----------------------------------------------------------------
+  void set_igmp_handler(IgmpHandler handler) { igmp_handler_ = std::move(handler); }
+
+  [[nodiscard]] Nic& nic() noexcept { return nic_; }
+  [[nodiscard]] sim::Engine& engine() noexcept { return nic_.engine(); }
+  [[nodiscard]] std::uint64_t udp_rx_count() const noexcept { return udp_rx_; }
+  [[nodiscard]] std::uint64_t udp_unbound_drops() const noexcept { return udp_unbound_; }
+
+ private:
+  friend class TcpEndpoint;
+
+  struct FlowKey {
+    std::uint16_t local_port = 0;
+    std::uint32_t peer_ip = 0;
+    std::uint16_t peer_port = 0;
+
+    auto operator<=>(const FlowKey&) const = default;
+  };
+
+  void on_frame(const PacketPtr& packet, sim::Time arrival);
+  void handle_tcp(const DecodedFrame& frame, sim::Time arrival);
+
+  Nic& nic_;
+  IgmpHandler igmp_handler_;
+  std::map<std::uint16_t, UdpHandler> udp_handlers_;
+  std::map<std::uint16_t, AcceptHandler> tcp_listeners_;
+  std::map<FlowKey, std::unique_ptr<TcpEndpoint>> tcp_flows_;
+  std::uint16_t next_ephemeral_ = 49152;
+  std::uint64_t udp_rx_ = 0;
+  std::uint64_t udp_unbound_ = 0;
+};
+
+}  // namespace tsn::net

@@ -1,0 +1,207 @@
+#include "net/tcp_lite.hpp"
+
+#include <algorithm>
+
+#include "net/stack.hpp"
+
+namespace tsn::net {
+
+TcpEndpoint::TcpEndpoint(NetStack& stack, MacAddr peer_mac, Ipv4Addr peer_ip,
+                         std::uint16_t peer_port, std::uint16_t local_port, TcpConfig config)
+    : stack_(stack),
+      peer_mac_(peer_mac),
+      peer_ip_(peer_ip),
+      peer_port_(peer_port),
+      local_port_(local_port),
+      config_(config) {}
+
+void TcpEndpoint::set_state(TcpState state) {
+  if (state_ == state) return;
+  state_ = state;
+  if (state_handler_) state_handler_(state);
+}
+
+void TcpEndpoint::transmit_segment(std::uint32_t seq, std::span<const std::byte> payload,
+                                   std::uint8_t flags) {
+  TcpHeader tcp;
+  tcp.src_port = local_port_;
+  tcp.dst_port = peer_port_;
+  tcp.seq = seq;
+  tcp.ack = rcv_next_;
+  tcp.flags = flags;
+  auto frame = build_tcp_frame(stack_.nic().mac(), peer_mac_, stack_.nic().ip(), peer_ip_, tcp,
+                               payload);
+  stack_.nic().send_frame(std::move(frame));
+}
+
+void TcpEndpoint::start_connect() {
+  set_state(TcpState::kSynSent);
+  transmit_segment(0, {}, TcpHeader::kSyn);
+  arm_rto();
+}
+
+void TcpEndpoint::accept_syn(std::uint32_t peer_isn) {
+  rcv_next_ = peer_isn + 1;
+  set_state(TcpState::kSynReceived);
+  transmit_segment(0, {}, static_cast<std::uint8_t>(TcpHeader::kSyn | TcpHeader::kAck));
+  arm_rto();
+}
+
+void TcpEndpoint::send(std::span<const std::byte> bytes) {
+  // Segmentize immediately; segments created before establishment sit in
+  // unacked_ and flush once the handshake completes.
+  std::size_t offset = 0;
+  while (offset < bytes.size()) {
+    const std::size_t len = std::min(config_.mss, bytes.size() - offset);
+    std::vector<std::byte> segment{bytes.begin() + static_cast<std::ptrdiff_t>(offset),
+                                   bytes.begin() + static_cast<std::ptrdiff_t>(offset + len)};
+    const std::uint32_t seq = snd_next_;
+    snd_next_ += static_cast<std::uint32_t>(len);
+    unacked_.emplace_back(seq, std::move(segment));
+    if (state_ == TcpState::kEstablished) {
+      const auto& stored = unacked_.back().second;
+      transmit_segment(seq, stored,
+                       static_cast<std::uint8_t>(TcpHeader::kAck | TcpHeader::kPsh));
+      bytes_sent_ += len;
+    }
+    offset += len;
+  }
+  if (!unacked_.empty()) arm_rto();
+}
+
+void TcpEndpoint::flush_send_queue() {
+  for (const auto& [seq, segment] : unacked_) {
+    transmit_segment(seq, segment, static_cast<std::uint8_t>(TcpHeader::kAck | TcpHeader::kPsh));
+    bytes_sent_ += segment.size();
+  }
+  if (!unacked_.empty()) arm_rto();
+}
+
+void TcpEndpoint::close() {
+  if (state_ != TcpState::kEstablished && state_ != TcpState::kCloseWait) return;
+  transmit_segment(snd_next_, {}, static_cast<std::uint8_t>(TcpHeader::kFin | TcpHeader::kAck));
+  ++snd_next_;  // FIN consumes a sequence number
+  set_state(state_ == TcpState::kCloseWait ? TcpState::kClosed : TcpState::kFinWait);
+}
+
+void TcpEndpoint::send_ack() { transmit_segment(snd_next_, {}, TcpHeader::kAck); }
+
+void TcpEndpoint::arm_rto() {
+  stack_.engine().cancel(rto_timer_);
+  rto_timer_ = stack_.engine().schedule_in(config_.rto, [this] { on_rto(); });
+}
+
+void TcpEndpoint::on_rto() {
+  if (state_ == TcpState::kClosed) return;
+  if (++rto_strikes_ > config_.max_retransmits) {
+    set_state(TcpState::kClosed);
+    return;
+  }
+  ++retransmits_;
+  switch (state_) {
+    case TcpState::kSynSent:
+      transmit_segment(0, {}, TcpHeader::kSyn);
+      break;
+    case TcpState::kSynReceived:
+      transmit_segment(0, {}, static_cast<std::uint8_t>(TcpHeader::kSyn | TcpHeader::kAck));
+      break;
+    default:
+      // Go-back-N: retransmit everything outstanding.
+      for (const auto& [seq, segment] : unacked_) {
+        transmit_segment(seq, segment,
+                         static_cast<std::uint8_t>(TcpHeader::kAck | TcpHeader::kPsh));
+      }
+      break;
+  }
+  if (!unacked_.empty() || state_ == TcpState::kSynSent || state_ == TcpState::kSynReceived) {
+    arm_rto();
+  }
+}
+
+void TcpEndpoint::deliver_in_order() {
+  // Drain any out-of-order segments that are now contiguous.
+  auto it = out_of_order_.begin();
+  while (it != out_of_order_.end() && it->first <= rcv_next_) {
+    if (it->first + it->second.size() > rcv_next_) {
+      const std::size_t skip = rcv_next_ - it->first;
+      std::span<const std::byte> fresh{it->second.data() + skip, it->second.size() - skip};
+      rcv_next_ += static_cast<std::uint32_t>(fresh.size());
+      bytes_received_ += fresh.size();
+      if (data_handler_) data_handler_(fresh, stack_.engine().now());
+    }
+    it = out_of_order_.erase(it);
+  }
+}
+
+void TcpEndpoint::on_segment(const TcpHeader& tcp, std::span<const std::byte> payload,
+                             sim::Time arrival) {
+  if ((tcp.flags & TcpHeader::kSyn) != 0 && (tcp.flags & TcpHeader::kAck) != 0) {
+    if (state_ == TcpState::kSynSent) {
+      rcv_next_ = tcp.seq + 1;
+      rto_strikes_ = 0;
+      stack_.engine().cancel(rto_timer_);
+      rto_timer_ = sim::EventHandle{};
+      set_state(TcpState::kEstablished);
+      send_ack();
+      flush_send_queue();
+    } else {
+      send_ack();  // duplicate SYN-ACK: our ACK was lost
+    }
+    return;
+  }
+
+  if ((tcp.flags & TcpHeader::kAck) != 0) {
+    if (state_ == TcpState::kSynReceived) {
+      rto_strikes_ = 0;
+      stack_.engine().cancel(rto_timer_);
+      rto_timer_ = sim::EventHandle{};
+      set_state(TcpState::kEstablished);
+      flush_send_queue();
+    }
+    bool advanced = false;
+    while (!unacked_.empty()) {
+      const auto& [seq, segment] = unacked_.front();
+      if (seq + segment.size() <= tcp.ack) {
+        unacked_.pop_front();
+        advanced = true;
+      } else {
+        break;
+      }
+    }
+    if (advanced) {
+      snd_una_ = tcp.ack;
+      rto_strikes_ = 0;
+      stack_.engine().cancel(rto_timer_);
+      rto_timer_ = sim::EventHandle{};
+      if (!unacked_.empty()) arm_rto();
+    }
+  }
+
+  if (!payload.empty() && state_ == TcpState::kEstablished) {
+    if (tcp.seq == rcv_next_) {
+      rcv_next_ += static_cast<std::uint32_t>(payload.size());
+      bytes_received_ += payload.size();
+      if (data_handler_) data_handler_(payload, arrival);
+      deliver_in_order();
+      send_ack();
+    } else if (tcp.seq > rcv_next_) {
+      out_of_order_.emplace(tcp.seq,
+                            std::vector<std::byte>{payload.begin(), payload.end()});
+      send_ack();  // duplicate ack signalling the gap
+    } else {
+      send_ack();  // stale retransmission
+    }
+  }
+
+  if ((tcp.flags & TcpHeader::kFin) != 0) {
+    rcv_next_ = tcp.seq + static_cast<std::uint32_t>(payload.size()) + 1;
+    send_ack();
+    if (state_ == TcpState::kFinWait) {
+      set_state(TcpState::kClosed);
+    } else if (state_ == TcpState::kEstablished) {
+      set_state(TcpState::kCloseWait);
+    }
+  }
+}
+
+}  // namespace tsn::net

@@ -1,0 +1,326 @@
+#include "proto/pitch.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace tsn::proto::pitch {
+
+namespace {
+
+constexpr std::size_t kTimeSize = 6;
+constexpr std::size_t kAddShortSize = 26;
+constexpr std::size_t kAddLongSize = 34;
+constexpr std::size_t kExecutedSize = 26;
+constexpr std::size_t kReduceSize_ = 18;
+constexpr std::size_t kModifySize = 27;
+constexpr std::size_t kDeleteSize = 14;
+constexpr std::size_t kTradeSize = 41;
+constexpr std::size_t kSnapshotBeginSize = 7;
+constexpr std::size_t kSnapshotEndSize = 7;
+
+void write_symbol(net::WireWriter& w, const Symbol& symbol) {
+  w.ascii(std::string_view{symbol.raw().data(), Symbol::kWidth}, Symbol::kWidth);
+}
+
+Symbol read_symbol(net::WireReader& r) {
+  return Symbol{r.ascii(Symbol::kWidth)};
+}
+
+}  // namespace
+
+std::size_t encoded_size(const Message& message) noexcept {
+  return std::visit(
+      [](const auto& m) -> std::size_t {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, Time>) {
+          return kTimeSize;
+        } else if constexpr (std::is_same_v<T, AddOrder>) {
+          return m.fits_short_form() ? kAddShortSize : kAddLongSize;
+        } else if constexpr (std::is_same_v<T, OrderExecuted>) {
+          return kExecutedSize;
+        } else if constexpr (std::is_same_v<T, ReduceSize>) {
+          return kReduceSize_;
+        } else if constexpr (std::is_same_v<T, ModifyOrder>) {
+          return kModifySize;
+        } else if constexpr (std::is_same_v<T, DeleteOrder>) {
+          return kDeleteSize;
+        } else if constexpr (std::is_same_v<T, SnapshotBegin>) {
+          return kSnapshotBeginSize;
+        } else if constexpr (std::is_same_v<T, SnapshotEnd>) {
+          return kSnapshotEndSize;
+        } else {
+          static_assert(std::is_same_v<T, Trade>);
+          return kTradeSize;
+        }
+      },
+      message);
+}
+
+void encode(const Message& message, net::WireWriter& w) {
+  std::visit(
+      [&w](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, Time>) {
+          w.u8(kTimeSize);
+          w.u8(static_cast<std::uint8_t>(MessageType::kTime));
+          w.u32_le(m.seconds_since_midnight);
+        } else if constexpr (std::is_same_v<T, AddOrder>) {
+          if (m.fits_short_form()) {
+            w.u8(kAddShortSize);
+            w.u8(static_cast<std::uint8_t>(MessageType::kAddOrderShort));
+            w.u32_le(m.time_offset_ns);
+            w.u64_le(m.order_id);
+            w.u8(static_cast<std::uint8_t>(m.side));
+            w.u16_le(static_cast<std::uint16_t>(m.quantity));
+            write_symbol(w, m.symbol);
+            w.u16_le(static_cast<std::uint16_t>(m.price));
+            w.u8(m.flags);
+          } else {
+            w.u8(kAddLongSize);
+            w.u8(static_cast<std::uint8_t>(MessageType::kAddOrderLong));
+            w.u32_le(m.time_offset_ns);
+            w.u64_le(m.order_id);
+            w.u8(static_cast<std::uint8_t>(m.side));
+            w.u32_le(m.quantity);
+            write_symbol(w, m.symbol);
+            w.u64_le(static_cast<std::uint64_t>(m.price));
+            w.u8(m.flags);
+          }
+        } else if constexpr (std::is_same_v<T, OrderExecuted>) {
+          w.u8(kExecutedSize);
+          w.u8(static_cast<std::uint8_t>(MessageType::kOrderExecuted));
+          w.u32_le(m.time_offset_ns);
+          w.u64_le(m.order_id);
+          w.u32_le(m.executed_quantity);
+          w.u64_le(m.execution_id);
+        } else if constexpr (std::is_same_v<T, ReduceSize>) {
+          w.u8(kReduceSize_);
+          w.u8(static_cast<std::uint8_t>(MessageType::kReduceSize));
+          w.u32_le(m.time_offset_ns);
+          w.u64_le(m.order_id);
+          w.u32_le(m.cancelled_quantity);
+        } else if constexpr (std::is_same_v<T, ModifyOrder>) {
+          w.u8(kModifySize);
+          w.u8(static_cast<std::uint8_t>(MessageType::kModifyOrder));
+          w.u32_le(m.time_offset_ns);
+          w.u64_le(m.order_id);
+          w.u32_le(m.quantity);
+          w.u64_le(static_cast<std::uint64_t>(m.price));
+          w.u8(m.flags);
+        } else if constexpr (std::is_same_v<T, DeleteOrder>) {
+          w.u8(kDeleteSize);
+          w.u8(static_cast<std::uint8_t>(MessageType::kDeleteOrder));
+          w.u32_le(m.time_offset_ns);
+          w.u64_le(m.order_id);
+        } else if constexpr (std::is_same_v<T, SnapshotBegin>) {
+          w.u8(kSnapshotBeginSize);
+          w.u8(static_cast<std::uint8_t>(MessageType::kSnapshotBegin));
+          w.u8(m.unit);
+          w.u32_le(m.next_sequence);
+        } else if constexpr (std::is_same_v<T, SnapshotEnd>) {
+          w.u8(kSnapshotEndSize);
+          w.u8(static_cast<std::uint8_t>(MessageType::kSnapshotEnd));
+          w.u8(m.unit);
+          w.u32_le(m.order_count);
+        } else {
+          static_assert(std::is_same_v<T, Trade>);
+          w.u8(kTradeSize);
+          w.u8(static_cast<std::uint8_t>(MessageType::kTrade));
+          w.u32_le(m.time_offset_ns);
+          w.u64_le(m.order_id);
+          w.u8(static_cast<std::uint8_t>(m.side));
+          w.u32_le(m.quantity);
+          write_symbol(w, m.symbol);
+          w.u64_le(static_cast<std::uint64_t>(m.price));
+          w.u64_le(m.execution_id);
+        }
+      },
+      message);
+}
+
+std::optional<Message> decode_one(net::WireReader& r) {
+  const std::uint8_t length = r.u8();
+  const std::uint8_t type = r.u8();
+  if (!r.ok()) return std::nullopt;
+  switch (static_cast<MessageType>(type)) {
+    case MessageType::kTime: {
+      if (length != kTimeSize) return std::nullopt;
+      Time m;
+      m.seconds_since_midnight = r.u32_le();
+      if (!r.ok()) return std::nullopt;
+      return Message{m};
+    }
+    case MessageType::kAddOrderShort: {
+      if (length != kAddShortSize) return std::nullopt;
+      AddOrder m;
+      m.time_offset_ns = r.u32_le();
+      m.order_id = r.u64_le();
+      m.side = static_cast<Side>(r.u8());
+      m.quantity = r.u16_le();
+      m.symbol = read_symbol(r);
+      m.price = r.u16_le();
+      m.flags = r.u8();
+      if (!r.ok()) return std::nullopt;
+      return Message{m};
+    }
+    case MessageType::kAddOrderLong: {
+      if (length != kAddLongSize) return std::nullopt;
+      AddOrder m;
+      m.time_offset_ns = r.u32_le();
+      m.order_id = r.u64_le();
+      m.side = static_cast<Side>(r.u8());
+      m.quantity = r.u32_le();
+      m.symbol = read_symbol(r);
+      m.price = static_cast<Price>(r.u64_le());
+      m.flags = r.u8();
+      if (!r.ok()) return std::nullopt;
+      return Message{m};
+    }
+    case MessageType::kOrderExecuted: {
+      if (length != kExecutedSize) return std::nullopt;
+      OrderExecuted m;
+      m.time_offset_ns = r.u32_le();
+      m.order_id = r.u64_le();
+      m.executed_quantity = r.u32_le();
+      m.execution_id = r.u64_le();
+      if (!r.ok()) return std::nullopt;
+      return Message{m};
+    }
+    case MessageType::kReduceSize: {
+      if (length != kReduceSize_) return std::nullopt;
+      ReduceSize m;
+      m.time_offset_ns = r.u32_le();
+      m.order_id = r.u64_le();
+      m.cancelled_quantity = r.u32_le();
+      if (!r.ok()) return std::nullopt;
+      return Message{m};
+    }
+    case MessageType::kModifyOrder: {
+      if (length != kModifySize) return std::nullopt;
+      ModifyOrder m;
+      m.time_offset_ns = r.u32_le();
+      m.order_id = r.u64_le();
+      m.quantity = r.u32_le();
+      m.price = static_cast<Price>(r.u64_le());
+      m.flags = r.u8();
+      if (!r.ok()) return std::nullopt;
+      return Message{m};
+    }
+    case MessageType::kDeleteOrder: {
+      if (length != kDeleteSize) return std::nullopt;
+      DeleteOrder m;
+      m.time_offset_ns = r.u32_le();
+      m.order_id = r.u64_le();
+      if (!r.ok()) return std::nullopt;
+      return Message{m};
+    }
+    case MessageType::kSnapshotBegin: {
+      if (length != kSnapshotBeginSize) return std::nullopt;
+      SnapshotBegin m;
+      m.unit = r.u8();
+      m.next_sequence = r.u32_le();
+      if (!r.ok()) return std::nullopt;
+      return Message{m};
+    }
+    case MessageType::kSnapshotEnd: {
+      if (length != kSnapshotEndSize) return std::nullopt;
+      SnapshotEnd m;
+      m.unit = r.u8();
+      m.order_count = r.u32_le();
+      if (!r.ok()) return std::nullopt;
+      return Message{m};
+    }
+    case MessageType::kTrade: {
+      if (length != kTradeSize) return std::nullopt;
+      Trade m;
+      m.time_offset_ns = r.u32_le();
+      m.order_id = r.u64_le();
+      m.side = static_cast<Side>(r.u8());
+      m.quantity = r.u32_le();
+      m.symbol = read_symbol(r);
+      m.price = static_cast<Price>(r.u64_le());
+      m.execution_id = r.u64_le();
+      if (!r.ok()) return std::nullopt;
+      return Message{m};
+    }
+  }
+  return std::nullopt;
+}
+
+FrameBuilder::FrameBuilder(std::uint8_t unit, std::size_t max_payload, Sink sink)
+    : unit_(unit), max_payload_(max_payload), sink_(std::move(sink)) {
+  if (max_payload_ < kUnitHeaderSize + kTradeSize) {
+    throw std::invalid_argument{"max_payload too small for any message"};
+  }
+  begin_frame();
+}
+
+void FrameBuilder::begin_frame() {
+  buffer_.clear();
+  net::WireWriter w{buffer_};
+  w.u16_le(0);  // length, patched at flush
+  w.u8(0);      // count, patched at flush
+  w.u8(unit_);
+  w.u32_le(sequence_);
+}
+
+void FrameBuilder::append(const Message& message) {
+  if (buffer_.size() + encoded_size(message) > max_payload_ || count_ == 0xff) flush();
+  net::WireWriter w{buffer_};
+  encode(message, w);
+  ++count_;
+  ++sequence_;
+}
+
+void FrameBuilder::flush() {
+  if (count_ == 0) return;
+  net::WireWriter w{buffer_};
+  w.patch_u16_le(0, static_cast<std::uint16_t>(buffer_.size()));
+  buffer_[2] = static_cast<std::byte>(count_);
+  UnitHeader header;
+  header.length = static_cast<std::uint16_t>(buffer_.size());
+  header.count = static_cast<std::uint8_t>(count_);
+  header.unit = unit_;
+  header.sequence = sequence_ - static_cast<std::uint32_t>(count_);
+  sink_(std::move(buffer_), header);
+  buffer_ = {};
+  count_ = 0;
+  begin_frame();
+}
+
+std::optional<UnitHeader> peek_header(std::span<const std::byte> payload) {
+  net::WireReader r{payload};
+  UnitHeader h;
+  h.length = r.u16_le();
+  h.count = r.u8();
+  h.unit = r.u8();
+  h.sequence = r.u32_le();
+  if (!r.ok() || h.length < kUnitHeaderSize || h.length > payload.size()) return std::nullopt;
+  return h;
+}
+
+bool for_each_message(std::span<const std::byte> payload,
+                      const std::function<void(const Message&)>& fn) {
+  const auto header = peek_header(payload);
+  if (!header) return false;
+  net::WireReader r{payload.subspan(kUnitHeaderSize, header->length - kUnitHeaderSize)};
+  for (std::uint8_t i = 0; i < header->count; ++i) {
+    auto message = decode_one(r);
+    if (!message) return false;
+    fn(*message);
+  }
+  return r.remaining() == 0;
+}
+
+std::optional<ParsedFrame> parse_frame(std::span<const std::byte> payload) {
+  const auto header = peek_header(payload);
+  if (!header) return std::nullopt;
+  ParsedFrame out;
+  out.header = *header;
+  out.messages.reserve(header->count);
+  const bool ok = for_each_message(payload, [&out](const Message& m) { out.messages.push_back(m); });
+  if (!ok) return std::nullopt;
+  return out;
+}
+
+}  // namespace tsn::proto::pitch

@@ -1,0 +1,97 @@
+// Common market-data value types shared by every protocol codec.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace tsn::proto {
+
+// Order side.
+enum class Side : std::uint8_t { kBuy = 'B', kSell = 'S' };
+
+// Prices are fixed-point with 4 implied decimal places (1 == $0.0001),
+// matching the convention of exchange binary protocols.
+using Price = std::int64_t;
+inline constexpr Price kPriceScale = 10'000;
+
+[[nodiscard]] constexpr Price price_from_dollars(double dollars) noexcept {
+  return static_cast<Price>(dollars * static_cast<double>(kPriceScale) +
+                            (dollars >= 0 ? 0.5 : -0.5));
+}
+[[nodiscard]] constexpr double price_to_dollars(Price price) noexcept {
+  return static_cast<double>(price) / static_cast<double>(kPriceScale);
+}
+
+using OrderId = std::uint64_t;
+using ExecId = std::uint64_t;
+using Quantity = std::uint32_t;
+
+// A fixed six-character, space-padded instrument symbol (the width used on
+// the wire, like real equity feeds).
+class Symbol {
+ public:
+  static constexpr std::size_t kWidth = 6;
+
+  constexpr Symbol() noexcept { chars_.fill(' '); }
+  explicit Symbol(std::string_view text) noexcept {
+    chars_.fill(' ');
+    for (std::size_t i = 0; i < text.size() && i < kWidth; ++i) chars_[i] = text[i];
+  }
+
+  [[nodiscard]] std::string_view view() const noexcept {
+    std::size_t len = kWidth;
+    while (len > 0 && chars_[len - 1] == ' ') --len;
+    return {chars_.data(), len};
+  }
+  [[nodiscard]] std::string str() const { return std::string{view()}; }
+  [[nodiscard]] const std::array<char, kWidth>& raw() const noexcept { return chars_; }
+
+  // First character, for alphabetical feed partitioning (§2).
+  [[nodiscard]] char initial() const noexcept { return chars_[0]; }
+
+  constexpr auto operator<=>(const Symbol&) const noexcept = default;
+
+ private:
+  std::array<char, kWidth> chars_{};
+};
+
+// Instrument type, for type-based feed partitioning (§2: "equities on one
+// group, ETF's on another").
+enum class InstrumentKind : std::uint8_t {
+  kEquity = 0,
+  kEtf = 1,
+  kOption = 2,
+  kFuture = 3,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(InstrumentKind kind) noexcept {
+  switch (kind) {
+    case InstrumentKind::kEquity:
+      return "equity";
+    case InstrumentKind::kEtf:
+      return "etf";
+    case InstrumentKind::kOption:
+      return "option";
+    case InstrumentKind::kFuture:
+      return "future";
+  }
+  return "?";
+}
+
+}  // namespace tsn::proto
+
+template <>
+struct std::hash<tsn::proto::Symbol> {
+  std::size_t operator()(const tsn::proto::Symbol& s) const noexcept {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (char c : s.raw()) {
+      h ^= static_cast<std::uint8_t>(c);
+      h *= 0x100000001b3ULL;
+    }
+    return static_cast<std::size_t>(h);
+  }
+};

@@ -1,0 +1,84 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+
+namespace tsn::sim {
+
+EventHandle Engine::schedule_at(Time at, Action action) {
+  if (at < now_) at = now_;
+  const std::uint64_t seq = next_seq_++;
+  queue_.push(Scheduled{at, seq, std::move(action)});
+  ++live_;
+  return EventHandle{seq};
+}
+
+EventHandle Engine::schedule_in(Duration delay, Action action) {
+  if (delay < Duration::zero()) delay = Duration::zero();
+  return schedule_at(now_ + delay, std::move(action));
+}
+
+bool Engine::cancel(EventHandle handle) {
+  if (!handle.valid() || handle.seq_ >= next_seq_) return false;
+  // Already-cancelled or already-fired sequence numbers are rejected by
+  // checking the cancellation list; fired events can't be distinguished
+  // cheaply, so callers must not cancel handles they know have fired.
+  if (std::find(cancelled_.begin(), cancelled_.end(), handle.seq_) != cancelled_.end()) {
+    return false;
+  }
+  cancelled_.push_back(handle.seq_);
+  if (live_ > 0) --live_;
+  return true;
+}
+
+bool Engine::pop_one() {
+  while (!queue_.empty()) {
+    const Scheduled& top = queue_.top();
+    const auto it = std::find(cancelled_.begin(), cancelled_.end(), top.seq);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      queue_.pop();
+      continue;
+    }
+    // priority_queue::top is const; the action must be moved out before pop.
+    Scheduled event{top.at, top.seq, std::move(const_cast<Scheduled&>(top).action)};
+    queue_.pop();
+    if (live_ > 0) --live_;
+    now_ = event.at;
+    ++fired_;
+    event.action();
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t Engine::run() {
+  stop_requested_ = false;
+  std::uint64_t count = 0;
+  while (!stop_requested_ && pop_one()) ++count;
+  return count;
+}
+
+std::uint64_t Engine::run_until(Time deadline) {
+  stop_requested_ = false;
+  std::uint64_t count = 0;
+  while (!stop_requested_ && !queue_.empty()) {
+    // Peeking past cancelled entries: pop_one handles them, but the deadline
+    // check must see the first live event's time.
+    const Scheduled& top = queue_.top();
+    if (std::find(cancelled_.begin(), cancelled_.end(), top.seq) != cancelled_.end()) {
+      cancelled_.erase(std::find(cancelled_.begin(), cancelled_.end(), top.seq));
+      queue_.pop();
+      continue;
+    }
+    if (top.at > deadline) break;
+    if (pop_one()) ++count;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return count;
+}
+
+bool Engine::step() { return pop_one(); }
+
+std::size_t Engine::pending_events() const noexcept { return live_; }
+
+}  // namespace tsn::sim

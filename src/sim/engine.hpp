@@ -1,0 +1,95 @@
+// The discrete-event simulation engine.
+//
+// A single-threaded event loop over a time-ordered queue. Events scheduled
+// for the same instant fire in scheduling order (a monotonically increasing
+// sequence number breaks ties), which makes runs fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace tsn::sim {
+
+class Engine;
+
+// Opaque handle for cancelling a scheduled event.
+class EventHandle {
+ public:
+  EventHandle() noexcept = default;
+
+  [[nodiscard]] bool valid() const noexcept { return seq_ != 0; }
+
+ private:
+  friend class Engine;
+  explicit EventHandle(std::uint64_t seq) noexcept : seq_(seq) {}
+  std::uint64_t seq_ = 0;
+};
+
+class Engine {
+ public:
+  using Action = std::function<void()>;
+
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // Current simulation time. Monotonically non-decreasing.
+  [[nodiscard]] Time now() const noexcept { return now_; }
+
+  // Schedules `action` to run at absolute time `at`. Scheduling into the
+  // past clamps to `now()` (the event fires next, after already-due events).
+  EventHandle schedule_at(Time at, Action action);
+
+  // Schedules `action` to run `delay` after now. Negative delays clamp to 0.
+  EventHandle schedule_in(Duration delay, Action action);
+
+  // Cancels a pending event. Returns true if the event existed and had not
+  // yet fired. Cancellation is O(1); the slot is dropped lazily at pop time.
+  bool cancel(EventHandle handle);
+
+  // Runs until the queue drains. Returns the number of events fired.
+  std::uint64_t run();
+
+  // Runs events with time <= deadline, then advances the clock to exactly
+  // `deadline` (even if the queue drained early). Returns events fired.
+  std::uint64_t run_until(Time deadline);
+
+  // Runs exactly one event, if any. Returns true if one fired.
+  bool step();
+
+  // Stops a run() / run_until() in progress after the current event.
+  void request_stop() noexcept { stop_requested_ = true; }
+
+  [[nodiscard]] std::size_t pending_events() const noexcept;
+  [[nodiscard]] std::uint64_t events_fired() const noexcept { return fired_; }
+
+ private:
+  struct Scheduled {
+    Time at;
+    std::uint64_t seq = 0;
+    Action action;
+
+    // Min-queue on (time, seq): std::priority_queue is a max-queue, so the
+    // comparison is reversed.
+    bool operator<(const Scheduled& other) const noexcept {
+      if (at != other.at) return at > other.at;
+      return seq > other.seq;
+    }
+  };
+
+  bool pop_one();
+
+  std::priority_queue<Scheduled> queue_;
+  std::vector<std::uint64_t> cancelled_;  // sorted lazily at pop
+  Time now_ = Time::zero();
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t fired_ = 0;
+  std::uint64_t live_ = 0;  // pending minus cancelled
+  bool stop_requested_ = false;
+};
+
+}  // namespace tsn::sim

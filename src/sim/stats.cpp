@@ -1,0 +1,89 @@
+#include "sim/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace tsn::sim {
+
+void SampleStats::add(double value) {
+  samples_.push_back(value);
+  sorted_ = false;
+  sum_ += value;
+  sum_sq_ += value * value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void SampleStats::merge(const SampleStats& other) {
+  for (double v : other.samples_) add(v);
+}
+
+void SampleStats::clear() noexcept {
+  samples_.clear();
+  sorted_ = true;
+  sum_ = 0.0;
+  sum_sq_ = 0.0;
+  min_ = std::numeric_limits<double>::infinity();
+  max_ = -std::numeric_limits<double>::infinity();
+}
+
+double SampleStats::min() const noexcept { return samples_.empty() ? 0.0 : min_; }
+double SampleStats::max() const noexcept { return samples_.empty() ? 0.0 : max_; }
+
+double SampleStats::mean() const noexcept {
+  return samples_.empty() ? 0.0 : sum_ / static_cast<double>(samples_.size());
+}
+
+double SampleStats::stddev() const noexcept {
+  const auto n = static_cast<double>(samples_.size());
+  if (n < 2) return 0.0;
+  const double m = sum_ / n;
+  const double var = (sum_sq_ - n * m * m) / (n - 1);
+  return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+double SampleStats::percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  if (p < 0.0 || p > 100.0) throw std::invalid_argument{"percentile out of range"};
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  if (p == 0.0) return samples_.front();
+  const auto n = samples_.size();
+  auto rank = static_cast<std::size_t>(std::ceil(p / 100.0 * static_cast<double>(n)));
+  if (rank == 0) rank = 1;
+  if (rank > n) rank = n;
+  return samples_[rank - 1];
+}
+
+std::string SampleStats::table_row() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%10.0f %10.1f %10.0f %10.0f", min(), mean(), median(), max());
+  return buf;
+}
+
+WindowedCounter::WindowedCounter(Time origin, Duration window)
+    : origin_(origin), window_(window) {
+  if (window.picos() <= 0) throw std::invalid_argument{"window must be positive"};
+}
+
+void WindowedCounter::record(Time at, std::uint64_t count) {
+  if (at < origin_) return;
+  const auto index = static_cast<std::size_t>((at - origin_) / window_);
+  if (index >= counts_.size()) counts_.resize(index + 1, 0);
+  counts_[index] += count;
+}
+
+SampleStats WindowedCounter::stats(bool include_empty) const {
+  SampleStats out;
+  for (std::uint64_t c : counts_) {
+    if (c == 0 && !include_empty) continue;
+    out.add(static_cast<double>(c));
+  }
+  return out;
+}
+
+}  // namespace tsn::sim

@@ -1,0 +1,41 @@
+#include "sim/time.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace tsn::sim {
+
+namespace {
+
+std::string format_picos(std::int64_t ps) {
+  const char* unit = "ps";
+  double value = static_cast<double>(ps);
+  const double abs = std::fabs(value);
+  if (abs >= 1e12) {
+    unit = "s";
+    value *= 1e-12;
+  } else if (abs >= 1e9) {
+    unit = "ms";
+    value *= 1e-9;
+  } else if (abs >= 1e6) {
+    unit = "us";
+    value *= 1e-6;
+  } else if (abs >= 1e3) {
+    unit = "ns";
+    value *= 1e-3;
+  }
+  char buf[64];
+  if (value == std::floor(value) && std::fabs(value) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f %s", value, unit);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3f %s", value, unit);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string to_string(Duration d) { return format_picos(d.picos()); }
+std::string to_string(Time t) { return format_picos(t.picos()); }
+
+}  // namespace tsn::sim

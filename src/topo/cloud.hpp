@@ -1,0 +1,66 @@
+// Design 2: cloud hosting with latency equalization (§4.2).
+//
+// The cloud provider manages the network and equalizes latency across
+// tenants: whatever a tenant's physical distance from the cloud-hosted
+// exchange, the provider pads the path so every tenant sees the same
+// one-way delay (the fairness property of DBO/cloud-exchange proposals).
+// The model exposes the two §4.2 pain points directly: (i) virtualization
+// overhead puts the equalized latency far above colo latencies, and
+// (ii) anything outside the region crosses a WAN link whose delay dwarfs
+// everything else ("latency for communication beyond the cloud will be
+// excessive").
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "l2/commodity_switch.hpp"
+#include "net/fabric.hpp"
+#include "net/nic.hpp"
+
+namespace tsn::topo {
+
+struct CloudConfig {
+  std::size_t port_count = 128;
+  // One-way latency every tenant is equalized to (virtualization overhead
+  // included). Public-cloud fair-access proposals operate at this scale.
+  sim::Duration equalized_latency = sim::micros(std::int64_t{100});
+  // WAN delay to anything outside the region (e.g. an on-prem colo).
+  sim::Duration external_wan_latency = sim::millis(std::int64_t{2});
+  std::uint64_t tenant_rate_bps = 10'000'000'000;
+  l2::CommoditySwitchConfig core_switch;  // provider-managed, big tables
+};
+
+class CloudRegion {
+ public:
+  CloudRegion(net::Fabric& fabric, CloudConfig config);
+  CloudRegion(const CloudRegion&) = delete;
+  CloudRegion& operator=(const CloudRegion&) = delete;
+
+  // Attaches a tenant NIC whose true physical proximity would give it
+  // `native_latency`; the provider pads it up to the equalized value.
+  // Throws if native exceeds the equalization target (it cannot be sped up).
+  net::PortId attach_tenant(net::Nic& nic, sim::Duration native_latency);
+
+  // Attaches an endpoint outside the region across the WAN.
+  net::PortId attach_external(net::Nic& nic);
+
+  // The latency a given attachment actually experiences one-way (for
+  // fairness verification).
+  [[nodiscard]] sim::Duration attachment_latency(net::PortId port) const;
+
+  [[nodiscard]] l2::CommoditySwitch& core() noexcept { return *core_; }
+  [[nodiscard]] const CloudConfig& config() const noexcept { return config_; }
+
+ private:
+  net::PortId attach_with_latency(net::Nic& nic, sim::Duration latency);
+
+  net::Fabric& fabric_;
+  CloudConfig config_;
+  std::unique_ptr<l2::CommoditySwitch> core_;
+  net::PortId next_port_ = 0;
+  std::vector<sim::Duration> port_latency_;
+};
+
+}  // namespace tsn::topo

@@ -1,0 +1,110 @@
+#include "trading/compliance.hpp"
+
+namespace tsn::trading {
+
+void MarketStateMonitor::set_quote(std::uint8_t venue, const proto::Symbol& symbol,
+                                   proto::Side side, proto::Price price) {
+  ++stats_.quote_updates;
+  SymbolState& state = symbols_[symbol];
+  VenueQuote& quote = state.venues[venue];
+  if (side == proto::Side::kBuy) {
+    quote.bid = price;
+  } else {
+    quote.ask = price;
+  }
+  refresh_transitions(state, symbol);
+}
+
+void MarketStateMonitor::on_update(const proto::norm::Update& update) {
+  using proto::norm::UpdateKind;
+  switch (update.kind) {
+    case UpdateKind::kBboUpdate:
+      set_quote(update.exchange_id, update.symbol, update.side,
+                update.quantity == 0 ? 0 : update.price);
+      break;
+    case UpdateKind::kTradePrint: {
+      // Trade-through check: a print strictly outside the prevailing NBBO.
+      const auto best = nbbo(update.symbol);
+      if (best && best->two_sided() && !best->locked() && !best->crossed()) {
+        if (update.price < best->bid || update.price > best->ask) {
+          ++stats_.trade_throughs;
+        }
+      }
+      break;
+    }
+    default:
+      break;  // depth changes below the top don't move displayed quotes
+  }
+}
+
+std::optional<Nbbo> MarketStateMonitor::nbbo_of(const SymbolState& state) {
+  Nbbo best;
+  for (const auto& [venue, quote] : state.venues) {
+    if (quote.bid > 0 && (best.bid == 0 || quote.bid > best.bid)) {
+      best.bid = quote.bid;
+      best.bid_venue = venue;
+    }
+    if (quote.ask > 0 && (best.ask == 0 || quote.ask < best.ask)) {
+      best.ask = quote.ask;
+      best.ask_venue = venue;
+    }
+  }
+  if (best.bid == 0 && best.ask == 0) return std::nullopt;
+  return best;
+}
+
+void MarketStateMonitor::refresh_transitions(SymbolState& state, const proto::Symbol&) {
+  const auto best = nbbo_of(state);
+  const bool locked = best && best->locked();
+  const bool crossed = best && best->crossed();
+  if (locked && !state.was_locked) ++stats_.locked_transitions;
+  if (crossed && !state.was_crossed) ++stats_.crossed_transitions;
+  state.was_locked = locked;
+  state.was_crossed = crossed;
+}
+
+std::optional<Nbbo> MarketStateMonitor::nbbo(const proto::Symbol& symbol) const {
+  const auto it = symbols_.find(symbol);
+  if (it == symbols_.end()) return std::nullopt;
+  return nbbo_of(it->second);
+}
+
+VenueQuote MarketStateMonitor::venue_quote(std::uint8_t venue,
+                                           const proto::Symbol& symbol) const {
+  const auto it = symbols_.find(symbol);
+  if (it == symbols_.end()) return {};
+  const auto venue_it = it->second.venues.find(venue);
+  return venue_it == it->second.venues.end() ? VenueQuote{} : venue_it->second;
+}
+
+bool MarketStateMonitor::is_locked(const proto::Symbol& symbol) const {
+  const auto best = nbbo(symbol);
+  return best && best->locked();
+}
+
+bool MarketStateMonitor::is_crossed(const proto::Symbol& symbol) const {
+  const auto best = nbbo(symbol);
+  return best && best->crossed();
+}
+
+bool MarketStateMonitor::quote_would_lock_or_cross(const proto::Symbol& symbol,
+                                                   proto::Side side,
+                                                   proto::Price price) const {
+  const auto best = nbbo(symbol);
+  if (!best) return false;
+  if (side == proto::Side::kBuy) {
+    return best->ask > 0 && price >= best->ask;
+  }
+  return best->bid > 0 && price <= best->bid;
+}
+
+proto::Price MarketStateMonitor::clamp_to_compliant(const proto::Symbol& symbol,
+                                                    proto::Side side, proto::Price price,
+                                                    proto::Price tick) const {
+  if (!quote_would_lock_or_cross(symbol, side, price)) return price;
+  const auto best = nbbo(symbol);
+  if (side == proto::Side::kBuy) return best->ask - tick;
+  return best->bid + tick;
+}
+
+}  // namespace tsn::trading

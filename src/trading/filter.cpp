@@ -1,0 +1,48 @@
+#include "trading/filter.hpp"
+
+namespace tsn::trading {
+
+PlacementAnalysis analyze_placement(const FilterWorkload& workload, FilterPlacement placement,
+                                    int shared_consumers) noexcept {
+  PlacementAnalysis out;
+  const double discard_s = workload.discard_cost.seconds();
+  const double process_s = workload.process_cost.seconds();
+  const double kept_rate = workload.event_rate * workload.keep_fraction;
+  const double dropped_rate = workload.event_rate - kept_rate;
+  switch (placement) {
+    case FilterPlacement::kInProcess:
+      out.strategy_utilization = kept_rate * process_s + dropped_rate * discard_s;
+      out.filter_utilization = 0.0;
+      out.cores_per_consumer = 1.0;
+      break;
+    case FilterPlacement::kDedicatedCore:
+      // The filter core touches everything; the strategy core only the keep.
+      out.filter_utilization = workload.event_rate * discard_s;
+      out.strategy_utilization = kept_rate * process_s;
+      out.cores_per_consumer = 2.0;
+      break;
+    case FilterPlacement::kMiddlebox:
+      out.filter_utilization = workload.event_rate * discard_s;
+      out.strategy_utilization = kept_rate * process_s;
+      out.cores_per_consumer =
+          1.0 + 1.0 / static_cast<double>(shared_consumers < 1 ? 1 : shared_consumers);
+      break;
+  }
+  out.feasible = out.strategy_utilization <= 1.0 && out.filter_utilization <= 1.0;
+  return out;
+}
+
+double in_process_feasibility_boundary(double event_rate, sim::Duration discard_cost,
+                                       sim::Duration process_cost) noexcept {
+  // Solve rate * (k*process + (1-k)*discard) = 1 for k.
+  const double discard_s = discard_cost.seconds();
+  const double process_s = process_cost.seconds();
+  const double budget = 1.0 / event_rate;
+  if (process_s <= discard_s) return budget >= process_s ? 1.0 : 0.0;
+  const double k = (budget - discard_s) / (process_s - discard_s);
+  if (k < 0.0) return 0.0;
+  if (k > 1.0) return 1.0;
+  return k;
+}
+
+}  // namespace tsn::trading

@@ -1,0 +1,70 @@
+// Filter-placement analysis (§3, "Implications for trading systems").
+//
+// A strategy partition only wants a subset of the feed. Where should the
+// irrelevant data be discarded? The paper's rule: if the combined time
+// spent discarding plus processing exceeds the event arrival budget, the
+// filter must move out of the trading process — to another core on the
+// same server, or to a middlebox that can be shared by every consumer
+// using the same partitioning scheme. This module provides that arithmetic
+// and an executable symbol filter whose discard cost the benches measure.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "proto/norm.hpp"
+#include "proto/types.hpp"
+#include "sim/time.hpp"
+
+namespace tsn::trading {
+
+enum class FilterPlacement : std::uint8_t {
+  kInProcess,      // strategy core inspects and discards everything itself
+  kDedicatedCore,  // another core on the same server pre-filters
+  kMiddlebox,      // shared network middlebox pre-filters for many consumers
+};
+
+struct FilterWorkload {
+  double event_rate = 1'000'000.0;  // events/second arriving pre-filter
+  double keep_fraction = 0.1;       // fraction relevant to this consumer
+  sim::Duration discard_cost = sim::nanos(std::int64_t{40});   // inspect-and-drop
+  sim::Duration process_cost = sim::nanos(std::int64_t{500});  // full handling
+};
+
+struct PlacementAnalysis {
+  // Busy fraction of the strategy core (must stay <= 1 to keep up).
+  double strategy_utilization = 0.0;
+  // Busy fraction of the filtering core, when one exists.
+  double filter_utilization = 0.0;
+  // Cores consumed per consumer (middlebox cores amortize over consumers).
+  double cores_per_consumer = 0.0;
+  bool feasible = false;
+};
+
+// `shared_consumers` is how many consumers a middlebox filter serves (§3:
+// "when several systems employ the same partitioning scheme, middleboxes
+// can be more efficient in terms of the number of cores used").
+[[nodiscard]] PlacementAnalysis analyze_placement(const FilterWorkload& workload,
+                                                  FilterPlacement placement,
+                                                  int shared_consumers = 1) noexcept;
+
+// The keep-fraction above which in-process filtering stops keeping up for
+// a given rate/cost point (1.0 if it always keeps up, 0.0 if never).
+[[nodiscard]] double in_process_feasibility_boundary(double event_rate,
+                                                     sim::Duration discard_cost,
+                                                     sim::Duration process_cost) noexcept;
+
+// Executable filter: keeps updates whose symbol is in the watch set.
+class SymbolFilter {
+ public:
+  void watch(const proto::Symbol& symbol) { watched_.insert(symbol); }
+  [[nodiscard]] bool relevant(const proto::norm::Update& update) const noexcept {
+    return watched_.contains(update.symbol);
+  }
+  [[nodiscard]] std::size_t watch_count() const noexcept { return watched_.size(); }
+
+ private:
+  std::unordered_set<proto::Symbol> watched_;
+};
+
+}  // namespace tsn::trading

@@ -1,0 +1,196 @@
+#include "trading/gateway.hpp"
+
+#include <utility>
+
+namespace tsn::trading {
+
+Gateway::Gateway(sim::Engine& engine, GatewayConfig config)
+    : engine_(engine), config_(std::move(config)), risk_(config_.risk_limits) {
+  host_ = std::make_unique<net::Host>(engine_, config_.name, config_.software_latency);
+  client_nic_ = &host_->add_nic("clients", config_.client_mac, config_.client_ip);
+  upstream_nic_ = &host_->add_nic("exchange", config_.upstream_mac, config_.upstream_ip);
+  client_stack_ = std::make_unique<net::NetStack>(*client_nic_);
+  upstream_stack_ = std::make_unique<net::NetStack>(*upstream_nic_);
+
+  client_stack_->listen_tcp(config_.listen_port,
+                            [this](net::TcpEndpoint& endpoint) { on_accept(endpoint); });
+}
+
+Gateway::~Gateway() = default;
+
+void Gateway::start() {
+  upstream_ = &upstream_stack_->connect_tcp(config_.exchange_mac, config_.exchange_ip,
+                                            config_.exchange_port, 0);
+  upstream_->set_data_handler([this](std::span<const std::byte> bytes, sim::Time) {
+    on_upstream_bytes(bytes);
+  });
+  const auto login = proto::boe::encode(proto::boe::LoginRequest{100, 0xca50ULL}, upstream_seq_++);
+  upstream_->send(login);
+  last_upstream_tx_ = engine_.now();
+  if (config_.heartbeat_interval > sim::Duration::zero()) {
+    engine_.schedule_in(config_.heartbeat_interval, [this] { heartbeat_tick(); });
+  }
+}
+
+void Gateway::heartbeat_tick() {
+  if (upstream_logged_in_ &&
+      engine_.now() - last_upstream_tx_ >= config_.heartbeat_interval) {
+    upstream_->send(proto::boe::encode(proto::boe::Heartbeat{}, upstream_seq_++));
+    last_upstream_tx_ = engine_.now();
+    ++stats_.heartbeats_sent;
+  }
+  engine_.schedule_in(config_.heartbeat_interval, [this] { heartbeat_tick(); });
+}
+
+void Gateway::on_accept(net::TcpEndpoint& endpoint) {
+  ++stats_.sessions_accepted;
+  auto session = std::make_unique<StrategySession>();
+  session->endpoint = &endpoint;
+  StrategySession* raw = session.get();
+  sessions_.push_back(std::move(session));
+  endpoint.set_data_handler([this, raw](std::span<const std::byte> bytes, sim::Time) {
+    raw->parser.feed(bytes);
+    while (auto decoded = raw->parser.next()) on_client_message(*raw, decoded->message);
+  });
+}
+
+void Gateway::send_to_session(StrategySession& session, const proto::boe::Message& message) {
+  session.endpoint->send(proto::boe::encode(message, session.tx_seq++));
+}
+
+void Gateway::send_upstream(const proto::boe::Message& message) {
+  if (!upstream_logged_in_) {
+    pending_upstream_.push_back(message);
+    return;
+  }
+  upstream_->send(proto::boe::encode(message, upstream_seq_++));
+  last_upstream_tx_ = engine_.now();
+}
+
+void Gateway::on_client_message(StrategySession& session, const proto::boe::Message& message) {
+  using namespace proto::boe;
+  if (std::get_if<LoginRequest>(&message) != nullptr) {
+    session.logged_in = true;
+    send_to_session(session, LoginAccepted{});
+    return;
+  }
+  if (std::get_if<Heartbeat>(&message) != nullptr) {
+    send_to_session(session, Heartbeat{});
+    return;
+  }
+  if (!session.logged_in) {
+    send_to_session(session, LoginRejected{RejectReason::kNotLoggedIn});
+    return;
+  }
+  if (const auto* order = std::get_if<NewOrder>(&message)) {
+    const proto::OrderId upstream_id = next_upstream_id_++;
+    NewOrder forwarded = *order;
+    forwarded.client_order_id = upstream_id;
+    if (config_.enable_risk_checks) {
+      const auto verdict = risk_.check_new_order(forwarded);
+      if (verdict != RiskEngine::Verdict::kAccept) {
+        ++stats_.orders_rejected_risk;
+        send_to_session(session,
+                        OrderRejected{order->client_order_id, to_reject_reason(verdict)});
+        return;
+      }
+    }
+    routes_[upstream_id] = OrderRoute{&session, order->client_order_id};
+    forward_ids_[&session][order->client_order_id] = upstream_id;
+    ++stats_.orders_forwarded;
+    send_upstream(forwarded);
+    return;
+  }
+  if (const auto* cancel = std::get_if<CancelOrder>(&message)) {
+    const auto& ids = forward_ids_[&session];
+    const auto it = ids.find(cancel->client_order_id);
+    if (it == ids.end()) {
+      send_to_session(session,
+                      CancelRejected{cancel->client_order_id, RejectReason::kUnknownOrder});
+      return;
+    }
+    ++stats_.cancels_forwarded;
+    send_upstream(CancelOrder{it->second});
+    return;
+  }
+  if (const auto* modify = std::get_if<ModifyOrder>(&message)) {
+    const auto& ids = forward_ids_[&session];
+    const auto it = ids.find(modify->client_order_id);
+    if (it == ids.end()) {
+      send_to_session(session,
+                      CancelRejected{modify->client_order_id, RejectReason::kUnknownOrder});
+      return;
+    }
+    ModifyOrder forwarded = *modify;
+    forwarded.client_order_id = it->second;
+    send_upstream(forwarded);
+    return;
+  }
+}
+
+void Gateway::route_response(proto::OrderId upstream_id, const proto::boe::Message& message,
+                             bool final_state) {
+  const auto it = routes_.find(upstream_id);
+  if (it == routes_.end()) {
+    ++stats_.orphan_responses;
+    return;
+  }
+  ++stats_.responses_routed;
+  send_to_session(*it->second.session, message);
+  if (final_state) {
+    forward_ids_[it->second.session].erase(it->second.client_id);
+    routes_.erase(it);
+  }
+}
+
+void Gateway::on_upstream_bytes(std::span<const std::byte> bytes) {
+  using namespace proto::boe;
+  upstream_parser_.feed(bytes);
+  while (auto decoded = upstream_parser_.next()) {
+    const Message& message = decoded->message;
+    if (std::get_if<LoginAccepted>(&message) != nullptr) {
+      upstream_logged_in_ = true;
+      while (!pending_upstream_.empty()) {
+        upstream_->send(proto::boe::encode(pending_upstream_.front(), upstream_seq_++));
+        pending_upstream_.pop_front();
+      }
+      continue;
+    }
+    if (const auto* ack = std::get_if<OrderAccepted>(&message)) {
+      OrderAccepted translated = *ack;
+      const auto it = routes_.find(ack->client_order_id);
+      if (it != routes_.end()) translated.client_order_id = it->second.client_id;
+      route_response(ack->client_order_id, translated, false);
+    } else if (const auto* reject = std::get_if<OrderRejected>(&message)) {
+      risk_.on_terminal(reject->client_order_id);
+      OrderRejected translated = *reject;
+      const auto it = routes_.find(reject->client_order_id);
+      if (it != routes_.end()) translated.client_order_id = it->second.client_id;
+      route_response(reject->client_order_id, translated, true);
+    } else if (const auto* fill = std::get_if<Fill>(&message)) {
+      risk_.on_fill(fill->client_order_id, fill->quantity, fill->leaves_quantity);
+      Fill translated = *fill;
+      const auto it = routes_.find(fill->client_order_id);
+      if (it != routes_.end()) translated.client_order_id = it->second.client_id;
+      route_response(fill->client_order_id, translated, fill->leaves_quantity == 0);
+    } else if (const auto* cancelled = std::get_if<OrderCancelled>(&message)) {
+      risk_.on_terminal(cancelled->client_order_id);
+      OrderCancelled translated = *cancelled;
+      const auto it = routes_.find(cancelled->client_order_id);
+      if (it != routes_.end()) translated.client_order_id = it->second.client_id;
+      route_response(cancelled->client_order_id, translated, true);
+    } else if (const auto* cancel_reject = std::get_if<CancelRejected>(&message)) {
+      CancelRejected translated = *cancel_reject;
+      const auto it = routes_.find(cancel_reject->client_order_id);
+      if (it != routes_.end()) translated.client_order_id = it->second.client_id;
+      route_response(cancel_reject->client_order_id, translated, false);
+    } else if (const auto* modified = std::get_if<OrderModified>(&message)) {
+      OrderModified translated = *modified;
+      const auto it = routes_.find(modified->client_order_id);
+      if (it != routes_.end()) translated.client_order_id = it->second.client_id;
+      route_response(modified->client_order_id, translated, false);
+    }
+  }
+}
+
+}  // namespace tsn::trading

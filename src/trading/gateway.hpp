@@ -1,0 +1,120 @@
+// Order-entry gateway (§2).
+//
+// Strategies speak the firm's internal order protocol to a gateway; the
+// gateway owns the long-lived session into the exchange, translates order
+// ids between the two domains, and routes acknowledgements, rejects, fills
+// and cancel results back to the originating strategy session.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/stack.hpp"
+#include "proto/boe.hpp"
+#include "sim/engine.hpp"
+#include "trading/risk.hpp"
+
+namespace tsn::trading {
+
+struct GatewayConfig {
+  std::string name = "gw";
+  std::uint16_t listen_port = 35000;
+  net::MacAddr exchange_mac;
+  net::Ipv4Addr exchange_ip;
+  std::uint16_t exchange_port = 34000;
+  sim::Duration software_latency = sim::nanos(std::int64_t{800});
+  net::MacAddr client_mac;
+  net::Ipv4Addr client_ip;
+  net::MacAddr upstream_mac;
+  net::Ipv4Addr upstream_ip;
+  // Pre-trade risk gate (§4.2: firm-wide position and risk tracking sits
+  // where every order passes).
+  bool enable_risk_checks = true;
+  RiskLimits risk_limits;
+  // When positive, the gateway keeps its exchange session alive with idle
+  // heartbeats (exchanges enforce session timeouts; see Exchange's
+  // heartbeat_interval/session_timeout).
+  sim::Duration heartbeat_interval = sim::Duration::zero();
+};
+
+struct GatewayStats {
+  std::uint64_t sessions_accepted = 0;
+  std::uint64_t orders_forwarded = 0;
+  std::uint64_t orders_rejected_risk = 0;
+  std::uint64_t cancels_forwarded = 0;
+  std::uint64_t responses_routed = 0;
+  std::uint64_t orphan_responses = 0;  // upstream messages with no known id
+  std::uint64_t heartbeats_sent = 0;
+};
+
+class Gateway {
+ public:
+  Gateway(sim::Engine& engine, GatewayConfig config);
+  ~Gateway();
+  Gateway(const Gateway&) = delete;
+  Gateway& operator=(const Gateway&) = delete;
+
+  [[nodiscard]] net::Nic& client_nic() noexcept { return *client_nic_; }
+  [[nodiscard]] net::Nic& upstream_nic() noexcept { return *upstream_nic_; }
+
+  // Connects and logs into the exchange. Call after wiring.
+  void start();
+
+  [[nodiscard]] const GatewayStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] bool upstream_ready() const noexcept { return upstream_logged_in_; }
+  [[nodiscard]] const GatewayConfig& config() const noexcept { return config_; }
+  // Firm-wide exposure view (§4.2).
+  [[nodiscard]] const RiskEngine& risk() const noexcept { return risk_; }
+
+ private:
+  struct StrategySession {
+    net::TcpEndpoint* endpoint = nullptr;
+    proto::boe::StreamParser parser;
+    std::uint32_t tx_seq = 1;
+    bool logged_in = false;
+  };
+
+  void on_accept(net::TcpEndpoint& endpoint);
+  void on_client_message(StrategySession& session, const proto::boe::Message& message);
+  void on_upstream_bytes(std::span<const std::byte> bytes);
+  void route_response(proto::OrderId upstream_id, const proto::boe::Message& message,
+                      bool final_state);
+  void send_upstream(const proto::boe::Message& message);
+  void send_to_session(StrategySession& session, const proto::boe::Message& message);
+  void heartbeat_tick();
+
+  sim::Engine& engine_;
+  GatewayConfig config_;
+  std::unique_ptr<net::Host> host_;
+  net::Nic* client_nic_ = nullptr;
+  net::Nic* upstream_nic_ = nullptr;
+  std::unique_ptr<net::NetStack> client_stack_;
+  std::unique_ptr<net::NetStack> upstream_stack_;
+
+  std::vector<std::unique_ptr<StrategySession>> sessions_;
+  net::TcpEndpoint* upstream_ = nullptr;
+  proto::boe::StreamParser upstream_parser_;
+  std::uint32_t upstream_seq_ = 1;
+  bool upstream_logged_in_ = false;
+  sim::Time last_upstream_tx_;
+  std::deque<proto::boe::Message> pending_upstream_;
+
+  struct OrderRoute {
+    StrategySession* session = nullptr;
+    proto::OrderId client_id = 0;
+  };
+  std::unordered_map<proto::OrderId, OrderRoute> routes_;        // upstream id -> origin
+  std::unordered_map<StrategySession*,
+                     std::unordered_map<proto::OrderId, proto::OrderId>>
+      forward_ids_;  // (session, client id) -> upstream id
+  proto::OrderId next_upstream_id_ = 1;
+
+  RiskEngine risk_;
+  GatewayStats stats_;
+};
+
+}  // namespace tsn::trading

@@ -1,0 +1,406 @@
+#include "trading/normalizer.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "mcast/subscribe.hpp"
+
+namespace tsn::trading {
+
+// Per-output-partition packing state.
+struct Normalizer::Partition {
+  Partition(Normalizer& owner, std::uint16_t index)
+      : group(owner.partition_group(index)),
+        builder(index, owner.config_.out_mtu_payload,
+                [&owner, this](std::vector<std::byte> payload,
+                               const proto::norm::DatagramHeader&) {
+                  owner.out_stack_->send_multicast(group, owner.config_.out_port, payload);
+                  ++owner.stats_.datagrams_out;
+                }) {}
+
+  net::Ipv4Addr group;
+  proto::norm::DatagramBuilder builder;
+  bool flush_scheduled = false;
+};
+
+Normalizer::Normalizer(sim::Engine& engine, NormalizerConfig config)
+    : engine_(engine), config_(std::move(config)) {
+  if (!config_.partitioning) throw std::invalid_argument{"normalizer requires partitioning"};
+  host_ = std::make_unique<net::Host>(engine_, config_.name, config_.software_latency);
+  in_nic_ = &host_->add_nic("md-in", config_.in_mac, config_.in_ip);
+  out_nic_ = &host_->add_nic("md-out", config_.out_mac, config_.out_ip);
+  in_stack_ = std::make_unique<net::NetStack>(*in_nic_);
+  out_stack_ = std::make_unique<net::NetStack>(*out_nic_);
+  responder_ = std::make_unique<mcast::IgmpResponder>(*in_stack_);
+
+  const std::uint32_t partitions = config_.partitioning->partition_count();
+  partitions_.reserve(partitions);
+  for (std::uint32_t p = 0; p < partitions; ++p) {
+    partitions_.push_back(std::make_unique<Partition>(*this, static_cast<std::uint16_t>(p)));
+  }
+
+  in_stack_->bind_udp(config_.feed_port,
+                      [this](const net::Ipv4Header&, const net::UdpHeader&,
+                             std::span<const std::byte> payload, sim::Time arrival) {
+                        on_feed_datagram(payload, arrival);
+                      });
+  if (recovery_enabled()) {
+    if (!config_.exchange_partitioning) {
+      throw std::invalid_argument{
+          "snapshot recovery requires the exchange's partitioning scheme"};
+    }
+    in_stack_->bind_udp(config_.snapshot_port,
+                        [this](const net::Ipv4Header&, const net::UdpHeader&,
+                               std::span<const std::byte> payload, sim::Time) {
+                          on_snapshot_datagram(payload);
+                        });
+  }
+}
+
+Normalizer::~Normalizer() = default;
+
+void Normalizer::join_feeds() {
+  for (const auto group : config_.feed_groups) responder_->join(group);
+  for (const auto group : config_.snapshot_groups) responder_->join(group);
+}
+
+void Normalizer::on_feed_datagram(std::span<const std::byte> payload, sim::Time /*arrival*/) {
+  const auto header = proto::pitch::peek_header(payload);
+  if (!header) return;
+  ++stats_.datagrams_in;
+  // Gap detection per unit.
+  auto [it, inserted] = expected_seq_.emplace(header->unit, header->sequence);
+  if (!inserted) {
+    if (header->sequence > it->second) {
+      ++stats_.sequence_gaps;
+      stats_.messages_lost += header->sequence - it->second;
+      if (recovery_enabled()) {
+        Recovery& recovery = recovery_[header->unit];
+        if (!recovery.recovering) {
+          recovery.recovering = true;
+          recovery.snapshot_active = false;
+          recovery.buffered.clear();
+          ++stats_.resyncs_started;
+        } else {
+          // A second gap while recovering punches a hole in the buffered
+          // tail: it cannot be replayed. Abandon the in-flight cycle and
+          // rebuild from the next snapshot with a fresh buffer.
+          recovery.buffered.clear();
+          recovery.snapshot_active = false;
+        }
+      }
+    }
+  }
+  it->second = header->sequence + header->count;
+
+  // During recovery, buffer the live stream for replay past the snapshot's
+  // resume point instead of applying it to stale state.
+  if (recovery_enabled()) {
+    if (auto rec_it = recovery_.find(header->unit);
+        rec_it != recovery_.end() && rec_it->second.recovering) {
+      Recovery& recovery = rec_it->second;
+      std::uint32_t seq = header->sequence;
+      (void)proto::pitch::for_each_message(
+          payload, [&recovery, &seq, this](const proto::pitch::Message& m) {
+            if (recovery.buffered.size() < kRecoveryBufferLimit) {
+              recovery.buffered.emplace_back(seq, m);
+              ++stats_.messages_buffered_in_recovery;
+            }
+            ++seq;
+          });
+      return;
+    }
+  }
+  (void)proto::pitch::for_each_message(
+      payload, [this](const proto::pitch::Message& m) { handle_message(m); });
+}
+
+void Normalizer::purge_unit_state(std::uint8_t unit) {
+  const auto& scheme = *config_.exchange_partitioning;
+  for (auto it = orders_.begin(); it != orders_.end();) {
+    if (scheme.partition_of(it->second.symbol, proto::InstrumentKind::kEquity) == unit) {
+      it = orders_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = ladders_.begin(); it != ladders_.end();) {
+    if (scheme.partition_of(it->first, proto::InstrumentKind::kEquity) == unit) {
+      it = ladders_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Normalizer::on_snapshot_datagram(std::span<const std::byte> payload) {
+  const auto header = proto::pitch::peek_header(payload);
+  if (!header) return;
+  const std::uint8_t unit = header->unit;
+  auto rec_it = recovery_.find(unit);
+  if (rec_it == recovery_.end() || !rec_it->second.recovering) return;  // healthy: ignore
+  Recovery& recovery = rec_it->second;
+  (void)proto::pitch::for_each_message(payload, [&](const proto::pitch::Message& m) {
+    if (const auto* begin = std::get_if<proto::pitch::SnapshotBegin>(&m)) {
+      // A fresh cycle: rebuild from scratch.
+      purge_unit_state(unit);
+      recovery.snapshot_active = true;
+      recovery.resume_sequence = begin->next_sequence;
+      return;
+    }
+    if (!recovery.snapshot_active) return;  // mid-cycle join: wait for the next begin
+    if (const auto* add = std::get_if<proto::pitch::AddOrder>(&m)) {
+      orders_[add->order_id] =
+          OrderInfo{add->symbol, add->side, add->price, add->quantity};
+      (void)apply_depth(add->symbol, add->side, add->price, add->quantity);
+      ++stats_.snapshot_orders_applied;
+      return;
+    }
+    if (std::get_if<proto::pitch::SnapshotEnd>(&m) != nullptr) {
+      // Snapshot complete: replay the buffered live tail past the resume
+      // point, then return to normal processing.
+      recovery.snapshot_active = false;
+      recovery.recovering = false;
+      for (const auto& [seq, buffered] : recovery.buffered) {
+        if (seq < recovery.resume_sequence) continue;  // included in the snapshot
+        handle_message(buffered);
+        ++stats_.messages_replayed_after_recovery;
+      }
+      recovery.buffered.clear();
+      ++stats_.resyncs_completed;
+    }
+  });
+}
+
+Normalizer::TopChange Normalizer::apply_depth(const proto::Symbol& symbol,
+                                              proto::Side side, proto::Price price,
+                                              std::int64_t delta) {
+  Ladder& ladder = ladders_[symbol];
+  auto top_of = [&](auto& book_side) -> std::pair<proto::Price, proto::Quantity> {
+    if (book_side.empty()) return {0, 0};
+    return {book_side.begin()->first, book_side.begin()->second};
+  };
+  auto apply = [&](auto& book_side) {
+    auto level = book_side.find(price);
+    if (level == book_side.end()) {
+      if (delta > 0) book_side.emplace(price, static_cast<proto::Quantity>(delta));
+      return;
+    }
+    const std::int64_t next = static_cast<std::int64_t>(level->second) + delta;
+    if (next <= 0) {
+      book_side.erase(level);
+    } else {
+      level->second = static_cast<proto::Quantity>(next);
+    }
+  };
+  TopChange out;
+  if (side == proto::Side::kBuy) {
+    const auto before = top_of(ladder.bids);
+    apply(ladder.bids);
+    const auto after = top_of(ladder.bids);
+    if (after != before) out = TopChange{true, after.first, after.second};
+  } else {
+    const auto before = top_of(ladder.asks);
+    apply(ladder.asks);
+    const auto after = top_of(ladder.asks);
+    if (after != before) out = TopChange{true, after.first, after.second};
+  }
+  return out;
+}
+
+void Normalizer::emit_bbo(const proto::Symbol& symbol, proto::Side side,
+                          const TopChange& change, std::uint64_t exchange_time_ns) {
+  if (!change.changed) return;
+  ++stats_.bbo_updates;
+  proto::norm::Update update;
+  update.kind = proto::norm::UpdateKind::kBboUpdate;
+  update.exchange_id = config_.exchange_id;
+  update.side = side;
+  update.symbol = symbol;
+  update.price = change.best;        // the *new* best (0 = side emptied)
+  update.quantity = change.quantity;  // depth at the new best
+  update.order_id = 0;
+  update.exchange_time_ns = exchange_time_ns;
+  emit(update);
+}
+
+void Normalizer::handle_message(const proto::pitch::Message& message) {
+  ++stats_.messages_in;
+  using namespace proto::pitch;
+  proto::norm::Update update;
+  update.exchange_id = config_.exchange_id;
+
+  if (const auto* time = std::get_if<Time>(&message)) {
+    clock_seconds_ = time->seconds_since_midnight;
+    return;  // clock messages are not republished
+  }
+
+  if (const auto* add = std::get_if<AddOrder>(&message)) {
+    orders_[add->order_id] = OrderInfo{add->symbol, add->side, add->price, add->quantity};
+    update.kind = proto::norm::UpdateKind::kOrderAdd;
+    update.side = add->side;
+    update.symbol = add->symbol;
+    update.price = add->price;
+    update.quantity = add->quantity;
+    update.order_id = add->order_id;
+    update.exchange_time_ns =
+        std::uint64_t{clock_seconds_} * 1'000'000'000ULL + add->time_offset_ns;
+    const auto change = apply_depth(add->symbol, add->side, add->price, add->quantity);
+    emit(update);
+    emit_bbo(add->symbol, add->side, change, update.exchange_time_ns);
+    return;
+  }
+
+  auto resolve = [this](proto::OrderId id) -> OrderInfo* {
+    auto it = orders_.find(id);
+    if (it == orders_.end()) {
+      ++stats_.unknown_orders;
+      return nullptr;
+    }
+    return &it->second;
+  };
+
+  if (const auto* exec = std::get_if<OrderExecuted>(&message)) {
+    OrderInfo* info = resolve(exec->order_id);
+    if (info == nullptr) return;
+    const proto::Quantity traded = std::min(exec->executed_quantity, info->quantity);
+    info->quantity -= traded;
+    update.kind = proto::norm::UpdateKind::kTradePrint;
+    update.side = info->side;
+    update.symbol = info->symbol;
+    update.price = info->price;
+    update.quantity = traded;
+    update.order_id = exec->order_id;
+    update.exchange_time_ns =
+        std::uint64_t{clock_seconds_} * 1'000'000'000ULL + exec->time_offset_ns;
+    const auto side = info->side;
+    const auto symbol = info->symbol;
+    const auto change =
+        apply_depth(info->symbol, info->side, info->price, -static_cast<std::int64_t>(traded));
+    if (info->quantity == 0) orders_.erase(exec->order_id);
+    emit(update);
+    emit_bbo(symbol, side, change, update.exchange_time_ns);
+    return;
+  }
+
+  if (const auto* reduce = std::get_if<ReduceSize>(&message)) {
+    OrderInfo* info = resolve(reduce->order_id);
+    if (info == nullptr) return;
+    const proto::Quantity cut = std::min(reduce->cancelled_quantity, info->quantity);
+    info->quantity -= cut;
+    update.kind = proto::norm::UpdateKind::kOrderModify;
+    update.side = info->side;
+    update.symbol = info->symbol;
+    update.price = info->price;
+    update.quantity = info->quantity;
+    update.order_id = reduce->order_id;
+    update.exchange_time_ns =
+        std::uint64_t{clock_seconds_} * 1'000'000'000ULL + reduce->time_offset_ns;
+    const auto side = info->side;
+    const auto symbol = info->symbol;
+    const auto change =
+        apply_depth(info->symbol, info->side, info->price, -static_cast<std::int64_t>(cut));
+    if (info->quantity == 0) orders_.erase(reduce->order_id);
+    emit(update);
+    emit_bbo(symbol, side, change, update.exchange_time_ns);
+    return;
+  }
+
+  if (const auto* modify = std::get_if<ModifyOrder>(&message)) {
+    OrderInfo* info = resolve(modify->order_id);
+    if (info == nullptr) return;
+    update.kind = proto::norm::UpdateKind::kOrderModify;
+    update.side = info->side;
+    update.symbol = info->symbol;
+    update.price = modify->price;
+    update.quantity = modify->quantity;
+    update.order_id = modify->order_id;
+    update.exchange_time_ns =
+        std::uint64_t{clock_seconds_} * 1'000'000'000ULL + modify->time_offset_ns;
+    // Two ladder edits (leave the old level, enter the new one): emit one
+    // BBO update describing the final top, not the transient middle state.
+    const auto first = apply_depth(info->symbol, info->side, info->price,
+                                   -static_cast<std::int64_t>(info->quantity));
+    info->price = modify->price;
+    info->quantity = modify->quantity;
+    const auto second =
+        apply_depth(info->symbol, info->side, info->price, modify->quantity);
+    emit(update);
+    if (first.changed || second.changed) {
+      TopChange final_top = second;
+      if (!second.changed) {
+        // The second edit left the top where the first edit put it.
+        const auto bbo = best_of(info->symbol);
+        final_top.changed = true;
+        if (info->side == proto::Side::kBuy) {
+          final_top.best = bbo ? bbo->bid : 0;
+        } else {
+          final_top.best = bbo ? bbo->ask : 0;
+        }
+        final_top.quantity = 0;  // unknown without a depth query; price is the signal
+      }
+      emit_bbo(info->symbol, info->side, final_top, update.exchange_time_ns);
+    }
+    return;
+  }
+
+  if (const auto* del = std::get_if<DeleteOrder>(&message)) {
+    OrderInfo* info = resolve(del->order_id);
+    if (info == nullptr) return;
+    update.kind = proto::norm::UpdateKind::kOrderDelete;
+    update.side = info->side;
+    update.symbol = info->symbol;
+    update.price = info->price;
+    update.quantity = 0;
+    update.order_id = del->order_id;
+    update.exchange_time_ns =
+        std::uint64_t{clock_seconds_} * 1'000'000'000ULL + del->time_offset_ns;
+    const auto side = info->side;
+    const auto symbol = info->symbol;
+    const auto change = apply_depth(info->symbol, info->side, info->price,
+                                    -static_cast<std::int64_t>(info->quantity));
+    orders_.erase(del->order_id);
+    emit(update);
+    emit_bbo(symbol, side, change, update.exchange_time_ns);
+    return;
+  }
+
+  if (const auto* trade = std::get_if<Trade>(&message)) {
+    update.kind = proto::norm::UpdateKind::kTradePrint;
+    update.side = trade->side;
+    update.symbol = trade->symbol;
+    update.price = trade->price;
+    update.quantity = trade->quantity;
+    update.order_id = trade->order_id;
+    update.exchange_time_ns =
+        std::uint64_t{clock_seconds_} * 1'000'000'000ULL + trade->time_offset_ns;
+    emit(update);
+    return;
+  }
+}
+
+std::optional<Normalizer::ReconstructedBbo> Normalizer::best_of(
+    const proto::Symbol& symbol) const {
+  const auto it = ladders_.find(symbol);
+  if (it == ladders_.end()) return std::nullopt;
+  const auto [bid, ask] = it->second.best();
+  return ReconstructedBbo{bid, ask};
+}
+
+void Normalizer::emit(const proto::norm::Update& update) {
+  const std::uint32_t partition = config_.partitioning->partition_of(
+      update.symbol, proto::InstrumentKind::kEquity);
+  Partition& out = *partitions_.at(partition);
+  const auto now_ns = static_cast<std::uint64_t>(engine_.now().picos() / 1000);
+  out.builder.append(update, now_ns);
+  ++stats_.updates_out;
+  if (!out.flush_scheduled) {
+    out.flush_scheduled = true;
+    engine_.schedule_in(sim::Duration::zero(), [this, &out] {
+      out.flush_scheduled = false;
+      out.builder.flush();
+    });
+  }
+}
+
+}  // namespace tsn::trading

@@ -1,0 +1,99 @@
+#include "trading/risk.hpp"
+
+#include <cmath>
+
+namespace tsn::trading {
+
+std::int64_t RiskEngine::projected_symbol_exposure(const proto::Symbol& symbol,
+                                                   std::int64_t delta) const noexcept {
+  // Worst case is one-sided: either every working buy fills and no sell
+  // does (long exposure) or vice versa (short exposure). Netting buys
+  // against sells would understate both.
+  std::int64_t position = 0;
+  if (const auto it = positions_.find(symbol); it != positions_.end()) {
+    position = it->second;
+  }
+  std::int64_t open_buys = delta > 0 ? delta : 0;
+  std::int64_t open_sells = delta < 0 ? -delta : 0;
+  for (const auto& [id, order] : open_) {
+    if (order.symbol != symbol) continue;
+    if (order.side == proto::Side::kBuy) {
+      open_buys += static_cast<std::int64_t>(order.remaining);
+    } else {
+      open_sells += static_cast<std::int64_t>(order.remaining);
+    }
+  }
+  const std::int64_t long_exposure = position + open_buys;
+  const std::int64_t short_exposure = position - open_sells;
+  return std::llabs(long_exposure) >= std::llabs(short_exposure) ? long_exposure
+                                                                 : short_exposure;
+}
+
+RiskEngine::Verdict RiskEngine::check_new_order(const proto::boe::NewOrder& order) {
+  if (order.quantity > limits_.max_order_quantity) {
+    ++stats_.rejected_size;
+    return Verdict::kOrderTooLarge;
+  }
+  const std::int64_t notional =
+      static_cast<std::int64_t>(order.quantity) * (order.price < 0 ? -order.price : order.price);
+  if (notional > limits_.max_order_notional) {
+    ++stats_.rejected_notional;
+    return Verdict::kNotionalTooLarge;
+  }
+  if (open_.size() >= limits_.max_open_orders) {
+    ++stats_.rejected_open_orders;
+    return Verdict::kTooManyOpenOrders;
+  }
+  const std::int64_t delta = order.side == proto::Side::kBuy
+                                 ? static_cast<std::int64_t>(order.quantity)
+                                 : -static_cast<std::int64_t>(order.quantity);
+  const std::int64_t projected = projected_symbol_exposure(order.symbol, delta);
+  if (std::llabs(projected) > limits_.max_symbol_position) {
+    ++stats_.rejected_symbol_position;
+    return Verdict::kSymbolPositionLimit;
+  }
+  // Firm gross: current gross minus this symbol's |position| plus the
+  // projected |exposure| (worst case).
+  std::int64_t gross = firm_gross_position();
+  if (const auto it = positions_.find(order.symbol); it != positions_.end()) {
+    gross -= std::llabs(it->second);
+  }
+  gross += std::llabs(projected);
+  if (gross > limits_.max_firm_gross_position) {
+    ++stats_.rejected_firm_position;
+    return Verdict::kFirmPositionLimit;
+  }
+  ++stats_.accepted;
+  open_.emplace(order.client_order_id, OpenOrder{order.symbol, order.side, order.quantity});
+  return Verdict::kAccept;
+}
+
+void RiskEngine::on_fill(proto::OrderId client_order_id, proto::Quantity quantity,
+                         proto::Quantity leaves_quantity) {
+  const auto it = open_.find(client_order_id);
+  if (it == open_.end()) return;
+  OpenOrder& order = it->second;
+  const std::int64_t signed_qty = order.side == proto::Side::kBuy
+                                      ? static_cast<std::int64_t>(quantity)
+                                      : -static_cast<std::int64_t>(quantity);
+  positions_[order.symbol] += signed_qty;
+  order.remaining = leaves_quantity;
+  if (leaves_quantity == 0) open_.erase(it);
+}
+
+void RiskEngine::on_terminal(proto::OrderId client_order_id) {
+  open_.erase(client_order_id);
+}
+
+std::int64_t RiskEngine::position(const proto::Symbol& symbol) const noexcept {
+  const auto it = positions_.find(symbol);
+  return it == positions_.end() ? 0 : it->second;
+}
+
+std::int64_t RiskEngine::firm_gross_position() const noexcept {
+  std::int64_t gross = 0;
+  for (const auto& [symbol, position] : positions_) gross += std::llabs(position);
+  return gross;
+}
+
+}  // namespace tsn::trading

@@ -1,0 +1,137 @@
+#include "cluster/manager.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tsn::cluster {
+namespace {
+
+ClusterManager small_cluster() {
+  ClusterManager mgr{0};
+  // Three racks: rack 0 is the exchange rack.
+  ServerId id = 1;
+  for (std::uint32_t rack = 0; rack < 3; ++rack) {
+    for (int i = 0; i < 4; ++i) {
+      mgr.add_server(Server{id++, rack, 8.0, 3});
+    }
+  }
+  return mgr;
+}
+
+TEST(Cluster, DuplicateIdsRejected) {
+  ClusterManager mgr;
+  mgr.add_server(Server{1, 0, 8.0, 3});
+  EXPECT_THROW(mgr.add_server(Server{1, 1, 8.0, 3}), std::invalid_argument);
+  mgr.add_job(Job{1, JobKind::kStrategy, {}, 1.0});
+  EXPECT_THROW(mgr.add_job(Job{1, JobKind::kGateway, {}, 1.0}), std::invalid_argument);
+}
+
+TEST(Cluster, NormalizersAndGatewaysHugTheExchangeRack) {
+  auto mgr = small_cluster();
+  mgr.add_job(Job{1, JobKind::kNormalizer, {0, 1}, 2.0});
+  mgr.add_job(Job{2, JobKind::kGateway, {}, 2.0});
+  const auto result = mgr.place();
+  ASSERT_TRUE(result.unplaced.empty());
+  for (const auto& [job, server] : result.assignment) {
+    for (const auto& s : mgr.servers()) {
+      if (s.id == server) EXPECT_EQ(s.rack, 0u) << "job " << job;
+    }
+  }
+}
+
+TEST(Cluster, StrategiesFollowTheirSubscriptions) {
+  ClusterManager mgr{0};
+  mgr.add_server(Server{1, 0, 2.0, 3});   // exchange rack: small
+  mgr.add_server(Server{2, 1, 16.0, 3});  // rack 1
+  mgr.add_server(Server{3, 2, 16.0, 3});  // rack 2
+  // A normalizer producing partition 7 lands on rack 0 (closest with room).
+  mgr.add_job(Job{1, JobKind::kNormalizer, {7}, 2.0});
+  // The strategy wants partition 7; rack 0 is now full, so it should pick
+  // either remaining rack (equidistant), deterministically the lower id.
+  mgr.add_job(Job{2, JobKind::kStrategy, {7}, 4.0});
+  const auto result = mgr.place();
+  ASSERT_TRUE(result.unplaced.empty());
+  EXPECT_EQ(result.assignment.at(1), 1u);
+  EXPECT_EQ(result.assignment.at(2), 2u);
+}
+
+TEST(Cluster, CapacityExhaustionReportsUnplaced) {
+  ClusterManager mgr{0};
+  mgr.add_server(Server{1, 0, 2.0, 3});
+  mgr.add_job(Job{1, JobKind::kStrategy, {}, 1.5});
+  mgr.add_job(Job{2, JobKind::kStrategy, {}, 1.5});  // doesn't fit
+  const auto result = mgr.place();
+  EXPECT_EQ(result.assignment.size(), 1u);
+  ASSERT_EQ(result.unplaced.size(), 1u);
+  EXPECT_EQ(result.unplaced[0], 2u);
+}
+
+TEST(Cluster, PlacementIsDeterministic) {
+  auto mgr = small_cluster();
+  for (JobId j = 1; j <= 8; ++j) {
+    mgr.add_job(Job{j, j % 3 == 0 ? JobKind::kNormalizer : JobKind::kStrategy,
+                    {static_cast<std::uint32_t>(j % 4)}, 1.0});
+  }
+  const auto a = mgr.place();
+  const auto b = mgr.place();
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.total_hop_cost, b.total_hop_cost);
+}
+
+TEST(Cluster, L1sSubscriptionPlanNoMergeWhenUnderCap) {
+  ClusterManager mgr;
+  mgr.add_server(Server{1, 0, 16.0, 4});
+  mgr.add_job(Job{1, JobKind::kStrategy, {1, 2}, 1.0});
+  const auto plans = mgr.plan_l1s_subscriptions(3, {});
+  ASSERT_EQ(plans.size(), 1u);
+  EXPECT_FALSE(plans[0].requires_merge());
+  EXPECT_EQ(plans[0].dedicated.size(), 2u);
+}
+
+TEST(Cluster, L1sSubscriptionPlanMergesColdestFeeds) {
+  // §4.3: restrict subscriptions per strategy; hottest partitions keep
+  // dedicated NICs, the tail shares a merged circuit.
+  ClusterManager mgr;
+  mgr.add_job(Job{1, JobKind::kStrategy, {10, 11, 12, 13, 14}, 1.0});
+  std::unordered_map<std::uint32_t, double> weight{
+      {10, 100.0}, {11, 90.0}, {12, 5.0}, {13, 4.0}, {14, 3.0}};
+  const auto plans = mgr.plan_l1s_subscriptions(3, weight);
+  ASSERT_EQ(plans.size(), 1u);
+  const auto& plan = plans[0];
+  EXPECT_TRUE(plan.requires_merge());
+  ASSERT_EQ(plan.dedicated.size(), 2u);  // max_feed_nics - 1
+  EXPECT_EQ(plan.dedicated[0], 10u);
+  EXPECT_EQ(plan.dedicated[1], 11u);
+  ASSERT_EQ(plan.merged.size(), 3u);
+  EXPECT_EQ(plan.merged[0], 12u);
+}
+
+TEST(Cluster, L1sPlanRejectsZeroNics) {
+  ClusterManager mgr;
+  EXPECT_THROW((void)mgr.plan_l1s_subscriptions(0, {}), std::invalid_argument);
+}
+
+TEST(Cluster, MigrationPlanHasBoundedDowntime) {
+  auto mgr = small_cluster();
+  mgr.add_job(Job{1, JobKind::kStrategy, {3}, 1.0});
+  const auto placement = mgr.place();
+  const auto plan = mgr.plan_migration(1, 9, placement);
+  EXPECT_EQ(plan.job, 1u);
+  EXPECT_EQ(plan.to, 9u);
+  EXPECT_FALSE(plan.steps.empty());
+  // Downtime excludes provisioning: bare-metal migration overlaps the warm
+  // start with live service.
+  sim::Duration steps_total = sim::Duration::zero();
+  for (const auto& step : plan.steps) steps_total += step.estimated_duration;
+  EXPECT_LT(plan.total_downtime, sim::seconds(std::int64_t{1}));
+  EXPECT_GT(steps_total, plan.total_downtime);
+}
+
+TEST(Cluster, MigrationOfUnplacedJobThrows) {
+  auto mgr = small_cluster();
+  mgr.add_job(Job{1, JobKind::kStrategy, {}, 1.0});
+  PlacementResult empty;
+  EXPECT_THROW((void)mgr.plan_migration(1, 2, empty), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tsn::cluster

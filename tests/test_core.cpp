@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "core/design.hpp"
+#include "core/latency_model.hpp"
+#include "core/mcast_analysis.hpp"
+
+namespace tsn::core {
+namespace {
+
+TEST(LatencyModel, Design1ArithmeticMatchesPaper) {
+  // §4.1: 12 switch hops at 500 ns and 3 software hops; "half of the
+  // overall time through the system is spent in the network!"
+  PathSpec path;
+  path.commodity_switch_hops = 12;
+  path.software_hops = 3;
+  path.link_traversals = 0;  // isolate the paper's pure hop arithmetic
+  const auto breakdown = evaluate(path);
+  EXPECT_EQ(breakdown.switching, sim::micros(std::int64_t{6}));
+  EXPECT_EQ(breakdown.software, sim::micros(std::int64_t{6}));
+  EXPECT_NEAR(breakdown.network_share(), 0.5, 0.01);
+}
+
+TEST(LatencyModel, SerializationScalesWithFrameAndRate) {
+  PathSpec path;
+  path.software_hops = 0;
+  path.link_traversals = 1;
+  path.frame_bytes = 92;  // Table 1 average
+  path.link_rate_bps = 10'000'000'000;
+  const auto breakdown = evaluate(path);
+  // (92+20)*8 bits / 10 Gb/s = 89.6 ns.
+  EXPECT_NEAR(breakdown.serialization.nanos(), 89.6, 0.1);
+  path.link_traversals = 4;
+  EXPECT_NEAR(evaluate(path).serialization.nanos(), 4 * 89.6, 0.5);
+}
+
+TEST(LatencyModel, EmptyPathIsZero) {
+  PathSpec path;
+  path.software_hops = 0;
+  path.link_traversals = 0;
+  const auto breakdown = evaluate(path);
+  EXPECT_EQ(breakdown.total(), sim::Duration::zero());
+  EXPECT_EQ(breakdown.network_share(), 0.0);
+}
+
+TEST(LatencyModel, ToStringMentionsShare) {
+  PathSpec path;
+  path.commodity_switch_hops = 12;
+  const auto text = evaluate(path).to_string();
+  EXPECT_NE(text.find("network-share"), std::string::npos);
+}
+
+TEST(Designs, TraditionalNetworkIsHalfOfTotal) {
+  const TraditionalDesign design;
+  const auto breakdown = design.tick_to_trade();
+  // With serialization and propagation included the share is >= 0.5.
+  EXPECT_GE(breakdown.network_share(), 0.5);
+  EXPECT_GT(breakdown.total(), sim::micros(std::int64_t{10}));
+  EXPECT_LT(breakdown.total(), sim::micros(std::int64_t{20}));
+}
+
+TEST(Designs, CloudIsOrdersOfMagnitudeSlower) {
+  const TraditionalDesign colo;
+  const CloudDesign cloud;
+  const double ratio =
+      cloud.tick_to_trade().total().nanos() / colo.tick_to_trade().total().nanos();
+  EXPECT_GT(ratio, 20.0);  // equalized cloud latency dominates everything
+  EXPECT_TRUE(cloud.supports_partitions(100'000));
+}
+
+TEST(Designs, L1sNetworkIsTwoOrdersOfMagnitudeBelowCommodity) {
+  // §4.3: "two orders of magnitude lower latency than commodity switches."
+  const TraditionalDesign commodity;
+  const L1SDesign l1s;
+  const double commodity_network = commodity.tick_to_trade().switching.nanos();
+  const double l1s_network = l1s.tick_to_trade().switching.nanos();
+  EXPECT_GT(commodity_network / l1s_network, 40.0);
+  EXPECT_LT(l1s_network, 150.0);  // 2 fanouts + 2 merges = 6+6+56+56 = 124 ns
+}
+
+TEST(Designs, L1sCannotDeliverWidePartitioningWithoutMerge) {
+  DeploymentAssumptions assumptions;
+  assumptions.feed_nics_per_strategy = 2;
+  const L1SDesign l1s{assumptions};
+  EXPECT_TRUE(l1s.supports_partitions(2));
+  EXPECT_FALSE(l1s.supports_partitions(3));
+  EXPECT_FALSE(l1s.supports_partitions(1300));
+}
+
+TEST(Designs, TraditionalSupportsTodayButTablePressureIsReal) {
+  const TraditionalDesign design;
+  EXPECT_TRUE(design.supports_partitions(1300));   // fits today's table...
+  EXPECT_FALSE(design.supports_partitions(6000));  // ...but not much growth
+}
+
+TEST(Designs, FpgaIsMiddleGround) {
+  const TraditionalDesign commodity;
+  const L1SDesign l1s;
+  const FpgaL1SDesign fpga;
+  const auto fpga_net = fpga.tick_to_trade().switching;
+  EXPECT_LT(fpga_net, commodity.tick_to_trade().switching);
+  EXPECT_GT(fpga_net, l1s.tick_to_trade().switching);
+  // Small tables: cannot carry the firm's 1300 partitions (§5).
+  EXPECT_FALSE(fpga.supports_partitions(1300));
+  EXPECT_TRUE(fpga.supports_partitions(90));
+}
+
+TEST(Designs, ComparisonReportContainsAllDesigns) {
+  const auto designs = all_designs();
+  std::vector<const NetworkDesign*> raw;
+  for (const auto& d : designs) raw.push_back(d.get());
+  const auto report = comparison_report(raw, 1300);
+  for (const auto& d : designs) {
+    EXPECT_NE(report.find(std::string{d->name()}), std::string::npos);
+  }
+  EXPECT_NE(report.find("tick-to-trade"), std::string::npos);
+}
+
+TEST(McastAnalysis, PartitionDemandDoublesInTwoYears) {
+  // §3: ~600 partitions two years ago, over 1300 now.
+  const PartitionDemandModel demand;
+  EXPECT_NEAR(static_cast<double>(demand.partitions_at(2022)), 600.0, 10.0);
+  EXPECT_GT(demand.partitions_at(2024), 1250u);
+  EXPECT_LT(demand.partitions_at(2024), 1400u);
+}
+
+TEST(McastAnalysis, DemandOutpacesCapacityEventually) {
+  const auto today = mcast_capacity_at(2024);
+  EXPECT_TRUE(today.fits);  // 1300 vs ~5040 still fits...
+  EXPECT_GT(today.utilization, 0.2);
+  const int crossover = capacity_crossover_year();
+  EXPECT_GT(crossover, 2024);  // ...but the crossover is close
+  EXPECT_LE(crossover, 2030);
+}
+
+TEST(McastAnalysis, UtilizationGrowsMonotonically) {
+  double last = 0.0;
+  for (int year = 2020; year <= 2028; ++year) {
+    const auto report = mcast_capacity_at(year);
+    EXPECT_GT(report.utilization, last);
+    last = report.utilization;
+  }
+}
+
+}  // namespace
+}  // namespace tsn::core

@@ -1,0 +1,156 @@
+#include "core/codesign.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tsn::core {
+namespace {
+
+// Two consumers with disjoint interests over four symbols.
+CodesignInput disjoint_input() {
+  CodesignInput input;
+  input.symbol_weight = {10.0, 10.0, 5.0, 5.0};
+  input.subscriptions = {{0, 1}, {2, 3}};
+  input.group_budget = 2;
+  return input;
+}
+
+TEST(Codesign, EvaluateWantedAndDelivered) {
+  const auto input = disjoint_input();
+  // One group holding everything: both consumers receive all 30 weight.
+  Grouping all_in_one;
+  all_in_one.group_count = 1;
+  all_in_one.group_of = {0, 0, 0, 0};
+  const auto metrics = evaluate_grouping(input, all_in_one);
+  EXPECT_DOUBLE_EQ(metrics.wanted_weight, 30.0);
+  EXPECT_DOUBLE_EQ(metrics.delivered_weight, 60.0);
+  EXPECT_DOUBLE_EQ(metrics.over_delivery, 30.0);
+  EXPECT_DOUBLE_EQ(metrics.efficiency(), 0.5);
+}
+
+TEST(Codesign, PerfectGroupingHasNoOverDelivery) {
+  const auto input = disjoint_input();
+  Grouping split;
+  split.group_count = 2;
+  split.group_of = {0, 0, 1, 1};
+  const auto metrics = evaluate_grouping(input, split);
+  EXPECT_DOUBLE_EQ(metrics.over_delivery, 0.0);
+  EXPECT_DOUBLE_EQ(metrics.efficiency(), 1.0);
+}
+
+TEST(Codesign, OptimizerFindsThePerfectSplit) {
+  const auto input = disjoint_input();
+  const auto grouping = codesign_grouping(input);
+  EXPECT_LE(grouping.group_count, 2u);
+  const auto metrics = evaluate_grouping(input, grouping);
+  EXPECT_DOUBLE_EQ(metrics.over_delivery, 0.0);
+  // Symbols with the same subscriber set share a group.
+  EXPECT_EQ(grouping.group_of[0], grouping.group_of[1]);
+  EXPECT_EQ(grouping.group_of[2], grouping.group_of[3]);
+  EXPECT_NE(grouping.group_of[0], grouping.group_of[2]);
+}
+
+TEST(Codesign, PerfectGroupCountCountsSignatures) {
+  auto input = disjoint_input();
+  EXPECT_EQ(perfect_group_count(input), 2u);
+  input.subscriptions.push_back({0, 2});  // a third, overlapping consumer
+  EXPECT_EQ(perfect_group_count(input), 4u);  // {0},{1},{2},{3} now distinct... almost
+}
+
+TEST(Codesign, BudgetOfOneDeliversEverythingToEveryone) {
+  auto input = disjoint_input();
+  input.group_budget = 1;
+  const auto grouping = codesign_grouping(input);
+  EXPECT_EQ(grouping.group_count, 1u);
+  const auto metrics = evaluate_grouping(input, grouping);
+  EXPECT_DOUBLE_EQ(metrics.efficiency(), 0.5);
+}
+
+TEST(Codesign, CheapestMergePrefersSimilarSubscriberSets) {
+  CodesignInput input;
+  // Consumer 0 wants symbols 0,1; consumer 1 wants symbol 2.
+  // With budget 2, merging 0 and 1 (same subscribers) is free; merging
+  // either with 2 would over-deliver.
+  input.symbol_weight = {100.0, 100.0, 1.0};
+  input.subscriptions = {{0, 1}, {2}};
+  input.group_budget = 2;
+  const auto grouping = codesign_grouping(input);
+  const auto metrics = evaluate_grouping(input, grouping);
+  EXPECT_DOUBLE_EQ(metrics.over_delivery, 0.0);
+}
+
+TEST(Codesign, BeatsHashOnStructuredSubscriptions) {
+  // 64 symbols in 4 contiguous "sectors" of 16; 8 consumers each want one
+  // sector. A subscription-oblivious hash scatters each sector across all
+  // groups; the co-design recovers the sector structure.
+  CodesignInput input;
+  input.symbol_weight.assign(64, 1.0);
+  input.subscriptions.resize(8);
+  for (ConsumerId c = 0; c < 8; ++c) {
+    const std::uint32_t sector = c % 4;
+    for (SymbolId s = 0; s < 64; ++s) {
+      if (s / 16 == sector) input.subscriptions[c].push_back(s);
+    }
+  }
+  input.group_budget = 4;
+  const auto hash = evaluate_grouping(input, hash_grouping(input));
+  const auto designed = evaluate_grouping(input, codesign_grouping(input));
+  EXPECT_DOUBLE_EQ(designed.over_delivery, 0.0);  // 4 sectors, 4 groups
+  EXPECT_GT(hash.over_delivery, 0.0);
+  EXPECT_GT(designed.efficiency(), hash.efficiency());
+}
+
+TEST(Codesign, UnsubscribedSymbolsCostNothing) {
+  CodesignInput input;
+  input.symbol_weight = {5.0, 7.0};
+  input.subscriptions = {{0}};
+  input.group_budget = 2;
+  const auto grouping = codesign_grouping(input);
+  const auto metrics = evaluate_grouping(input, grouping);
+  EXPECT_DOUBLE_EQ(metrics.delivered_weight, 5.0);  // symbol 1 goes nowhere
+}
+
+TEST(Codesign, ValidationErrors) {
+  CodesignInput input = disjoint_input();
+  input.group_budget = 0;
+  EXPECT_THROW((void)codesign_grouping(input), std::invalid_argument);
+  EXPECT_THROW((void)hash_grouping(input), std::invalid_argument);
+  input.group_budget = 2;
+  Grouping wrong_size;
+  wrong_size.group_count = 1;
+  wrong_size.group_of = {0};
+  EXPECT_THROW((void)evaluate_grouping(input, wrong_size), std::invalid_argument);
+  CodesignInput bad_subscription = disjoint_input();
+  bad_subscription.subscriptions[0].push_back(99);
+  EXPECT_THROW((void)evaluate_grouping(bad_subscription, hash_grouping(bad_subscription)),
+               std::out_of_range);
+}
+
+TEST(Codesign, LargeUnstructuredInputStaysTractable) {
+  // Every symbol has a distinct random subscriber set: the pre-coarsening
+  // cap must keep this fast and still within budget.
+  CodesignInput input;
+  constexpr std::size_t kSymbols = 3'000;
+  input.symbol_weight.assign(kSymbols, 1.0);
+  input.subscriptions.resize(16);
+  std::uint64_t state = 123;
+  auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (SymbolId s = 0; s < kSymbols; ++s) {
+    for (ConsumerId c = 0; c < 16; ++c) {
+      if ((next() & 3) == 0) input.subscriptions[c].push_back(s);
+    }
+  }
+  input.group_budget = 64;
+  const auto grouping = codesign_grouping(input);
+  EXPECT_LE(grouping.group_count, 64u);
+  const auto metrics = evaluate_grouping(input, grouping);
+  EXPECT_GT(metrics.efficiency(), 0.0);
+  EXPECT_LE(metrics.efficiency(), 1.0);
+}
+
+}  // namespace
+}  // namespace tsn::core

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include "deploy/multicolo.hpp"
+#include "deploy/reference.hpp"
+
+namespace tsn::deploy {
+namespace {
+
+DeploymentConfig small_config() {
+  DeploymentConfig config;
+  config.strategy_count = 2;
+  config.symbol_count = 4;
+  config.events_per_second = 20'000;
+  return config;
+}
+
+TEST(Deploy, LeafSpineEndToEnd) {
+  LeafSpineDeployment deployment{small_config()};
+  deployment.start();
+  EXPECT_TRUE(deployment.gateway().upstream_ready());
+  deployment.run(sim::millis(std::int64_t{60}));
+  const auto report = deployment.report();
+  EXPECT_GT(report.feed_datagrams, 100u);
+  EXPECT_GT(report.normalized_updates, 100u);
+  EXPECT_EQ(report.sequence_gaps, 0u);
+  EXPECT_GT(report.updates_received, 100u);
+  EXPECT_GT(report.orders_sent, 0u);
+  EXPECT_EQ(report.acks, report.orders_sent);
+  EXPECT_EQ(report.frames_dropped, 0u);
+  // Software hop (0.9 us) + decision (2 us).
+  EXPECT_NEAR(report.tick_to_trade_ns.mean(), 2'900.0, 10.0);
+  // Feed path crosses two leaf-spine-leaf legs plus the normalizer.
+  EXPECT_GT(report.feed_path_ns.mean(), 4'000.0);
+  EXPECT_LT(report.feed_path_ns.mean(), 8'000.0);
+}
+
+TEST(Deploy, QuadL1sEndToEnd) {
+  QuadL1sDeployment deployment{small_config()};
+  deployment.start();
+  EXPECT_TRUE(deployment.gateway().upstream_ready());
+  deployment.run(sim::millis(std::int64_t{60}));
+  const auto report = deployment.report();
+  EXPECT_GT(report.updates_received, 100u);
+  EXPECT_GT(report.orders_sent, 0u);
+  EXPECT_EQ(report.acks, report.orders_sent);
+  EXPECT_EQ(report.sequence_gaps, 0u);
+  // The circuit fabric is dramatically faster than leaf-spine switching.
+  EXPECT_LT(report.feed_path_ns.mean(), 2'500.0);
+}
+
+TEST(Deploy, L1sFeedPathBeatsLeafSpine) {
+  LeafSpineDeployment leaf{small_config()};
+  leaf.start();
+  leaf.run(sim::millis(std::int64_t{40}));
+  QuadL1sDeployment quad{small_config()};
+  quad.start();
+  quad.run(sim::millis(std::int64_t{40}));
+  EXPECT_LT(quad.report().feed_path_ns.mean(), leaf.report().feed_path_ns.mean() * 0.5);
+}
+
+TEST(Deploy, ReportMergesAllStrategies) {
+  auto config = small_config();
+  config.strategy_count = 3;
+  LeafSpineDeployment deployment{config};
+  deployment.start();
+  deployment.run(sim::millis(std::int64_t{40}));
+  const auto report = deployment.report();
+  std::uint64_t sum = 0;
+  for (std::size_t s = 0; s < deployment.strategy_count(); ++s) {
+    sum += deployment.strategy(s).stats().updates_received;
+  }
+  EXPECT_EQ(report.updates_received, sum);
+  EXPECT_EQ(deployment.strategy_count(), 3u);
+}
+
+TEST(Deploy, MembershipsSurviveSwitchAgingBecauseHostsRespond) {
+  // Leaf and spine switches run IGMP queriers with aggressive aging; the
+  // stack's IGMP responders must keep every feed membership alive for the
+  // whole session.
+  auto topo_config = LeafSpineDeployment::default_topo();
+  topo_config.leaf_switch.igmp_query_interval = sim::millis(std::int64_t{15});
+  topo_config.leaf_switch.membership_timeout = sim::millis(std::int64_t{40});
+  topo_config.spine_switch.igmp_query_interval = sim::millis(std::int64_t{15});
+  topo_config.spine_switch.membership_timeout = sim::millis(std::int64_t{40});
+  LeafSpineDeployment deployment{small_config(), topo_config};
+  deployment.start();
+  for (std::size_t l = 0; l < deployment.topology().leaf_count(); ++l) {
+    deployment.topology().leaf(l).start_querier();
+  }
+  for (std::size_t s = 0; s < deployment.topology().spine_count(); ++s) {
+    deployment.topology().spine(s).start_querier();
+  }
+  deployment.run_bounded(sim::millis(std::int64_t{100}));
+  const auto mid = deployment.report();
+  EXPECT_GT(mid.updates_received, 100u);
+  deployment.run_bounded(sim::millis(std::int64_t{100}));
+  const auto end = deployment.report();
+  // Still flowing in the second half: memberships never lapsed.
+  EXPECT_GT(end.updates_received, mid.updates_received + 100);
+  EXPECT_EQ(end.sequence_gaps, 0u);
+  // No live membership was aged out anywhere.
+  for (std::size_t l = 0; l < deployment.topology().leaf_count(); ++l) {
+    EXPECT_EQ(deployment.topology().leaf(l).memberships_aged_out(), 0u) << "leaf " << l;
+  }
+  EXPECT_GT(deployment.topology().leaf(1).mroutes().group_count(), 0u);
+  EXPECT_GT(deployment.topology().spine(0).mroutes().group_count(), 0u);
+}
+
+TEST(MultiColo, MicrowaveBeatsFiberEndToEnd) {
+  MultiColoConfig fiber_config;
+  fiber_config.apps = small_config();
+  fiber_config.wan_tech = wan::LinkTech::kFiber;
+  MultiColoDeployment fiber{fiber_config};
+  fiber.start();
+  fiber.run(sim::millis(std::int64_t{50}));
+
+  MultiColoConfig mw_config;
+  mw_config.apps = small_config();
+  mw_config.wan_tech = wan::LinkTech::kMicrowave;
+  MultiColoDeployment microwave{mw_config};
+  microwave.start();
+  microwave.run(sim::millis(std::int64_t{50}));
+
+  const auto fiber_report = fiber.report();
+  const auto mw_report = microwave.report();
+  EXPECT_EQ(fiber_report.sequence_gaps, 0u);
+  EXPECT_EQ(mw_report.sequence_gaps, 0u);
+  // The feed path difference is dominated by the WAN propagation delta.
+  const double advantage_us =
+      (fiber_report.feed_path_ns.mean() - mw_report.feed_path_ns.mean()) / 1'000.0;
+  const double expected_us =
+      (fiber.wan_delay() - microwave.wan_delay()).micros();
+  EXPECT_NEAR(advantage_us, expected_us, 8.0);
+  EXPECT_GT(advantage_us, 20.0);
+}
+
+TEST(MultiColo, RainCausesGapsOnMicrowaveOnly) {
+  MultiColoConfig config;
+  config.apps = small_config();
+  config.wan_tech = wan::LinkTech::kMicrowave;
+  config.raining = true;
+  MultiColoDeployment deployment{config};
+  deployment.start();
+  deployment.run(sim::millis(std::int64_t{80}));
+  const auto report = deployment.report();
+  // Feed datagrams die on the rain-faded WAN; the normalizer notices.
+  EXPECT_GT(report.sequence_gaps, 0u);
+  EXPECT_GT(report.frames_dropped, 0u);
+
+  MultiColoConfig fiber_config = config;
+  fiber_config.wan_tech = wan::LinkTech::kFiber;
+  MultiColoDeployment fiber{fiber_config};
+  fiber.start();
+  fiber.run(sim::millis(std::int64_t{80}));
+  EXPECT_EQ(fiber.report().sequence_gaps, 0u);
+}
+
+TEST(MultiColo, OrdersFlowAcrossTheWan) {
+  MultiColoConfig config;
+  config.apps = small_config();
+  MultiColoDeployment deployment{config};
+  deployment.start();
+  EXPECT_TRUE(deployment.gateway().upstream_ready());
+  deployment.run(sim::millis(std::int64_t{60}));
+  const auto report = deployment.report();
+  EXPECT_GT(report.orders_sent, 0u);
+  EXPECT_EQ(report.acks, report.orders_sent);
+  // Order RTT includes two WAN crossings.
+  EXPECT_GT(report.order_rtt_ns.mean() / 1'000.0, 2.0 * deployment.wan_delay().micros());
+}
+
+}  // namespace
+}  // namespace tsn::deploy

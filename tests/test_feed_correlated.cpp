@@ -1,0 +1,80 @@
+#include "feed/correlated.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tsn::feed {
+namespace {
+
+TEST(CorrelatedBursts, ShapeAndDeterminism) {
+  CorrelatedBurstConfig config;
+  config.feed_count = 4;
+  config.window_count = 500;
+  const auto a = generate_correlated_bursts(config, 9);
+  const auto b = generate_correlated_bursts(config, 9);
+  ASSERT_EQ(a.multipliers.size(), 4u);
+  ASSERT_EQ(a.multipliers[0].size(), 500u);
+  for (std::size_t f = 0; f < 4; ++f) {
+    for (std::size_t w = 0; w < 500; ++w) {
+      EXPECT_EQ(a.multipliers[f][w], b.multipliers[f][w]);
+      EXPECT_GT(a.multipliers[f][w], 0.0);
+    }
+  }
+}
+
+TEST(CorrelatedBursts, CommonWeightDrivesCorrelation) {
+  CorrelatedBurstConfig lockstep;
+  lockstep.common_weight = 1.0;
+  CorrelatedBurstConfig independent;
+  independent.common_weight = 0.0;
+  CorrelatedBurstConfig mixed;
+  mixed.common_weight = 0.7;
+  const auto tight = generate_correlated_bursts(lockstep, 5);
+  const auto loose = generate_correlated_bursts(independent, 5);
+  const auto medium = generate_correlated_bursts(mixed, 5);
+  EXPECT_NEAR(tight.correlation(0, 1), 1.0, 1e-9);
+  EXPECT_LT(std::abs(loose.correlation(0, 1)), 0.35);
+  EXPECT_GT(medium.correlation(0, 1), 0.4);
+  EXPECT_GT(tight.correlation(0, 1), medium.correlation(0, 1));
+}
+
+TEST(CorrelatedBursts, CorrelationMakesSimultaneousPeaksWorse) {
+  // §2's point, quantified: for link sizing, correlated feeds are worse
+  // than independent ones because their peaks coincide.
+  CorrelatedBurstConfig config;
+  config.feed_count = 6;
+  config.window_count = 2'000;
+  config.common_weight = 0.85;
+  const auto correlated = generate_correlated_bursts(config, 77);
+  config.common_weight = 0.0;
+  const auto independent = generate_correlated_bursts(config, 77);
+  EXPECT_GT(correlated.peak_to_mean_total(), independent.peak_to_mean_total());
+  EXPECT_GT(correlated.peak_to_mean_total(), 2.0);  // real bursts, not noise
+}
+
+TEST(CorrelatedBursts, MeanIsNearOne) {
+  CorrelatedBurstConfig config;
+  config.window_count = 5'000;
+  config.shocks_per_series = 2.0;  // keep shocks from dominating the mean
+  const auto bursts = generate_correlated_bursts(config, 3);
+  for (const auto& series : bursts.multipliers) {
+    double mean = 0.0;
+    for (double v : series) mean += v;
+    mean /= static_cast<double>(series.size());
+    EXPECT_GT(mean, 0.7);
+    EXPECT_LT(mean, 1.8);
+  }
+}
+
+TEST(CorrelatedBursts, ValidatesWeight) {
+  CorrelatedBurstConfig config;
+  config.common_weight = 1.5;
+  EXPECT_THROW((void)generate_correlated_bursts(config, 1), std::invalid_argument);
+}
+
+TEST(CorrelatedBursts, DegenerateQueriesAreSafe) {
+  CorrelatedBursts empty;
+  EXPECT_EQ(empty.peak_to_mean_total(), 0.0);
+}
+
+}  // namespace
+}  // namespace tsn::feed

@@ -1,0 +1,69 @@
+#include "l2/trends.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tsn::l2 {
+namespace {
+
+TEST(Trends, RoadmapSpansTheDecade) {
+  const auto roadmap = SwitchTrendModel::commodity_roadmap();
+  ASSERT_GE(roadmap.size(), 5u);
+  EXPECT_EQ(roadmap.front().year, 2014);
+  EXPECT_EQ(roadmap.back().year, 2024);
+}
+
+TEST(Trends, BandwidthRoughlyDoublesPerGeneration) {
+  const auto roadmap = SwitchTrendModel::commodity_roadmap();
+  for (std::size_t i = 1; i < roadmap.size(); ++i) {
+    const double ratio = roadmap[i].bandwidth_tbps / roadmap[i - 1].bandwidth_tbps;
+    EXPECT_NEAR(ratio, 2.0, 0.3) << "generation " << i;
+  }
+}
+
+TEST(Trends, LatencyIncreasedAbout20PercentToFiveHundredNs) {
+  // §3: today's switches are ~20% slower than a decade ago, at ~500 ns.
+  const auto latest = SwitchTrendModel::latency_at(2024);
+  const auto decade_ago = SwitchTrendModel::latency_at(2014);
+  EXPECT_EQ(latest, sim::nanos(std::int64_t{500}));
+  const double growth = latest.nanos() / decade_ago.nanos();
+  EXPECT_NEAR(growth, 1.20, 0.03);
+  // Monotonically non-decreasing across the roadmap.
+  for (int year = 2015; year <= 2024; ++year) {
+    EXPECT_GE(SwitchTrendModel::latency_at(year), SwitchTrendModel::latency_at(year - 1));
+  }
+}
+
+TEST(Trends, McastGroupsGrewOnlyEightyPercent) {
+  // §3: "the latest generation of switches supports only 80% more multicast
+  // groups than earlier generations."
+  const double growth = static_cast<double>(SwitchTrendModel::mcast_groups_at(2024)) /
+                        static_cast<double>(SwitchTrendModel::mcast_groups_at(2014));
+  EXPECT_NEAR(growth, 1.8, 0.05);
+}
+
+TEST(Trends, SoftwareHopDecreasedBelowOneMicrosecond) {
+  // §3: a hop through a tuned software host is now below 1 us, and the
+  // trend is downward while switch latency trends upward.
+  EXPECT_LT(SwitchTrendModel::software_hop_at(2024), sim::micros(std::int64_t{1}));
+  EXPECT_GT(SwitchTrendModel::software_hop_at(2014), SwitchTrendModel::software_hop_at(2024));
+}
+
+TEST(Trends, NetworkShareOfSystemLatencyIsRising) {
+  // The paper's qualitative conclusion: network latency is a growing share
+  // of total system latency. With 12 switch hops and 3 software hops:
+  auto share = [](int year) {
+    const double network = 12.0 * SwitchTrendModel::latency_at(year).nanos();
+    const double software = 3.0 * SwitchTrendModel::software_hop_at(year).nanos();
+    return network / (network + software);
+  };
+  EXPECT_GT(share(2024), share(2014));
+  EXPECT_GT(share(2024), 0.5);  // §4.1: half the time is in the network
+}
+
+TEST(Trends, InterpolationClampsOutsideRange) {
+  EXPECT_EQ(SwitchTrendModel::latency_at(2000), SwitchTrendModel::latency_at(2014));
+  EXPECT_EQ(SwitchTrendModel::mcast_groups_at(2030), SwitchTrendModel::mcast_groups_at(2024));
+}
+
+}  // namespace
+}  // namespace tsn::l2

@@ -1,0 +1,179 @@
+// IGMP querier + membership aging: snooped state is soft state. Hosts
+// running an IgmpResponder keep their feeds alive; hosts that joined once
+// and went silent are aged out — the operational behaviour that makes
+// "why did this server stop getting the feed?" a classic trading-floor
+// incident.
+#include <gtest/gtest.h>
+
+#include "l2/commodity_switch.hpp"
+#include "mcast/responder.hpp"
+#include "mcast/subscribe.hpp"
+#include "net/fabric.hpp"
+#include "net/stack.hpp"
+
+namespace tsn::mcast {
+namespace {
+
+struct AgingRig {
+  sim::Engine engine;
+  net::Fabric fabric{engine};
+  l2::CommoditySwitch sw;
+  net::Nic source{engine, "src", net::MacAddr::from_host_id(1), net::Ipv4Addr{10, 0, 0, 1}};
+  net::Nic maintained{engine, "live", net::MacAddr::from_host_id(2),
+                      net::Ipv4Addr{10, 0, 0, 2}};
+  net::Nic silent{engine, "silent", net::MacAddr::from_host_id(3), net::Ipv4Addr{10, 0, 0, 3}};
+  net::NetStack maintained_stack{maintained};
+  IgmpResponder responder{maintained_stack};
+
+  static l2::CommoditySwitchConfig config() {
+    l2::CommoditySwitchConfig out;
+    out.port_count = 4;
+    out.igmp_query_interval = sim::millis(std::int64_t{100});
+    out.membership_timeout = sim::millis(std::int64_t{250});
+    return out;
+  }
+
+  AgingRig() : sw(engine, "tor", config()) {
+    fabric.connect(sw, 0, source, 0, net::LinkConfig{});
+    fabric.connect(sw, 1, maintained, 0, net::LinkConfig{});
+    fabric.connect(sw, 2, silent, 0, net::LinkConfig{});
+  }
+
+  void run_for(std::int64_t ms) {
+    engine.run_until(engine.now() + sim::millis(ms));
+  }
+};
+
+const net::Ipv4Addr kGroup{239, 42, 0, 1};
+
+TEST(IgmpAging, ResponderAnswersQueries) {
+  AgingRig rig;
+  rig.responder.join(kGroup);
+  rig.sw.start_querier();
+  rig.run_for(550);
+  // ~5 queries in 550 ms; the responder answered each.
+  EXPECT_GE(rig.responder.queries_answered(), 4u);
+  EXPECT_GE(rig.responder.reports_sent(), 5u);  // initial join + refreshes
+  EXPECT_TRUE(rig.responder.is_joined(kGroup));
+}
+
+TEST(IgmpAging, MaintainedMembershipSurvives) {
+  AgingRig rig;
+  rig.responder.join(kGroup);
+  rig.sw.start_querier();
+  rig.run_for(1'000);
+  EXPECT_EQ(rig.sw.mroutes().group_count(), 1u);
+  EXPECT_EQ(rig.sw.memberships_aged_out(), 0u);
+  // Traffic still flows after many timeout windows.
+  int got = 0;
+  rig.maintained.set_rx_handler([&](const net::PacketPtr& p, sim::Time) {
+    const auto decoded = net::decode_frame(p->frame());
+    if (decoded && decoded->ip && decoded->ip->dst == kGroup) ++got;  // ignore queries
+  });
+  rig.source.send_frame(
+      net::build_multicast_frame(rig.source.mac(), rig.source.ip(), kGroup, 30001, {}));
+  rig.run_for(10);
+  EXPECT_EQ(got, 1);
+}
+
+TEST(IgmpAging, SilentMembershipAgesOut) {
+  AgingRig rig;
+  // One-shot join from the silent host: no responder behind it.
+  join_group(rig.silent, kGroup);
+  rig.run_for(10);
+  ASSERT_EQ(rig.sw.mroutes().group_count(), 1u);
+  rig.sw.start_querier();
+  rig.run_for(1'000);
+  EXPECT_EQ(rig.sw.mroutes().group_count(), 0u);
+  EXPECT_EQ(rig.sw.memberships_aged_out(), 1u);
+  // The feed is gone for the silent host.
+  int got = 0;
+  rig.silent.set_rx_handler([&](const net::PacketPtr& p, sim::Time) {
+    const auto decoded = net::decode_frame(p->frame());
+    if (decoded && decoded->ip && decoded->ip->dst == kGroup) ++got;
+  });
+  rig.source.send_frame(
+      net::build_multicast_frame(rig.source.mac(), rig.source.ip(), kGroup, 30001, {}));
+  rig.run_for(10);
+  EXPECT_EQ(got, 0);
+}
+
+TEST(IgmpAging, MixedHostsOnlySilentPortExpires) {
+  AgingRig rig;
+  rig.responder.join(kGroup);
+  join_group(rig.silent, kGroup);
+  rig.sw.start_querier();
+  rig.run_for(1'000);
+  const auto lookup = rig.sw.mroutes().lookup(kGroup);
+  ASSERT_NE(lookup.ports, nullptr);
+  ASSERT_EQ(lookup.ports->size(), 1u);
+  EXPECT_EQ(lookup.ports->front(), 1u);  // the maintained host's port
+}
+
+TEST(IgmpAging, LeaveIsImmediateNotAged) {
+  AgingRig rig;
+  rig.responder.join(kGroup);
+  rig.sw.start_querier();
+  rig.run_for(150);
+  rig.responder.leave(kGroup);
+  rig.run_for(20);
+  EXPECT_EQ(rig.sw.mroutes().group_count(), 0u);
+  EXPECT_EQ(rig.sw.memberships_aged_out(), 0u);
+  EXPECT_FALSE(rig.responder.is_joined(kGroup));
+}
+
+TEST(IgmpAging, JoinAndLeaveAreIdempotent) {
+  AgingRig rig;
+  rig.responder.join(kGroup);
+  rig.responder.join(kGroup);
+  EXPECT_EQ(rig.responder.joined_count(), 1u);
+  EXPECT_EQ(rig.responder.reports_sent(), 1u);
+  rig.responder.leave(kGroup);
+  rig.responder.leave(kGroup);
+  EXPECT_EQ(rig.responder.joined_count(), 0u);
+}
+
+TEST(IgmpAging, StartQuerierValidatesConfig) {
+  sim::Engine engine;
+  l2::CommoditySwitch sw{engine, "tor", l2::CommoditySwitchConfig{}};
+  EXPECT_THROW(sw.start_querier(), std::invalid_argument);
+}
+
+TEST(IgmpAging, GroupSpecificQueryRefreshesOnlyThatGroup) {
+  // Direct cable: querier NIC <-> responder host.
+  sim::Engine engine;
+  net::Fabric fabric{engine};
+  net::Nic querier{engine, "querier", net::MacAddr::from_host_id(1),
+                   net::Ipv4Addr{10, 0, 0, 1}};
+  net::Nic host{engine, "host", net::MacAddr::from_host_id(2), net::Ipv4Addr{10, 0, 0, 2}};
+  fabric.connect(querier, 0, host, 0, net::LinkConfig{});
+  net::NetStack stack{host};
+  IgmpResponder responder{stack};
+  const net::Ipv4Addr other{239, 42, 0, 2};
+  responder.join(kGroup);
+  responder.join(other);
+  engine.run();
+  const auto before = responder.reports_sent();
+
+  // Group-specific query for a joined group: exactly one report.
+  querier.send_frame(build_igmp_frame(querier.mac(), querier.ip(),
+                                      IgmpMessage{IgmpType::kMembershipQuery, kGroup}));
+  engine.run();
+  EXPECT_EQ(responder.reports_sent(), before + 1);
+
+  // Group-specific query for a group we never joined: no report.
+  querier.send_frame(build_igmp_frame(querier.mac(), querier.ip(),
+                                      IgmpMessage{IgmpType::kMembershipQuery,
+                                                  net::Ipv4Addr{239, 9, 9, 9}}));
+  engine.run();
+  EXPECT_EQ(responder.reports_sent(), before + 1);
+
+  // General query: a report per joined group.
+  querier.send_frame(build_igmp_frame(querier.mac(), querier.ip(),
+                                      IgmpMessage{IgmpType::kMembershipQuery, net::Ipv4Addr{}}));
+  engine.run();
+  EXPECT_EQ(responder.reports_sent(), before + 3);
+}
+
+}  // namespace
+}  // namespace tsn::mcast

@@ -1,0 +1,134 @@
+#include "net/nic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/fabric.hpp"
+#include "net/headers.hpp"
+
+namespace tsn::net {
+namespace {
+
+struct TwoNics {
+  sim::Engine engine;
+  net::Fabric fabric{engine};
+  Nic a{engine, "a", MacAddr::from_host_id(1), Ipv4Addr{10, 0, 0, 1}};
+  Nic b{engine, "b", MacAddr::from_host_id(2), Ipv4Addr{10, 0, 0, 2}};
+
+  TwoNics() { fabric.connect(a, 0, b, 0, LinkConfig{}); }
+};
+
+std::vector<std::byte> frame_to(const Nic& from, const Nic& to) {
+  return build_udp_frame(from.mac(), to.mac(), from.ip(), to.ip(), 1, 2,
+                         std::vector<std::byte>(8, std::byte{1}));
+}
+
+TEST(Nic, DeliversToRxHandler) {
+  TwoNics t;
+  int received = 0;
+  t.b.set_rx_handler([&](const PacketPtr&, sim::Time) { ++received; });
+  t.a.send_frame(frame_to(t.a, t.b));
+  t.engine.run();
+  EXPECT_EQ(received, 1);
+  EXPECT_EQ(t.a.tx_frames(), 1u);
+  EXPECT_EQ(t.b.rx_frames(), 1u);
+}
+
+TEST(Nic, FiltersForeignUnicastByDefault) {
+  TwoNics t;
+  int received = 0;
+  t.b.set_rx_handler([&](const PacketPtr&, sim::Time) { ++received; });
+  // Frame addressed to a third MAC: NIC b must drop it in hardware.
+  auto frame = build_udp_frame(t.a.mac(), MacAddr::from_host_id(99), t.a.ip(),
+                               Ipv4Addr{10, 0, 0, 99}, 1, 2, {});
+  t.a.send_frame(std::move(frame));
+  t.engine.run();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(t.b.rx_filtered(), 1u);
+}
+
+TEST(Nic, PromiscuousModeAcceptsEverything) {
+  TwoNics t;
+  int received = 0;
+  t.b.set_promiscuous(true);
+  t.b.set_rx_handler([&](const PacketPtr&, sim::Time) { ++received; });
+  auto frame = build_udp_frame(t.a.mac(), MacAddr::from_host_id(99), t.a.ip(),
+                               Ipv4Addr{10, 0, 0, 99}, 1, 2, {});
+  t.a.send_frame(std::move(frame));
+  t.engine.run();
+  EXPECT_EQ(received, 1);
+}
+
+TEST(Nic, BroadcastAlwaysAccepted) {
+  TwoNics t;
+  int received = 0;
+  t.b.set_rx_handler([&](const PacketPtr&, sim::Time) { ++received; });
+  auto frame = build_udp_frame(t.a.mac(), MacAddr::broadcast(), t.a.ip(),
+                               Ipv4Addr{10, 255, 255, 255}, 1, 2, {});
+  t.a.send_frame(std::move(frame));
+  t.engine.run();
+  EXPECT_EQ(received, 1);
+}
+
+TEST(Nic, MulticastRequiresSubscription) {
+  TwoNics t;
+  int received = 0;
+  t.b.set_rx_handler([&](const PacketPtr&, sim::Time) { ++received; });
+  const Ipv4Addr group{239, 1, 1, 1};
+  auto frame = build_multicast_frame(t.a.mac(), t.a.ip(), group, 30001, {});
+  t.a.send_frame(std::vector<std::byte>{frame});
+  t.engine.run();
+  EXPECT_EQ(received, 0);
+
+  t.b.subscribe_multicast_mac(multicast_mac(group));
+  t.a.send_frame(std::move(frame));
+  t.engine.run();
+  EXPECT_EQ(received, 1);
+
+  t.b.unsubscribe_multicast_mac(multicast_mac(group));
+  t.a.send_frame(build_multicast_frame(t.a.mac(), t.a.ip(), group, 30001, {}));
+  t.engine.run();
+  EXPECT_EQ(received, 1);
+}
+
+TEST(Nic, RxDelayModelsSoftwareHop) {
+  TwoNics t;
+  sim::Time handled;
+  t.b.set_rx_delay(sim::micros(std::int64_t{1}));
+  t.b.set_rx_handler([&](const PacketPtr&, sim::Time) { handled = t.engine.now(); });
+  t.a.send_frame(frame_to(t.a, t.b));
+  t.engine.run();
+  // Wire time (64B min frame + overhead at 10G, 50 ns prop) plus the 1 us hop.
+  EXPECT_GT(handled, sim::Time::zero() + sim::micros(std::int64_t{1}));
+}
+
+TEST(Nic, UnpluggedNicDropsSilently) {
+  sim::Engine engine;
+  Nic lonely{engine, "x", MacAddr::from_host_id(5), Ipv4Addr{10, 0, 0, 5}};
+  lonely.send_frame(std::vector<std::byte>(64, std::byte{0}));
+  engine.run();
+  EXPECT_EQ(lonely.tx_frames(), 0u);
+}
+
+TEST(Host, AddNicAppliesSoftwareLatency) {
+  sim::Engine engine;
+  Host host{engine, "server", sim::micros(std::int64_t{2})};
+  Nic& nic = host.add_nic("md", MacAddr::from_host_id(8), Ipv4Addr{10, 0, 0, 8});
+  EXPECT_EQ(host.nic_count(), 1u);
+  EXPECT_EQ(&host.nic(0), &nic);
+  EXPECT_EQ(host.software_latency(), sim::micros(std::int64_t{2}));
+  EXPECT_EQ(nic.name(), "server/md");
+}
+
+TEST(Host, SeparateNicsPerFunctionLikeFigure1d) {
+  sim::Engine engine;
+  Host host{engine, "server", sim::micros(std::int64_t{1})};
+  host.add_nic("mgmt", MacAddr::from_host_id(10), Ipv4Addr{192, 168, 0, 1});
+  host.add_nic("md", MacAddr::from_host_id(11), Ipv4Addr{10, 0, 0, 11});
+  host.add_nic("orders", MacAddr::from_host_id(12), Ipv4Addr{10, 0, 1, 11});
+  EXPECT_EQ(host.nic_count(), 3u);
+  EXPECT_NE(host.nic(0).mac(), host.nic(1).mac());
+  EXPECT_NE(host.nic(1).ip(), host.nic(2).ip());
+}
+
+}  // namespace
+}  // namespace tsn::net

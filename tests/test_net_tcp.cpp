@@ -1,0 +1,203 @@
+#include "net/tcp_lite.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "net/fabric.hpp"
+#include "net/stack.hpp"
+
+namespace tsn::net {
+namespace {
+
+// Two hosts wired back to back, with stacks.
+struct TcpPair {
+  sim::Engine engine;
+  Fabric fabric{engine};
+  Nic client_nic{engine, "client", MacAddr::from_host_id(1), Ipv4Addr{10, 0, 0, 1}};
+  Nic server_nic{engine, "server", MacAddr::from_host_id(2), Ipv4Addr{10, 0, 0, 2}};
+  NetStack client{client_nic};
+  NetStack server{server_nic};
+
+  explicit TcpPair(LinkConfig link = LinkConfig{}) {
+    fabric.connect(client_nic, 0, server_nic, 0, link);
+  }
+};
+
+std::vector<std::byte> bytes_of(std::string_view text) {
+  std::vector<std::byte> out;
+  for (char c : text) out.push_back(static_cast<std::byte>(c));
+  return out;
+}
+
+std::string to_text(std::span<const std::byte> bytes) {
+  return {reinterpret_cast<const char*>(bytes.data()), bytes.size()};
+}
+
+TEST(TcpLite, HandshakeEstablishesBothEnds) {
+  TcpPair t;
+  TcpEndpoint* accepted = nullptr;
+  t.server.listen_tcp(34000, [&](TcpEndpoint& ep) { accepted = &ep; });
+  TcpEndpoint& client = t.client.connect_tcp(t.server_nic.mac(), t.server_nic.ip(), 34000, 0);
+  t.engine.run();
+  ASSERT_NE(accepted, nullptr);
+  EXPECT_EQ(client.state(), TcpState::kEstablished);
+  EXPECT_EQ(accepted->state(), TcpState::kEstablished);
+  EXPECT_EQ(accepted->peer_port(), client.local_port());
+}
+
+TEST(TcpLite, ConnectToClosedPortNeverEstablishes) {
+  TcpPair t;
+  TcpEndpoint& client = t.client.connect_tcp(t.server_nic.mac(), t.server_nic.ip(), 9, 0);
+  t.engine.run();
+  // SYN retries exhaust and the endpoint gives up.
+  EXPECT_EQ(client.state(), TcpState::kClosed);
+  EXPECT_GT(client.retransmit_count(), 0u);
+}
+
+TEST(TcpLite, DataFlowsInOrder) {
+  TcpPair t;
+  std::string received;
+  t.server.listen_tcp(34000, [&](TcpEndpoint& ep) {
+    ep.set_data_handler([&](std::span<const std::byte> bytes, sim::Time) {
+      received += to_text(bytes);
+    });
+  });
+  TcpEndpoint& client = t.client.connect_tcp(t.server_nic.mac(), t.server_nic.ip(), 34000, 0);
+  const auto hello = bytes_of("hello ");
+  const auto world = bytes_of("world");
+  client.send(hello);
+  client.send(world);
+  t.engine.run();
+  EXPECT_EQ(received, "hello world");
+  EXPECT_EQ(client.bytes_sent(), 11u);
+}
+
+TEST(TcpLite, DataQueuedBeforeEstablishmentIsFlushed) {
+  TcpPair t;
+  std::string received;
+  t.server.listen_tcp(34000, [&](TcpEndpoint& ep) {
+    ep.set_data_handler([&](std::span<const std::byte> bytes, sim::Time) {
+      received += to_text(bytes);
+    });
+  });
+  TcpEndpoint& client = t.client.connect_tcp(t.server_nic.mac(), t.server_nic.ip(), 34000, 0);
+  client.send(bytes_of("early"));  // handshake not done yet
+  t.engine.run();
+  EXPECT_EQ(received, "early");
+}
+
+TEST(TcpLite, LargeSendIsSegmented) {
+  TcpPair t;
+  std::size_t received = 0;
+  t.server.listen_tcp(34000, [&](TcpEndpoint& ep) {
+    ep.set_data_handler([&](std::span<const std::byte> bytes, sim::Time) {
+      received += bytes.size();
+    });
+  });
+  TcpEndpoint& client = t.client.connect_tcp(t.server_nic.mac(), t.server_nic.ip(), 34000, 0);
+  const std::vector<std::byte> big(10'000, std::byte{0x5a});
+  client.send(big);
+  t.engine.run();
+  EXPECT_EQ(received, 10'000u);
+}
+
+TEST(TcpLite, RecoversFromLoss) {
+  // 20% frame loss each way: retransmission must still deliver everything,
+  // in order, exactly once.
+  LinkConfig lossy;
+  lossy.loss_probability = 0.2;
+  TcpPair t{lossy};
+  std::string received;
+  t.server.listen_tcp(34000, [&](TcpEndpoint& ep) {
+    ep.set_data_handler([&](std::span<const std::byte> bytes, sim::Time) {
+      received += to_text(bytes);
+    });
+  });
+  TcpEndpoint& client = t.client.connect_tcp(t.server_nic.mac(), t.server_nic.ip(), 34000, 0);
+  std::string expected;
+  for (int i = 0; i < 50; ++i) {
+    const std::string chunk = "msg" + std::to_string(i) + ";";
+    expected += chunk;
+    client.send(bytes_of(chunk));
+  }
+  t.engine.run();
+  EXPECT_EQ(received, expected);
+  EXPECT_EQ(client.bytes_sent(), expected.size());
+}
+
+TEST(TcpLite, BidirectionalTransfer) {
+  TcpPair t;
+  std::string client_got;
+  std::string server_got;
+  TcpEndpoint* server_ep = nullptr;
+  t.server.listen_tcp(34000, [&](TcpEndpoint& ep) {
+    server_ep = &ep;
+    ep.set_data_handler([&](std::span<const std::byte> bytes, sim::Time) {
+      server_got += to_text(bytes);
+      // Echo back.
+      server_ep->send(bytes);
+    });
+  });
+  TcpEndpoint& client = t.client.connect_tcp(t.server_nic.mac(), t.server_nic.ip(), 34000, 0);
+  client.set_data_handler([&](std::span<const std::byte> bytes, sim::Time) {
+    client_got += to_text(bytes);
+  });
+  client.send(bytes_of("ping"));
+  t.engine.run();
+  EXPECT_EQ(server_got, "ping");
+  EXPECT_EQ(client_got, "ping");
+}
+
+TEST(TcpLite, LongLivedSessionManyMessages) {
+  // §2: order sessions live 6+ hours and carry a steady message flow.
+  TcpPair t;
+  std::size_t received = 0;
+  t.server.listen_tcp(34000, [&](TcpEndpoint& ep) {
+    ep.set_data_handler([&](std::span<const std::byte> bytes, sim::Time) {
+      received += bytes.size();
+    });
+  });
+  TcpEndpoint& client = t.client.connect_tcp(t.server_nic.mac(), t.server_nic.ip(), 34000, 0);
+  t.engine.run();
+  std::size_t sent = 0;
+  for (int burst = 0; burst < 100; ++burst) {
+    const auto chunk = bytes_of("order-entry-message-37-bytes-long....");
+    client.send(chunk);
+    sent += chunk.size();
+    t.engine.run();
+  }
+  EXPECT_EQ(received, sent);
+  EXPECT_EQ(client.state(), TcpState::kEstablished);
+  EXPECT_EQ(client.retransmit_count(), 0u);  // clean links, no spurious RTOs
+}
+
+TEST(TcpLite, CloseTransitionsStates) {
+  TcpPair t;
+  TcpEndpoint* server_ep = nullptr;
+  t.server.listen_tcp(34000, [&](TcpEndpoint& ep) { server_ep = &ep; });
+  TcpEndpoint& client = t.client.connect_tcp(t.server_nic.mac(), t.server_nic.ip(), 34000, 0);
+  t.engine.run();
+  client.close();
+  t.engine.run();
+  ASSERT_NE(server_ep, nullptr);
+  EXPECT_EQ(server_ep->state(), TcpState::kCloseWait);
+  server_ep->close();
+  t.engine.run();
+  EXPECT_EQ(server_ep->state(), TcpState::kClosed);
+  EXPECT_EQ(client.state(), TcpState::kClosed);
+}
+
+TEST(TcpLite, EphemeralPortsAreDistinct) {
+  TcpPair t;
+  t.server.listen_tcp(34000, [](TcpEndpoint&) {});
+  TcpEndpoint& c1 = t.client.connect_tcp(t.server_nic.mac(), t.server_nic.ip(), 34000, 0);
+  TcpEndpoint& c2 = t.client.connect_tcp(t.server_nic.mac(), t.server_nic.ip(), 34000, 0);
+  EXPECT_NE(c1.local_port(), c2.local_port());
+  t.engine.run();
+  EXPECT_EQ(c1.state(), TcpState::kEstablished);
+  EXPECT_EQ(c2.state(), TcpState::kEstablished);
+}
+
+}  // namespace
+}  // namespace tsn::net

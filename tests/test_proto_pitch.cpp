@@ -1,0 +1,204 @@
+#include "proto/pitch.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tsn::proto::pitch {
+namespace {
+
+Message sample_add(bool long_form) {
+  AddOrder m;
+  m.time_offset_ns = 123'456;
+  m.order_id = 42;
+  m.side = Side::kSell;
+  m.symbol = Symbol{"ACME"};
+  if (long_form) {
+    m.quantity = 100'000;
+    m.price = price_from_dollars(123.45);
+  } else {
+    m.quantity = 500;
+    m.price = 60'000;  // $6.00 fits the short form
+  }
+  return m;
+}
+
+std::vector<std::byte> encode_to_bytes(const Message& m) {
+  std::vector<std::byte> out;
+  net::WireWriter w{out};
+  encode(m, w);
+  return out;
+}
+
+TEST(Pitch, MessageSizesMatchTheSpec) {
+  // The paper quotes 26 bytes for a new order and 14 for a cancel (§5).
+  EXPECT_EQ(encoded_size(sample_add(false)), 26u);
+  EXPECT_EQ(encoded_size(sample_add(true)), 34u);
+  EXPECT_EQ(encoded_size(Message{DeleteOrder{}}), 14u);
+  EXPECT_EQ(encoded_size(Message{Time{}}), 6u);
+  EXPECT_EQ(encoded_size(Message{OrderExecuted{}}), 26u);
+  EXPECT_EQ(encoded_size(Message{ReduceSize{}}), 18u);
+  EXPECT_EQ(encoded_size(Message{ModifyOrder{}}), 27u);
+  EXPECT_EQ(encoded_size(Message{Trade{}}), 41u);
+}
+
+TEST(Pitch, EncodedSizeMatchesActualBytes) {
+  for (const auto& m :
+       {sample_add(false), sample_add(true), Message{DeleteOrder{1, 2}}, Message{Time{34200}},
+        Message{OrderExecuted{1, 2, 3, 4}}, Message{ReduceSize{1, 2, 3}},
+        Message{ModifyOrder{1, 2, 3, 4, 5}},
+        Message{Trade{1, 2, Side::kBuy, 3, Symbol{"X"}, 4, 5}}}) {
+    EXPECT_EQ(encode_to_bytes(m).size(), encoded_size(m));
+  }
+}
+
+TEST(Pitch, ShortFormSelectionBoundaries) {
+  AddOrder m;
+  m.quantity = 0xffff;
+  m.price = 0xffff;
+  EXPECT_TRUE(m.fits_short_form());
+  m.quantity = 0x10000;
+  EXPECT_FALSE(m.fits_short_form());
+  m.quantity = 1;
+  m.price = 0x10000;
+  EXPECT_FALSE(m.fits_short_form());
+  m.price = -1;
+  EXPECT_FALSE(m.fits_short_form());
+}
+
+TEST(Pitch, RoundTripAllMessageTypes) {
+  const std::vector<Message> originals = {
+      Message{Time{34'200}},
+      sample_add(false),
+      sample_add(true),
+      Message{OrderExecuted{9, 77, 300, 1234}},
+      Message{ReduceSize{10, 78, 200}},
+      Message{ModifyOrder{11, 79, 400, price_from_dollars(9.99), 1}},
+      Message{DeleteOrder{12, 80}},
+      Message{Trade{13, 81, Side::kBuy, 500, Symbol{"WIDGET"}, price_from_dollars(55.5), 999}},
+  };
+  for (const auto& original : originals) {
+    const auto bytes = encode_to_bytes(original);
+    net::WireReader r{bytes};
+    const auto decoded = decode_one(r);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->index(), original.index());
+    EXPECT_EQ(r.remaining(), 0u);
+  }
+}
+
+TEST(Pitch, AddOrderFieldsSurviveRoundTrip) {
+  const auto bytes = encode_to_bytes(sample_add(true));
+  net::WireReader r{bytes};
+  const auto decoded = decode_one(r);
+  ASSERT_TRUE(decoded.has_value());
+  const auto* add = std::get_if<AddOrder>(&*decoded);
+  ASSERT_NE(add, nullptr);
+  EXPECT_EQ(add->order_id, 42u);
+  EXPECT_EQ(add->side, Side::kSell);
+  EXPECT_EQ(add->quantity, 100'000u);
+  EXPECT_EQ(add->price, price_from_dollars(123.45));
+  EXPECT_EQ(add->symbol.view(), "ACME");
+  EXPECT_EQ(add->time_offset_ns, 123'456u);
+}
+
+TEST(Pitch, DecodeRejectsTruncationAndBadType) {
+  auto bytes = encode_to_bytes(sample_add(false));
+  {
+    net::WireReader r{std::span{bytes}.subspan(0, 10)};
+    EXPECT_FALSE(decode_one(r).has_value());
+  }
+  bytes[1] = std::byte{0x7f};  // unknown type
+  net::WireReader r{bytes};
+  EXPECT_FALSE(decode_one(r).has_value());
+}
+
+TEST(Pitch, DecodeRejectsWrongLengthField) {
+  auto bytes = encode_to_bytes(Message{DeleteOrder{1, 2}});
+  bytes[0] = std::byte{13};  // claims 13, type says delete (14)
+  net::WireReader r{bytes};
+  EXPECT_FALSE(decode_one(r).has_value());
+}
+
+TEST(Pitch, FrameBuilderPacksAndSequences) {
+  std::vector<std::pair<std::vector<std::byte>, UnitHeader>> frames;
+  FrameBuilder builder{7, 200, [&](std::vector<std::byte> payload, const UnitHeader& header) {
+                         frames.emplace_back(std::move(payload), header);
+                       }};
+  for (int i = 0; i < 3; ++i) builder.append(sample_add(false));
+  builder.flush();
+  ASSERT_EQ(frames.size(), 1u);
+  const auto& [payload, header] = frames[0];
+  EXPECT_EQ(header.unit, 7);
+  EXPECT_EQ(header.count, 3);
+  EXPECT_EQ(header.sequence, 1u);
+  EXPECT_EQ(header.length, kUnitHeaderSize + 3 * 26);
+  EXPECT_EQ(payload.size(), header.length);
+  // Next frame continues the sequence.
+  builder.append(sample_add(false));
+  builder.flush();
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[1].second.sequence, 4u);
+}
+
+TEST(Pitch, FrameBuilderAutoFlushesAtCapacity) {
+  std::size_t flushes = 0;
+  FrameBuilder builder{1, kUnitHeaderSize + 26 * 2 + 5,
+                       [&](std::vector<std::byte>, const UnitHeader& header) {
+                         ++flushes;
+                         EXPECT_LE(header.length, kUnitHeaderSize + 26 * 2 + 5);
+                       }};
+  for (int i = 0; i < 5; ++i) builder.append(sample_add(false));
+  builder.flush();
+  EXPECT_EQ(flushes, 3u);  // 2 + 2 + 1
+}
+
+TEST(Pitch, FrameBuilderFlushOnEmptyIsNoop) {
+  int flushes = 0;
+  FrameBuilder builder{1, 500, [&](std::vector<std::byte>, const UnitHeader&) { ++flushes; }};
+  builder.flush();
+  EXPECT_EQ(flushes, 0);
+}
+
+TEST(Pitch, FrameBuilderRejectsTinyMtu) {
+  EXPECT_THROW(FrameBuilder(1, 10, [](std::vector<std::byte>, const UnitHeader&) {}),
+               std::invalid_argument);
+}
+
+TEST(Pitch, ParseFrameRoundTrip) {
+  std::vector<std::byte> payload;
+  FrameBuilder builder{3, 1458, [&](std::vector<std::byte> p, const UnitHeader&) {
+                         payload = std::move(p);
+                       }};
+  builder.append(Message{Time{34'200}});
+  builder.append(sample_add(false));
+  builder.append(Message{DeleteOrder{5, 42}});
+  builder.flush();
+  const auto parsed = parse_frame(payload);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->header.count, 3);
+  ASSERT_EQ(parsed->messages.size(), 3u);
+  EXPECT_TRUE(std::holds_alternative<Time>(parsed->messages[0]));
+  EXPECT_TRUE(std::holds_alternative<AddOrder>(parsed->messages[1]));
+  EXPECT_TRUE(std::holds_alternative<DeleteOrder>(parsed->messages[2]));
+}
+
+TEST(Pitch, ForEachMessageRejectsCorruptFrame) {
+  std::vector<std::byte> payload;
+  FrameBuilder builder{3, 1458, [&](std::vector<std::byte> p, const UnitHeader&) {
+                         payload = std::move(p);
+                       }};
+  builder.append(sample_add(false));
+  builder.flush();
+  payload[9] = std::byte{0x00};  // clobber the first message's type
+  EXPECT_FALSE(for_each_message(payload, [](const Message&) {}));
+  EXPECT_FALSE(parse_frame(payload).has_value());
+}
+
+TEST(Pitch, PeekHeaderRejectsShortOrInconsistentPayloads) {
+  EXPECT_FALSE(peek_header(std::vector<std::byte>(4)).has_value());
+  std::vector<std::byte> bogus(20, std::byte{0});
+  bogus[0] = std::byte{200};  // length 200 > 20 available
+  EXPECT_FALSE(peek_header(bogus).has_value());
+}
+
+}  // namespace
+}  // namespace tsn::proto::pitch

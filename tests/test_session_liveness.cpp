@@ -1,0 +1,126 @@
+// Session liveness on the order-entry link: exchanges heartbeat idle
+// sessions and disconnect dead counterparties (§2's long-lived TCP
+// sessions survive six-hour days only because both ends prove liveness).
+#include <gtest/gtest.h>
+
+#include "exchange/exchange.hpp"
+#include "net/fabric.hpp"
+#include "trading/gateway.hpp"
+
+namespace tsn {
+namespace {
+
+exchange::ExchangeConfig exchange_config() {
+  exchange::ExchangeConfig config;
+  config.symbols = {{proto::Symbol{"AAA"}, proto::InstrumentKind::kEquity,
+                     proto::price_from_dollars(100)}};
+  config.feed_partitioning = std::make_shared<proto::HashPartition>(1);
+  config.heartbeat_interval = sim::millis(std::int64_t{20});
+  config.session_timeout = sim::millis(std::int64_t{65});
+  config.feed_mac = net::MacAddr::from_host_id(1);
+  config.feed_ip = net::Ipv4Addr{10, 0, 0, 1};
+  config.order_mac = net::MacAddr::from_host_id(2);
+  config.order_ip = net::Ipv4Addr{10, 0, 0, 2};
+  return config;
+}
+
+struct LivenessRig {
+  sim::Engine engine;
+  net::Fabric fabric{engine};
+  exchange::Exchange exch;
+  net::Nic client_nic{engine, "client", net::MacAddr::from_host_id(10),
+                      net::Ipv4Addr{10, 0, 0, 10}};
+  net::NetStack client{client_nic};
+  net::TcpEndpoint* session = nullptr;
+  proto::boe::StreamParser parser;
+  int heartbeats_received = 0;
+  std::uint32_t seq = 1;
+
+  LivenessRig() : exch(engine, exchange_config()) {
+    fabric.connect(exch.order_nic(), 0, client_nic, 0, net::LinkConfig{});
+    session = &client.connect_tcp(exch.order_nic().mac(), exch.order_nic().ip(),
+                                  exch.config().order_port, 0);
+    session->set_data_handler([this](std::span<const std::byte> bytes, sim::Time) {
+      parser.feed(bytes);
+      while (auto decoded = parser.next()) {
+        if (std::holds_alternative<proto::boe::Heartbeat>(decoded->message)) {
+          ++heartbeats_received;
+        }
+      }
+    });
+  }
+
+  void login() {
+    session->send(proto::boe::encode(proto::boe::LoginRequest{1, 0xfeed}, seq++));
+    engine.run_until(engine.now() + sim::millis(std::int64_t{1}));
+  }
+
+  void run_for(std::int64_t ms) { engine.run_until(engine.now() + sim::millis(ms)); }
+};
+
+TEST(SessionLiveness, IdleSessionReceivesHeartbeats) {
+  LivenessRig rig;
+  rig.login();
+  rig.exch.start_heartbeats();
+  rig.run_for(60);  // under the timeout; several heartbeat intervals
+  EXPECT_GE(rig.heartbeats_received, 1);
+  EXPECT_GE(rig.exch.stats().heartbeats_sent, 1u);
+  EXPECT_EQ(rig.exch.stats().sessions_timed_out, 0u);
+}
+
+TEST(SessionLiveness, SilentSessionTimesOutAndIsDisconnected) {
+  LivenessRig rig;
+  rig.login();
+  rig.exch.start_heartbeats();
+  // The client never answers; TCP ACKs alone don't count as liveness.
+  rig.run_for(200);
+  EXPECT_EQ(rig.exch.stats().sessions_timed_out, 1u);
+  // The exchange closed the connection (FIN reached the client).
+  EXPECT_NE(rig.session->state(), net::TcpState::kEstablished);
+}
+
+TEST(SessionLiveness, ClientHeartbeatsKeepTheSessionAlive) {
+  LivenessRig rig;
+  rig.login();
+  rig.exch.start_heartbeats();
+  for (int i = 0; i < 20; ++i) {
+    rig.session->send(proto::boe::encode(proto::boe::Heartbeat{}, rig.seq++));
+    rig.run_for(15);
+  }
+  EXPECT_EQ(rig.exch.stats().sessions_timed_out, 0u);
+  EXPECT_EQ(rig.session->state(), net::TcpState::kEstablished);
+}
+
+TEST(SessionLiveness, StartHeartbeatsValidatesConfig) {
+  sim::Engine engine;
+  auto config = exchange_config();
+  config.heartbeat_interval = sim::Duration::zero();
+  exchange::Exchange exch{engine, std::move(config)};
+  EXPECT_THROW(exch.start_heartbeats(), std::invalid_argument);
+}
+
+TEST(SessionLiveness, GatewayKeepAliveSurvivesExchangeTimeouts) {
+  sim::Engine engine;
+  net::Fabric fabric{engine};
+  exchange::Exchange exch{engine, exchange_config()};
+  trading::GatewayConfig gconfig;
+  gconfig.exchange_mac = exch.order_nic().mac();
+  gconfig.exchange_ip = exch.order_nic().ip();
+  gconfig.exchange_port = exch.config().order_port;
+  gconfig.heartbeat_interval = sim::millis(std::int64_t{25});  // < session_timeout
+  gconfig.client_mac = net::MacAddr::from_host_id(20);
+  gconfig.client_ip = net::Ipv4Addr{10, 0, 0, 20};
+  gconfig.upstream_mac = net::MacAddr::from_host_id(21);
+  gconfig.upstream_ip = net::Ipv4Addr{10, 0, 0, 21};
+  trading::Gateway gateway{engine, gconfig};
+  fabric.connect(gateway.upstream_nic(), 0, exch.order_nic(), 0, net::LinkConfig{});
+  gateway.start();
+  exch.start_heartbeats();
+  engine.run_until(engine.now() + sim::millis(std::int64_t{500}));
+  EXPECT_TRUE(gateway.upstream_ready());
+  EXPECT_GT(gateway.stats().heartbeats_sent, 5u);
+  EXPECT_EQ(exch.stats().sessions_timed_out, 0u);
+}
+
+}  // namespace
+}  // namespace tsn

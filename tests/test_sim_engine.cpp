@@ -1,0 +1,165 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tsn::sim {
+namespace {
+
+TEST(Engine, StartsAtTimeZeroWithEmptyQueue) {
+  Engine engine;
+  EXPECT_EQ(engine.now(), Time::zero());
+  EXPECT_EQ(engine.pending_events(), 0u);
+  EXPECT_EQ(engine.run(), 0u);
+}
+
+TEST(Engine, EventsFireInTimeOrder) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule_at(Time{300}, [&] { order.push_back(3); });
+  engine.schedule_at(Time{100}, [&] { order.push_back(1); });
+  engine.schedule_at(Time{200}, [&] { order.push_back(2); });
+  EXPECT_EQ(engine.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(engine.now(), Time{300});
+}
+
+TEST(Engine, SameInstantFiresInSchedulingOrder) {
+  Engine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    engine.schedule_at(Time{50}, [&order, i] { order.push_back(i); });
+  }
+  engine.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Engine, ScheduleInIsRelative) {
+  Engine engine;
+  Time fired;
+  engine.schedule_at(Time{1'000}, [&] {
+    engine.schedule_in(Duration{500}, [&] { fired = engine.now(); });
+  });
+  engine.run();
+  EXPECT_EQ(fired, Time{1'500});
+}
+
+TEST(Engine, SchedulingIntoThePastClampsToNow) {
+  Engine engine;
+  Time fired;
+  engine.schedule_at(Time{1'000}, [&] {
+    engine.schedule_at(Time{10}, [&] { fired = engine.now(); });
+  });
+  engine.run();
+  EXPECT_EQ(fired, Time{1'000});
+}
+
+TEST(Engine, NegativeDelayClampsToZero) {
+  Engine engine;
+  bool fired = false;
+  engine.schedule_in(Duration{-100}, [&] { fired = true; });
+  engine.run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(engine.now(), Time::zero());
+}
+
+TEST(Engine, CancelPreventsExecution) {
+  Engine engine;
+  bool fired = false;
+  const EventHandle handle = engine.schedule_at(Time{100}, [&] { fired = true; });
+  EXPECT_TRUE(engine.cancel(handle));
+  engine.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Engine, DoubleCancelReturnsFalse) {
+  Engine engine;
+  const EventHandle handle = engine.schedule_at(Time{100}, [] {});
+  EXPECT_TRUE(engine.cancel(handle));
+  EXPECT_FALSE(engine.cancel(handle));
+}
+
+TEST(Engine, InvalidHandleCancelReturnsFalse) {
+  Engine engine;
+  EXPECT_FALSE(engine.cancel(EventHandle{}));
+}
+
+TEST(Engine, RunUntilStopsAtDeadlineAndAdvancesClock) {
+  Engine engine;
+  int fired = 0;
+  engine.schedule_at(Time{100}, [&] { ++fired; });
+  engine.schedule_at(Time{200}, [&] { ++fired; });
+  engine.schedule_at(Time{300}, [&] { ++fired; });
+  EXPECT_EQ(engine.run_until(Time{200}), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(engine.now(), Time{200});
+  // The remaining event still fires later.
+  EXPECT_EQ(engine.run(), 1u);
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Engine, RunUntilAdvancesClockEvenWhenQueueDrains) {
+  Engine engine;
+  engine.run_until(Time{5'000});
+  EXPECT_EQ(engine.now(), Time{5'000});
+}
+
+TEST(Engine, EventsScheduledDuringRunAreExecuted) {
+  Engine engine;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) engine.schedule_in(Duration{1}, recurse);
+  };
+  engine.schedule_at(Time{0}, recurse);
+  EXPECT_EQ(engine.run(), 100u);
+  EXPECT_EQ(depth, 100);
+}
+
+TEST(Engine, RequestStopHaltsRun) {
+  Engine engine;
+  int fired = 0;
+  engine.schedule_at(Time{1}, [&] {
+    ++fired;
+    engine.request_stop();
+  });
+  engine.schedule_at(Time{2}, [&] { ++fired; });
+  engine.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(engine.pending_events(), 1u);
+}
+
+TEST(Engine, StepExecutesExactlyOneEvent) {
+  Engine engine;
+  int fired = 0;
+  engine.schedule_at(Time{1}, [&] { ++fired; });
+  engine.schedule_at(Time{2}, [&] { ++fired; });
+  EXPECT_TRUE(engine.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(engine.step());
+  EXPECT_FALSE(engine.step());
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, PendingEventsTracksCancellations) {
+  Engine engine;
+  const auto h1 = engine.schedule_at(Time{1}, [] {});
+  engine.schedule_at(Time{2}, [] {});
+  EXPECT_EQ(engine.pending_events(), 2u);
+  engine.cancel(h1);
+  EXPECT_EQ(engine.pending_events(), 1u);
+  engine.run();
+  EXPECT_EQ(engine.pending_events(), 0u);
+  EXPECT_EQ(engine.events_fired(), 1u);
+}
+
+TEST(Engine, CancelledEventBeforeDeadlineDoesNotBlockRunUntil) {
+  Engine engine;
+  const auto h = engine.schedule_at(Time{100}, [] {});
+  engine.schedule_at(Time{150}, [] {});
+  engine.cancel(h);
+  EXPECT_EQ(engine.run_until(Time{200}), 1u);
+}
+
+}  // namespace
+}  // namespace tsn::sim

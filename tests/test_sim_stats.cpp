@@ -1,0 +1,106 @@
+#include "sim/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tsn::sim {
+namespace {
+
+TEST(SampleStats, EmptyIsSafe) {
+  SampleStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.median(), 0.0);
+}
+
+TEST(SampleStats, BasicMoments) {
+  SampleStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.01);  // sample stddev
+}
+
+TEST(SampleStats, PercentilesAreExactNearestRank) {
+  SampleStats s;
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50.0), 50.0);
+  EXPECT_DOUBLE_EQ(s.percentile(99.0), 99.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100.0), 100.0);
+  EXPECT_DOUBLE_EQ(s.median(), 50.0);
+}
+
+TEST(SampleStats, PercentileOutOfRangeThrows) {
+  SampleStats s;
+  s.add(1.0);
+  EXPECT_THROW((void)s.percentile(-1.0), std::invalid_argument);
+  EXPECT_THROW((void)s.percentile(101.0), std::invalid_argument);
+}
+
+TEST(SampleStats, AddAfterPercentileStillCorrect) {
+  SampleStats s;
+  s.add(10.0);
+  s.add(20.0);
+  EXPECT_DOUBLE_EQ(s.median(), 10.0);  // nearest-rank of 2 samples
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.median(), 10.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+}
+
+TEST(SampleStats, ClearResets) {
+  SampleStats s;
+  s.add(3.0);
+  s.clear();
+  EXPECT_TRUE(s.empty());
+  s.add(7.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 7.0);
+}
+
+TEST(SampleStats, TableRowFormatsFourColumns) {
+  SampleStats s;
+  s.add(73.0);
+  s.add(89.0);
+  s.add(1514.0);
+  const std::string row = s.table_row();
+  EXPECT_NE(row.find("73"), std::string::npos);
+  EXPECT_NE(row.find("1514"), std::string::npos);
+}
+
+TEST(WindowedCounter, CountsFallIntoCorrectWindows) {
+  WindowedCounter counter{Time::zero(), seconds(std::int64_t{1})};
+  counter.record(Time{500'000'000'000});        // 0.5 s -> window 0
+  counter.record(Time{1'500'000'000'000});      // 1.5 s -> window 1
+  counter.record(Time{1'600'000'000'000}, 3);   // window 1 again
+  ASSERT_EQ(counter.counts().size(), 2u);
+  EXPECT_EQ(counter.counts()[0], 1u);
+  EXPECT_EQ(counter.counts()[1], 4u);
+}
+
+TEST(WindowedCounter, IgnoresEventsBeforeOrigin) {
+  WindowedCounter counter{Time{1'000'000}, micros(std::int64_t{1})};
+  counter.record(Time{0});
+  EXPECT_TRUE(counter.counts().empty());
+}
+
+TEST(WindowedCounter, RejectsNonPositiveWindow) {
+  EXPECT_THROW((WindowedCounter{Time::zero(), Duration::zero()}), std::invalid_argument);
+}
+
+TEST(WindowedCounter, StatsSkipEmptyWindowsByDefault) {
+  WindowedCounter counter{Time::zero(), micros(std::int64_t{100})};
+  counter.record(Time::zero() + micros(std::int64_t{50}));   // window 0
+  counter.record(Time::zero() + micros(std::int64_t{950}));  // window 9
+  const auto skip_empty = counter.stats();
+  EXPECT_EQ(skip_empty.count(), 2u);
+  const auto with_empty = counter.stats(true);
+  EXPECT_EQ(with_empty.count(), 10u);
+  EXPECT_DOUBLE_EQ(with_empty.min(), 0.0);
+}
+
+}  // namespace
+}  // namespace tsn::sim

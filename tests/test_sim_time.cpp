@@ -1,0 +1,82 @@
+#include "sim/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tsn::sim {
+namespace {
+
+TEST(Time, DefaultIsZero) {
+  EXPECT_EQ(Time{}.picos(), 0);
+  EXPECT_EQ(Duration{}.picos(), 0);
+}
+
+TEST(Time, FactoryFunctionsAreExact) {
+  EXPECT_EQ(picos(7).picos(), 7);
+  EXPECT_EQ(nanos(std::int64_t{3}).picos(), 3'000);
+  EXPECT_EQ(micros(std::int64_t{2}).picos(), 2'000'000);
+  EXPECT_EQ(millis(std::int64_t{1}).picos(), 1'000'000'000);
+  EXPECT_EQ(seconds(std::int64_t{1}).picos(), 1'000'000'000'000);
+}
+
+TEST(Time, DoubleFactoriesRoundToNearestPicosecond) {
+  EXPECT_EQ(nanos(1.5).picos(), 1'500);
+  EXPECT_EQ(nanos(0.0001).picos(), 0);  // below resolution
+  EXPECT_EQ(nanos(0.0006).picos(), 1);
+  EXPECT_EQ(seconds(-1.0).picos(), -1'000'000'000'000);
+}
+
+TEST(Time, SubHundredPicosecondPrecisionIsRepresentable) {
+  // The paper cites demand for timestamp precision below 100 ps (§2).
+  const Duration d = picos(37);
+  EXPECT_LT(d, picos(100));
+  EXPECT_GT(d, Duration::zero());
+}
+
+TEST(Time, TradingDayFitsComfortably) {
+  // 6.5-hour session in picoseconds stays far from overflow.
+  const Duration session = seconds(std::int64_t{6 * 3600 + 1800});
+  // ~394 trading days fit in the representable range — more than a year of
+  // continuous sessions in one simulation.
+  EXPECT_GT(Duration::max().picos() / session.picos(), 300);
+}
+
+TEST(Time, ArithmeticAndComparisons) {
+  const Time t0{1'000};
+  const Time t1 = t0 + nanos(std::int64_t{1});
+  EXPECT_EQ((t1 - t0).picos(), 1'000);
+  EXPECT_LT(t0, t1);
+  EXPECT_EQ(t1 - nanos(std::int64_t{1}), t0);
+  Duration d = nanos(std::int64_t{5});
+  d += nanos(std::int64_t{3});
+  d -= nanos(std::int64_t{2});
+  EXPECT_EQ(d, nanos(std::int64_t{6}));
+  EXPECT_EQ((d * 2).picos(), 12'000);
+  EXPECT_EQ((d / 2).picos(), 3'000);
+  EXPECT_EQ(d / nanos(std::int64_t{2}), 3);
+  EXPECT_EQ((-d).picos(), -6'000);
+}
+
+TEST(Time, ConversionAccessors) {
+  const Duration d = micros(std::int64_t{3});
+  EXPECT_DOUBLE_EQ(d.nanos(), 3'000.0);
+  EXPECT_DOUBLE_EQ(d.micros(), 3.0);
+  EXPECT_DOUBLE_EQ(d.millis(), 0.003);
+  EXPECT_DOUBLE_EQ(d.seconds(), 3e-6);
+}
+
+TEST(Time, ToStringPicksReadableUnits) {
+  EXPECT_EQ(to_string(picos(500)), "500 ps");
+  EXPECT_EQ(to_string(nanos(std::int64_t{512})), "512 ns");
+  EXPECT_EQ(to_string(micros(std::int64_t{2})), "2 us");
+  EXPECT_EQ(to_string(seconds(std::int64_t{3})), "3 s");
+}
+
+TEST(Time, TimeDurationTypeSafety) {
+  // Time + Duration compiles; these accessors agree.
+  const Time t = Time::zero() + seconds(std::int64_t{2});
+  EXPECT_DOUBLE_EQ(t.seconds(), 2.0);
+  EXPECT_EQ(t.since_epoch(), seconds(std::int64_t{2}));
+}
+
+}  // namespace
+}  // namespace tsn::sim

@@ -1,0 +1,99 @@
+#include "trading/filter.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tsn::trading {
+namespace {
+
+FilterWorkload paper_workload() {
+  // §3: bursts demand ~100 ns/event; full processing ~500 ns; a discard is
+  // a header inspection, ~40 ns.
+  FilterWorkload w;
+  w.event_rate = 1'000'000.0;
+  w.keep_fraction = 0.1;
+  w.discard_cost = sim::nanos(std::int64_t{40});
+  w.process_cost = sim::nanos(std::int64_t{500});
+  return w;
+}
+
+TEST(FilterPlacement, InProcessUtilizationIsDiscardPlusProcess) {
+  const auto analysis = analyze_placement(paper_workload(), FilterPlacement::kInProcess);
+  // 100k * 500ns + 900k * 40ns = 0.05 + 0.036 = 0.086.
+  EXPECT_NEAR(analysis.strategy_utilization, 0.086, 1e-6);
+  EXPECT_EQ(analysis.filter_utilization, 0.0);
+  EXPECT_EQ(analysis.cores_per_consumer, 1.0);
+  EXPECT_TRUE(analysis.feasible);
+}
+
+TEST(FilterPlacement, DedicatedCoreShieldsTheStrategy) {
+  const auto analysis = analyze_placement(paper_workload(), FilterPlacement::kDedicatedCore);
+  EXPECT_NEAR(analysis.strategy_utilization, 0.05, 1e-6);  // only kept events
+  EXPECT_NEAR(analysis.filter_utilization, 0.04, 1e-6);    // touches everything
+  EXPECT_EQ(analysis.cores_per_consumer, 2.0);
+}
+
+TEST(FilterPlacement, MiddleboxAmortizesAcrossConsumers) {
+  // §3: "when several systems employ the same partitioning scheme,
+  // middleboxes can be more efficient in terms of the number of cores."
+  const auto solo = analyze_placement(paper_workload(), FilterPlacement::kMiddlebox, 1);
+  const auto shared = analyze_placement(paper_workload(), FilterPlacement::kMiddlebox, 20);
+  EXPECT_EQ(solo.cores_per_consumer, 2.0);
+  EXPECT_NEAR(shared.cores_per_consumer, 1.05, 1e-9);
+  const auto dedicated = analyze_placement(paper_workload(), FilterPlacement::kDedicatedCore);
+  EXPECT_LT(shared.cores_per_consumer, dedicated.cores_per_consumer);
+}
+
+TEST(FilterPlacement, InProcessBecomesInfeasibleAtBurstRates) {
+  // At the paper's 10M events/s burst rate (100 ns/event budget), even
+  // pure discarding at 40 ns leaves no room: in-process filtering fails
+  // once the keep-fraction grows.
+  FilterWorkload burst = paper_workload();
+  burst.event_rate = 10'000'000.0;
+  burst.keep_fraction = 0.2;
+  const auto in_process = analyze_placement(burst, FilterPlacement::kInProcess);
+  EXPECT_FALSE(in_process.feasible);
+  // Moving the filter out restores feasibility for the strategy core.
+  const auto middlebox = analyze_placement(burst, FilterPlacement::kMiddlebox, 10);
+  EXPECT_LE(middlebox.strategy_utilization, 1.0);
+}
+
+TEST(FilterPlacement, FeasibilityBoundaryMatchesClosedForm) {
+  const auto w = paper_workload();
+  // rate * (k*process + (1-k)*discard) = 1  =>  k = (1/rate - d)/(p - d).
+  const double k =
+      in_process_feasibility_boundary(10'000'000.0, w.discard_cost, w.process_cost);
+  const double budget = 1.0 / 10'000'000.0;  // 100 ns
+  const double expected = (budget - 40e-9) / (500e-9 - 40e-9);
+  EXPECT_NEAR(k, expected, 1e-9);
+  // Verify the boundary is actually the boundary.
+  FilterWorkload edge = w;
+  edge.event_rate = 10'000'000.0;
+  edge.keep_fraction = k * 0.99;
+  EXPECT_TRUE(analyze_placement(edge, FilterPlacement::kInProcess).feasible);
+  edge.keep_fraction = k * 1.01;
+  EXPECT_FALSE(analyze_placement(edge, FilterPlacement::kInProcess).feasible);
+}
+
+TEST(FilterPlacement, BoundaryClampsToUnitRange) {
+  EXPECT_EQ(in_process_feasibility_boundary(1'000.0, sim::nanos(std::int64_t{40}),
+                                            sim::nanos(std::int64_t{500})),
+            1.0);
+  EXPECT_EQ(in_process_feasibility_boundary(100'000'000.0, sim::nanos(std::int64_t{40}),
+                                            sim::nanos(std::int64_t{500})),
+            0.0);
+}
+
+TEST(SymbolFilter, KeepsOnlyWatchedSymbols) {
+  SymbolFilter filter;
+  filter.watch(proto::Symbol{"AAA"});
+  filter.watch(proto::Symbol{"BBB"});
+  EXPECT_EQ(filter.watch_count(), 2u);
+  proto::norm::Update update;
+  update.symbol = proto::Symbol{"AAA"};
+  EXPECT_TRUE(filter.relevant(update));
+  update.symbol = proto::Symbol{"CCC"};
+  EXPECT_FALSE(filter.relevant(update));
+}
+
+}  // namespace
+}  // namespace tsn::trading

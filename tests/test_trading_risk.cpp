@@ -1,0 +1,127 @@
+#include "trading/risk.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tsn::trading {
+namespace {
+
+using proto::Side;
+using proto::Symbol;
+using Verdict = RiskEngine::Verdict;
+
+proto::boe::NewOrder order(proto::OrderId id, Side side, const char* symbol,
+                           proto::Quantity qty, double dollars) {
+  proto::boe::NewOrder out;
+  out.client_order_id = id;
+  out.side = side;
+  out.quantity = qty;
+  out.symbol = Symbol{symbol};
+  out.price = proto::price_from_dollars(dollars);
+  return out;
+}
+
+TEST(Risk, AcceptsWithinLimits) {
+  RiskEngine risk;
+  EXPECT_EQ(risk.check_new_order(order(1, Side::kBuy, "AAA", 100, 50.0)), Verdict::kAccept);
+  EXPECT_EQ(risk.open_orders(), 1u);
+  EXPECT_EQ(risk.stats().accepted, 1u);
+}
+
+TEST(Risk, RejectsOversizedOrder) {
+  RiskLimits limits;
+  limits.max_order_quantity = 500;
+  RiskEngine risk{limits};
+  EXPECT_EQ(risk.check_new_order(order(1, Side::kBuy, "AAA", 501, 10.0)),
+            Verdict::kOrderTooLarge);
+  EXPECT_EQ(risk.open_orders(), 0u);  // rejected orders reserve nothing
+  EXPECT_EQ(risk.stats().rejected_size, 1u);
+}
+
+TEST(Risk, RejectsExcessNotional) {
+  RiskLimits limits;
+  limits.max_order_notional = proto::price_from_dollars(100.0) * 100;  // $10k
+  RiskEngine risk{limits};
+  EXPECT_EQ(risk.check_new_order(order(1, Side::kBuy, "AAA", 100, 100.0)), Verdict::kAccept);
+  EXPECT_EQ(risk.check_new_order(order(2, Side::kBuy, "AAA", 101, 100.0)),
+            Verdict::kNotionalTooLarge);
+}
+
+TEST(Risk, OpenOrderBudget) {
+  RiskLimits limits;
+  limits.max_open_orders = 2;
+  RiskEngine risk{limits};
+  EXPECT_EQ(risk.check_new_order(order(1, Side::kBuy, "AAA", 10, 1.0)), Verdict::kAccept);
+  EXPECT_EQ(risk.check_new_order(order(2, Side::kBuy, "AAA", 10, 1.0)), Verdict::kAccept);
+  EXPECT_EQ(risk.check_new_order(order(3, Side::kBuy, "AAA", 10, 1.0)),
+            Verdict::kTooManyOpenOrders);
+  // Terminal frees the slot.
+  risk.on_terminal(1);
+  EXPECT_EQ(risk.check_new_order(order(4, Side::kBuy, "AAA", 10, 1.0)), Verdict::kAccept);
+}
+
+TEST(Risk, FillsMovePositionAndReleaseOrders) {
+  RiskEngine risk;
+  ASSERT_EQ(risk.check_new_order(order(1, Side::kBuy, "AAA", 300, 10.0)), Verdict::kAccept);
+  risk.on_fill(1, 100, 200);
+  EXPECT_EQ(risk.position(Symbol{"AAA"}), 100);
+  EXPECT_EQ(risk.open_orders(), 1u);  // 200 still working
+  risk.on_fill(1, 200, 0);
+  EXPECT_EQ(risk.position(Symbol{"AAA"}), 300);
+  EXPECT_EQ(risk.open_orders(), 0u);
+  // Sells reduce the position.
+  ASSERT_EQ(risk.check_new_order(order(2, Side::kSell, "AAA", 300, 10.0)), Verdict::kAccept);
+  risk.on_fill(2, 300, 0);
+  EXPECT_EQ(risk.position(Symbol{"AAA"}), 0);
+}
+
+TEST(Risk, SymbolPositionLimitCountsWorstCaseExposure) {
+  RiskLimits limits;
+  limits.max_symbol_position = 500;
+  RiskEngine risk{limits};
+  // 400 long position via a fill.
+  ASSERT_EQ(risk.check_new_order(order(1, Side::kBuy, "AAA", 400, 10.0)), Verdict::kAccept);
+  risk.on_fill(1, 400, 0);
+  // A working buy of 90 leaves headroom...
+  ASSERT_EQ(risk.check_new_order(order(2, Side::kBuy, "AAA", 90, 10.0)), Verdict::kAccept);
+  // ...but another 90 would project past 500 including the open order.
+  EXPECT_EQ(risk.check_new_order(order(3, Side::kBuy, "AAA", 90, 10.0)),
+            Verdict::kSymbolPositionLimit);
+  // Selling against the long position is fine up to the short-side limit:
+  // 400 - 900 = -500 exactly.
+  EXPECT_EQ(risk.check_new_order(order(4, Side::kSell, "AAA", 900, 10.0)), Verdict::kAccept);
+  // Another sell projects a -900 worst case.
+  EXPECT_EQ(risk.check_new_order(order(5, Side::kSell, "AAA", 400, 10.0)),
+            Verdict::kSymbolPositionLimit);
+}
+
+TEST(Risk, FirmGrossLimitSpansSymbols) {
+  RiskLimits limits;
+  limits.max_symbol_position = 1'000;
+  limits.max_firm_gross_position = 1'500;
+  RiskEngine risk{limits};
+  ASSERT_EQ(risk.check_new_order(order(1, Side::kBuy, "AAA", 1'000, 10.0)), Verdict::kAccept);
+  risk.on_fill(1, 1'000, 0);
+  ASSERT_EQ(risk.check_new_order(order(2, Side::kSell, "BBB", 400, 10.0)), Verdict::kAccept);
+  risk.on_fill(2, 400, 0);
+  EXPECT_EQ(risk.firm_gross_position(), 1'400);  // |1000| + |-400|
+  EXPECT_EQ(risk.check_new_order(order(3, Side::kBuy, "CCC", 200, 10.0)),
+            Verdict::kFirmPositionLimit);
+  EXPECT_EQ(risk.check_new_order(order(4, Side::kBuy, "CCC", 100, 10.0)), Verdict::kAccept);
+}
+
+TEST(Risk, VerdictMapsToWireReason) {
+  EXPECT_EQ(to_reject_reason(Verdict::kAccept), proto::boe::RejectReason::kNone);
+  EXPECT_EQ(to_reject_reason(Verdict::kOrderTooLarge), proto::boe::RejectReason::kRiskLimit);
+  EXPECT_EQ(to_reject_reason(Verdict::kFirmPositionLimit),
+            proto::boe::RejectReason::kRiskLimit);
+}
+
+TEST(Risk, UnknownOrderLifecycleEventsAreIgnored) {
+  RiskEngine risk;
+  risk.on_fill(999, 100, 0);
+  risk.on_terminal(999);
+  EXPECT_EQ(risk.position(Symbol{"AAA"}), 0);
+}
+
+}  // namespace
+}  // namespace tsn::trading
