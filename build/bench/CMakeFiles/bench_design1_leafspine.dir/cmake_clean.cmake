@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_design1_leafspine.dir/bench_design1_leafspine.cpp.o"
+  "CMakeFiles/bench_design1_leafspine.dir/bench_design1_leafspine.cpp.o.d"
+  "bench_design1_leafspine"
+  "bench_design1_leafspine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_design1_leafspine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_design2_cloud.dir/bench_design2_cloud.cpp.o"
+  "CMakeFiles/bench_design2_cloud.dir/bench_design2_cloud.cpp.o.d"
+  "bench_design2_cloud"
+  "bench_design2_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_design2_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

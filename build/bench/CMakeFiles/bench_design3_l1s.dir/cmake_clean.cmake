@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_design3_l1s.dir/bench_design3_l1s.cpp.o"
+  "CMakeFiles/bench_design3_l1s.dir/bench_design3_l1s.cpp.o.d"
+  "bench_design3_l1s"
+  "bench_design3_l1s.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_design3_l1s.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2b_intraday.dir/bench_fig2b_intraday.cpp.o"
+  "CMakeFiles/bench_fig2b_intraday.dir/bench_fig2b_intraday.cpp.o.d"
+  "bench_fig2b_intraday"
+  "bench_fig2b_intraday.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2b_intraday.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

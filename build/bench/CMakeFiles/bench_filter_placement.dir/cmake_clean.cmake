@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_filter_placement.dir/bench_filter_placement.cpp.o"
+  "CMakeFiles/bench_filter_placement.dir/bench_filter_placement.cpp.o.d"
+  "bench_filter_placement"
+  "bench_filter_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_filter_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

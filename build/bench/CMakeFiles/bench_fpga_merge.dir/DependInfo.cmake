@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fpga_merge.cpp" "bench/CMakeFiles/bench_fpga_merge.dir/bench_fpga_merge.cpp.o" "gcc" "bench/CMakeFiles/bench_fpga_merge.dir/bench_fpga_merge.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/deploy/CMakeFiles/tsn_deploy.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tsn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/tsn_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/capture/CMakeFiles/tsn_capture.dir/DependInfo.cmake"
+  "/root/repo/build/src/trading/CMakeFiles/tsn_trading.dir/DependInfo.cmake"
+  "/root/repo/build/src/wan/CMakeFiles/tsn_wan.dir/DependInfo.cmake"
+  "/root/repo/build/src/feed/CMakeFiles/tsn_feed.dir/DependInfo.cmake"
+  "/root/repo/build/src/exchange/CMakeFiles/tsn_exchange.dir/DependInfo.cmake"
+  "/root/repo/build/src/book/CMakeFiles/tsn_book.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/tsn_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/l1s/CMakeFiles/tsn_l1s.dir/DependInfo.cmake"
+  "/root/repo/build/src/l2/CMakeFiles/tsn_l2.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcast/CMakeFiles/tsn_mcast.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tsn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tsn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/tsn_topo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fpga_merge.dir/bench_fpga_merge.cpp.o"
+  "CMakeFiles/bench_fpga_merge.dir/bench_fpga_merge.cpp.o.d"
+  "bench_fpga_merge"
+  "bench_fpga_merge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fpga_merge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

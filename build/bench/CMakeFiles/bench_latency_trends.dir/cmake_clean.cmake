@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_latency_trends.dir/bench_latency_trends.cpp.o"
+  "CMakeFiles/bench_latency_trends.dir/bench_latency_trends.cpp.o.d"
+  "bench_latency_trends"
+  "bench_latency_trends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_latency_trends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mcast_scaling.dir/bench_mcast_scaling.cpp.o"
+  "CMakeFiles/bench_mcast_scaling.dir/bench_mcast_scaling.cpp.o.d"
+  "bench_mcast_scaling"
+  "bench_mcast_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mcast_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

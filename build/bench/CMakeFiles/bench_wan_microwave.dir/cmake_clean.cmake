@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_wan_microwave.dir/bench_wan_microwave.cpp.o"
+  "CMakeFiles/bench_wan_microwave.dir/bench_wan_microwave.cpp.o.d"
+  "bench_wan_microwave"
+  "bench_wan_microwave.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_wan_microwave.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multicast_partitioning.dir/multicast_partitioning.cpp.o"
+  "CMakeFiles/multicast_partitioning.dir/multicast_partitioning.cpp.o.d"
+  "multicast_partitioning"
+  "multicast_partitioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multicast_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/research_replay.dir/research_replay.cpp.o"
+  "CMakeFiles/research_replay.dir/research_replay.cpp.o.d"
+  "research_replay"
+  "research_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/research_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trading_day.dir/trading_day.cpp.o"
+  "CMakeFiles/trading_day.dir/trading_day.cpp.o.d"
+  "trading_day"
+  "trading_day.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trading_day.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("net")
+subdirs("mcast")
+subdirs("l2")
+subdirs("l1s")
+subdirs("proto")
+subdirs("book")
+subdirs("exchange")
+subdirs("feed")
+subdirs("wan")
+subdirs("trading")
+subdirs("capture")
+subdirs("topo")
+subdirs("deploy")
+subdirs("cluster")
+subdirs("core")

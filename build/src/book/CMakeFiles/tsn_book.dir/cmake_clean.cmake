@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsn_book.dir/order_book.cpp.o"
+  "CMakeFiles/tsn_book.dir/order_book.cpp.o.d"
+  "libtsn_book.a"
+  "libtsn_book.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsn_book.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

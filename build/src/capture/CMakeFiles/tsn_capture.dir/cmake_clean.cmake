@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsn_capture.dir/replay.cpp.o"
+  "CMakeFiles/tsn_capture.dir/replay.cpp.o.d"
+  "CMakeFiles/tsn_capture.dir/tap.cpp.o"
+  "CMakeFiles/tsn_capture.dir/tap.cpp.o.d"
+  "libtsn_capture.a"
+  "libtsn_capture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsn_capture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

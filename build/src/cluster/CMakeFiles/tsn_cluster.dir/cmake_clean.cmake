@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsn_cluster.dir/manager.cpp.o"
+  "CMakeFiles/tsn_cluster.dir/manager.cpp.o.d"
+  "libtsn_cluster.a"
+  "libtsn_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsn_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

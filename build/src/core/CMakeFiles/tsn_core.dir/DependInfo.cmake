@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/codesign.cpp" "src/core/CMakeFiles/tsn_core.dir/codesign.cpp.o" "gcc" "src/core/CMakeFiles/tsn_core.dir/codesign.cpp.o.d"
+  "/root/repo/src/core/design.cpp" "src/core/CMakeFiles/tsn_core.dir/design.cpp.o" "gcc" "src/core/CMakeFiles/tsn_core.dir/design.cpp.o.d"
+  "/root/repo/src/core/latency_model.cpp" "src/core/CMakeFiles/tsn_core.dir/latency_model.cpp.o" "gcc" "src/core/CMakeFiles/tsn_core.dir/latency_model.cpp.o.d"
+  "/root/repo/src/core/mcast_analysis.cpp" "src/core/CMakeFiles/tsn_core.dir/mcast_analysis.cpp.o" "gcc" "src/core/CMakeFiles/tsn_core.dir/mcast_analysis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/l2/CMakeFiles/tsn_l2.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tsn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcast/CMakeFiles/tsn_mcast.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tsn_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsn_core.dir/codesign.cpp.o"
+  "CMakeFiles/tsn_core.dir/codesign.cpp.o.d"
+  "CMakeFiles/tsn_core.dir/design.cpp.o"
+  "CMakeFiles/tsn_core.dir/design.cpp.o.d"
+  "CMakeFiles/tsn_core.dir/latency_model.cpp.o"
+  "CMakeFiles/tsn_core.dir/latency_model.cpp.o.d"
+  "CMakeFiles/tsn_core.dir/mcast_analysis.cpp.o"
+  "CMakeFiles/tsn_core.dir/mcast_analysis.cpp.o.d"
+  "libtsn_core.a"
+  "libtsn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

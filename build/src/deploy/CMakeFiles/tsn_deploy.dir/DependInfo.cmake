@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/deploy/multicolo.cpp" "src/deploy/CMakeFiles/tsn_deploy.dir/multicolo.cpp.o" "gcc" "src/deploy/CMakeFiles/tsn_deploy.dir/multicolo.cpp.o.d"
+  "/root/repo/src/deploy/reference.cpp" "src/deploy/CMakeFiles/tsn_deploy.dir/reference.cpp.o" "gcc" "src/deploy/CMakeFiles/tsn_deploy.dir/reference.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exchange/CMakeFiles/tsn_exchange.dir/DependInfo.cmake"
+  "/root/repo/build/src/trading/CMakeFiles/tsn_trading.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/tsn_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/wan/CMakeFiles/tsn_wan.dir/DependInfo.cmake"
+  "/root/repo/build/src/book/CMakeFiles/tsn_book.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/tsn_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/l2/CMakeFiles/tsn_l2.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcast/CMakeFiles/tsn_mcast.dir/DependInfo.cmake"
+  "/root/repo/build/src/l1s/CMakeFiles/tsn_l1s.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tsn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tsn_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsn_deploy.dir/multicolo.cpp.o"
+  "CMakeFiles/tsn_deploy.dir/multicolo.cpp.o.d"
+  "CMakeFiles/tsn_deploy.dir/reference.cpp.o"
+  "CMakeFiles/tsn_deploy.dir/reference.cpp.o.d"
+  "libtsn_deploy.a"
+  "libtsn_deploy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsn_deploy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exchange/activity.cpp" "src/exchange/CMakeFiles/tsn_exchange.dir/activity.cpp.o" "gcc" "src/exchange/CMakeFiles/tsn_exchange.dir/activity.cpp.o.d"
+  "/root/repo/src/exchange/exchange.cpp" "src/exchange/CMakeFiles/tsn_exchange.dir/exchange.cpp.o" "gcc" "src/exchange/CMakeFiles/tsn_exchange.dir/exchange.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/book/CMakeFiles/tsn_book.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/tsn_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tsn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tsn_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsn_exchange.dir/activity.cpp.o"
+  "CMakeFiles/tsn_exchange.dir/activity.cpp.o.d"
+  "CMakeFiles/tsn_exchange.dir/exchange.cpp.o"
+  "CMakeFiles/tsn_exchange.dir/exchange.cpp.o.d"
+  "libtsn_exchange.a"
+  "libtsn_exchange.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsn_exchange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/feed/burst.cpp" "src/feed/CMakeFiles/tsn_feed.dir/burst.cpp.o" "gcc" "src/feed/CMakeFiles/tsn_feed.dir/burst.cpp.o.d"
+  "/root/repo/src/feed/correlated.cpp" "src/feed/CMakeFiles/tsn_feed.dir/correlated.cpp.o" "gcc" "src/feed/CMakeFiles/tsn_feed.dir/correlated.cpp.o.d"
+  "/root/repo/src/feed/framelen.cpp" "src/feed/CMakeFiles/tsn_feed.dir/framelen.cpp.o" "gcc" "src/feed/CMakeFiles/tsn_feed.dir/framelen.cpp.o.d"
+  "/root/repo/src/feed/intraday.cpp" "src/feed/CMakeFiles/tsn_feed.dir/intraday.cpp.o" "gcc" "src/feed/CMakeFiles/tsn_feed.dir/intraday.cpp.o.d"
+  "/root/repo/src/feed/symbols.cpp" "src/feed/CMakeFiles/tsn_feed.dir/symbols.cpp.o" "gcc" "src/feed/CMakeFiles/tsn_feed.dir/symbols.cpp.o.d"
+  "/root/repo/src/feed/trend.cpp" "src/feed/CMakeFiles/tsn_feed.dir/trend.cpp.o" "gcc" "src/feed/CMakeFiles/tsn_feed.dir/trend.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/proto/CMakeFiles/tsn_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tsn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tsn_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

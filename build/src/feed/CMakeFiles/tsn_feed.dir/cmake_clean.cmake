@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsn_feed.dir/burst.cpp.o"
+  "CMakeFiles/tsn_feed.dir/burst.cpp.o.d"
+  "CMakeFiles/tsn_feed.dir/correlated.cpp.o"
+  "CMakeFiles/tsn_feed.dir/correlated.cpp.o.d"
+  "CMakeFiles/tsn_feed.dir/framelen.cpp.o"
+  "CMakeFiles/tsn_feed.dir/framelen.cpp.o.d"
+  "CMakeFiles/tsn_feed.dir/intraday.cpp.o"
+  "CMakeFiles/tsn_feed.dir/intraday.cpp.o.d"
+  "CMakeFiles/tsn_feed.dir/symbols.cpp.o"
+  "CMakeFiles/tsn_feed.dir/symbols.cpp.o.d"
+  "CMakeFiles/tsn_feed.dir/trend.cpp.o"
+  "CMakeFiles/tsn_feed.dir/trend.cpp.o.d"
+  "libtsn_feed.a"
+  "libtsn_feed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsn_feed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsn_l1s.dir/fpga_switch.cpp.o"
+  "CMakeFiles/tsn_l1s.dir/fpga_switch.cpp.o.d"
+  "CMakeFiles/tsn_l1s.dir/layer1_switch.cpp.o"
+  "CMakeFiles/tsn_l1s.dir/layer1_switch.cpp.o.d"
+  "libtsn_l1s.a"
+  "libtsn_l1s.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsn_l1s.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tsn_l1s.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/l2/commodity_switch.cpp" "src/l2/CMakeFiles/tsn_l2.dir/commodity_switch.cpp.o" "gcc" "src/l2/CMakeFiles/tsn_l2.dir/commodity_switch.cpp.o.d"
+  "/root/repo/src/l2/trends.cpp" "src/l2/CMakeFiles/tsn_l2.dir/trends.cpp.o" "gcc" "src/l2/CMakeFiles/tsn_l2.dir/trends.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mcast/CMakeFiles/tsn_mcast.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tsn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tsn_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsn_l2.dir/commodity_switch.cpp.o"
+  "CMakeFiles/tsn_l2.dir/commodity_switch.cpp.o.d"
+  "CMakeFiles/tsn_l2.dir/trends.cpp.o"
+  "CMakeFiles/tsn_l2.dir/trends.cpp.o.d"
+  "libtsn_l2.a"
+  "libtsn_l2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsn_l2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

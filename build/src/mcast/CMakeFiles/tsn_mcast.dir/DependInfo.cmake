@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mcast/igmp.cpp" "src/mcast/CMakeFiles/tsn_mcast.dir/igmp.cpp.o" "gcc" "src/mcast/CMakeFiles/tsn_mcast.dir/igmp.cpp.o.d"
+  "/root/repo/src/mcast/mroute.cpp" "src/mcast/CMakeFiles/tsn_mcast.dir/mroute.cpp.o" "gcc" "src/mcast/CMakeFiles/tsn_mcast.dir/mroute.cpp.o.d"
+  "/root/repo/src/mcast/responder.cpp" "src/mcast/CMakeFiles/tsn_mcast.dir/responder.cpp.o" "gcc" "src/mcast/CMakeFiles/tsn_mcast.dir/responder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/tsn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tsn_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

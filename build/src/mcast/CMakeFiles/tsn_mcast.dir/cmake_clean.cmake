@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsn_mcast.dir/igmp.cpp.o"
+  "CMakeFiles/tsn_mcast.dir/igmp.cpp.o.d"
+  "CMakeFiles/tsn_mcast.dir/mroute.cpp.o"
+  "CMakeFiles/tsn_mcast.dir/mroute.cpp.o.d"
+  "CMakeFiles/tsn_mcast.dir/responder.cpp.o"
+  "CMakeFiles/tsn_mcast.dir/responder.cpp.o.d"
+  "libtsn_mcast.a"
+  "libtsn_mcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsn_mcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

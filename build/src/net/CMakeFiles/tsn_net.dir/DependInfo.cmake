@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/addr.cpp" "src/net/CMakeFiles/tsn_net.dir/addr.cpp.o" "gcc" "src/net/CMakeFiles/tsn_net.dir/addr.cpp.o.d"
+  "/root/repo/src/net/headers.cpp" "src/net/CMakeFiles/tsn_net.dir/headers.cpp.o" "gcc" "src/net/CMakeFiles/tsn_net.dir/headers.cpp.o.d"
+  "/root/repo/src/net/link.cpp" "src/net/CMakeFiles/tsn_net.dir/link.cpp.o" "gcc" "src/net/CMakeFiles/tsn_net.dir/link.cpp.o.d"
+  "/root/repo/src/net/nic.cpp" "src/net/CMakeFiles/tsn_net.dir/nic.cpp.o" "gcc" "src/net/CMakeFiles/tsn_net.dir/nic.cpp.o.d"
+  "/root/repo/src/net/stack.cpp" "src/net/CMakeFiles/tsn_net.dir/stack.cpp.o" "gcc" "src/net/CMakeFiles/tsn_net.dir/stack.cpp.o.d"
+  "/root/repo/src/net/tcp_lite.cpp" "src/net/CMakeFiles/tsn_net.dir/tcp_lite.cpp.o" "gcc" "src/net/CMakeFiles/tsn_net.dir/tcp_lite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/tsn_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsn_net.dir/addr.cpp.o"
+  "CMakeFiles/tsn_net.dir/addr.cpp.o.d"
+  "CMakeFiles/tsn_net.dir/headers.cpp.o"
+  "CMakeFiles/tsn_net.dir/headers.cpp.o.d"
+  "CMakeFiles/tsn_net.dir/link.cpp.o"
+  "CMakeFiles/tsn_net.dir/link.cpp.o.d"
+  "CMakeFiles/tsn_net.dir/nic.cpp.o"
+  "CMakeFiles/tsn_net.dir/nic.cpp.o.d"
+  "CMakeFiles/tsn_net.dir/stack.cpp.o"
+  "CMakeFiles/tsn_net.dir/stack.cpp.o.d"
+  "CMakeFiles/tsn_net.dir/tcp_lite.cpp.o"
+  "CMakeFiles/tsn_net.dir/tcp_lite.cpp.o.d"
+  "libtsn_net.a"
+  "libtsn_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsn_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

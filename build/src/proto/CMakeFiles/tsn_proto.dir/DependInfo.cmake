@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proto/boe.cpp" "src/proto/CMakeFiles/tsn_proto.dir/boe.cpp.o" "gcc" "src/proto/CMakeFiles/tsn_proto.dir/boe.cpp.o.d"
+  "/root/repo/src/proto/norm.cpp" "src/proto/CMakeFiles/tsn_proto.dir/norm.cpp.o" "gcc" "src/proto/CMakeFiles/tsn_proto.dir/norm.cpp.o.d"
+  "/root/repo/src/proto/pitch.cpp" "src/proto/CMakeFiles/tsn_proto.dir/pitch.cpp.o" "gcc" "src/proto/CMakeFiles/tsn_proto.dir/pitch.cpp.o.d"
+  "/root/repo/src/proto/xpress.cpp" "src/proto/CMakeFiles/tsn_proto.dir/xpress.cpp.o" "gcc" "src/proto/CMakeFiles/tsn_proto.dir/xpress.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/tsn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tsn_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsn_proto.dir/boe.cpp.o"
+  "CMakeFiles/tsn_proto.dir/boe.cpp.o.d"
+  "CMakeFiles/tsn_proto.dir/norm.cpp.o"
+  "CMakeFiles/tsn_proto.dir/norm.cpp.o.d"
+  "CMakeFiles/tsn_proto.dir/pitch.cpp.o"
+  "CMakeFiles/tsn_proto.dir/pitch.cpp.o.d"
+  "CMakeFiles/tsn_proto.dir/xpress.cpp.o"
+  "CMakeFiles/tsn_proto.dir/xpress.cpp.o.d"
+  "libtsn_proto.a"
+  "libtsn_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsn_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

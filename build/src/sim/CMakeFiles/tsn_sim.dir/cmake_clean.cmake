@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsn_sim.dir/engine.cpp.o"
+  "CMakeFiles/tsn_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/tsn_sim.dir/random.cpp.o"
+  "CMakeFiles/tsn_sim.dir/random.cpp.o.d"
+  "CMakeFiles/tsn_sim.dir/stats.cpp.o"
+  "CMakeFiles/tsn_sim.dir/stats.cpp.o.d"
+  "CMakeFiles/tsn_sim.dir/time.cpp.o"
+  "CMakeFiles/tsn_sim.dir/time.cpp.o.d"
+  "libtsn_sim.a"
+  "libtsn_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsn_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

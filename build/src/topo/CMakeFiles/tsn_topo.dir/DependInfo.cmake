@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/cloud.cpp" "src/topo/CMakeFiles/tsn_topo.dir/cloud.cpp.o" "gcc" "src/topo/CMakeFiles/tsn_topo.dir/cloud.cpp.o.d"
+  "/root/repo/src/topo/leaf_spine.cpp" "src/topo/CMakeFiles/tsn_topo.dir/leaf_spine.cpp.o" "gcc" "src/topo/CMakeFiles/tsn_topo.dir/leaf_spine.cpp.o.d"
+  "/root/repo/src/topo/quad_l1s.cpp" "src/topo/CMakeFiles/tsn_topo.dir/quad_l1s.cpp.o" "gcc" "src/topo/CMakeFiles/tsn_topo.dir/quad_l1s.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/l2/CMakeFiles/tsn_l2.dir/DependInfo.cmake"
+  "/root/repo/build/src/l1s/CMakeFiles/tsn_l1s.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tsn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcast/CMakeFiles/tsn_mcast.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tsn_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

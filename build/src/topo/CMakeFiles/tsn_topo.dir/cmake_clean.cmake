@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsn_topo.dir/cloud.cpp.o"
+  "CMakeFiles/tsn_topo.dir/cloud.cpp.o.d"
+  "CMakeFiles/tsn_topo.dir/leaf_spine.cpp.o"
+  "CMakeFiles/tsn_topo.dir/leaf_spine.cpp.o.d"
+  "CMakeFiles/tsn_topo.dir/quad_l1s.cpp.o"
+  "CMakeFiles/tsn_topo.dir/quad_l1s.cpp.o.d"
+  "libtsn_topo.a"
+  "libtsn_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsn_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trading/compliance.cpp" "src/trading/CMakeFiles/tsn_trading.dir/compliance.cpp.o" "gcc" "src/trading/CMakeFiles/tsn_trading.dir/compliance.cpp.o.d"
+  "/root/repo/src/trading/filter.cpp" "src/trading/CMakeFiles/tsn_trading.dir/filter.cpp.o" "gcc" "src/trading/CMakeFiles/tsn_trading.dir/filter.cpp.o.d"
+  "/root/repo/src/trading/gateway.cpp" "src/trading/CMakeFiles/tsn_trading.dir/gateway.cpp.o" "gcc" "src/trading/CMakeFiles/tsn_trading.dir/gateway.cpp.o.d"
+  "/root/repo/src/trading/normalizer.cpp" "src/trading/CMakeFiles/tsn_trading.dir/normalizer.cpp.o" "gcc" "src/trading/CMakeFiles/tsn_trading.dir/normalizer.cpp.o.d"
+  "/root/repo/src/trading/risk.cpp" "src/trading/CMakeFiles/tsn_trading.dir/risk.cpp.o" "gcc" "src/trading/CMakeFiles/tsn_trading.dir/risk.cpp.o.d"
+  "/root/repo/src/trading/strategy.cpp" "src/trading/CMakeFiles/tsn_trading.dir/strategy.cpp.o" "gcc" "src/trading/CMakeFiles/tsn_trading.dir/strategy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/proto/CMakeFiles/tsn_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcast/CMakeFiles/tsn_mcast.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tsn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tsn_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsn_trading.dir/compliance.cpp.o"
+  "CMakeFiles/tsn_trading.dir/compliance.cpp.o.d"
+  "CMakeFiles/tsn_trading.dir/filter.cpp.o"
+  "CMakeFiles/tsn_trading.dir/filter.cpp.o.d"
+  "CMakeFiles/tsn_trading.dir/gateway.cpp.o"
+  "CMakeFiles/tsn_trading.dir/gateway.cpp.o.d"
+  "CMakeFiles/tsn_trading.dir/normalizer.cpp.o"
+  "CMakeFiles/tsn_trading.dir/normalizer.cpp.o.d"
+  "CMakeFiles/tsn_trading.dir/risk.cpp.o"
+  "CMakeFiles/tsn_trading.dir/risk.cpp.o.d"
+  "CMakeFiles/tsn_trading.dir/strategy.cpp.o"
+  "CMakeFiles/tsn_trading.dir/strategy.cpp.o.d"
+  "libtsn_trading.a"
+  "libtsn_trading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsn_trading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsn_wan.dir/metro.cpp.o"
+  "CMakeFiles/tsn_wan.dir/metro.cpp.o.d"
+  "libtsn_wan.a"
+  "libtsn_wan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsn_wan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

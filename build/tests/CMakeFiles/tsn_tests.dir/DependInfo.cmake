@@ -1,0 +1,75 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_book.cpp" "tests/CMakeFiles/tsn_tests.dir/test_book.cpp.o" "gcc" "tests/CMakeFiles/tsn_tests.dir/test_book.cpp.o.d"
+  "/root/repo/tests/test_capture.cpp" "tests/CMakeFiles/tsn_tests.dir/test_capture.cpp.o" "gcc" "tests/CMakeFiles/tsn_tests.dir/test_capture.cpp.o.d"
+  "/root/repo/tests/test_capture_replay.cpp" "tests/CMakeFiles/tsn_tests.dir/test_capture_replay.cpp.o" "gcc" "tests/CMakeFiles/tsn_tests.dir/test_capture_replay.cpp.o.d"
+  "/root/repo/tests/test_cluster.cpp" "tests/CMakeFiles/tsn_tests.dir/test_cluster.cpp.o" "gcc" "tests/CMakeFiles/tsn_tests.dir/test_cluster.cpp.o.d"
+  "/root/repo/tests/test_core.cpp" "tests/CMakeFiles/tsn_tests.dir/test_core.cpp.o" "gcc" "tests/CMakeFiles/tsn_tests.dir/test_core.cpp.o.d"
+  "/root/repo/tests/test_core_codesign.cpp" "tests/CMakeFiles/tsn_tests.dir/test_core_codesign.cpp.o" "gcc" "tests/CMakeFiles/tsn_tests.dir/test_core_codesign.cpp.o.d"
+  "/root/repo/tests/test_deploy.cpp" "tests/CMakeFiles/tsn_tests.dir/test_deploy.cpp.o" "gcc" "tests/CMakeFiles/tsn_tests.dir/test_deploy.cpp.o.d"
+  "/root/repo/tests/test_exchange.cpp" "tests/CMakeFiles/tsn_tests.dir/test_exchange.cpp.o" "gcc" "tests/CMakeFiles/tsn_tests.dir/test_exchange.cpp.o.d"
+  "/root/repo/tests/test_feed.cpp" "tests/CMakeFiles/tsn_tests.dir/test_feed.cpp.o" "gcc" "tests/CMakeFiles/tsn_tests.dir/test_feed.cpp.o.d"
+  "/root/repo/tests/test_feed_correlated.cpp" "tests/CMakeFiles/tsn_tests.dir/test_feed_correlated.cpp.o" "gcc" "tests/CMakeFiles/tsn_tests.dir/test_feed_correlated.cpp.o.d"
+  "/root/repo/tests/test_integration_e2e.cpp" "tests/CMakeFiles/tsn_tests.dir/test_integration_e2e.cpp.o" "gcc" "tests/CMakeFiles/tsn_tests.dir/test_integration_e2e.cpp.o.d"
+  "/root/repo/tests/test_integration_xpress_l1s.cpp" "tests/CMakeFiles/tsn_tests.dir/test_integration_xpress_l1s.cpp.o" "gcc" "tests/CMakeFiles/tsn_tests.dir/test_integration_xpress_l1s.cpp.o.d"
+  "/root/repo/tests/test_l1s.cpp" "tests/CMakeFiles/tsn_tests.dir/test_l1s.cpp.o" "gcc" "tests/CMakeFiles/tsn_tests.dir/test_l1s.cpp.o.d"
+  "/root/repo/tests/test_l2_switch.cpp" "tests/CMakeFiles/tsn_tests.dir/test_l2_switch.cpp.o" "gcc" "tests/CMakeFiles/tsn_tests.dir/test_l2_switch.cpp.o.d"
+  "/root/repo/tests/test_l2_trends.cpp" "tests/CMakeFiles/tsn_tests.dir/test_l2_trends.cpp.o" "gcc" "tests/CMakeFiles/tsn_tests.dir/test_l2_trends.cpp.o.d"
+  "/root/repo/tests/test_mcast.cpp" "tests/CMakeFiles/tsn_tests.dir/test_mcast.cpp.o" "gcc" "tests/CMakeFiles/tsn_tests.dir/test_mcast.cpp.o.d"
+  "/root/repo/tests/test_mcast_aging.cpp" "tests/CMakeFiles/tsn_tests.dir/test_mcast_aging.cpp.o" "gcc" "tests/CMakeFiles/tsn_tests.dir/test_mcast_aging.cpp.o.d"
+  "/root/repo/tests/test_net_addr.cpp" "tests/CMakeFiles/tsn_tests.dir/test_net_addr.cpp.o" "gcc" "tests/CMakeFiles/tsn_tests.dir/test_net_addr.cpp.o.d"
+  "/root/repo/tests/test_net_headers.cpp" "tests/CMakeFiles/tsn_tests.dir/test_net_headers.cpp.o" "gcc" "tests/CMakeFiles/tsn_tests.dir/test_net_headers.cpp.o.d"
+  "/root/repo/tests/test_net_link.cpp" "tests/CMakeFiles/tsn_tests.dir/test_net_link.cpp.o" "gcc" "tests/CMakeFiles/tsn_tests.dir/test_net_link.cpp.o.d"
+  "/root/repo/tests/test_net_nic.cpp" "tests/CMakeFiles/tsn_tests.dir/test_net_nic.cpp.o" "gcc" "tests/CMakeFiles/tsn_tests.dir/test_net_nic.cpp.o.d"
+  "/root/repo/tests/test_net_tcp.cpp" "tests/CMakeFiles/tsn_tests.dir/test_net_tcp.cpp.o" "gcc" "tests/CMakeFiles/tsn_tests.dir/test_net_tcp.cpp.o.d"
+  "/root/repo/tests/test_proto_boe.cpp" "tests/CMakeFiles/tsn_tests.dir/test_proto_boe.cpp.o" "gcc" "tests/CMakeFiles/tsn_tests.dir/test_proto_boe.cpp.o.d"
+  "/root/repo/tests/test_proto_fuzz.cpp" "tests/CMakeFiles/tsn_tests.dir/test_proto_fuzz.cpp.o" "gcc" "tests/CMakeFiles/tsn_tests.dir/test_proto_fuzz.cpp.o.d"
+  "/root/repo/tests/test_proto_norm.cpp" "tests/CMakeFiles/tsn_tests.dir/test_proto_norm.cpp.o" "gcc" "tests/CMakeFiles/tsn_tests.dir/test_proto_norm.cpp.o.d"
+  "/root/repo/tests/test_proto_partition.cpp" "tests/CMakeFiles/tsn_tests.dir/test_proto_partition.cpp.o" "gcc" "tests/CMakeFiles/tsn_tests.dir/test_proto_partition.cpp.o.d"
+  "/root/repo/tests/test_proto_pitch.cpp" "tests/CMakeFiles/tsn_tests.dir/test_proto_pitch.cpp.o" "gcc" "tests/CMakeFiles/tsn_tests.dir/test_proto_pitch.cpp.o.d"
+  "/root/repo/tests/test_proto_xpress.cpp" "tests/CMakeFiles/tsn_tests.dir/test_proto_xpress.cpp.o" "gcc" "tests/CMakeFiles/tsn_tests.dir/test_proto_xpress.cpp.o.d"
+  "/root/repo/tests/test_session_liveness.cpp" "tests/CMakeFiles/tsn_tests.dir/test_session_liveness.cpp.o" "gcc" "tests/CMakeFiles/tsn_tests.dir/test_session_liveness.cpp.o.d"
+  "/root/repo/tests/test_sim_engine.cpp" "tests/CMakeFiles/tsn_tests.dir/test_sim_engine.cpp.o" "gcc" "tests/CMakeFiles/tsn_tests.dir/test_sim_engine.cpp.o.d"
+  "/root/repo/tests/test_sim_random.cpp" "tests/CMakeFiles/tsn_tests.dir/test_sim_random.cpp.o" "gcc" "tests/CMakeFiles/tsn_tests.dir/test_sim_random.cpp.o.d"
+  "/root/repo/tests/test_sim_stats.cpp" "tests/CMakeFiles/tsn_tests.dir/test_sim_stats.cpp.o" "gcc" "tests/CMakeFiles/tsn_tests.dir/test_sim_stats.cpp.o.d"
+  "/root/repo/tests/test_sim_time.cpp" "tests/CMakeFiles/tsn_tests.dir/test_sim_time.cpp.o" "gcc" "tests/CMakeFiles/tsn_tests.dir/test_sim_time.cpp.o.d"
+  "/root/repo/tests/test_snapshot_recovery.cpp" "tests/CMakeFiles/tsn_tests.dir/test_snapshot_recovery.cpp.o" "gcc" "tests/CMakeFiles/tsn_tests.dir/test_snapshot_recovery.cpp.o.d"
+  "/root/repo/tests/test_topo.cpp" "tests/CMakeFiles/tsn_tests.dir/test_topo.cpp.o" "gcc" "tests/CMakeFiles/tsn_tests.dir/test_topo.cpp.o.d"
+  "/root/repo/tests/test_trading_compliance.cpp" "tests/CMakeFiles/tsn_tests.dir/test_trading_compliance.cpp.o" "gcc" "tests/CMakeFiles/tsn_tests.dir/test_trading_compliance.cpp.o.d"
+  "/root/repo/tests/test_trading_filter.cpp" "tests/CMakeFiles/tsn_tests.dir/test_trading_filter.cpp.o" "gcc" "tests/CMakeFiles/tsn_tests.dir/test_trading_filter.cpp.o.d"
+  "/root/repo/tests/test_trading_normalizer.cpp" "tests/CMakeFiles/tsn_tests.dir/test_trading_normalizer.cpp.o" "gcc" "tests/CMakeFiles/tsn_tests.dir/test_trading_normalizer.cpp.o.d"
+  "/root/repo/tests/test_trading_risk.cpp" "tests/CMakeFiles/tsn_tests.dir/test_trading_risk.cpp.o" "gcc" "tests/CMakeFiles/tsn_tests.dir/test_trading_risk.cpp.o.d"
+  "/root/repo/tests/test_trading_strategy.cpp" "tests/CMakeFiles/tsn_tests.dir/test_trading_strategy.cpp.o" "gcc" "tests/CMakeFiles/tsn_tests.dir/test_trading_strategy.cpp.o.d"
+  "/root/repo/tests/test_wan.cpp" "tests/CMakeFiles/tsn_tests.dir/test_wan.cpp.o" "gcc" "tests/CMakeFiles/tsn_tests.dir/test_wan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/deploy/CMakeFiles/tsn_deploy.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tsn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/tsn_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/tsn_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/capture/CMakeFiles/tsn_capture.dir/DependInfo.cmake"
+  "/root/repo/build/src/trading/CMakeFiles/tsn_trading.dir/DependInfo.cmake"
+  "/root/repo/build/src/wan/CMakeFiles/tsn_wan.dir/DependInfo.cmake"
+  "/root/repo/build/src/feed/CMakeFiles/tsn_feed.dir/DependInfo.cmake"
+  "/root/repo/build/src/exchange/CMakeFiles/tsn_exchange.dir/DependInfo.cmake"
+  "/root/repo/build/src/book/CMakeFiles/tsn_book.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/tsn_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/l1s/CMakeFiles/tsn_l1s.dir/DependInfo.cmake"
+  "/root/repo/build/src/l2/CMakeFiles/tsn_l2.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcast/CMakeFiles/tsn_mcast.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tsn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tsn_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
