@@ -1,0 +1,43 @@
+# Sanitizer and static-analysis wiring, driven by two cache variables:
+#
+#   TSN_SANITIZE     semicolon-or-comma list of sanitizers to enable
+#                    ("address;undefined", "thread", ...). Applied globally so
+#                    every library, test, and tool in the tree is instrumented.
+#   TSN_CLANG_TIDY   when ON, runs clang-tidy (using the repo's .clang-tidy)
+#                    alongside compilation via CMAKE_CXX_CLANG_TIDY.
+#
+# The CMakePresets.json presets `asan-ubsan`, `tsan`, and `tidy` are the
+# intended entry points; setting the variables by hand works too.
+
+function(tsn_enable_sanitizers)
+  if(NOT TSN_SANITIZE)
+    return()
+  endif()
+  string(REPLACE "," ";" _tsn_san_list "${TSN_SANITIZE}")
+  string(REPLACE ";" "," _tsn_san_flags "${_tsn_san_list}")
+  if("thread" IN_LIST _tsn_san_list AND "address" IN_LIST _tsn_san_list)
+    message(FATAL_ERROR "TSAN and ASan are mutually exclusive; pick one preset")
+  endif()
+  message(STATUS "Sanitizers enabled: ${_tsn_san_flags}")
+  add_compile_options(
+    -fsanitize=${_tsn_san_flags}
+    -fno-omit-frame-pointer
+    -fno-sanitize-recover=all
+  )
+  add_link_options(-fsanitize=${_tsn_san_flags})
+endfunction()
+
+function(tsn_enable_clang_tidy)
+  if(NOT TSN_CLANG_TIDY)
+    return()
+  endif()
+  find_program(TSN_CLANG_TIDY_EXE clang-tidy)
+  if(NOT TSN_CLANG_TIDY_EXE)
+    # Gate, don't fail: the container image may ship only gcc. The CI tidy
+    # job installs clang-tidy; local builds just skip the checks.
+    message(WARNING "TSN_CLANG_TIDY=ON but clang-tidy was not found; skipping")
+    return()
+  endif()
+  message(STATUS "clang-tidy enabled: ${TSN_CLANG_TIDY_EXE}")
+  set(CMAKE_CXX_CLANG_TIDY "${TSN_CLANG_TIDY_EXE}" PARENT_SCOPE)
+endfunction()

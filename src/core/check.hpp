@@ -1,0 +1,47 @@
+// Runtime invariant checks for the hot paths.
+//
+// Two tiers, one policy:
+//
+//   TSN_ASSERT(cond, msg)  — always on, every build type. For API misuse and
+//     state corruption that must never reach the wire: out-of-range patch
+//     offsets, impossible switch configs, accounting underflow. Cost must be
+//     a handful of instructions; anything heavier belongs in TSN_DCHECK.
+//
+//   TSN_DCHECK(cond, msg)  — compiled out under NDEBUG (RelWithDebInfo /
+//     Release), active in Debug and therefore under the `asan-ubsan` and
+//     `tsan` presets. For per-message and per-event invariants on the hot
+//     path: encoded sizes matching declared sizes, event-queue time
+//     monotonicity, egress-port bounds.
+//
+// Neither macro is for malformed *input*: truncated or corrupted frames are
+// data, not logic errors, and are handled by WireReader's sticky failure
+// flag (see net/wire.hpp). A TSN_ASSERT that fires on a byte pattern an
+// adversary can send is a bug in the assert.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace tsn::core {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* msg, const char* file,
+                                      int line) noexcept {
+  std::fprintf(stderr, "TSN_CHECK failed: %s\n  %s\n  at %s:%d\n", msg, expr, file, line);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace tsn::core
+
+#define TSN_ASSERT(cond, msg)                                          \
+  (static_cast<bool>(cond)                                             \
+       ? static_cast<void>(0)                                          \
+       : ::tsn::core::check_failed(#cond, (msg), __FILE__, __LINE__))
+
+#ifdef NDEBUG
+// sizeof keeps the condition's operands "used" (no -Wunused warnings for
+// variables that only feed checks) without evaluating anything at runtime.
+#define TSN_DCHECK(cond, msg) static_cast<void>(sizeof((cond) ? 1 : 0))
+#else
+#define TSN_DCHECK(cond, msg) TSN_ASSERT(cond, msg)
+#endif

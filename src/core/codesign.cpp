@@ -57,13 +57,14 @@ CodesignMetrics evaluate_grouping(const CodesignInput& input, const Grouping& gr
     throw std::invalid_argument{"grouping does not cover the symbol universe"};
   }
   CodesignMetrics out;
+  // Validates every subscription before the weight sums index by symbol.
+  const auto signatures = symbol_signatures(input);
   // Wanted: straightforward sum.
   for (const auto& wants : input.subscriptions) {
     for (const SymbolId s : wants) out.wanted_weight += input.symbol_weight[s];
   }
   // Delivered: per group, total weight and the union of subscribers.
   std::vector<double> group_weight(grouping.group_count, 0.0);
-  const auto signatures = symbol_signatures(input);
   const std::size_t words = (input.subscriptions.size() + 63) / 64;
   std::vector<Signature> group_sig(grouping.group_count, Signature(words, 0));
   for (SymbolId s = 0; s < grouping.group_of.size(); ++s) {

@@ -4,6 +4,10 @@
 
 namespace tsn::core {
 
+// 128-bit intermediate for rate arithmetic; __extension__ keeps the GCC
+// builtin usable under -Wpedantic.
+__extension__ typedef __int128 Int128;
+
 std::string LatencyBreakdown::to_string() const {
   char buf[256];
   std::snprintf(buf, sizeof(buf),
@@ -28,7 +32,7 @@ LatencyBreakdown evaluate(const PathSpec& path) noexcept {
     // +20 wire bytes per traversal: preamble + IPG.
     const auto bits_per_frame = static_cast<std::int64_t>((path.frame_bytes + 20) * 8);
     const auto per_link_ps =
-        (static_cast<__int128>(bits_per_frame) * 1'000'000'000'000) / path.link_rate_bps;
+        (static_cast<Int128>(bits_per_frame) * 1'000'000'000'000) / path.link_rate_bps;
     out.serialization = sim::Duration{static_cast<std::int64_t>(per_link_ps) *
                                       static_cast<std::int64_t>(path.link_traversals)};
   }

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/check.hpp"
+
 namespace tsn::l1s {
 
 Layer1Switch::Layer1Switch(sim::Engine& engine, std::string name, L1SwitchConfig config)
@@ -12,7 +14,9 @@ Layer1Switch::Layer1Switch(sim::Engine& engine, std::string name, L1SwitchConfig
       config_(config),
       egress_(config.port_count, nullptr),
       patch_map_(config.port_count),
-      feeders_(config.port_count, 0) {}
+      feeders_(config.port_count, 0) {
+  TSN_ASSERT(config.port_count > 0, "a layer-1 switch needs at least one port");
+}
 
 void Layer1Switch::attach_port(net::PortId port, net::Link& egress) noexcept {
   if (port < egress_.size()) egress_[port] = &egress;
@@ -26,6 +30,8 @@ void Layer1Switch::patch(net::PortId in, net::PortId out) {
   if (std::find(outs.begin(), outs.end(), out) != outs.end()) return;
   outs.push_back(out);
   ++feeders_[out];
+  TSN_DCHECK(feeders_[out] <= patch_map_.size(),
+             "an output cannot have more feeders than there are input ports");
 }
 
 void Layer1Switch::unpatch(net::PortId in, net::PortId out) {
@@ -34,6 +40,7 @@ void Layer1Switch::unpatch(net::PortId in, net::PortId out) {
   const auto it = std::find(outs.begin(), outs.end(), out);
   if (it == outs.end()) return;
   outs.erase(it);
+  TSN_DCHECK(feeders_[out] > 0, "a tracked circuit implies a feeder on its output");
   if (feeders_[out] > 0) --feeders_[out];
 }
 
@@ -48,6 +55,8 @@ std::size_t Layer1Switch::circuit_count() const noexcept {
 }
 
 void Layer1Switch::receive(const net::PacketPtr& packet, net::PortId in_port) {
+  TSN_DCHECK(egress_.size() == patch_map_.size() && egress_.size() == feeders_.size(),
+             "patch tables must stay sized to the configured port count");
   if (timestamp_hook_) timestamp_hook_(packet, in_port, engine_.now());
   if (in_port >= patch_map_.size() || patch_map_[in_port].empty()) {
     ++stats_.frames_unpatched;

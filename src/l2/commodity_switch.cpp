@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/check.hpp"
+
 namespace tsn::l2 {
 
 CommoditySwitch::CommoditySwitch(sim::Engine& engine, std::string name,
@@ -13,7 +15,9 @@ CommoditySwitch::CommoditySwitch(sim::Engine& engine, std::string name,
       config_(config),
       egress_(config.port_count, nullptr),
       router_port_(config.port_count, false),
-      mroutes_(config.mroute_hardware_capacity) {}
+      mroutes_(config.mroute_hardware_capacity) {
+  TSN_ASSERT(config.port_count > 0, "a switch needs at least one port");
+}
 
 void CommoditySwitch::attach_port(net::PortId port, net::Link& egress) noexcept {
   if (port < egress_.size()) egress_[port] = &egress;
@@ -25,6 +29,7 @@ void CommoditySwitch::set_router_port(net::PortId port, bool is_router) {
 
 void CommoditySwitch::add_route(net::Ipv4Addr prefix, std::uint8_t prefix_len,
                                 net::PortId port) {
+  TSN_ASSERT(prefix_len <= 32, "IPv4 prefix length cannot exceed 32 bits");
   const std::uint32_t mask =
       prefix_len == 0 ? 0 : ~std::uint32_t{0} << (32 - prefix_len);
   const std::uint32_t canonical = prefix.value() & mask;
@@ -89,6 +94,8 @@ void CommoditySwitch::transmit_on(net::PortId port, const net::PacketPtr& packet
 }
 
 void CommoditySwitch::receive(const net::PacketPtr& packet, net::PortId in_port) {
+  TSN_DCHECK(egress_.size() == config_.port_count && router_port_.size() == config_.port_count,
+             "port tables must stay sized to the configured port count");
   auto frame = net::decode_frame(packet->frame());
   if (!frame || !frame->ip) {
     ++stats_.no_route_drops;  // non-IP traffic is not carried on these fabrics
@@ -193,6 +200,7 @@ void CommoditySwitch::forward_multicast(const net::PacketPtr& packet, net::Ipv4A
   }
   const sim::Time done = (software_free_at_ > now ? software_free_at_ : now) +
                          config_.software_service_time;
+  TSN_DCHECK(done >= now, "software service completion cannot precede now");
   software_free_at_ = done;
   ++stats_.multicast_sw_forwarded;
   replicate(packet, out, in_port, done - now);

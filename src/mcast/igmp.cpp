@@ -25,6 +25,7 @@ std::optional<IgmpMessage> IgmpMessage::decode(std::span<const std::byte> payloa
   const std::uint8_t type = r.u8();
   r.skip(3);
   m.group = net::Ipv4Addr{r.u32()};
+  if (!r.ok()) return std::nullopt;
   switch (type) {
     case 0x11:
       m.type = IgmpType::kMembershipQuery;

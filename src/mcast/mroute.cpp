@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/check.hpp"
+
 namespace tsn::mcast {
 
 void MrouteTable::join(net::Ipv4Addr group, net::PortId port) {
@@ -14,6 +16,8 @@ void MrouteTable::join(net::Ipv4Addr group, net::PortId port) {
   if (std::find(entry.ports.begin(), entry.ports.end(), port) == entry.ports.end()) {
     entry.ports.push_back(port);
   }
+  TSN_DCHECK(hardware_used_ <= hardware_capacity_,
+             "hardware slot accounting cannot exceed capacity");
 }
 
 void MrouteTable::leave(net::Ipv4Addr group, net::PortId port) {
@@ -21,6 +25,8 @@ void MrouteTable::leave(net::Ipv4Addr group, net::PortId port) {
   if (it == entries_.end()) return;
   std::erase(it->second.ports, port);
   if (it->second.ports.empty()) {
+    TSN_DCHECK(!it->second.hardware || hardware_used_ > 0,
+               "releasing a hardware entry requires a slot to be in use");
     if (it->second.hardware && hardware_used_ > 0) --hardware_used_;
     entries_.erase(it);
   }
@@ -53,6 +59,8 @@ void MrouteTable::reprogram() {
     entry.hardware = hardware_used_ < hardware_capacity_;
     if (entry.hardware) ++hardware_used_;
   }
+  TSN_DCHECK(hardware_used_ <= hardware_capacity_,
+             "reprogram must not oversubscribe hardware slots");
 }
 
 }  // namespace tsn::mcast

@@ -69,6 +69,7 @@ std::optional<Ipv4Header> Ipv4Header::decode(WireReader& r) {
   h.checksum = hr.u16();
   h.src = Ipv4Addr{hr.u32()};
   h.dst = Ipv4Addr{hr.u32()};
+  if (!hr.ok()) return std::nullopt;
   return h;
 }
 

@@ -5,6 +5,10 @@
 
 namespace tsn::net {
 
+// 128-bit intermediate for rate arithmetic; __extension__ keeps the GCC
+// builtin usable under -Wpedantic.
+__extension__ typedef __int128 Int128;
+
 Link::Link(sim::Engine& engine, std::string name, LinkConfig config)
     : engine_(engine), name_(std::move(name)), config_(config) {}
 
@@ -18,7 +22,7 @@ sim::Duration Link::serialization_delay(std::size_t wire_bytes) const noexcept {
   // picoseconds = bits * 1e12 / rate_bps
   const auto bits = static_cast<std::uint64_t>(wire_bytes) * 8;
   return sim::Duration{
-      static_cast<std::int64_t>((static_cast<__int128>(bits) * 1'000'000'000'000) /
+      static_cast<std::int64_t>((static_cast<Int128>(bits) * 1'000'000'000'000) /
                                 config_.rate_bps)};
 }
 
@@ -39,7 +43,7 @@ void Link::transmit(const PacketPtr& packet) {
   // never queue.
   if (config_.rate_bps != 0) {
     const auto backlog_bytes = static_cast<std::size_t>(
-        (static_cast<__int128>(backlog.picos()) * config_.rate_bps) / (8 * 1'000'000'000'000LL));
+        (static_cast<Int128>(backlog.picos()) * config_.rate_bps) / (8 * 1'000'000'000'000LL));
     if (backlog_bytes + packet->size_bytes() > config_.queue_capacity_bytes) {
       ++stats_.frames_dropped_queue;
       return;

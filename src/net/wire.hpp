@@ -8,6 +8,8 @@
 //
 // A reader that runs past the end sets a sticky failure flag and returns
 // zeros rather than throwing: truncated frames are data, not logic errors.
+// Multi-byte reads fail atomically — a read straddling the end of the buffer
+// yields zero, never a value assembled from partial bytes.
 #pragma once
 
 #include <cstddef>
@@ -15,6 +17,8 @@
 #include <span>
 #include <string_view>
 #include <vector>
+
+#include "core/check.hpp"
 
 namespace tsn::net {
 
@@ -67,10 +71,12 @@ class WireWriter {
   // Patches a previously-written big-endian u16 at `offset` (e.g. a length
   // field known only after the body is written).
   void patch_u16(std::size_t offset, std::uint16_t v) {
+    TSN_ASSERT(offset + 2 <= out_.size(), "patch_u16 offset past end of buffer");
     out_[offset] = static_cast<std::byte>(v >> 8);
     out_[offset + 1] = static_cast<std::byte>(v);
   }
   void patch_u16_le(std::size_t offset, std::uint16_t v) {
+    TSN_ASSERT(offset + 2 <= out_.size(), "patch_u16_le offset past end of buffer");
     out_[offset] = static_cast<std::byte>(v);
     out_[offset + 1] = static_cast<std::byte>(v >> 8);
   }
@@ -84,43 +90,16 @@ class WireReader {
   explicit WireReader(std::span<const std::byte> data) noexcept : data_(data) {}
 
   [[nodiscard]] std::uint8_t u8() noexcept {
-    if (pos_ + 1 > data_.size()) {
-      failed_ = true;
-      return 0;
-    }
-    return static_cast<std::uint8_t>(data_[pos_++]);
+    const std::byte* p = take(1);
+    return p == nullptr ? 0 : static_cast<std::uint8_t>(p[0]);
   }
-  [[nodiscard]] std::uint16_t u16() noexcept {
-    const auto hi = u8();
-    const auto lo = u8();
-    return static_cast<std::uint16_t>((std::uint16_t{hi} << 8) | lo);
-  }
-  [[nodiscard]] std::uint32_t u32() noexcept {
-    const auto hi = u16();
-    const auto lo = u16();
-    return (std::uint32_t{hi} << 16) | lo;
-  }
-  [[nodiscard]] std::uint64_t u64() noexcept {
-    const auto hi = u32();
-    const auto lo = u32();
-    return (std::uint64_t{hi} << 32) | lo;
-  }
+  [[nodiscard]] std::uint16_t u16() noexcept { return static_cast<std::uint16_t>(be(2)); }
+  [[nodiscard]] std::uint32_t u32() noexcept { return static_cast<std::uint32_t>(be(4)); }
+  [[nodiscard]] std::uint64_t u64() noexcept { return be(8); }
 
-  [[nodiscard]] std::uint16_t u16_le() noexcept {
-    const auto lo = u8();
-    const auto hi = u8();
-    return static_cast<std::uint16_t>((std::uint16_t{hi} << 8) | lo);
-  }
-  [[nodiscard]] std::uint32_t u32_le() noexcept {
-    const auto lo = u16_le();
-    const auto hi = u16_le();
-    return (std::uint32_t{hi} << 16) | lo;
-  }
-  [[nodiscard]] std::uint64_t u64_le() noexcept {
-    const auto lo = u32_le();
-    const auto hi = u32_le();
-    return (std::uint64_t{hi} << 32) | lo;
-  }
+  [[nodiscard]] std::uint16_t u16_le() noexcept { return static_cast<std::uint16_t>(le(2)); }
+  [[nodiscard]] std::uint32_t u32_le() noexcept { return static_cast<std::uint32_t>(le(4)); }
+  [[nodiscard]] std::uint64_t u64_le() noexcept { return le(8); }
 
   [[nodiscard]] std::span<const std::byte> bytes(std::size_t n) noexcept {
     if (pos_ + n > data_.size()) {
@@ -138,7 +117,8 @@ class WireReader {
     auto raw = bytes(width);
     std::size_t len = raw.size();
     while (len > 0 && static_cast<char>(raw[len - 1]) == ' ') --len;
-    return {reinterpret_cast<const char*>(raw.data()), len};
+    // The span is bounds-checked by bytes(); viewing it as chars is safe.
+    return {reinterpret_cast<const char*>(raw.data()), len};  // tsn-lint: allow(raw-cast)
   }
 
   void skip(std::size_t n) noexcept { (void)bytes(n); }
@@ -148,6 +128,38 @@ class WireReader {
   [[nodiscard]] bool ok() const noexcept { return !failed_; }
 
  private:
+  // Bounds-checks and consumes `n` bytes. On a short buffer the whole read
+  // fails atomically: no partial bytes leak into the returned value, the
+  // position clamps to the end, and the sticky flag is set.
+  [[nodiscard]] const std::byte* take(std::size_t n) noexcept {
+    if (failed_ || n > data_.size() - pos_) {
+      failed_ = true;
+      pos_ = data_.size();
+      return nullptr;
+    }
+    const std::byte* p = data_.data() + pos_;
+    pos_ += n;
+    return p;
+  }
+
+  [[nodiscard]] std::uint64_t be(std::size_t n) noexcept {
+    const std::byte* p = take(n);
+    if (p == nullptr) return 0;
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < n; ++i) v = (v << 8) | static_cast<std::uint8_t>(p[i]);
+    return v;
+  }
+
+  [[nodiscard]] std::uint64_t le(std::size_t n) noexcept {
+    const std::byte* p = take(n);
+    if (p == nullptr) return 0;
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      v |= std::uint64_t{static_cast<std::uint8_t>(p[i])} << (8 * i);
+    }
+    return v;
+  }
+
   std::span<const std::byte> data_;
   std::size_t pos_ = 0;
   bool failed_ = false;

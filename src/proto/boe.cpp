@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "core/check.hpp"
+
 namespace tsn::proto::boe {
 
 namespace {
@@ -117,14 +119,17 @@ std::vector<std::byte> encode(const Message& message, std::uint32_t seq) {
         // LoginAccepted / Heartbeat / Logout have empty bodies.
       },
       message);
+  TSN_DCHECK(out.size() == encoded_size(message),
+             "encoded BOE message must match its declared length field");
   return out;
 }
 
 std::size_t complete_length(std::span<const std::byte> data) noexcept {
   if (data.size() < 4) return 0;
   net::WireReader r{data};
-  if (r.u16_le() != kMagic) return 0;
+  const std::uint16_t magic = r.u16_le();
   const std::uint16_t length = r.u16_le();
+  if (!r.ok() || magic != kMagic) return 0;
   if (length < kHeaderSize) return 0;
   return length;
 }
@@ -238,10 +243,12 @@ std::optional<Decoded> decode(std::span<const std::byte> data) {
       return std::nullopt;
   }
   if (!r.ok()) return std::nullopt;
+  TSN_DCHECK(r.position() <= length, "BOE decode must stay inside the declared length");
   return out;
 }
 
 void StreamParser::feed(std::span<const std::byte> chunk) {
+  TSN_DCHECK(offset_ <= buffer_.size(), "consumed prefix cannot exceed the buffered bytes");
   // Compact the consumed prefix occasionally to bound memory.
   if (offset_ > 4096 && offset_ * 2 > buffer_.size()) {
     buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(offset_));

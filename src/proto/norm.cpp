@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/check.hpp"
+
 namespace tsn::proto::norm {
 
 void encode(const Update& update, net::WireWriter& w) {
@@ -56,6 +58,8 @@ void DatagramBuilder::begin() {
 
 void DatagramBuilder::append(const Update& update, std::uint64_t now_ns) {
   if (buffer_.size() + kMessageSize > max_payload_ || count_ == 0xffff) flush();
+  TSN_DCHECK(buffer_.size() + kMessageSize <= max_payload_,
+             "a freshly flushed datagram must have room for one update");
   if (count_ == 0) first_time_ns_ = now_ns;
   net::WireWriter w{buffer_};
   encode(update, w);
@@ -65,6 +69,8 @@ void DatagramBuilder::append(const Update& update, std::uint64_t now_ns) {
 
 void DatagramBuilder::flush() {
   if (count_ == 0) return;
+  TSN_ASSERT(buffer_.size() >= kHeaderSize,
+             "datagram buffer must hold the full header before patching");
   net::WireWriter w{buffer_};
   w.patch_u16_le(4, static_cast<std::uint16_t>(count_));
   // Patch send time (bytes 10..17, little-endian).

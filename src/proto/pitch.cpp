@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/check.hpp"
+
 namespace tsn::proto::pitch {
 
 namespace {
@@ -22,7 +24,9 @@ void write_symbol(net::WireWriter& w, const Symbol& symbol) {
   w.ascii(std::string_view{symbol.raw().data(), Symbol::kWidth}, Symbol::kWidth);
 }
 
-Symbol read_symbol(net::WireReader& r) {
+// Callers check r.ok() after the surrounding fixed-size message read; the
+// sticky failure flag makes the deferred check safe.
+Symbol read_symbol(net::WireReader& r) {  // tsn-lint: allow(unchecked-reader)
   return Symbol{r.ascii(Symbol::kWidth)};
 }
 
@@ -57,6 +61,7 @@ std::size_t encoded_size(const Message& message) noexcept {
 }
 
 void encode(const Message& message, net::WireWriter& w) {
+  const std::size_t size_before = w.size();
   std::visit(
       [&w](const auto& m) {
         using T = std::decay_t<decltype(m)>;
@@ -136,6 +141,8 @@ void encode(const Message& message, net::WireWriter& w) {
         }
       },
       message);
+  TSN_DCHECK(w.size() - size_before == encoded_size(message),
+             "encoded PITCH message must match its declared length byte");
 }
 
 std::optional<Message> decode_one(net::WireReader& r) {
@@ -266,6 +273,8 @@ void FrameBuilder::begin_frame() {
 
 void FrameBuilder::append(const Message& message) {
   if (buffer_.size() + encoded_size(message) > max_payload_ || count_ == 0xff) flush();
+  TSN_DCHECK(buffer_.size() + encoded_size(message) <= max_payload_,
+             "a freshly flushed frame must have room for any single message");
   net::WireWriter w{buffer_};
   encode(message, w);
   ++count_;
@@ -274,6 +283,8 @@ void FrameBuilder::append(const Message& message) {
 
 void FrameBuilder::flush() {
   if (count_ == 0) return;
+  TSN_ASSERT(buffer_.size() >= kUnitHeaderSize && buffer_.size() <= 0xffff,
+             "unit frame length must fit its 16-bit length field");
   net::WireWriter w{buffer_};
   w.patch_u16_le(0, static_cast<std::uint16_t>(buffer_.size()));
   buffer_[2] = static_cast<std::byte>(count_);

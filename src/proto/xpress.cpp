@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/check.hpp"
 #include "net/headers.hpp"
 
 namespace tsn::proto::xpress {
@@ -36,6 +37,7 @@ Compressor::Compressor(std::uint8_t ctx_base, std::uint8_t ctx_limit) noexcept
 
 std::size_t Compressor::encode(std::uint16_t stream_id, std::uint32_t seq,
                                std::span<const std::byte> payload, std::vector<std::byte>& out) {
+  TSN_ASSERT(payload.size() <= 0xffff, "Xpress payload must fit its 16-bit length field");
   net::WireWriter w{out};
   auto it = contexts_.find(stream_id);
   if (it == contexts_.end()) {
@@ -99,6 +101,7 @@ std::optional<Decompressor::Result> Decompressor::decode(std::span<const std::by
     Result out;
     out.frame = Frame{stream, seq, data.subspan(kFullHeaderSize, length)};
     out.consumed = kFullHeaderSize + length;
+    TSN_DCHECK(out.consumed <= data.size(), "decoded full frame must stay inside the buffer");
     return out;
   }
   const bool resync = (first & 0xc0) == 0xc0;
@@ -126,6 +129,7 @@ std::optional<Decompressor::Result> Decompressor::decode(std::span<const std::by
   Result out;
   out.frame = Frame{ctx.stream_id, seq, data.subspan(header_size, length)};
   out.consumed = header_size + length;
+  TSN_DCHECK(out.consumed <= data.size(), "decoded compact frame must stay inside the buffer");
   return out;
 }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/check.hpp"
+
 namespace tsn::sim {
 
 EventHandle Engine::schedule_at(Time at, Action action) {
@@ -43,6 +45,7 @@ bool Engine::pop_one() {
     Scheduled event{top.at, top.seq, std::move(const_cast<Scheduled&>(top).action)};
     queue_.pop();
     if (live_ > 0) --live_;
+    TSN_DCHECK(event.at >= now_, "event queue must never run time backwards");
     now_ = event.at;
     ++fired_;
     event.action();

@@ -112,7 +112,7 @@ void Strategy::dispatch_response(const proto::boe::Message& message) {
   } else if (const auto* cancelled = std::get_if<OrderCancelled>(&message)) {
     open_orders_.erase(cancelled->client_order_id);
     on_cancelled(*cancelled);
-  } else if (const auto* cancel_reject = std::get_if<CancelRejected>(&message)) {
+  } else if (std::get_if<CancelRejected>(&message) != nullptr) {
     ++stats_.cancel_rejects;
   }
 }

@@ -33,7 +33,9 @@ TEST(Cluster, NormalizersAndGatewaysHugTheExchangeRack) {
   ASSERT_TRUE(result.unplaced.empty());
   for (const auto& [job, server] : result.assignment) {
     for (const auto& s : mgr.servers()) {
-      if (s.id == server) EXPECT_EQ(s.rack, 0u) << "job " << job;
+      if (s.id == server) {
+        EXPECT_EQ(s.rack, 0u) << "job " << job;
+      }
     }
   }
 }

@@ -292,7 +292,9 @@ TEST(ActivityDriver, GeneratesDecodableFeedTraffic) {
   // Books never cross.
   for (const auto& spec : rig.exchange.symbols()) {
     const auto best = rig.exchange.book(spec.symbol).best();
-    if (best.bid_price && best.ask_price) EXPECT_LT(*best.bid_price, *best.ask_price);
+    if (best.bid_price && best.ask_price) {
+      EXPECT_LT(*best.bid_price, *best.ask_price);
+    }
   }
 }
 

@@ -1,0 +1,152 @@
+// WireReader / WireWriter sticky-failure contract, edge by edge.
+//
+// Every decoder in the tree leans on these semantics: a read past the end
+// sets a sticky flag, returns zeros, and keeps returning zeros — so one
+// `ok()` check after a burst of reads is sufficient. These tests pin the
+// contract down where it is easiest to get wrong: reads straddling the end
+// of the buffer, zero-length operations, and writer patch offsets.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/wire.hpp"
+
+namespace tsn::net {
+namespace {
+
+std::vector<std::byte> bytes_of(std::initializer_list<int> values) {
+  std::vector<std::byte> out;
+  for (int v : values) out.push_back(static_cast<std::byte>(v));
+  return out;
+}
+
+TEST(WireReader, AsciiStraddlingEndOfBufferFailsAndReturnsEmpty) {
+  const auto data = bytes_of({'A', 'B', 'C'});
+  WireReader r{data};
+  const auto text = r.ascii(8);  // 3 bytes available, 8 requested
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(text.empty());
+  // The failed read consumed the reader to the end; nothing dribbles out.
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(WireReader, AsciiExactlyAtEndSucceeds) {
+  const auto data = bytes_of({'A', 'B', ' ', ' '});
+  WireReader r{data};
+  EXPECT_EQ(r.ascii(4), "AB");  // trailing spaces stripped
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(WireReader, ZeroLengthOperationsNeverFail) {
+  const std::vector<std::byte> empty;
+  WireReader r{empty};
+  EXPECT_EQ(r.bytes(0).size(), 0u);
+  EXPECT_EQ(r.ascii(0), "");
+  r.skip(0);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+  EXPECT_EQ(r.position(), 0u);
+}
+
+TEST(WireReader, ZeroLengthSpanAtEndOfConsumedBufferIsOk) {
+  const auto data = bytes_of({1, 2});
+  WireReader r{data};
+  (void)r.u16();
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.bytes(0).size(), 0u);  // empty read at pos == size is fine
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(WireReader, MultiByteReadStraddlingEndFailsAndReturnsZero) {
+  const auto data = bytes_of({0xff});
+  WireReader r{data};
+  EXPECT_EQ(r.u16(), 0u);  // one byte short: whole value reads as zero
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(WireReader, ReadsAfterFailureReturnZeros) {
+  const auto data = bytes_of({0xaa, 0xbb});
+  WireReader r{data};
+  (void)r.u32();  // fails: only 2 bytes
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.u8(), 0u);
+  EXPECT_EQ(r.u16(), 0u);
+  EXPECT_EQ(r.u32(), 0u);
+  EXPECT_EQ(r.u64(), 0u);
+  EXPECT_EQ(r.u16_le(), 0u);
+  EXPECT_EQ(r.u64_le(), 0u);
+  EXPECT_TRUE(r.bytes(1).empty());
+  EXPECT_TRUE(r.ascii(4).empty());
+  EXPECT_FALSE(r.ok());  // failure is sticky
+}
+
+TEST(WireReader, FailureIsStickyAcrossSuccessSizedReads) {
+  const auto data = bytes_of({1, 2, 3, 4, 5, 6, 7, 8});
+  WireReader r{data};
+  (void)r.bytes(4);
+  (void)r.u64();  // fails: 4 remaining
+  ASSERT_FALSE(r.ok());
+  // A u8 would fit in the untouched tail, but a failed reader stays failed.
+  EXPECT_EQ(r.u8(), 0u);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(WireReader, LittleEndianRoundTrip) {
+  std::vector<std::byte> buf;
+  WireWriter w{buf};
+  w.u16_le(0x1234);
+  w.u32_le(0xdeadbeef);
+  w.u64_le(0x0102030405060708ULL);
+  WireReader r{buf};
+  EXPECT_EQ(r.u16_le(), 0x1234);
+  EXPECT_EQ(r.u32_le(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64_le(), 0x0102030405060708ULL);
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(WireWriter, PatchU16LeWritesLittleEndianAtOffset) {
+  std::vector<std::byte> buf;
+  WireWriter w{buf};
+  w.u16_le(0);  // placeholder
+  w.u32_le(0x11223344);
+  w.patch_u16_le(0, 0xabcd);
+  EXPECT_EQ(static_cast<unsigned>(buf[0]), 0xcdu);
+  EXPECT_EQ(static_cast<unsigned>(buf[1]), 0xabu);
+  // The rest of the buffer is untouched.
+  EXPECT_EQ(static_cast<unsigned>(buf[2]), 0x44u);
+}
+
+TEST(WireWriter, PatchU16AtLastValidOffset) {
+  std::vector<std::byte> buf;
+  WireWriter w{buf};
+  w.u32(0);
+  w.patch_u16(2, 0xbeef);  // bytes 2..3: the final two
+  EXPECT_EQ(static_cast<unsigned>(buf[2]), 0xbeu);
+  EXPECT_EQ(static_cast<unsigned>(buf[3]), 0xefu);
+}
+
+#if GTEST_HAS_DEATH_TEST
+TEST(WireWriterDeathTest, PatchPastEndTripsAssert) {
+  std::vector<std::byte> buf;
+  WireWriter w{buf};
+  w.u16(0);
+  EXPECT_DEATH(w.patch_u16(1, 0x1234), "patch_u16 offset");
+  EXPECT_DEATH(w.patch_u16_le(2, 0x1234), "patch_u16_le offset");
+}
+#endif
+
+TEST(WireReader, PositionAndRemainingTrackConsumption) {
+  const auto data = bytes_of({1, 2, 3, 4, 5});
+  WireReader r{data};
+  EXPECT_EQ(r.remaining(), 5u);
+  (void)r.u16();
+  EXPECT_EQ(r.position(), 2u);
+  EXPECT_EQ(r.remaining(), 3u);
+  r.skip(3);
+  EXPECT_EQ(r.remaining(), 0u);
+  EXPECT_TRUE(r.ok());
+}
+
+}  // namespace
+}  // namespace tsn::net

@@ -1,0 +1,638 @@
+// tsn_lint — wire-safety lint for the codec and switch hot paths.
+//
+// A deliberately small, dependency-free static checker that runs as a ctest
+// case over src/proto, src/net, and src/mcast. It enforces the three
+// conventions that keep malformed frames from becoming memory errors:
+//
+//   unchecked-reader        a function that consumes fields from a
+//                           net::WireReader must check `.ok()` on that reader
+//                           somewhere in the same function (the sticky
+//                           failure flag makes one deferred check enough).
+//   raw-memcpy / raw-cast   no `memcpy` or `reinterpret_cast` on frame
+//                           buffers; byte access goes through WireReader /
+//                           WireWriter, which are bounds-checked.
+//   unchecked-length-index  a `.subspan(...)` whose arguments involve
+//                           runtime values (e.g. a wire length field) must
+//                           sit in a function that compares against
+//                           `.size()` or `remaining()` first.
+//
+// Findings print as `file:line: [rule] message` and make the exit status
+// nonzero. Audited exceptions are annotated in the source with
+// `// tsn-lint: allow(<rule>)` on the offending (or declaring) line.
+//
+// This is a heuristic, line-oriented scanner, not a compiler plugin: it
+// tracks brace depth, comments, and string literals, but not templates or
+// macros. The `--self-test` mode locks down its behavior on known good and
+// bad snippets so rule regressions fail CI the same way code regressions do.
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace {
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+// --- comment / string stripping -------------------------------------------
+
+// Returns the file's lines with comments blanked out (string and char
+// literals respected), plus the per-line set of `tsn-lint: allow(rule)`
+// suppressions harvested from the comments before they are removed.
+struct CleanSource {
+  std::vector<std::string> lines;                 // code only, comments blanked
+  std::vector<std::set<std::string>> allows;      // per line, suppressed rules
+};
+
+void harvest_allows(const std::string& raw, std::set<std::string>& out) {
+  const std::string_view key = "tsn-lint: allow(";
+  std::size_t pos = 0;
+  while ((pos = raw.find(key, pos)) != std::string::npos) {
+    pos += key.size();
+    const std::size_t close = raw.find(')', pos);
+    if (close == std::string::npos) break;
+    out.insert(raw.substr(pos, close - pos));
+    pos = close + 1;
+  }
+}
+
+CleanSource strip_comments(const std::vector<std::string>& raw) {
+  CleanSource out;
+  out.lines.resize(raw.size());
+  out.allows.resize(raw.size());
+  bool in_block_comment = false;
+  for (std::size_t li = 0; li < raw.size(); ++li) {
+    const std::string& line = raw[li];
+    harvest_allows(line, out.allows[li]);
+    std::string& code = out.lines[li];
+    code.reserve(line.size());
+    bool in_string = false;
+    bool in_char = false;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      const char c = line[i];
+      if (in_block_comment) {
+        if (c == '*' && i + 1 < line.size() && line[i + 1] == '/') {
+          in_block_comment = false;
+          ++i;
+        }
+        continue;
+      }
+      // Literal contents are blanked so tokens inside strings never match.
+      if (in_string) {
+        if (c == '\\' && i + 1 < line.size()) {
+          ++i;
+        } else if (c == '"') {
+          in_string = false;
+          code.push_back(c);
+        }
+        continue;
+      }
+      if (in_char) {
+        if (c == '\\' && i + 1 < line.size()) {
+          ++i;
+        } else if (c == '\'') {
+          in_char = false;
+          code.push_back(c);
+        }
+        continue;
+      }
+      if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') break;
+      if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+        in_block_comment = true;
+        ++i;
+        continue;
+      }
+      if (c == '"') in_string = true;
+      // Digit separators like 2'000 are not char literals.
+      if (c == '\'' && (i == 0 || !std::isalnum(static_cast<unsigned char>(line[i - 1])))) {
+        in_char = true;
+      }
+      code.push_back(c);
+    }
+  }
+  return out;
+}
+
+// --- small text helpers ----------------------------------------------------
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// Finds `needle` in `line` at an identifier boundary on the left.
+std::size_t find_token(const std::string& line, std::string_view needle, std::size_t from = 0) {
+  std::size_t pos = from;
+  while ((pos = line.find(needle, pos)) != std::string::npos) {
+    if (pos == 0 || !is_ident_char(line[pos - 1])) return pos;
+    pos += needle.size();
+  }
+  return std::string::npos;
+}
+
+bool starts_with_keyword(const std::string& line) {
+  static const std::vector<std::string> kKeywords = {"if",     "for",   "while", "switch",
+                                                    "else",   "catch", "do",    "return",
+                                                    "namespace", "class", "struct", "enum",
+                                                    "union"};
+  std::size_t i = 0;
+  while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i]))) ++i;
+  // A closing `} else {` also counts as control flow.
+  while (i < line.size() && (line[i] == '}' || std::isspace(static_cast<unsigned char>(line[i])))) {
+    ++i;
+  }
+  for (const auto& kw : kKeywords) {
+    if (line.compare(i, kw.size(), kw) == 0) {
+      const std::size_t end = i + kw.size();
+      if (end >= line.size() || !is_ident_char(line[end])) return true;
+    }
+  }
+  return false;
+}
+
+// Identifier-wise scan of an expression: true if any identifier looks like a
+// runtime value, i.e. is not a numeric literal, kConstant, sizeof, or a
+// std:: qualifier.
+bool has_runtime_identifier(std::string_view expr) {
+  std::size_t i = 0;
+  while (i < expr.size()) {
+    if (!is_ident_char(expr[i])) {
+      ++i;
+      continue;
+    }
+    const std::size_t start = i;
+    while (i < expr.size() && is_ident_char(expr[i])) ++i;
+    const std::string_view ident = expr.substr(start, i - start);
+    if (std::isdigit(static_cast<unsigned char>(ident[0])) != 0) continue;  // literal
+    if (ident.size() >= 2 && ident[0] == 'k' &&
+        std::isupper(static_cast<unsigned char>(ident[1])) != 0) {
+      continue;  // kConstant convention
+    }
+    if (ident == "sizeof" || ident == "std" || ident == "size_t" || ident == "uint8_t" ||
+        ident == "uint16_t" || ident == "uint32_t" || ident == "uint64_t" ||
+        ident == "static_cast" || ident == "byte") {
+      continue;
+    }
+    return true;
+  }
+  return false;
+}
+
+// --- the scanner -----------------------------------------------------------
+
+const std::vector<std::string> kConsumingMethods = {
+    "u8", "u16", "u32", "u64", "u16_le", "u32_le", "u64_le", "ascii", "bytes"};
+
+class FileScanner {
+ public:
+  FileScanner(std::string file, const std::vector<std::string>& raw, std::vector<Finding>& out)
+      : file_(std::move(file)), src_(strip_comments(raw)), findings_(out) {}
+
+  void run() {
+    for (std::size_t li = 0; li < src_.lines.size(); ++li) {
+      const std::string& line = src_.lines[li];
+      const int line_no = static_cast<int>(li) + 1;
+      scan_raw_bytes(line, li, line_no);
+      scan_reader_decls(line, li, line_no);
+      scan_reader_uses(line, li, line_no);
+      scan_subspan(line, li, line_no);
+      scan_bounds_evidence(line);
+      process_braces(line, line_no);
+    }
+    // EOF closes everything still open (unbalanced files).
+    while (!blocks_.empty()) close_block();
+    finish_readers(0);
+  }
+
+ private:
+  struct Block {
+    int func_id = -1;        // index into funcs_, or -1 outside any function
+    int depth_before = 0;    // brace depth before this block opened
+  };
+  struct Func {
+    bool bounds_evidence = false;
+    std::vector<Finding> pending;  // unchecked-length-index awaiting evidence
+  };
+  struct Reader {
+    std::string name;
+    int scope_close_depth = 0;  // dead once depth_ <= this
+    int first_use_line = 0;
+    int consuming_uses = 0;
+    bool has_ok = false;
+    bool suppressed = false;
+  };
+
+  bool allowed(std::size_t li, const std::string& rule) const {
+    if (src_.allows[li].count(rule) > 0) return true;
+    // An allow on the immediately preceding line also covers this one.
+    return li > 0 && src_.allows[li - 1].count(rule) > 0;
+  }
+
+  int current_func() const { return blocks_.empty() ? -1 : blocks_.back().func_id; }
+
+  void emit(int line_no, const std::string& rule, std::string message) {
+    findings_.push_back(Finding{file_, line_no, rule, std::move(message)});
+  }
+
+  void scan_raw_bytes(const std::string& line, std::size_t li, int line_no) {
+    if (find_token(line, "memcpy(") != std::string::npos && !allowed(li, "raw-memcpy")) {
+      emit(line_no, "raw-memcpy",
+           "raw memcpy on buffers; use WireWriter/WireReader, which are bounds-checked");
+    }
+    if (line.find("reinterpret_cast<") != std::string::npos && !allowed(li, "raw-cast")) {
+      emit(line_no, "raw-cast",
+           "reinterpret_cast on frame bytes; decode through WireReader instead");
+    }
+  }
+
+  void scan_reader_decls(const std::string& line, std::size_t li, int line_no) {
+    std::size_t pos = 0;
+    while ((pos = find_token(line, "WireReader", pos)) != std::string::npos) {
+      std::size_t i = pos + std::string_view{"WireReader"}.size();
+      while (i < line.size() && (std::isspace(static_cast<unsigned char>(line[i])) != 0 ||
+                                 line[i] == '&')) {
+        ++i;
+      }
+      const std::size_t start = i;
+      while (i < line.size() && is_ident_char(line[i])) ++i;
+      pos = i;
+      if (i == start) continue;  // `class WireReader {`, `WireReader(` etc.
+      Reader r;
+      r.name = line.substr(start, i - start);
+      // A declaration line that opens a lasting brace (function signature)
+      // scopes the reader to that body; a local scopes it to its own depth.
+      const int opens = net_braces(line);
+      r.scope_close_depth = opens > 0 ? depth_ : depth_ - 1;
+      r.first_use_line = line_no;
+      r.suppressed = allowed(li, "unchecked-reader");
+      readers_.push_back(std::move(r));
+    }
+  }
+
+  void scan_reader_uses(const std::string& line, std::size_t /*li*/, int line_no) {
+    for (Reader& r : readers_) {
+      const std::string ok_call = r.name + ".ok()";
+      if (find_token(line, ok_call) != std::string::npos) r.has_ok = true;
+      for (const auto& method : kConsumingMethods) {
+        const std::string call = r.name + "." + method + "(";
+        if (find_token(line, call) != std::string::npos) {
+          if (r.consuming_uses++ == 0) r.first_use_line = line_no;
+        }
+      }
+    }
+  }
+
+  void scan_subspan(const std::string& line, std::size_t li, int line_no) {
+    std::size_t pos = 0;
+    while ((pos = line.find(".subspan(", pos)) != std::string::npos) {
+      const std::size_t open = pos + std::string_view{".subspan("}.size() - 1;
+      pos = open;
+      // Balance parens to the end of the argument list (single line only;
+      // an unterminated list is treated as risky, which is conservative).
+      int nest = 0;
+      std::size_t end = open;
+      for (; end < line.size(); ++end) {
+        if (line[end] == '(') ++nest;
+        if (line[end] == ')' && --nest == 0) break;
+      }
+      const std::string_view args =
+          std::string_view{line}.substr(open + 1, end > open ? end - open - 1 : line.size());
+      if (!has_runtime_identifier(args)) continue;
+      if (allowed(li, "unchecked-length-index")) continue;
+      Finding f{file_, line_no, "unchecked-length-index",
+                "subspan indexed by a runtime value in a function with no .size()/remaining() "
+                "bounds comparison"};
+      const int fid = current_func();
+      if (fid < 0) {
+        findings_.push_back(std::move(f));
+      } else {
+        funcs_[static_cast<std::size_t>(fid)].pending.push_back(std::move(f));
+      }
+    }
+  }
+
+  void scan_bounds_evidence(const std::string& line) {
+    const int fid = current_func();
+    if (fid < 0) return;
+    if (line.find("remaining(") != std::string::npos || line.find(".size()") != std::string::npos) {
+      funcs_[static_cast<std::size_t>(fid)].bounds_evidence = true;
+    }
+  }
+
+  static int net_braces(const std::string& line) {
+    int n = 0;
+    for (char c : line) {
+      if (c == '{') ++n;
+      if (c == '}') --n;
+    }
+    return n;
+  }
+
+  void process_braces(const std::string& line, int /*line_no*/) {
+    for (char c : line) {
+      if (c == '{') {
+        Block b;
+        b.depth_before = depth_;
+        if (current_func() >= 0) {
+          b.func_id = current_func();  // nested scope or lambda: inherit
+        } else if (line.find('(') != std::string::npos && !starts_with_keyword(line)) {
+          b.func_id = static_cast<int>(funcs_.size());
+          funcs_.emplace_back();
+        }
+        blocks_.push_back(b);
+        ++depth_;
+      } else if (c == '}') {
+        if (!blocks_.empty()) close_block();
+        if (depth_ > 0) --depth_;
+        finish_readers(depth_);
+      }
+    }
+  }
+
+  void close_block() {
+    const Block b = blocks_.back();
+    blocks_.pop_back();
+    // Resolve this function's pending subspan findings when its outermost
+    // block closes (the func_id owned by this block, not inherited).
+    if (b.func_id >= 0 && (blocks_.empty() || blocks_.back().func_id != b.func_id)) {
+      Func& f = funcs_[static_cast<std::size_t>(b.func_id)];
+      if (!f.bounds_evidence) {
+        for (auto& finding : f.pending) findings_.push_back(std::move(finding));
+      }
+      f.pending.clear();
+    }
+  }
+
+  void finish_readers(int depth_now) {
+    for (auto it = readers_.begin(); it != readers_.end();) {
+      if (depth_now <= it->scope_close_depth) {
+        if (it->consuming_uses > 0 && !it->has_ok && !it->suppressed) {
+          emit(it->first_use_line, "unchecked-reader",
+               "WireReader '" + it->name +
+                   "' is consumed but never checked with .ok() in this function");
+        }
+        it = readers_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  std::string file_;
+  CleanSource src_;
+  std::vector<Finding>& findings_;
+  std::vector<Block> blocks_;
+  std::vector<Func> funcs_;
+  std::vector<Reader> readers_;
+  int depth_ = 0;
+};
+
+std::vector<std::string> read_lines(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+std::vector<std::string> split_lines(std::string_view text) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t nl = text.find('\n', start);
+    if (nl == std::string_view::npos) {
+      lines.emplace_back(text.substr(start));
+      break;
+    }
+    lines.emplace_back(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+void scan_file(const std::string& name, const std::vector<std::string>& lines,
+               std::vector<Finding>& findings) {
+  FileScanner scanner{name, lines, findings};
+  scanner.run();
+}
+
+bool scannable(const std::filesystem::path& p) {
+  const auto ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".h";
+}
+
+// --- self test -------------------------------------------------------------
+
+struct Snippet {
+  const char* name;
+  const char* code;
+  int expected_findings;
+};
+
+const Snippet kSnippets[] = {
+    {"unchecked reader flagged",
+     R"(namespace t {
+std::optional<Foo> decode(net::WireReader& r) {
+  Foo f;
+  f.a = r.u32_le();
+  return f;
+}
+}  // namespace t
+)",
+     1},
+    {"checked reader passes",
+     R"(namespace t {
+std::optional<Foo> decode(net::WireReader& r) {
+  Foo f;
+  f.a = r.u32_le();
+  if (!r.ok()) return std::nullopt;
+  return f;
+}
+}  // namespace t
+)",
+     0},
+    {"local reader checked in same function passes",
+     R"(namespace t {
+int peek(std::span<const std::byte> payload) {
+  net::WireReader r{payload};
+  const auto v = r.u16_le();
+  return r.ok() ? int{v} : -1;
+}
+}  // namespace t
+)",
+     0},
+    {"two readers tracked independently",
+     R"(namespace t {
+void f(net::WireReader& a) {
+  (void)a.u8();
+}
+void g(net::WireReader& b) {
+  (void)b.u8();
+  if (!b.ok()) return;
+}
+}  // namespace t
+)",
+     1},
+    {"delegating without consuming passes",
+     R"(namespace t {
+std::optional<Frame> parse(std::span<const std::byte> data) {
+  net::WireReader r{data};
+  auto eth = EthernetHeader::decode(r);
+  if (!eth) return std::nullopt;
+  return Frame{*eth};
+}
+}  // namespace t
+)",
+     0},
+    {"suppressed reader passes",
+     R"(namespace t {
+Symbol read_symbol(net::WireReader& r) {  // tsn-lint: allow(unchecked-reader)
+  return Symbol{r.ascii(6)};
+}
+}  // namespace t
+)",
+     0},
+    {"memcpy flagged",
+     R"(namespace t {
+void copy(std::byte* dst, const std::byte* src) {
+  std::memcpy(dst, src, 16);
+}
+}  // namespace t
+)",
+     1},
+    {"allowed memcpy passes",
+     R"(namespace t {
+void copy(std::byte* dst, const std::byte* src) {
+  std::memcpy(dst, src, 16);  // tsn-lint: allow(raw-memcpy)
+}
+}  // namespace t
+)",
+     0},
+    {"reinterpret_cast flagged",
+     R"(namespace t {
+const char* view(std::span<const std::byte> b) {
+  return reinterpret_cast<const char*>(b.data());
+}
+}  // namespace t
+)",
+     1},
+    {"commented-out cast ignored",
+     R"(namespace t {
+// return reinterpret_cast<const char*>(b.data());
+int f() { return 0; }
+}  // namespace t
+)",
+     0},
+    {"unchecked length subspan flagged",
+     R"(namespace t {
+std::span<const std::byte> body(std::span<const std::byte> data, std::size_t length) {
+  return data.subspan(4, length);
+}
+}  // namespace t
+)",
+     1},
+    {"length subspan with bounds evidence passes",
+     R"(namespace t {
+std::span<const std::byte> body(std::span<const std::byte> data, std::size_t length) {
+  if (4 + length > data.size()) return {};
+  return data.subspan(4, length);
+}
+}  // namespace t
+)",
+     0},
+    {"constant subspan passes",
+     R"(namespace t {
+std::span<const std::byte> body(std::span<const std::byte> data) {
+  return data.subspan(kHeaderSize, 8);
+}
+}  // namespace t
+)",
+     0},
+    {"string literal containing fake code ignored",
+     R"(namespace t {
+const char* kDoc = "call memcpy( and reinterpret_cast< for fun";
+int f() { return 0; }
+}  // namespace t
+)",
+     0},
+};
+
+int run_self_test() {
+  int failures = 0;
+  for (const Snippet& s : kSnippets) {
+    std::vector<Finding> findings;
+    scan_file(s.name, split_lines(s.code), findings);
+    if (static_cast<int>(findings.size()) != s.expected_findings) {
+      std::cerr << "self-test FAILED: '" << s.name << "': expected " << s.expected_findings
+                << " finding(s), got " << findings.size() << "\n";
+      for (const auto& f : findings) {
+        std::cerr << "    " << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message
+                  << "\n";
+      }
+      ++failures;
+    }
+  }
+  if (failures == 0) {
+    std::cout << "tsn_lint self-test: " << std::size(kSnippets) << " snippets ok\n";
+    return 0;
+  }
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> targets;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--self-test") return run_self_test();
+    if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: tsn_lint [--self-test] <file-or-dir>...\n"
+                   "scans .cpp/.hpp files for wire-safety violations; exits nonzero on findings\n";
+      return 0;
+    }
+    targets.emplace_back(arg);
+  }
+  if (targets.empty()) {
+    std::cerr << "tsn_lint: no targets given (try --help)\n";
+    return 2;
+  }
+
+  std::vector<std::filesystem::path> files;
+  for (const auto& target : targets) {
+    std::filesystem::path p{target};
+    if (std::filesystem::is_directory(p)) {
+      for (const auto& entry : std::filesystem::recursive_directory_iterator(p)) {
+        if (entry.is_regular_file() && scannable(entry.path())) files.push_back(entry.path());
+      }
+    } else if (std::filesystem::is_regular_file(p)) {
+      files.push_back(p);
+    } else {
+      std::cerr << "tsn_lint: no such file or directory: " << target << "\n";
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<Finding> findings;
+  for (const auto& file : files) {
+    scan_file(file.string(), read_lines(file), findings);
+  }
+  for (const auto& f : findings) {
+    std::cout << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message << "\n";
+  }
+  std::cout << "tsn_lint: scanned " << files.size() << " files, " << findings.size()
+            << " finding(s)\n";
+  return findings.empty() ? 0 : 1;
+}
