@@ -9,6 +9,7 @@
 
 #include "core/design.hpp"
 #include "deploy/reference.hpp"
+#include "telemetry/report.hpp"
 
 int main() {
   using namespace tsn;
@@ -61,5 +62,32 @@ int main() {
               measured_network / 6.0);
   std::printf("\npaper: \"half of the overall time through the system is spent in the"
               " network!\"\n");
-  return 0;
+
+  bench::Report bench_report{"design1_leafspine", "Design 1: leaf-spine trading network"};
+  bench_report.param("strategy_count", static_cast<std::int64_t>(config.strategy_count));
+  bench_report.param("events_per_second",
+                     static_cast<std::int64_t>(config.events_per_second));
+  bench_report.param("run_ms", std::int64_t{200});
+  bench_report.metric("analytic_total_ns", analytic.total().nanos(), "ns");
+  bench_report.metric("analytic_network_share", analytic.network_share() * 100.0, "%");
+  bench_report.metric("feed_datagrams", static_cast<double>(report.feed_datagrams), "count");
+  bench_report.metric("normalized_updates", static_cast<double>(report.normalized_updates),
+                      "count");
+  bench_report.metric("updates_received", static_cast<double>(report.updates_received),
+                      "count");
+  bench_report.metric("orders_sent", static_cast<double>(report.orders_sent), "count");
+  bench_report.metric("acks", static_cast<double>(report.acks), "count");
+  bench_report.metric("sequence_gaps", static_cast<double>(report.sequence_gaps), "count");
+  bench_report.metric("frames_dropped", static_cast<double>(report.frames_dropped), "count");
+  bench_report.stats("feed_path_ns", report.feed_path_ns, "ns");
+  bench_report.stats("tick_to_trade_ns", report.tick_to_trade_ns, "ns");
+  bench_report.stats("order_rtt_ns", report.order_rtt_ns, "ns");
+  // §4.1 shape: the network is ~half the analytic round trip, the stack
+  // actually traded, and the fabric carried the feed without loss.
+  bench_report.check("network_share_near_half", analytic.network_share() > 0.40 &&
+                                                    analytic.network_share() < 0.60);
+  bench_report.check("traded", report.orders_sent > 0 && report.acks > 0);
+  bench_report.check("no_sequence_gaps", report.sequence_gaps == 0);
+  bench_report.check("no_fabric_drops", report.frames_dropped == 0);
+  return bench_report.finish();
 }

@@ -12,6 +12,7 @@
 #include "core/design.hpp"
 #include "net/stack.hpp"
 #include "sim/stats.hpp"
+#include "telemetry/report.hpp"
 #include "topo/cloud.hpp"
 
 int main() {
@@ -95,5 +96,23 @@ int main() {
   std::printf("\ncommunication beyond the cloud: %.2f ms one-way (paper: \"latency for\n"
               "communication beyond the cloud will be excessive\")\n",
               (wan_arrival - wan_start).millis());
-  return 0;
+
+  bench::Report bench_report{"design2_cloud", "Design 2: cloud hosting with equalization"};
+  bench_report.param("tenants", static_cast<std::int64_t>(tenants.size()));
+  const double spread_us = deliveries.max() - deliveries.min();
+  bench_report.stats("delivery_us", deliveries, "us");
+  bench_report.metric("fairness_spread_us", spread_us, "us");
+  bench_report.metric("colo_total_ns", colo_breakdown.total().nanos(), "ns");
+  bench_report.metric("cloud_total_ns", cloud_breakdown.total().nanos(), "ns");
+  bench_report.metric("cloud_over_colo",
+                      cloud_breakdown.total().nanos() / colo_breakdown.total().nanos(), "x");
+  bench_report.metric("beyond_cloud_one_way_ms", (wan_arrival - wan_start).millis(), "ms");
+  // §4.2 shape: equalization removes the distance advantage; the price is
+  // orders of magnitude over a colo fabric; beyond-cloud latency is worse.
+  bench_report.check("equalized_spread_under_1us", spread_us < 1.0);
+  bench_report.check("cloud_at_least_10x_colo",
+                     cloud_breakdown.total().nanos() > 10.0 * colo_breakdown.total().nanos());
+  bench_report.check("beyond_cloud_exceeds_equalized",
+                     (wan_arrival - wan_start).millis() > 1.0);
+  return bench_report.finish();
 }

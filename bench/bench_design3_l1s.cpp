@@ -9,18 +9,20 @@
 //     "interface proliferation vs merge congestion" dilemma.
 #include <cstdio>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/design.hpp"
 #include "deploy/reference.hpp"
 #include "feed/framelen.hpp"
 #include "l1s/layer1_switch.hpp"
+#include "telemetry/report.hpp"
 
 namespace {
 
 using namespace tsn;
 
-void run_stack() {
+void run_stack(bench::Report& bench_report) {
   deploy::DeploymentConfig config;
   config.strategy_count = 6;
   config.events_per_second = 50'000;
@@ -39,9 +41,19 @@ void run_stack() {
               report.feed_path_ns.mean(), report.feed_path_ns.percentile(99.0));
   std::printf("  order RTT:                  mean %7.0f ns  p99 %7.0f ns\n\n",
               report.order_rtt_ns.mean(), report.order_rtt_ns.percentile(99.0));
+
+  bench_report.metric("stack.updates_received",
+                      static_cast<double>(report.updates_received), "count");
+  bench_report.metric("stack.orders_sent", static_cast<double>(report.orders_sent), "count");
+  bench_report.metric("stack.sequence_gaps", static_cast<double>(report.sequence_gaps),
+                      "count");
+  bench_report.stats("stack.feed_path_ns", report.feed_path_ns, "ns");
+  bench_report.stats("stack.order_rtt_ns", report.order_rtt_ns, "ns");
+  bench_report.check("stack.traded", report.orders_sent > 0 && report.acks > 0);
+  bench_report.check("stack.no_sequence_gaps", report.sequence_gaps == 0);
 }
 
-void measure_hop_latency() {
+void measure_hop_latency(bench::Report& bench_report) {
   sim::Engine engine;
   net::Fabric fabric{engine};
   l1s::Layer1Switch sw{engine, "l1s", l1s::L1SwitchConfig{}};
@@ -71,9 +83,18 @@ void measure_hop_latency() {
   std::printf("port-to-port latency (ideal links):\n");
   std::printf("  fan-out circuit: %4.0f ns   (paper: 5-6 ns)\n", (plain - start).nanos());
   std::printf("  through a merge: %4.0f ns   (paper: +50 ns)\n\n", (merged - start).nanos());
+
+  bench_report.metric("hop.fanout_ns", (plain - start).nanos(), "ns");
+  bench_report.metric("hop.merge_ns", (merged - start).nanos(), "ns");
+  // §4.3 calibration: fan-out 5-6 ns; a merge adds ~50 ns on top.
+  bench_report.check("hop.fanout_5_6ns",
+                     (plain - start).nanos() >= 4.0 && (plain - start).nanos() <= 8.0);
+  bench_report.check("hop.merge_adds_about_50ns",
+                     (merged - start).nanos() - (plain - start).nanos() >= 30.0 &&
+                         (merged - start).nanos() - (plain - start).nanos() <= 80.0);
 }
 
-void merge_congestion_sweep() {
+void merge_congestion_sweep(bench::Report& bench_report) {
   std::printf("merge congestion: bursty feeds merged onto one 10 GbE strategy NIC\n");
   std::printf("%12s %12s %12s %14s\n", "merged-feeds", "delivered", "dropped", "max-queue(us)");
   for (std::size_t merge_width : {1, 2, 4, 8, 16}) {
@@ -114,6 +135,20 @@ void merge_congestion_sweep() {
                 static_cast<unsigned long long>(delivered),
                 static_cast<unsigned long long>(totals.frames_dropped_queue),
                 totals.max_queue_delay.micros());
+
+    const std::string prefix = "merge" + std::to_string(merge_width);
+    bench_report.metric(prefix + ".delivered", static_cast<double>(delivered), "count");
+    bench_report.metric(prefix + ".dropped",
+                        static_cast<double>(totals.frames_dropped_queue), "count");
+    bench_report.metric(prefix + ".max_queue_us", totals.max_queue_delay.micros(), "us");
+    if (merge_width == 1) {
+      bench_report.check("merge1.lossless", totals.frames_dropped_queue == 0);
+    }
+    if (merge_width == 16) {
+      bench_report.check("merge16.congested",
+                         totals.frames_dropped_queue > 0 ||
+                             totals.max_queue_delay.micros() > 10.0);
+    }
   }
   std::printf("\n(paper: \"market data is bursty, so merged feeds can easily exceed the\n"
               "available bandwidth, leading to latency from queuing or packet loss\")\n");
@@ -123,15 +158,22 @@ void merge_congestion_sweep() {
 
 int main() {
   std::printf("D3: Layer-1 switch trading network (Design 3)\n\n");
+  bench::Report bench_report{"design3_l1s", "Design 3: layer-1 switch trading network"};
   core::TraditionalDesign commodity;
   core::L1SDesign l1s;
+  const double speedup = commodity.tick_to_trade().switching.nanos() /
+                         l1s.tick_to_trade().switching.nanos();
   std::printf("analytic switching latency per round trip: commodity %s vs L1S %s (%.0fx)\n\n",
               sim::to_string(commodity.tick_to_trade().switching).c_str(),
-              sim::to_string(l1s.tick_to_trade().switching).c_str(),
-              commodity.tick_to_trade().switching.nanos() /
-                  l1s.tick_to_trade().switching.nanos());
-  measure_hop_latency();
-  run_stack();
-  merge_congestion_sweep();
-  return 0;
+              sim::to_string(l1s.tick_to_trade().switching).c_str(), speedup);
+  bench_report.metric("analytic.commodity_switching_ns",
+                      commodity.tick_to_trade().switching.nanos(), "ns");
+  bench_report.metric("analytic.l1s_switching_ns", l1s.tick_to_trade().switching.nanos(),
+                      "ns");
+  bench_report.metric("analytic.speedup", speedup, "x");
+  bench_report.check("analytic.l1s_order_of_magnitude_faster", speedup >= 30.0);
+  measure_hop_latency(bench_report);
+  run_stack(bench_report);
+  merge_congestion_sweep(bench_report);
+  return bench_report.finish();
 }

@@ -7,9 +7,11 @@
 // growth over the five years.
 #include <cstdio>
 #include <map>
+#include <string>
 
 #include "feed/trend.hpp"
 #include "sim/stats.hpp"
+#include "telemetry/report.hpp"
 
 int main() {
   using namespace tsn;
@@ -19,6 +21,9 @@ int main() {
   std::map<int, sim::SampleStats> by_year;
   for (const auto& point : series) by_year[point.year].add(point.events);
 
+  bench::Report bench_report{"fig2a_growth", "Figure 2(a): event count by day, 2020-2024"};
+  bench_report.param("trading_days", static_cast<std::int64_t>(series.size()));
+
   std::printf("F2a: market data event count by day (synthetic series, %zu trading days)\n\n",
               series.size());
   std::printf("%6s %14s %14s %14s %16s\n", "year", "min/day", "mean/day", "max/day",
@@ -26,6 +31,12 @@ int main() {
   for (const auto& [year, stats] : by_year) {
     std::printf("%6d %14.3e %14.3e %14.3e %16.0f\n", year, stats.min(), stats.mean(),
                 stats.max(), feed::MarketDataTrendModel::events_per_second(stats.mean()));
+    const std::string prefix = "year" + std::to_string(year);
+    bench_report.metric(prefix + ".mean_events_per_day", stats.mean(), "events");
+    bench_report.metric(prefix + ".max_events_per_day", stats.max(), "events");
+    bench_report.metric(prefix + ".avg_events_per_sec",
+                        feed::MarketDataTrendModel::events_per_second(stats.mean()),
+                        "events/s");
   }
 
   // "Increased 500% over the last 5 years" compares the start of the span
@@ -44,6 +55,15 @@ int main() {
   std::printf("2024 busiest day:    %.2e events (paper: tens of billions per day)\n",
               by_year.at(2024).max());
 
+  bench_report.metric("growth_2020_to_2024", growth, "x");
+  // The paper reads ~500% growth (6x), >500k events/s on average in 2024,
+  // and tens of billions of events on the busiest days.
+  bench_report.check("growth_near_6x", growth > 4.5 && growth < 7.5);
+  bench_report.check(
+      "avg_rate_2024_over_500k",
+      feed::MarketDataTrendModel::events_per_second(by_year.at(2024).mean()) > 500'000.0);
+  bench_report.check("busiest_day_tens_of_billions", by_year.at(2024).max() > 1e10);
+
   // A short excerpt of the raw series, one row per quarter, for plotting.
   std::printf("\nexcerpt (first trading day of each quarter):\n");
   for (const auto& point : series) {
@@ -51,5 +71,5 @@ int main() {
       std::printf("  %d-d%03d  %.3e\n", point.year, point.day_of_year, point.events);
     }
   }
-  return 0;
+  return bench_report.finish();
 }

@@ -8,6 +8,7 @@
 
 #include "feed/intraday.hpp"
 #include "sim/stats.hpp"
+#include "telemetry/report.hpp"
 
 int main() {
   using namespace tsn;
@@ -44,5 +45,21 @@ int main() {
       "\nprocessing budget in the busiest second: %.0f ns/event "
       "(paper: ~650 ns at 1.5M/s)\n",
       1e9 / session.max());
-  return 0;
+
+  bench::Report bench_report{"fig2b_intraday",
+                             "Figure 2(b): per-second event counts across one day"};
+  bench_report.param("year", std::int64_t{2024});
+  bench_report.param("open_second", static_cast<std::int64_t>(profile.config().open_second));
+  bench_report.param("close_second", static_cast<std::int64_t>(profile.config().close_second));
+  bench_report.stats("session_events_per_sec", session, "events/s");
+  bench_report.metric("busiest_second_at", static_cast<double>(busiest_second), "s");
+  bench_report.metric("busiest_second_budget_ns_per_event", 1e9 / session.max(), "ns");
+  // Paper calibration points: median second over 300k, busiest ~1.5M.
+  bench_report.check("median_over_300k", session.median() > 300'000.0);
+  bench_report.check("busiest_near_1_5M",
+                     session.max() > 1'200'000.0 && session.max() < 1'800'000.0);
+  bench_report.check("trading_confined_to_session",
+                     counts[profile.config().open_second - 1] <
+                         counts[static_cast<std::size_t>(busiest_second)] / 10);
+  return bench_report.finish();
 }

@@ -10,6 +10,7 @@
 
 #include "feed/burst.hpp"
 #include "sim/stats.hpp"
+#include "telemetry/report.hpp"
 
 int main() {
   using namespace tsn;
@@ -50,5 +51,19 @@ int main() {
     std::printf("%c", shades[static_cast<int>(9.0 * b / bucket_max)]);
   }
   std::printf("\n");
-  return 0;
+
+  bench::Report bench_report{"fig2c_burst",
+                             "Figure 2(c): events per 100us window in the busiest second"};
+  bench_report.param("busiest_second_events",
+                     static_cast<std::int64_t>(kBusiestSecondEvents));
+  bench_report.param("windows", static_cast<std::int64_t>(counts.size()));
+  bench_report.stats("window_events", stats, "events");
+  bench_report.metric("peak_over_median", stats.max() / stats.median(), "x");
+  bench_report.metric("peak_budget_ns_per_event", 100'000.0 / stats.max(), "ns");
+  // Paper calibration: median window 129 events, peak 1066, ~100 ns/event
+  // budget in the peak window.
+  bench_report.check("median_near_129", stats.median() > 100.0 && stats.median() < 160.0);
+  bench_report.check("peak_near_1066", stats.max() > 800.0 && stats.max() < 1'400.0);
+  bench_report.check("peak_budget_near_100ns", 100'000.0 / stats.max() < 150.0);
+  return bench_report.finish();
 }

@@ -10,6 +10,7 @@
 // wide the merge gets.
 #include <cstdio>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "l1s/fpga_switch.hpp"
@@ -17,6 +18,7 @@
 #include "net/fabric.hpp"
 #include "net/headers.hpp"
 #include "net/nic.hpp"
+#include "telemetry/report.hpp"
 
 namespace {
 
@@ -124,6 +126,9 @@ Result run_fpga_filtered(std::size_t feeds) {
 
 int main() {
   std::printf("R2: safe feed merging via FPGA filtering (§5 Hardware)\n\n");
+  bench::Report bench_report{"fpga_merge", "Safe feed merging via FPGA filtering"};
+  bench_report.param("rounds", static_cast<std::int64_t>(kRounds));
+  bench_report.param("pacing_us", kPacingUs);
   std::printf("strategy subscribes to 2 feeds at ~2 Gb/s each; the merge onto its 10 GbE\n"
               "NIC widens with feeds it does NOT want (each also ~2 Gb/s)\n\n");
   std::printf("%8s | %30s | %30s\n", "", "plain L1S merge", "FPGA-filtered merge");
@@ -143,10 +148,26 @@ int main() {
                 static_cast<unsigned long long>(fpga.dropped));
     fpga_lossless = fpga_lossless && fpga.wanted_delivered == wanted_total &&
                     fpga.unwanted_delivered == 0;
+
+    const std::string prefix = "feeds" + std::to_string(feeds);
+    bench_report.metric(prefix + ".plain_wanted", static_cast<double>(plain.wanted_delivered),
+                        "frames");
+    bench_report.metric(prefix + ".plain_dropped", static_cast<double>(plain.dropped),
+                        "frames");
+    bench_report.metric(prefix + ".fpga_wanted", static_cast<double>(fpga.wanted_delivered),
+                        "frames");
+    bench_report.metric(prefix + ".fpga_unwanted",
+                        static_cast<double>(fpga.unwanted_delivered), "frames");
+    if (feeds >= 16) {
+      // Wide naive merges oversubscribe the NIC: drops or unwanted floods.
+      bench_report.check(prefix + ".plain_merge_suffers",
+                         plain.dropped > 0 || plain.unwanted_delivered > 0);
+    }
   }
   std::printf("\nFPGA merge delivered every wanted frame and nothing else: %s\n",
               fpga_lossless ? "yes" : "NO");
+  bench_report.check("fpga_merge_lossless_and_exact", fpga_lossless);
   std::printf("(\"combined with ... data filtering, it should be possible to safely merge\n"
               "feeds while avoiding these issues\" — the cost is ~100 ns per hop vs 6 ns)\n");
-  return 0;
+  return bench_report.finish();
 }

@@ -6,6 +6,7 @@
 // new order, 14-byte cancel), so header overhead dominates; and (iii) a
 // custom transport with header compression (Xpress) removes most of it.
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "feed/framelen.hpp"
@@ -14,10 +15,13 @@
 #include "proto/pitch.hpp"
 #include "proto/xpress.hpp"
 #include "sim/engine.hpp"
+#include "telemetry/report.hpp"
 
 int main() {
   using namespace tsn;
   std::printf("H1: header overhead and the custom-transport alternative (§5)\n\n");
+  bench::Report bench_report{"header_overhead",
+                             "Header overhead vs a compressing custom transport"};
 
   // Wire time of the standard headers at 10 Gb/s.
   sim::Engine engine;
@@ -28,6 +32,12 @@ int main() {
   std::printf("standard headers (eth+ipv4+udp+fcs): %zu bytes = %.1f ns at 10 Gb/s "
               "(paper: ~40 ns)\n\n",
               std_headers, link.serialization_delay(std_headers).nanos());
+  bench_report.param("standard_header_bytes", static_cast<std::int64_t>(std_headers));
+  bench_report.metric("standard_header_wire_ns", link.serialization_delay(std_headers).nanos(),
+                      "ns");
+  bench_report.check("standard_header_near_40ns",
+                     link.serialization_delay(std_headers).nanos() > 30.0 &&
+                         link.serialization_delay(std_headers).nanos() < 50.0);
 
   // Header share of feed bytes, per Table 1 profile.
   std::printf("header share of market-data feed bytes (200k frames/feed):\n");
@@ -44,9 +54,14 @@ int main() {
       const auto decoded = net::decode_frame(frame);
       if (decoded) payload += decoded->payload.size();
     }
+    const double share =
+        100.0 * (1.0 - static_cast<double>(payload) / static_cast<double>(total));
     std::printf("%-12s %12.1f %14.1f %11.1f%%\n", profile.name.c_str(),
                 static_cast<double>(total) / kFrames, static_cast<double>(payload) / kFrames,
-                100.0 * (1.0 - static_cast<double>(payload) / static_cast<double>(total)));
+                share);
+    bench_report.metric(profile.name + ".header_share", share, "%");
+    bench_report.check(profile.name + ".header_share_significant",
+                       share > 15.0 && share < 70.0);
   }
   std::printf("(paper: headers are 25%%-40%% of the data sent)\n\n");
 
@@ -86,7 +101,28 @@ int main() {
               100.0 * static_cast<double>(pipe.size()) /
                   static_cast<double>((std_headers + new_order) *
                                       static_cast<std::uint64_t>(kMessages)));
+  const double bandwidth_share =
+      100.0 * static_cast<double>(pipe.size()) /
+      static_cast<double>((std_headers + new_order) * static_cast<std::uint64_t>(kMessages));
+  bench_report.param("messages", static_cast<std::int64_t>(kMessages));
+  bench_report.metric("order26B.standard_header_share",
+                      100.0 * static_cast<double>(std_headers) /
+                          static_cast<double>(std_headers + new_order),
+                      "%");
+  bench_report.metric("cancel14B.standard_header_share",
+                      100.0 * static_cast<double>(std_headers) /
+                          static_cast<double>(std_headers + cancel),
+                      "%");
+  bench_report.metric("xpress.avg_header_bytes", xpress_avg_header, "bytes");
+  bench_report.metric("xpress.bandwidth_share", bandwidth_share, "%");
+  // §5 shape: headers dominate tiny order messages; Xpress compresses the
+  // per-frame header to a few bytes and halves the bandwidth.
+  bench_report.check("orders_header_dominated",
+                     static_cast<double>(std_headers) >
+                         static_cast<double>(new_order));
+  bench_report.check("xpress_header_under_8B", xpress_avg_header < 8.0);
+  bench_report.check("xpress_saves_bandwidth", bandwidth_share < 70.0);
   std::printf("\n(the stream id doubles as the filtering/load-balancing key §5 asks custom\n"
               "transports to expose to L1S-resident hardware)\n");
-  return 0;
+  return bench_report.finish();
 }

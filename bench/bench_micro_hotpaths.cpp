@@ -5,6 +5,9 @@
 // at the busiest second's average and ~100 ns/event at its peak (§3).
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "book/order_book.hpp"
 #include "feed/symbols.hpp"
 #include "mcast/mroute.hpp"
@@ -14,6 +17,7 @@
 #include "proto/pitch.hpp"
 #include "proto/xpress.hpp"
 #include "sim/random.hpp"
+#include "telemetry/report.hpp"
 #include "trading/filter.hpp"
 
 namespace {
@@ -172,4 +176,49 @@ void BM_FrameDecodeFullStack(benchmark::State& state) {
 }
 BENCHMARK(BM_FrameDecodeFullStack);
 
+// Forwards console output as usual while collecting per-benchmark timings
+// for the machine-readable report.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Timing {
+    std::string name;
+    double real_ns = 0.0;
+  };
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration) continue;
+      timings_.push_back({run.benchmark_name(), run.GetAdjustedRealTime()});
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  [[nodiscard]] const std::vector<Timing>& timings() const noexcept { return timings_; }
+
+ private:
+  std::vector<Timing> timings_;
+};
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  // Telemetry hooks are compiled in but no TraceSink is installed, so
+  // these timings measure the zero-cost disabled path.
+  tsn::bench::Report bench_report{"micro_hotpaths", "Hot-path microbenchmarks"};
+  bench_report.param("trace_sink", "none");
+  for (const auto& timing : reporter.timings()) {
+    bench_report.metric(timing.name, timing.real_ns, "ns");
+    // Generous ceiling: every hot path stays sub-microsecond-ish; a blown
+    // budget here means an accidental hot-path regression (e.g. telemetry
+    // hooks no longer compiling out).
+    bench_report.check(timing.name + ".under_5us", timing.real_ns < 5'000.0);
+  }
+  bench_report.check("all_benchmarks_ran", reporter.timings().size() >= 10);
+  return bench_report.finish();
+}

@@ -6,24 +6,35 @@
 // and how wide do L1S merges have to get when strategies only have a few
 // market-data NICs?
 #include <cstdio>
+#include <string>
 #include <unordered_map>
 
 #include "cluster/manager.hpp"
 #include "core/mcast_analysis.hpp"
 #include "l2/trends.hpp"
 #include "sim/random.hpp"
+#include "telemetry/report.hpp"
 
 int main() {
   using namespace tsn;
   std::printf("S1: partition scaling (600 -> 1300 in two years, and onward)\n\n");
 
+  bench::Report bench_report{"partition_scaling",
+                             "Partition growth vs mroute capacity and L1S merges"};
+
   core::PartitionDemandModel demand;
+  bool ever_overflows = false;
   std::printf("%6s %12s %14s %10s\n", "year", "partitions", "mroute-cap", "fits");
   for (int year = 2020; year <= 2028; ++year) {
     const auto report = core::mcast_capacity_at(year, demand);
     std::printf("%6d %12zu %14zu %10s\n", year, report.demand, report.capacity,
                 report.fits ? "yes" : "NO");
+    bench_report.metric("year" + std::to_string(year) + ".demand",
+                        static_cast<double>(report.demand), "partitions");
+    ever_overflows = ever_overflows || !report.fits;
   }
+  // §3's trajectory: demand eventually outruns the hardware table.
+  bench_report.check("demand_outruns_capacity", ever_overflows);
 
   // L1S subscription planning: a strategy subscribing to k of the firm's
   // partitions with a fixed market-data NIC budget. Partition activity is
@@ -52,10 +63,23 @@ int main() {
     for (const auto p : plan.merged) merged_weight += weight[p];
     std::printf("%14u %12zu %12zu %16.1f%%\n", subs, plan.dedicated.size(),
                 plan.merged.size(), 100.0 * merged_weight / total_weight);
+    const std::string prefix = "subs" + std::to_string(subs);
+    bench_report.metric(prefix + ".dedicated", static_cast<double>(plan.dedicated.size()),
+                        "nics");
+    bench_report.metric(prefix + ".merged", static_cast<double>(plan.merged.size()),
+                        "partitions");
+    bench_report.metric(prefix + ".merged_traffic", 100.0 * merged_weight / total_weight,
+                        "%");
+    if (subs <= 3) {
+      bench_report.check(prefix + ".fits_without_merge", plan.merged.empty());
+    }
+    if (subs >= 600) {
+      bench_report.check(prefix + ".merge_required", plan.merged.size() > subs / 2);
+    }
   }
   std::printf("\n(paper §4.3: limiting subscriptions means normalizers \"cannot be\n"
               "partitioned as widely, leading to increased latency and reduced\n"
               "performance\" — the merged share above is the traffic at risk of\n"
               "burst congestion on the shared NIC)\n");
-  return 0;
+  return bench_report.finish();
 }

@@ -5,11 +5,13 @@
 // framing; lengths are measured on the produced bytes). Also reports the
 // header-share figures §3 quotes against the same sample.
 #include <cstdio>
+#include <string>
 
 #include "feed/framelen.hpp"
 #include "net/headers.hpp"
 #include "proto/pitch.hpp"
 #include "sim/stats.hpp"
+#include "telemetry/report.hpp"
 
 namespace {
 
@@ -29,6 +31,10 @@ int main() {
       {"Exchange B", feed::exchange_b_profile(), {64, 113, 76, 1067}},
       {"Exchange C", feed::exchange_c_profile(), {81, 151, 101, 1442}},
   };
+
+  bench::Report bench_report{"table1_frame_lengths",
+                             "Table 1: frame lengths from market data feeds"};
+  bench_report.param("frames_per_feed", static_cast<std::int64_t>(kFrames));
 
   std::printf("T1: Table 1 — frame lengths from market data feeds (%d frames per feed)\n\n",
               kFrames);
@@ -57,13 +63,34 @@ int main() {
     std::printf("%-12s %8.0f %8.1f %8.0f %8.0f    (%d / %d / %d / %d)\n", row.name,
                 lengths.min(), lengths.mean(), lengths.median(), lengths.max(), row.paper[0],
                 row.paper[1], row.paper[2], row.paper[3]);
+    const double header_share =
+        100.0 * static_cast<double>(header_bytes) / static_cast<double>(total_bytes);
     std::printf("%12s headers+fcs+unit: %.1f%% of bytes; %.2f messages/frame\n", "",
-                100.0 * static_cast<double>(header_bytes) / static_cast<double>(total_bytes),
-                static_cast<double>(messages) / kFrames);
+                header_share, static_cast<double>(messages) / kFrames);
+
+    const std::string prefix = row.profile.name;
+    bench_report.stats(prefix + ".frame_len", lengths, "bytes");
+    bench_report.metric(prefix + ".header_share", header_share, "%");
+    bench_report.metric(prefix + ".messages_per_frame",
+                        static_cast<double>(messages) / kFrames, "count");
+    // Table 1's shape: the sampler is calibrated to the paper's rows.
+    auto near = [](double measured, int paper, double tolerance) {
+      return measured > (1.0 - tolerance) * paper && measured < (1.0 + tolerance) * paper;
+    };
+    bench_report.check(prefix + ".min_near_paper", near(lengths.min(), row.paper[0], 0.15));
+    bench_report.check(prefix + ".mean_near_paper", near(lengths.mean(), row.paper[1], 0.15));
+    bench_report.check(prefix + ".median_near_paper",
+                       near(lengths.median(), row.paper[2], 0.15));
+    bench_report.check(prefix + ".max_near_paper", near(lengths.max(), row.paper[3], 0.15));
+    // §3: headers are a large fraction of the bytes sent (sanity window —
+    // the small-frame profiles sit above the paper's 25-40% band because
+    // our fixed 54 B of framing dominates short frames).
+    bench_report.check(prefix + ".header_share_sane",
+                       header_share >= 15.0 && header_share <= 70.0);
   }
   std::printf(
       "\nPaper claim (§3): 40 bytes of network headers plus 8-16 bytes of protocol\n"
       "headers are 25%%-40%% of the data sent. Our stack: 42 B eth/ip/udp + 4 B FCS\n"
       "+ 8 B sequenced-unit header per datagram.\n");
-  return 0;
+  return bench_report.finish();
 }

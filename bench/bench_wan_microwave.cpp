@@ -7,8 +7,10 @@
 // latency a firm pays McKay-Brothers-class providers to remove; the rainy
 // run shows why the fiber stays plugged in.
 #include <cstdio>
+#include <string>
 
 #include "deploy/multicolo.hpp"
+#include "telemetry/report.hpp"
 
 namespace {
 
@@ -31,32 +33,49 @@ deploy::DeploymentReport run(wan::LinkTech tech, bool raining, sim::Duration* wa
 
 int main() {
   std::printf("W1: Carteret exchange -> Secaucus trading stack across the metro WAN\n\n");
+  bench::Report bench_report{"wan_microwave", "Inter-colo WAN: microwave vs fiber"};
   std::printf("%-22s %12s %14s %12s %10s\n", "circuit", "wan-delay", "feed-path(us)",
               "order-rtt(us)", "gaps");
   struct Case {
     const char* name;
+    const char* key;
     wan::LinkTech tech;
     bool raining;
   };
   double fiber_feed_us = 0.0;
   double microwave_feed_us = 0.0;
-  for (const Case c : {Case{"fiber", wan::LinkTech::kFiber, false},
-                       Case{"microwave (dry)", wan::LinkTech::kMicrowave, false},
-                       Case{"microwave (raining)", wan::LinkTech::kMicrowave, true}}) {
+  std::uint64_t rainy_gaps = 0;
+  for (const Case c : {Case{"fiber", "fiber", wan::LinkTech::kFiber, false},
+                       Case{"microwave (dry)", "microwave_dry", wan::LinkTech::kMicrowave,
+                            false},
+                       Case{"microwave (raining)", "microwave_rain",
+                            wan::LinkTech::kMicrowave, true}}) {
     sim::Duration wan_delay;
     const auto report = run(c.tech, c.raining, &wan_delay);
     std::printf("%-22s %9.1f us %14.1f %12.1f %10llu\n", c.name, wan_delay.micros(),
                 report.feed_path_ns.mean() / 1'000.0, report.order_rtt_ns.mean() / 1'000.0,
                 static_cast<unsigned long long>(report.sequence_gaps));
+    const std::string prefix = c.key;
+    bench_report.metric(prefix + ".wan_delay_us", wan_delay.micros(), "us");
+    bench_report.metric(prefix + ".feed_path_us", report.feed_path_ns.mean() / 1'000.0, "us");
+    bench_report.metric(prefix + ".order_rtt_us", report.order_rtt_ns.mean() / 1'000.0, "us");
+    bench_report.metric(prefix + ".sequence_gaps", static_cast<double>(report.sequence_gaps),
+                        "count");
     if (c.tech == wan::LinkTech::kFiber) fiber_feed_us = report.feed_path_ns.mean() / 1'000.0;
     if (c.tech == wan::LinkTech::kMicrowave && !c.raining) {
       microwave_feed_us = report.feed_path_ns.mean() / 1'000.0;
     }
+    if (c.raining) rainy_gaps = report.sequence_gaps;
   }
   std::printf("\nmicrowave advantage on the feed path: %.1f us one-way\n",
               fiber_feed_us - microwave_feed_us);
+  bench_report.metric("microwave_advantage_us", fiber_feed_us - microwave_feed_us, "us");
+  // §2 shape: air beats glass on the straight path, but rain costs data.
+  bench_report.check("microwave_faster_than_fiber",
+                     microwave_feed_us + 1.0 < fiber_feed_us);
+  bench_report.check("rain_causes_gaps", rainy_gaps > 0);
   std::printf("(§2: microwave links are used \"even though they are both less reliable\n"
               "(e.g., rain can cause packet loss) and offer less bandwidth\" — the rainy\n"
               "run shows the sequence gaps the normalizer detects)\n");
-  return 0;
+  return bench_report.finish();
 }

@@ -20,25 +20,13 @@ void Tap::receive(const net::PacketPtr& packet, net::PortId port) {
   }
   records_.push_back(CaptureRecord{packet->id(), static_cast<std::uint32_t>(packet->size_bytes()),
                                    port, now, clock_.stamp(now)});
+  ++frames_tapped_;
+  bytes_tapped_ += packet->size_bytes();
   if (packet_hook_) packet_hook_(packet, port, now);
   // Pass-through: a splitter adds no forwarding latency. Port 0 traffic
   // continues out of port 1's egress and vice versa.
   net::Link* out = egress_[port ^ 1];
   if (out != nullptr) out->transmit(packet);
-}
-
-void LatencyTracker::record_cause(std::uint64_t cause_id, sim::Time at) {
-  causes_[cause_id] = at;
-}
-
-bool LatencyTracker::record_effect(std::uint64_t cause_id, sim::Time at) {
-  const auto it = causes_.find(cause_id);
-  if (it == causes_.end()) {
-    ++unmatched_;
-    return false;
-  }
-  samples_.add((at - it->second).nanos());
-  return true;
 }
 
 }  // namespace tsn::capture

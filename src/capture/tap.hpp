@@ -12,13 +12,12 @@
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "net/fabric.hpp"
 #include "sim/engine.hpp"
 #include "sim/random.hpp"
-#include "sim/stats.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace tsn::capture {
 
@@ -71,6 +70,16 @@ class Tap final : public net::PortedDevice {
   // Bounds memory for long runs: keep only the newest `limit` records.
   void set_record_limit(std::size_t limit) noexcept { record_limit_ = limit; }
 
+  // Registers capture-volume gauges under "<prefix>".
+  void register_metrics(telemetry::Registry& registry, const std::string& prefix) const {
+    registry.gauge(prefix + ".records",
+                   [this] { return static_cast<double>(records_.size()); });
+    registry.gauge(prefix + ".frames_tapped",
+                   [this] { return static_cast<double>(frames_tapped_); });
+    registry.gauge(prefix + ".bytes_tapped",
+                   [this] { return static_cast<double>(bytes_tapped_); });
+  }
+
  private:
   sim::Engine& engine_;
   std::string name_;
@@ -79,25 +88,14 @@ class Tap final : public net::PortedDevice {
   PacketHook packet_hook_;
   std::vector<CaptureRecord> records_;
   std::size_t record_limit_ = 1 << 22;
+  // Totals survive record eviction/clear, so gauges stay monotonic.
+  std::uint64_t frames_tapped_ = 0;
+  std::uint64_t bytes_tapped_ = 0;
 };
 
-// Matches cause/effect event pairs and accumulates latency samples — the
-// paper's strategy-latency measurement (order-out time minus most recent
-// input-event time).
-class LatencyTracker {
- public:
-  void record_cause(std::uint64_t cause_id, sim::Time at);
-  // Records the effect and, if the cause is known, adds a latency sample
-  // (in nanoseconds). Returns true when matched.
-  bool record_effect(std::uint64_t cause_id, sim::Time at);
-
-  [[nodiscard]] const sim::SampleStats& latencies_ns() const noexcept { return samples_; }
-  [[nodiscard]] std::uint64_t unmatched_effects() const noexcept { return unmatched_; }
-
- private:
-  std::unordered_map<std::uint64_t, sim::Time> causes_;
-  sim::SampleStats samples_;
-  std::uint64_t unmatched_ = 0;
-};
+// Cause/effect latency matching — the paper's strategy-latency measurement
+// (order-out time minus most recent input-event time) — moved behind the
+// telemetry metrics API; aliased here for existing call sites.
+using LatencyTracker = telemetry::LatencyTracker;
 
 }  // namespace tsn::capture

@@ -1,6 +1,8 @@
 #include "core/latency_model.hpp"
 
+#include <algorithm>
 #include <cstdio>
+#include <utility>
 
 namespace tsn::core {
 
@@ -37,6 +39,51 @@ LatencyBreakdown evaluate(const PathSpec& path) noexcept {
                                       static_cast<std::int64_t>(path.link_traversals)};
   }
   out.propagation = path.propagation_total;
+  return out;
+}
+
+TraceDecomposition decompose(std::vector<telemetry::Span> spans) {
+  std::erase_if(spans, [](const telemetry::Span& s) { return !s.tiles(); });
+  std::sort(spans.begin(), spans.end(), [](const telemetry::Span& a, const telemetry::Span& b) {
+    return a.t_in != b.t_in ? a.t_in < b.t_in : a.t_out < b.t_out;
+  });
+  TraceDecomposition out;
+  if (spans.empty()) return out;
+  out.first_in = spans.front().t_in;
+  out.last_out = spans.front().t_out;
+  for (const telemetry::Span& s : spans) {
+    out.last_out = std::max(out.last_out, s.t_out);
+    out.total = out.total + s.duration();
+    switch (s.kind) {
+      case telemetry::SpanKind::kSwitch:
+        ++out.switch_hops;
+        out.switching = out.switching + s.duration();
+        break;
+      case telemetry::SpanKind::kL1sFanout:
+        ++out.l1s_fanout_hops;
+        out.switching = out.switching + s.duration();
+        break;
+      case telemetry::SpanKind::kL1sMerge:
+        ++out.l1s_merge_hops;
+        out.switching = out.switching + s.duration();
+        break;
+      case telemetry::SpanKind::kSoftware:
+        ++out.software_hops;
+        out.software = out.software + s.duration();
+        break;
+      case telemetry::SpanKind::kMatcher:
+        ++out.matcher_hops;
+        out.software = out.software + s.duration();
+        break;
+      case telemetry::SpanKind::kLink:
+      case telemetry::SpanKind::kWan:
+        ++out.link_traversals;
+        out.wire = out.wire + s.duration();
+        break;
+      case telemetry::SpanKind::kNicRx:
+        break;  // filtered above
+    }
+  }
   return out;
 }
 

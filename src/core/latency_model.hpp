@@ -9,8 +9,10 @@
 
 #include <cstddef>
 #include <string>
+#include <vector>
 
 #include "sim/time.hpp"
+#include "telemetry/trace.hpp"
 
 namespace tsn::core {
 
@@ -58,5 +60,36 @@ struct PathSpec {
 };
 
 [[nodiscard]] LatencyBreakdown evaluate(const PathSpec& path) noexcept;
+
+// Decomposition of one *recorded* trace (telemetry spans) into the same hop
+// categories the analytical model uses — the bridge between hop arithmetic
+// and what the event-driven simulation actually did. Spans whose kind does
+// not tile (kNicRx) are ignored; the rest are expected to partition the
+// end-to-end interval exactly.
+struct TraceDecomposition {
+  std::size_t switch_hops = 0;      // kSwitch spans
+  std::size_t l1s_fanout_hops = 0;  // kL1sFanout spans
+  std::size_t l1s_merge_hops = 0;   // kL1sMerge spans
+  std::size_t software_hops = 0;    // kSoftware spans
+  std::size_t matcher_hops = 0;     // kMatcher spans
+  std::size_t link_traversals = 0;  // kLink + kWan spans
+
+  sim::Duration switching;  // commodity + L1S + fan-out pipeline time
+  sim::Duration software;   // application hosts + matching engine
+  sim::Duration wire;       // serialization + propagation + queue wait
+  sim::Duration total;      // sum of all tiling span durations
+
+  sim::Time first_in;  // earliest tiling t_in
+  sim::Time last_out;  // latest tiling t_out
+
+  [[nodiscard]] sim::Duration end_to_end() const noexcept { return last_out - first_in; }
+  // True when the tiling spans partition [first_in, last_out] with no gaps
+  // or overlaps: sum of durations == end-to-end, exactly, at ps resolution.
+  [[nodiscard]] bool tiles_exactly() const noexcept {
+    return total == end_to_end();
+  }
+};
+
+[[nodiscard]] TraceDecomposition decompose(std::vector<telemetry::Span> spans);
 
 }  // namespace tsn::core

@@ -66,6 +66,35 @@ DeploymentReport Deployment::report() const {
   return out;
 }
 
+void Deployment::register_metrics(telemetry::Registry& registry) const {
+  exchange_->register_metrics(registry, "exchange");
+  normalizer_->register_metrics(registry, "normalizer");
+  gateway_->register_metrics(registry, "gateway");
+  for (const auto& strategy : strategies_) {
+    strategy->register_metrics(registry, "strategy." + strategy->config().name);
+  }
+  fabric_.register_metrics(registry, "fabric");
+}
+
+void LeafSpineDeployment::register_metrics(telemetry::Registry& registry) const {
+  Deployment::register_metrics(registry);
+  for (std::size_t i = 0; i < topo_->leaf_count(); ++i) {
+    topo_->leaf(i).register_metrics(registry, "switch");
+  }
+  for (std::size_t i = 0; i < topo_->spine_count(); ++i) {
+    topo_->spine(i).register_metrics(registry, "switch");
+  }
+}
+
+void QuadL1sDeployment::register_metrics(telemetry::Registry& registry) const {
+  Deployment::register_metrics(registry);
+  using topo::Stage;
+  for (const Stage stage :
+       {Stage::kFeeds, Stage::kNormDist, Stage::kOrderAgg, Stage::kToExchange}) {
+    topo_->stage_switch(stage).register_metrics(registry, "l1s");
+  }
+}
+
 namespace {
 
 struct BuiltApps {

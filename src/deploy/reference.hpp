@@ -64,6 +64,11 @@ class Deployment {
 
   [[nodiscard]] DeploymentReport report() const;
 
+  // Registers every box's metrics (exchange, normalizer, gateway,
+  // strategies, fabric aggregate) plus fabric-specific switch metrics in
+  // subclasses. One call gives a run a full observability surface.
+  virtual void register_metrics(telemetry::Registry& registry) const;
+
   [[nodiscard]] sim::Engine& engine() noexcept { return engine_; }
   [[nodiscard]] exchange::Exchange& exchange() noexcept { return *exchange_; }
   [[nodiscard]] trading::Normalizer& normalizer() noexcept { return *normalizer_; }
@@ -99,6 +104,9 @@ class LeafSpineDeployment final : public Deployment {
 
   [[nodiscard]] static topo::LeafSpineConfig default_topo();
 
+  // Base metrics plus every leaf/spine switch (including mroute tables).
+  void register_metrics(telemetry::Registry& registry) const override;
+
  private:
   std::unique_ptr<topo::LeafSpineFabric> topo_;
 };
@@ -113,6 +121,9 @@ class QuadL1sDeployment final : public Deployment {
                              topo::QuadL1Config topo_config = topo::QuadL1Config{});
 
   [[nodiscard]] topo::QuadL1Fabric& topology() noexcept { return *topo_; }
+
+  // Base metrics plus the four stage switches.
+  void register_metrics(telemetry::Registry& registry) const override;
 
  private:
   std::unique_ptr<topo::QuadL1Fabric> topo_;

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "telemetry/trace.hpp"
+
 namespace tsn::exchange {
 
 namespace {
@@ -194,7 +196,15 @@ void Exchange::schedule_flush(std::uint8_t unit_index) {
   engine_.schedule_in(sim::Duration::zero(), [this, unit_index] {
     Unit& u = *units_.at(unit_index);
     u.flush_scheduled = false;
-    u.builder_.flush();
+    // Each feed datagram flush is a trace origin: the datagram (and every
+    // frame replicated from it downstream) carries a fresh trace id, so a
+    // tick-to-trade chain can be reconstructed hop by hop.
+    if (auto* s = telemetry::sink()) {
+      telemetry::TraceScope scope{s->begin_trace(engine_.now())};
+      u.builder_.flush();
+    } else {
+      u.builder_.flush();
+    }
   });
 }
 
@@ -277,6 +287,30 @@ void Exchange::heartbeat_tick() {
   engine_.schedule_in(config_.heartbeat_interval, [this] { heartbeat_tick(); });
 }
 
+void Exchange::register_metrics(telemetry::Registry& registry, const std::string& prefix) const {
+  registry.gauge(prefix + ".feed_messages",
+                 [this] { return static_cast<double>(stats_.feed_messages); });
+  registry.gauge(prefix + ".feed_datagrams",
+                 [this] { return static_cast<double>(stats_.feed_datagrams); });
+  registry.gauge(prefix + ".orders_received",
+                 [this] { return static_cast<double>(stats_.orders_received); });
+  registry.gauge(prefix + ".orders_accepted",
+                 [this] { return static_cast<double>(stats_.orders_accepted); });
+  registry.gauge(prefix + ".orders_rejected",
+                 [this] { return static_cast<double>(stats_.orders_rejected); });
+  registry.gauge(prefix + ".cancels_received",
+                 [this] { return static_cast<double>(stats_.cancels_received); });
+  registry.gauge(prefix + ".cancel_rejects",
+                 [this] { return static_cast<double>(stats_.cancel_rejects); });
+  registry.gauge(prefix + ".fills_sent", [this] { return static_cast<double>(stats_.fills_sent); });
+  registry.gauge(prefix + ".heartbeats_sent",
+                 [this] { return static_cast<double>(stats_.heartbeats_sent); });
+  registry.gauge(prefix + ".sessions_timed_out",
+                 [this] { return static_cast<double>(stats_.sessions_timed_out); });
+  registry.gauge(prefix + ".snapshots_published",
+                 [this] { return static_cast<double>(snapshots_published_); });
+}
+
 void Exchange::notify_fill(const book::Execution& execution) {
   struct Leg {
     proto::OrderId exchange_id;
@@ -314,14 +348,22 @@ void Exchange::on_accept_session(net::TcpEndpoint& endpoint) {
   session->last_rx = engine_.now();
   Session* raw = session.get();
   sessions_.push_back(std::move(session));
-  endpoint.set_data_handler([this, raw](std::span<const std::byte> bytes, sim::Time) {
+  endpoint.set_data_handler([this, raw](std::span<const std::byte> bytes, sim::Time arrival) {
     raw->last_rx = engine_.now();
     raw->parser.feed(bytes);
     while (auto decoded = raw->parser.next()) {
       // Matching-engine latency separates wire arrival from book action.
       const proto::boe::Message message = decoded->message;
-      engine_.schedule_in(config_.matching_latency,
-                          [this, raw, message] { on_session_message(*raw, message); });
+      const telemetry::TraceId trace = telemetry::current_trace();
+      engine_.schedule_in(config_.matching_latency, [this, raw, message, trace, arrival] {
+        // Deliberately no ambient TraceScope here: the matcher is the end
+        // of the tick-to-trade chain, so responses and the feed events the
+        // match produces are not stamped with the inbound order's trace
+        // (feed flushes start traces of their own).
+        on_session_message(*raw, message);
+        telemetry::record_span(trace, config_.name, telemetry::SpanKind::kMatcher, arrival,
+                               engine_.now());
+      });
     }
   });
 }

@@ -26,6 +26,7 @@
 #include "proto/partition.hpp"
 #include "proto/pitch.hpp"
 #include "sim/engine.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace tsn::exchange {
 
@@ -127,6 +128,9 @@ class Exchange {
 
   [[nodiscard]] const ExchangeStats& stats() const noexcept { return stats_; }
   [[nodiscard]] sim::Engine& engine() noexcept { return engine_; }
+
+  // Registers feed/order-flow/session gauges under "<prefix>".
+  void register_metrics(telemetry::Registry& registry, const std::string& prefix) const;
 
  private:
   class FeedListener;

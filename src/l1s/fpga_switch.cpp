@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "telemetry/trace.hpp"
+
 namespace tsn::l1s {
 
 FpgaSwitch::FpgaSwitch(sim::Engine& engine, std::string name, FpgaSwitchConfig config)
@@ -69,12 +71,14 @@ void FpgaSwitch::receive(const net::PacketPtr& packet, net::PortId in_port) {
   }
   ++stats_.frames_forwarded;
   auto self = this;
+  const sim::Time rx = engine_.now();
   for (net::PortId out : it->second) {
     if (out == in_port || out >= egress_.size() || egress_[out] == nullptr) continue;
     ++stats_.replications;
     net::Link* link = egress_[out];
-    engine_.schedule_in(config_.forwarding_latency, [self, link, packet] {
-      (void)self;
+    engine_.schedule_in(config_.forwarding_latency, [self, link, packet, rx] {
+      telemetry::record_span(packet->trace(), self->name_, telemetry::SpanKind::kL1sFanout, rx,
+                             self->engine_.now());
       link->transmit(packet);
     });
   }

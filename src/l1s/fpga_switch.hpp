@@ -21,6 +21,7 @@
 #include "net/fabric.hpp"
 #include "net/headers.hpp"
 #include "sim/engine.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace tsn::l1s {
 
@@ -60,6 +61,20 @@ class FpgaSwitch final : public net::PortedDevice {
   [[nodiscard]] std::string_view name() const noexcept override { return name_; }
   [[nodiscard]] const FpgaStats& stats() const noexcept { return stats_; }
   [[nodiscard]] const FpgaSwitchConfig& config() const noexcept { return config_; }
+
+  // Registers forwarding/filter gauges under "<prefix>.<name>".
+  void register_metrics(telemetry::Registry& registry, const std::string& prefix) const {
+    const std::string base = prefix + "." + name_;
+    registry.gauge(base + ".frames_forwarded",
+                   [this] { return static_cast<double>(stats_.frames_forwarded); });
+    registry.gauge(base + ".frames_filtered",
+                   [this] { return static_cast<double>(stats_.frames_filtered); });
+    registry.gauge(base + ".no_group_drops",
+                   [this] { return static_cast<double>(stats_.no_group_drops); });
+    registry.gauge(base + ".replications",
+                   [this] { return static_cast<double>(stats_.replications); });
+    registry.gauge(base + ".groups", [this] { return static_cast<double>(groups_.size()); });
+  }
 
  private:
   struct Range {

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "core/check.hpp"
+#include "telemetry/trace.hpp"
 
 namespace tsn::l1s {
 
@@ -63,6 +64,7 @@ void Layer1Switch::receive(const net::PacketPtr& packet, net::PortId in_port) {
     return;
   }
   auto self = this;
+  const sim::Time rx = engine_.now();
   for (net::PortId out : patch_map_[in_port]) {
     net::Link* link = egress_[out];
     if (link == nullptr) continue;
@@ -71,8 +73,11 @@ void Layer1Switch::receive(const net::PacketPtr& packet, net::PortId in_port) {
         config_.fanout_latency + (merged ? config_.merge_latency : sim::Duration::zero());
     ++stats_.frames_forwarded;
     if (merged) ++stats_.merged_frames;
-    engine_.schedule_in(delay, [self, link, packet] {
-      (void)self;
+    engine_.schedule_in(delay, [self, link, packet, rx, merged] {
+      telemetry::record_span(packet->trace(), self->name_,
+                             merged ? telemetry::SpanKind::kL1sMerge
+                                    : telemetry::SpanKind::kL1sFanout,
+                             rx, self->engine_.now());
       link->transmit(packet);
     });
   }

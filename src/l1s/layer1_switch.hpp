@@ -19,6 +19,7 @@
 
 #include "net/fabric.hpp"
 #include "sim/engine.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace tsn::l1s {
 
@@ -59,6 +60,19 @@ class Layer1Switch final : public net::PortedDevice {
   [[nodiscard]] std::string_view name() const noexcept override { return name_; }
   [[nodiscard]] const L1Stats& stats() const noexcept { return stats_; }
   [[nodiscard]] const L1SwitchConfig& config() const noexcept { return config_; }
+
+  // Registers forwarding counters as gauges under "<prefix>.<name>".
+  void register_metrics(telemetry::Registry& registry, const std::string& prefix) const {
+    const std::string base = prefix + "." + name_;
+    registry.gauge(base + ".frames_forwarded",
+                   [this] { return static_cast<double>(stats_.frames_forwarded); });
+    registry.gauge(base + ".frames_unpatched",
+                   [this] { return static_cast<double>(stats_.frames_unpatched); });
+    registry.gauge(base + ".merged_frames",
+                   [this] { return static_cast<double>(stats_.merged_frames); });
+    registry.gauge(base + ".circuits",
+                   [this] { return static_cast<double>(circuit_count()); });
+  }
 
  private:
   sim::Engine& engine_;

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "core/check.hpp"
+#include "telemetry/trace.hpp"
 
 namespace tsn::l2 {
 
@@ -137,12 +138,20 @@ void CommoditySwitch::forward_unicast(const net::PacketPtr& packet,
     std::vector<std::byte> bytes{packet->frame().begin(), packet->frame().end()};
     const auto& mac = it->second.octets();
     for (std::size_t i = 0; i < 6; ++i) bytes[i] = static_cast<std::byte>(mac[i]);
-    out = std::make_shared<net::Packet>(std::move(bytes), packet->created(), packet->id());
+    out = std::make_shared<net::Packet>(std::move(bytes), packet->created(), packet->id(),
+                                        packet->trace());
   }
   ++stats_.unicast_forwarded;
   const sim::Duration delay = config_.forwarding_latency;
   auto self = this;
-  engine_.schedule_in(delay, [self, out, out_port] { self->transmit_on(out_port, out); });
+  const sim::Time rx = engine_.now();
+  engine_.schedule_in(delay, [self, out, out_port, rx] {
+    // Switch span: frame rx to egress hand-off; the route/mroute lookup and
+    // pipeline latency are inside it.
+    telemetry::record_span(out->trace(), self->name_, telemetry::SpanKind::kSwitch, rx,
+                           self->engine_.now());
+    self->transmit_on(out_port, out);
+  });
 }
 
 void CommoditySwitch::forward_multicast(const net::PacketPtr& packet, net::Ipv4Addr group,
@@ -210,10 +219,15 @@ void CommoditySwitch::replicate(const net::PacketPtr& packet,
                                 const std::vector<net::PortId>& ports, net::PortId in_port,
                                 sim::Duration extra_delay) {
   auto self = this;
+  const sim::Time rx = engine_.now();
   for (net::PortId port : ports) {
     if (port == in_port) continue;
     ++stats_.replications;
-    engine_.schedule_in(extra_delay, [self, packet, port] { self->transmit_on(port, packet); });
+    engine_.schedule_in(extra_delay, [self, packet, port, rx] {
+      telemetry::record_span(packet->trace(), self->name_, telemetry::SpanKind::kSwitch, rx,
+                             self->engine_.now());
+      self->transmit_on(port, packet);
+    });
   }
 }
 
@@ -239,6 +253,32 @@ void CommoditySwitch::handle_igmp(const net::PacketPtr& packet,
     if (router_port_[p] && p != in_port) uplinks.push_back(p);
   }
   replicate(packet, uplinks, in_port, config_.forwarding_latency);
+}
+
+void CommoditySwitch::register_metrics(telemetry::Registry& registry,
+                                       const std::string& prefix) const {
+  const std::string base = prefix + "." + name_;
+  registry.gauge(base + ".unicast_forwarded",
+                 [this] { return static_cast<double>(stats_.unicast_forwarded); });
+  registry.gauge(base + ".multicast_hw_forwarded",
+                 [this] { return static_cast<double>(stats_.multicast_hw_forwarded); });
+  registry.gauge(base + ".multicast_sw_forwarded",
+                 [this] { return static_cast<double>(stats_.multicast_sw_forwarded); });
+  registry.gauge(base + ".software_queue_drops",
+                 [this] { return static_cast<double>(stats_.software_queue_drops); });
+  registry.gauge(base + ".no_route_drops",
+                 [this] { return static_cast<double>(stats_.no_route_drops); });
+  registry.gauge(base + ".no_group_drops",
+                 [this] { return static_cast<double>(stats_.no_group_drops); });
+  registry.gauge(base + ".replications",
+                 [this] { return static_cast<double>(stats_.replications); });
+  // Current depth of the software forwarding queue (in service times).
+  registry.gauge(base + ".software_queue_depth", [this] {
+    const sim::Time now = engine_.now();
+    if (software_free_at_ <= now) return 0.0;
+    return static_cast<double>((software_free_at_ - now) / config_.software_service_time);
+  });
+  mroutes_.register_metrics(registry, base + ".mroute");
 }
 
 void CommoditySwitch::start_querier() {

@@ -92,6 +92,9 @@ class CommoditySwitch final : public net::PortedDevice {
 
   [[nodiscard]] std::string_view name() const noexcept override { return name_; }
   [[nodiscard]] const SwitchStats& stats() const noexcept { return stats_; }
+  // Registers forwarding/drop counters and mroute occupancy as telemetry
+  // gauges under "<prefix>.<switch name>".
+  void register_metrics(telemetry::Registry& registry, const std::string& prefix) const;
   [[nodiscard]] std::uint64_t memberships_aged_out() const noexcept { return aged_out_; }
   [[nodiscard]] const mcast::MrouteTable& mroutes() const noexcept { return mroutes_; }
   [[nodiscard]] mcast::MrouteTable& mroutes() noexcept { return mroutes_; }

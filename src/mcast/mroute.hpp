@@ -10,11 +10,13 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "net/addr.hpp"
 #include "net/device.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace tsn::mcast {
 
@@ -60,6 +62,22 @@ class MrouteTable {
   // Operator action: clears and re-programs every entry, refilling the
   // hardware table in group order (what "re-provisioning the switch" does).
   void reprogram();
+
+  // Exposes table occupancy and hit counters as gauges under `prefix`.
+  // Lookup itself stays uninstrumented — it sits on the X1 hot path; the
+  // hw/sw split is observable from these counters instead.
+  void register_metrics(telemetry::Registry& registry, const std::string& prefix) const {
+    registry.gauge(prefix + ".groups", [this] { return static_cast<double>(group_count()); });
+    registry.gauge(prefix + ".hardware_groups",
+                   [this] { return static_cast<double>(hardware_group_count()); });
+    registry.gauge(prefix + ".software_groups",
+                   [this] { return static_cast<double>(software_group_count()); });
+    registry.gauge(prefix + ".hardware_hits",
+                   [this] { return static_cast<double>(stats_.hardware_hits); });
+    registry.gauge(prefix + ".software_hits",
+                   [this] { return static_cast<double>(stats_.software_hits); });
+    registry.gauge(prefix + ".misses", [this] { return static_cast<double>(stats_.misses); });
+  }
 
  private:
   struct Entry {

@@ -8,6 +8,7 @@
 #include "net/link.hpp"
 #include "net/packet.hpp"
 #include "sim/engine.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace tsn::net {
 
@@ -53,6 +54,23 @@ class Fabric {
       }
     }
     return total;
+  }
+
+  // Exposes aggregate link accounting as gauges (sampled at snapshot time),
+  // so any deployment can export fabric health without per-link plumbing.
+  void register_metrics(telemetry::Registry& registry,
+                        const std::string& prefix = "fabric") const {
+    registry.gauge(prefix + ".links", [this] { return static_cast<double>(links_.size()); });
+    registry.gauge(prefix + ".frames_delivered",
+                   [this] { return static_cast<double>(total_stats().frames_delivered); });
+    registry.gauge(prefix + ".frames_dropped_queue",
+                   [this] { return static_cast<double>(total_stats().frames_dropped_queue); });
+    registry.gauge(prefix + ".frames_dropped_loss",
+                   [this] { return static_cast<double>(total_stats().frames_dropped_loss); });
+    registry.gauge(prefix + ".bytes_delivered",
+                   [this] { return static_cast<double>(total_stats().bytes_delivered); });
+    registry.gauge(prefix + ".max_queue_delay_ns",
+                   [this] { return total_stats().max_queue_delay.nanos(); });
   }
 
  private:

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <utility>
 
+#include "telemetry/trace.hpp"
+
 namespace tsn::net {
 
 // 128-bit intermediate for rate arithmetic; __extension__ keeps the GCC
@@ -56,6 +58,9 @@ void Link::transmit(const PacketPtr& packet) {
   const sim::Time arrival = egress_free_at_ + config_.propagation;
   ++stats_.frames_delivered;
   stats_.bytes_delivered += packet->size_bytes();
+  // Link span: sender hand-off (including queue wait) to wire arrival, so a
+  // path's link + hop spans tile the timeline exactly.
+  telemetry::record_span(packet->trace(), name_, config_.span_kind, now, arrival);
   Device* dst = destination_;
   const PortId port = destination_port_;
   engine_.schedule_at(arrival, [dst, port, packet] { dst->receive(packet, port); });

@@ -15,6 +15,7 @@
 #include "net/device.hpp"
 #include "sim/engine.hpp"
 #include "sim/random.hpp"
+#include "telemetry/trace.hpp"
 
 namespace tsn::net {
 
@@ -27,6 +28,9 @@ struct LinkConfig {
   std::size_t queue_capacity_bytes = 1 << 20;
   // Random independent frame loss (microwave rain fade etc.). 0 = lossless.
   double loss_probability = 0.0;
+  // Telemetry span kind recorded per delivery: kLink for in-building cables,
+  // kWan for metro/long-haul segments (set by wan_link_config).
+  telemetry::SpanKind span_kind = telemetry::SpanKind::kLink;
 };
 
 struct LinkStats {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "net/headers.hpp"
+#include "telemetry/trace.hpp"
 
 namespace tsn::net {
 
@@ -48,14 +49,23 @@ void Nic::receive(const PacketPtr& packet, PortId /*port*/) {
   ++rx_frames_;
   if (!rx_handler_) return;
   const sim::Time arrival = engine_.now();
+  // Auxiliary span (nested inside the host's software span): NIC arrival to
+  // handler run. The handler executes inside the frame's trace scope so any
+  // frames it sends — or work it defers — stay on the same trace.
+  telemetry::record_span(packet->trace(), name_, telemetry::SpanKind::kNicRx, arrival,
+                         arrival + rx_delay_);
   if (rx_delay_ == sim::Duration::zero()) {
+    telemetry::TraceScope scope{packet->trace()};
     rx_handler_(packet, arrival);
     return;
   }
   // Capture by value: the handler may be replaced while deliveries are in
   // flight; the frame still goes to the handler installed at arrival time.
   auto handler = rx_handler_;
-  engine_.schedule_in(rx_delay_, [handler, packet, arrival] { handler(packet, arrival); });
+  engine_.schedule_in(rx_delay_, [handler, packet, arrival] {
+    telemetry::TraceScope scope{packet->trace()};
+    handler(packet, arrival);
+  });
 }
 
 Host::Host(sim::Engine& engine, std::string name, sim::Duration software_latency)

@@ -13,13 +13,15 @@
 #include <vector>
 
 #include "sim/time.hpp"
+#include "telemetry/trace.hpp"
 
 namespace tsn::net {
 
 class Packet {
  public:
-  Packet(std::vector<std::byte> frame, sim::Time created, std::uint64_t id) noexcept
-      : frame_(std::move(frame)), created_(created), id_(id) {}
+  Packet(std::vector<std::byte> frame, sim::Time created, std::uint64_t id,
+         telemetry::TraceId trace = 0) noexcept
+      : frame_(std::move(frame)), created_(created), id_(id), trace_(trace) {}
 
   [[nodiscard]] std::span<const std::byte> frame() const noexcept { return frame_; }
   [[nodiscard]] std::size_t size_bytes() const noexcept { return frame_.size(); }
@@ -30,11 +32,15 @@ class Packet {
   // Origin timestamp: when the sender handed the frame to its NIC.
   [[nodiscard]] sim::Time created() const noexcept { return created_; }
   [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
+  // Telemetry trace this frame belongs to (0 = untraced). Rewritten copies
+  // of a frame (switch MAC rewrite, protocol relays) must carry it forward.
+  [[nodiscard]] telemetry::TraceId trace() const noexcept { return trace_; }
 
  private:
   std::vector<std::byte> frame_;
   sim::Time created_;
   std::uint64_t id_;
+  telemetry::TraceId trace_ = 0;
 };
 
 using PacketPtr = std::shared_ptr<const Packet>;
@@ -43,8 +49,11 @@ using PacketPtr = std::shared_ptr<const Packet>;
 // on ids, only uniqueness within a run.
 class PacketFactory {
  public:
+  // New frames are stamped with the ambient trace id, so a packet sent from
+  // inside a TraceScope joins that scope's trace with no per-call plumbing.
   [[nodiscard]] PacketPtr make(std::vector<std::byte> frame, sim::Time created) {
-    return std::make_shared<Packet>(std::move(frame), created, next_id_++);
+    return std::make_shared<Packet>(std::move(frame), created, next_id_++,
+                                    telemetry::current_trace());
   }
 
  private:

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "net/stack.hpp"
+#include "telemetry/trace.hpp"
 
 namespace tsn::net {
 
@@ -84,7 +85,13 @@ void TcpEndpoint::close() {
   set_state(state_ == TcpState::kCloseWait ? TcpState::kClosed : TcpState::kFinWait);
 }
 
-void TcpEndpoint::send_ack() { transmit_segment(snd_next_, {}, TcpHeader::kAck); }
+void TcpEndpoint::send_ack() {
+  // Pure ACKs ride outside any trace: a traced data segment's delivery
+  // triggers an ACK in the opposite direction, which would fork the trace
+  // into a non-linear graph and break span tiling.
+  telemetry::TraceScope untraced{0};
+  transmit_segment(snd_next_, {}, TcpHeader::kAck);
+}
 
 void TcpEndpoint::arm_rto() {
   stack_.engine().cancel(rto_timer_);
@@ -93,6 +100,8 @@ void TcpEndpoint::arm_rto() {
 
 void TcpEndpoint::on_rto() {
   if (state_ == TcpState::kClosed) return;
+  // Retransmissions are recovery traffic, not part of the original path.
+  telemetry::TraceScope untraced{0};
   if (++rto_strikes_ > config_.max_retransmits) {
     set_state(TcpState::kClosed);
     return;

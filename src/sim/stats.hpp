@@ -1,70 +1,15 @@
-// Summary statistics used by benches, capture appliances, and tests.
+// Compatibility shim: the summary-statistics types moved to the telemetry
+// subsystem (src/telemetry/metrics.hpp) when the metrics registry was
+// introduced, so that benches, capture appliances, and sim entities share
+// one Histogram/Counter vocabulary. Existing call sites keep compiling via
+// these aliases; new code should include telemetry/metrics.hpp directly.
 #pragma once
 
-#include <cstddef>
-#include <cstdint>
-#include <limits>
-#include <string>
-#include <vector>
-
-#include "sim/time.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace tsn::sim {
 
-// Accumulates samples and reports min/avg/median/max and percentiles.
-// Samples are retained (the workloads here are at most a few million
-// samples), so percentiles are exact.
-class SampleStats {
- public:
-  void add(double value);
-  // Appends every sample of `other` (exact pooled statistics).
-  void merge(const SampleStats& other);
-  void clear() noexcept;
-
-  [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
-  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
-  [[nodiscard]] double min() const noexcept;
-  [[nodiscard]] double max() const noexcept;
-  [[nodiscard]] double sum() const noexcept { return sum_; }
-  [[nodiscard]] double mean() const noexcept;
-  [[nodiscard]] double stddev() const noexcept;
-
-  // Exact percentile by nearest-rank, p in [0, 100]. Sorts lazily.
-  [[nodiscard]] double percentile(double p) const;
-  [[nodiscard]] double median() const { return percentile(50.0); }
-
-  // "min avg median max" row matching the layout of the paper's Table 1.
-  [[nodiscard]] std::string table_row() const;
-
- private:
-  mutable std::vector<double> samples_;
-  mutable bool sorted_ = true;
-  double sum_ = 0.0;
-  double sum_sq_ = 0.0;
-  double min_ = std::numeric_limits<double>::infinity();
-  double max_ = -std::numeric_limits<double>::infinity();
-};
-
-// Fixed-width time-window counter: counts events per window of a given
-// duration, for reproducing Figure 2(b) (1 s windows) and 2(c) (100 us
-// windows).
-class WindowedCounter {
- public:
-  WindowedCounter(Time origin, Duration window);
-
-  void record(Time at, std::uint64_t count = 1);
-
-  [[nodiscard]] Duration window() const noexcept { return window_; }
-  [[nodiscard]] const std::vector<std::uint64_t>& counts() const noexcept { return counts_; }
-
-  // Statistics over the non-empty range of windows (or all windows when
-  // include_empty is true).
-  [[nodiscard]] SampleStats stats(bool include_empty = false) const;
-
- private:
-  Time origin_;
-  Duration window_;
-  std::vector<std::uint64_t> counts_;
-};
+using SampleStats = telemetry::Histogram;
+using WindowedCounter = telemetry::WindowedCounter;
 
 }  // namespace tsn::sim

@@ -1,0 +1,128 @@
+#include "telemetry/json.hpp"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+namespace tsn::telemetry {
+
+void JsonWriter::raw(std::string_view text) { out_.append(text); }
+
+void JsonWriter::separator() {
+  if (need_comma_) out_.push_back(',');
+  need_comma_ = false;
+}
+
+void JsonWriter::begin_object() {
+  separator();
+  out_.push_back('{');
+}
+
+void JsonWriter::end_object() {
+  out_.push_back('}');
+  need_comma_ = true;
+}
+
+void JsonWriter::begin_array() {
+  separator();
+  out_.push_back('[');
+}
+
+void JsonWriter::end_array() {
+  out_.push_back(']');
+  need_comma_ = true;
+}
+
+void JsonWriter::key(std::string_view name) {
+  separator();
+  out_.push_back('"');
+  raw(json_escape(name));
+  raw("\":");
+}
+
+void JsonWriter::value(std::string_view text) {
+  separator();
+  out_.push_back('"');
+  raw(json_escape(text));
+  out_.push_back('"');
+  need_comma_ = true;
+}
+
+void JsonWriter::value_raw(std::string_view json) {
+  separator();
+  raw(json);
+  need_comma_ = true;
+}
+
+void JsonWriter::value(bool b) {
+  separator();
+  raw(b ? "true" : "false");
+  need_comma_ = true;
+}
+
+void JsonWriter::value(std::int64_t v) {
+  separator();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  raw(buf);
+  need_comma_ = true;
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  separator();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  raw(buf);
+  need_comma_ = true;
+}
+
+void JsonWriter::value(double v) {
+  // Integral values (counter reads, picosecond durations converted to
+  // double) print as integers; everything else through one fixed format.
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 9.0e15) {
+    value(static_cast<std::int64_t>(v));
+    return;
+  }
+  separator();
+  char buf[40];
+  if (!std::isfinite(v)) {
+    std::snprintf(buf, sizeof(buf), "null");  // JSON has no inf/nan
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+  }
+  raw(buf);
+  need_comma_ = true;
+}
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+bool write_text_file(const std::string& path, std::string_view content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool wrote = std::fwrite(content.data(), 1, content.size(), f) == content.size();
+  const bool closed = std::fclose(f) == 0;
+  return wrote && closed;
+}
+
+}  // namespace tsn::telemetry

@@ -1,0 +1,60 @@
+// Minimal deterministic JSON writer.
+//
+// Export determinism is a hard requirement (test_integration_e2e.cpp pins
+// byte-identical output for identical seeds), so every number is formatted
+// through one code path: integers verbatim, non-integral doubles with a
+// fixed "%.9g". Containers are emitted either in program order (vectors) or
+// sorted order (std::map) by the callers — never unordered_map iteration.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace tsn::telemetry {
+
+class JsonWriter {
+ public:
+  // Object/array structure. key() must precede every value inside an object.
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+  void key(std::string_view name);
+
+  void value(std::string_view text);
+  void value(const char* text) { value(std::string_view{text}); }
+  void value(bool b);
+  void value(std::int64_t v);
+  void value(std::uint64_t v);
+  void value(double v);
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(unsigned v) { value(static_cast<std::uint64_t>(v)); }
+  // Splices pre-formatted JSON (e.g. a number formatted earlier) verbatim.
+  void value_raw(std::string_view json);
+
+  // key + value in one call.
+  template <typename T>
+  void field(std::string_view name, T&& v) {
+    key(name);
+    value(std::forward<T>(v));
+  }
+
+  [[nodiscard]] const std::string& str() const noexcept { return out_; }
+  [[nodiscard]] std::string take() noexcept { return std::move(out_); }
+
+ private:
+  void separator();
+  void raw(std::string_view text);
+
+  std::string out_;
+  // True when the next element at the current nesting level needs a comma.
+  bool need_comma_ = false;
+};
+
+[[nodiscard]] std::string json_escape(std::string_view text);
+
+// Writes `content` to `path` (truncating). Returns false on I/O failure.
+bool write_text_file(const std::string& path, std::string_view content);
+
+}  // namespace tsn::telemetry

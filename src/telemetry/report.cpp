@@ -1,0 +1,124 @@
+#include "telemetry/report.hpp"
+
+#include <cstdlib>
+#include <utility>
+
+#include "telemetry/json.hpp"
+
+namespace tsn::bench {
+
+Report::Report(std::string id, std::string title)
+    : id_(std::move(id)), title_(std::move(title)) {}
+
+void Report::param(const std::string& name, const std::string& value) {
+  params_.push_back({name, value, true});
+}
+
+void Report::param(const std::string& name, std::int64_t value) {
+  params_.push_back({name, std::to_string(value), false});
+}
+
+void Report::param(const std::string& name, double value) {
+  // Route through the JSON number formatter so params and metrics agree.
+  telemetry::JsonWriter w;
+  w.value(value);
+  params_.push_back({name, w.take(), false});
+}
+
+void Report::metric(const std::string& name, double value, const std::string& unit) {
+  metrics_.push_back({name, value, unit});
+}
+
+void Report::stats(const std::string& name, const telemetry::Histogram& h,
+                   const std::string& unit) {
+  metric(name + ".count", static_cast<double>(h.count()), "samples");
+  metric(name + ".min", h.min(), unit);
+  metric(name + ".mean", h.mean(), unit);
+  metric(name + ".p50", h.percentile(50.0), unit);
+  metric(name + ".p99", h.percentile(99.0), unit);
+  metric(name + ".max", h.max(), unit);
+}
+
+bool Report::check(const std::string& name, bool pass, const std::string& detail) {
+  checks_.push_back({name, pass, detail});
+  if (!pass) ++failed_checks_;
+  return pass;
+}
+
+std::string Report::to_json() const {
+  telemetry::JsonWriter w;
+  w.begin_object();
+  w.field("schema", "tsn-bench-v1");
+  w.field("bench", id_);
+  w.field("title", title_);
+  w.key("params");
+  w.begin_object();
+  for (const Param& p : params_) {
+    if (p.quoted) {
+      w.field(p.name, p.value);
+    } else {
+      w.key(p.name);
+      w.value_raw(p.value);
+    }
+  }
+  w.end_object();
+  w.key("metrics");
+  w.begin_array();
+  for (const Metric& m : metrics_) {
+    w.begin_object();
+    w.field("name", m.name);
+    w.field("value", m.value);
+    w.field("unit", m.unit);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("checks");
+  w.begin_array();
+  for (const Check& c : checks_) {
+    w.begin_object();
+    w.field("name", c.name);
+    w.field("pass", c.pass);
+    w.field("detail", c.detail);
+    w.end_object();
+  }
+  w.end_array();
+  w.field("passed", all_passed());
+  w.end_object();
+  return w.take();
+}
+
+std::string Report::output_path() const {
+  const char* dir = std::getenv("TSN_BENCH_DIR");
+  std::string path = dir != nullptr && *dir != '\0' ? std::string{dir} : std::string{"."};
+  if (path.back() != '/') path.push_back('/');
+  return path + "BENCH_" + id_ + ".json";
+}
+
+void Report::print_summary(std::FILE* out) const {
+  std::fprintf(out, "\n== %s: %s ==\n", id_.c_str(), title_.c_str());
+  for (const Param& p : params_) {
+    std::fprintf(out, "  param  %-28s %s\n", p.name.c_str(), p.value.c_str());
+  }
+  for (const Metric& m : metrics_) {
+    std::fprintf(out, "  metric %-28s %14.3f %s\n", m.name.c_str(), m.value, m.unit.c_str());
+  }
+  for (const Check& c : checks_) {
+    std::fprintf(out, "  check  %-28s %s%s%s\n", c.name.c_str(), c.pass ? "PASS" : "FAIL",
+                 c.detail.empty() ? "" : "  ", c.detail.c_str());
+  }
+  std::fprintf(out, "  -> %s\n", all_passed() ? "PASS" : "FAIL");
+}
+
+int Report::finish() {
+  print_summary();
+  const std::string path = output_path();
+  const bool written = telemetry::write_text_file(path, to_json());
+  if (written) {
+    std::fprintf(stdout, "  wrote %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "  FAILED to write %s\n", path.c_str());
+  }
+  return written && all_passed() ? 0 : 1;
+}
+
+}  // namespace tsn::bench

@@ -1,0 +1,73 @@
+// Unified machine-readable bench reporting ("tsn-bench-v1").
+//
+// Every bench/bench_*.cpp builds one Report: named params, metric rows, and
+// pass/fail checks against the paper's shape targets, then calls finish(),
+// which prints a human-readable summary and writes BENCH_<id>.json into
+// $TSN_BENCH_DIR (or the working directory). The JSON is what populates the
+// repo's perf trajectory; the schema is versioned so downstream tooling can
+// evolve. Rows are emitted in program order and all numbers go through the
+// deterministic JsonWriter, so identical runs produce byte-identical files.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+
+namespace tsn::bench {
+
+class Report {
+ public:
+  // `id` names the artifact (BENCH_<id>.json); keep it file-safe.
+  Report(std::string id, std::string title);
+
+  void param(const std::string& name, const std::string& value);
+  void param(const std::string& name, std::int64_t value);
+  void param(const std::string& name, double value);
+
+  void metric(const std::string& name, double value, const std::string& unit);
+  // Expands a histogram into count/min/mean/p50/p99/max metric rows.
+  void stats(const std::string& name, const telemetry::Histogram& h, const std::string& unit);
+
+  // Records a pass/fail check against a shape target; returns `pass` so the
+  // call can wrap an existing condition.
+  bool check(const std::string& name, bool pass, const std::string& detail = {});
+
+  [[nodiscard]] bool all_passed() const noexcept { return failed_checks_ == 0; }
+  [[nodiscard]] std::string to_json() const;
+  // BENCH_<id>.json under $TSN_BENCH_DIR if set, else the working directory.
+  [[nodiscard]] std::string output_path() const;
+
+  void print_summary(std::FILE* out = stdout) const;
+  // print_summary + write JSON; returns a process exit code (0 = all checks
+  // passed and the artifact was written).
+  int finish();
+
+ private:
+  struct Param {
+    std::string name;
+    std::string value;  // pre-formatted
+    bool quoted = true;
+  };
+  struct Metric {
+    std::string name;
+    double value = 0.0;
+    std::string unit;
+  };
+  struct Check {
+    std::string name;
+    bool pass = false;
+    std::string detail;
+  };
+
+  std::string id_;
+  std::string title_;
+  std::vector<Param> params_;
+  std::vector<Metric> metrics_;
+  std::vector<Check> checks_;
+  int failed_checks_ = 0;
+};
+
+}  // namespace tsn::bench

@@ -1,0 +1,89 @@
+#include "telemetry/trace.hpp"
+
+#include <utility>
+
+#include "core/check.hpp"
+#include "telemetry/json.hpp"
+
+namespace tsn::telemetry {
+
+namespace detail {
+TraceSink* g_sink = nullptr;
+TraceId g_trace = 0;
+}  // namespace detail
+
+std::string_view span_kind_name(SpanKind kind) noexcept {
+  switch (kind) {
+    case SpanKind::kLink: return "link";
+    case SpanKind::kSwitch: return "switch";
+    case SpanKind::kL1sFanout: return "l1s_fanout";
+    case SpanKind::kL1sMerge: return "l1s_merge";
+    case SpanKind::kNicRx: return "nic_rx";
+    case SpanKind::kSoftware: return "software";
+    case SpanKind::kMatcher: return "matcher";
+    case SpanKind::kWan: return "wan";
+  }
+  return "unknown";
+}
+
+TraceId TraceSink::begin_trace(sim::Time origin) {
+  origins_.push_back(origin);
+  return next_++;
+}
+
+void TraceSink::record(Span span) {
+  TSN_ASSERT(span.trace != 0 && span.trace < next_, "span for unknown trace id");
+  TSN_DCHECK(span.t_out >= span.t_in, "span ends before it starts");
+  spans_.push_back(std::move(span));
+}
+
+std::vector<Span> TraceSink::trace(TraceId id) const {
+  std::vector<Span> out;
+  for (const Span& s : spans_) {
+    if (s.trace == id) out.push_back(s);
+  }
+  return out;
+}
+
+sim::Time TraceSink::origin(TraceId id) const {
+  TSN_ASSERT(id != 0 && id < next_, "origin of unknown trace id");
+  return origins_[id - 1];
+}
+
+void TraceSink::clear() noexcept {
+  spans_.clear();
+  origins_.clear();
+  next_ = 1;
+}
+
+std::string TraceSink::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.field("schema", "tsn-trace-v1");
+  w.field("trace_count", static_cast<std::uint64_t>(trace_count()));
+  w.key("traces");
+  w.begin_array();
+  for (TraceId id = 1; id < next_; ++id) {
+    w.begin_object();
+    w.field("id", static_cast<std::uint64_t>(id));
+    w.field("origin_ps", origins_[id - 1].picos());
+    w.key("spans");
+    w.begin_array();
+    for (const Span& s : spans_) {
+      if (s.trace != id) continue;
+      w.begin_object();
+      w.field("entity", s.entity);
+      w.field("kind", span_kind_name(s.kind));
+      w.field("t_in_ps", s.t_in.picos());
+      w.field("t_out_ps", s.t_out.picos());
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+}  // namespace tsn::telemetry

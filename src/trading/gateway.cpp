@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "telemetry/trace.hpp"
+
 namespace tsn::trading {
 
 Gateway::Gateway(sim::Engine& engine, GatewayConfig config)
@@ -48,7 +50,10 @@ void Gateway::on_accept(net::TcpEndpoint& endpoint) {
   session->endpoint = &endpoint;
   StrategySession* raw = session.get();
   sessions_.push_back(std::move(session));
-  endpoint.set_data_handler([this, raw](std::span<const std::byte> bytes, sim::Time) {
+  endpoint.set_data_handler([this, raw](std::span<const std::byte> bytes, sim::Time arrival) {
+    // Wire arrival at the client NIC: start of the gateway's software span
+    // for any order this batch of bytes carries.
+    current_client_arrival_ = arrival;
     raw->parser.feed(bytes);
     while (auto decoded = raw->parser.next()) on_client_message(*raw, decoded->message);
   });
@@ -99,6 +104,11 @@ void Gateway::on_client_message(StrategySession& session, const proto::boe::Mess
     forward_ids_[&session][order->client_order_id] = upstream_id;
     ++stats_.orders_forwarded;
     send_upstream(forwarded);
+    // Risk check + id translation + forward happen in this software hop:
+    // [order wire arrival at the client NIC, upstream hand-off].
+    telemetry::record_span(telemetry::current_trace(), config_.name,
+                           telemetry::SpanKind::kSoftware, current_client_arrival_,
+                           engine_.now());
     return;
   }
   if (const auto* cancel = std::get_if<CancelOrder>(&message)) {
@@ -126,6 +136,23 @@ void Gateway::on_client_message(StrategySession& session, const proto::boe::Mess
     send_upstream(forwarded);
     return;
   }
+}
+
+void Gateway::register_metrics(telemetry::Registry& registry, const std::string& prefix) const {
+  registry.gauge(prefix + ".sessions_accepted",
+                 [this] { return static_cast<double>(stats_.sessions_accepted); });
+  registry.gauge(prefix + ".orders_forwarded",
+                 [this] { return static_cast<double>(stats_.orders_forwarded); });
+  registry.gauge(prefix + ".orders_rejected_risk",
+                 [this] { return static_cast<double>(stats_.orders_rejected_risk); });
+  registry.gauge(prefix + ".cancels_forwarded",
+                 [this] { return static_cast<double>(stats_.cancels_forwarded); });
+  registry.gauge(prefix + ".responses_routed",
+                 [this] { return static_cast<double>(stats_.responses_routed); });
+  registry.gauge(prefix + ".orphan_responses",
+                 [this] { return static_cast<double>(stats_.orphan_responses); });
+  registry.gauge(prefix + ".heartbeats_sent",
+                 [this] { return static_cast<double>(stats_.heartbeats_sent); });
 }
 
 void Gateway::route_response(proto::OrderId upstream_id, const proto::boe::Message& message,

@@ -16,6 +16,7 @@
 #include "net/stack.hpp"
 #include "proto/boe.hpp"
 #include "sim/engine.hpp"
+#include "telemetry/metrics.hpp"
 #include "trading/risk.hpp"
 
 namespace tsn::trading {
@@ -70,6 +71,10 @@ class Gateway {
   // Firm-wide exposure view (§4.2).
   [[nodiscard]] const RiskEngine& risk() const noexcept { return risk_; }
 
+  // Registers session/order-flow gauges (including session heartbeats)
+  // under "<prefix>".
+  void register_metrics(telemetry::Registry& registry, const std::string& prefix) const;
+
  private:
   struct StrategySession {
     net::TcpEndpoint* endpoint = nullptr;
@@ -115,6 +120,9 @@ class Gateway {
 
   RiskEngine risk_;
   GatewayStats stats_;
+  // Wire arrival of the client bytes currently being parsed: the start of
+  // the gateway's software span for orders they carry.
+  sim::Time current_client_arrival_;
 };
 
 }  // namespace tsn::trading

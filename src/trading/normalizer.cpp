@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "mcast/subscribe.hpp"
+#include "telemetry/trace.hpp"
 
 namespace tsn::trading {
 
@@ -64,9 +65,13 @@ void Normalizer::join_feeds() {
   for (const auto group : config_.snapshot_groups) responder_->join(group);
 }
 
-void Normalizer::on_feed_datagram(std::span<const std::byte> payload, sim::Time /*arrival*/) {
+void Normalizer::on_feed_datagram(std::span<const std::byte> payload, sim::Time arrival) {
   const auto header = proto::pitch::peek_header(payload);
   if (!header) return;
+  // Wire arrival of the datagram being processed: the software span an
+  // emitted update is attributed to starts here (the NIC rx delay is part
+  // of the software hop, §3).
+  current_input_arrival_ = arrival;
   ++stats_.datagrams_in;
   // Gap detection per unit.
   auto [it, inserted] = expected_seq_.emplace(header->unit, header->sequence);
@@ -379,6 +384,28 @@ void Normalizer::handle_message(const proto::pitch::Message& message) {
   }
 }
 
+void Normalizer::register_metrics(telemetry::Registry& registry,
+                                  const std::string& prefix) const {
+  registry.gauge(prefix + ".datagrams_in",
+                 [this] { return static_cast<double>(stats_.datagrams_in); });
+  registry.gauge(prefix + ".messages_in",
+                 [this] { return static_cast<double>(stats_.messages_in); });
+  registry.gauge(prefix + ".updates_out",
+                 [this] { return static_cast<double>(stats_.updates_out); });
+  registry.gauge(prefix + ".datagrams_out",
+                 [this] { return static_cast<double>(stats_.datagrams_out); });
+  registry.gauge(prefix + ".bbo_updates",
+                 [this] { return static_cast<double>(stats_.bbo_updates); });
+  registry.gauge(prefix + ".sequence_gaps",
+                 [this] { return static_cast<double>(stats_.sequence_gaps); });
+  registry.gauge(prefix + ".messages_lost",
+                 [this] { return static_cast<double>(stats_.messages_lost); });
+  registry.gauge(prefix + ".resyncs_completed",
+                 [this] { return static_cast<double>(stats_.resyncs_completed); });
+  registry.gauge(prefix + ".tracked_orders",
+                 [this] { return static_cast<double>(tracked_orders()); });
+}
+
 std::optional<Normalizer::ReconstructedBbo> Normalizer::best_of(
     const proto::Symbol& symbol) const {
   const auto it = ladders_.find(symbol);
@@ -396,9 +423,17 @@ void Normalizer::emit(const proto::norm::Update& update) {
   ++stats_.updates_out;
   if (!out.flush_scheduled) {
     out.flush_scheduled = true;
-    engine_.schedule_in(sim::Duration::zero(), [this, &out] {
+    // The flush runs as its own event: carry the triggering datagram's trace
+    // into it so the republished frames join the same trace, and close the
+    // normalizer's software span [feed wire arrival, flush/hand-off].
+    const telemetry::TraceId trace = telemetry::current_trace();
+    const sim::Time t_in = current_input_arrival_;
+    engine_.schedule_in(sim::Duration::zero(), [this, &out, trace, t_in] {
       out.flush_scheduled = false;
+      telemetry::TraceScope scope{trace};
       out.builder.flush();
+      telemetry::record_span(trace, config_.name, telemetry::SpanKind::kSoftware, t_in,
+                             engine_.now());
     });
   }
 }

@@ -26,6 +26,7 @@
 #include "proto/partition.hpp"
 #include "proto/pitch.hpp"
 #include "sim/engine.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace tsn::trading {
 
@@ -97,6 +98,9 @@ class Normalizer {
   [[nodiscard]] const NormalizerStats& stats() const noexcept { return stats_; }
   [[nodiscard]] const NormalizerConfig& config() const noexcept { return config_; }
 
+  // Registers decode/republish/gap counters as gauges under "<prefix>".
+  void register_metrics(telemetry::Registry& registry, const std::string& prefix) const;
+
   // Monitoring view: the normalizer's reconstructed best bid/ask for a
   // symbol (zeros for missing sides; nullopt when the symbol is unknown).
   struct ReconstructedBbo {
@@ -160,6 +164,9 @@ class Normalizer {
   std::unordered_map<proto::Symbol, Ladder> ladders_;
   std::unordered_map<std::uint8_t, std::uint32_t> expected_seq_;  // per unit
   std::uint32_t clock_seconds_ = 0;
+  // Wire arrival of the feed datagram currently being processed (software
+  // span start for updates it triggers).
+  sim::Time current_input_arrival_;
 
   // Recovery state, per unit.
   struct Recovery {

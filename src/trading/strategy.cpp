@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "mcast/subscribe.hpp"
+#include "telemetry/trace.hpp"
 
 namespace tsn::trading {
 
@@ -72,9 +73,18 @@ proto::OrderId Strategy::send_order(proto::Side side, proto::Symbol symbol, prot
     const sim::Time nic_departure = engine_.now() + config_.decision_latency;
     tick_to_trade_.add((nic_departure - current_update_nic_arrival_).nanos());
   }
-  engine_.schedule_in(config_.decision_latency, [this, order] {
+  // The order leaves decision_latency from now, in its own event: carry the
+  // triggering update's trace across, and close the strategy's software span
+  // [market-data wire arrival, order hand-off] — the tick-to-trade hop.
+  const telemetry::TraceId trace = telemetry::current_trace();
+  const sim::Time md_arrival =
+      in_update_context_ ? current_update_nic_arrival_ : engine_.now();
+  engine_.schedule_in(config_.decision_latency, [this, order, trace, md_arrival] {
     order_sent_at_[order.client_order_id] = engine_.now();
+    telemetry::TraceScope scope{trace};
     transmit(order);
+    telemetry::record_span(trace, config_.name, telemetry::SpanKind::kSoftware, md_arrival,
+                           engine_.now());
   });
   return id;
 }
@@ -83,7 +93,29 @@ void Strategy::send_cancel(proto::OrderId client_order_id) {
   ++stats_.cancels_sent;
   proto::boe::CancelOrder cancel;
   cancel.client_order_id = client_order_id;
-  engine_.schedule_in(config_.decision_latency, [this, cancel] { transmit(cancel); });
+  const telemetry::TraceId trace = telemetry::current_trace();
+  engine_.schedule_in(config_.decision_latency, [this, cancel, trace] {
+    telemetry::TraceScope scope{trace};
+    transmit(cancel);
+  });
+}
+
+void Strategy::register_metrics(telemetry::Registry& registry,
+                                const std::string& prefix) const {
+  registry.gauge(prefix + ".updates_received",
+                 [this] { return static_cast<double>(stats_.updates_received); });
+  registry.gauge(prefix + ".orders_sent",
+                 [this] { return static_cast<double>(stats_.orders_sent); });
+  registry.gauge(prefix + ".cancels_sent",
+                 [this] { return static_cast<double>(stats_.cancels_sent); });
+  registry.gauge(prefix + ".acks", [this] { return static_cast<double>(stats_.acks); });
+  registry.gauge(prefix + ".rejects", [this] { return static_cast<double>(stats_.rejects); });
+  registry.gauge(prefix + ".fills", [this] { return static_cast<double>(stats_.fills); });
+  registry.gauge(prefix + ".open_orders",
+                 [this] { return static_cast<double>(open_orders_.size()); });
+  registry.histogram_ref(prefix + ".tick_to_trade_ns", tick_to_trade_);
+  registry.histogram_ref(prefix + ".order_rtt_ns", order_rtt_);
+  registry.histogram_ref(prefix + ".feed_path_ns", feed_path_);
 }
 
 void Strategy::on_session_bytes(std::span<const std::byte> bytes) {

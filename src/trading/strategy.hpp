@@ -76,6 +76,11 @@ class Strategy {
   [[nodiscard]] const StrategyConfig& config() const noexcept { return config_; }
   [[nodiscard]] std::size_t open_orders() const noexcept { return open_orders_.size(); }
 
+  // Registers order-flow counters and the latency histograms under
+  // "<prefix>" (tick_to_trade/order_rtt/feed_path appear as gauge rows per
+  // summary statistic plus histogram entries when exported).
+  void register_metrics(telemetry::Registry& registry, const std::string& prefix) const;
+
  protected:
   // The decision function. `nic_arrival` is when the datagram hit the NIC
   // (before the software hop) — the reference point for tick-to-trade.

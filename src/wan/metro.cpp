@@ -52,7 +52,20 @@ net::LinkConfig wan_link_config(Colo a, Colo b, LinkTech tech, bool raining) noe
   config.propagation = propagation_delay(a, b, tech);
   config.queue_capacity_bytes = 4 << 20;
   config.loss_probability = raining ? p.weather_loss : 0.0;
+  config.span_kind = telemetry::SpanKind::kWan;
   return config;
+}
+
+void register_wan_link_metrics(telemetry::Registry& registry, const std::string& prefix,
+                               const net::Link& link) {
+  registry.gauge(prefix + ".frames_delivered",
+                 [&link] { return static_cast<double>(link.stats().frames_delivered); });
+  registry.gauge(prefix + ".frames_dropped_queue",
+                 [&link] { return static_cast<double>(link.stats().frames_dropped_queue); });
+  registry.gauge(prefix + ".rain_fade_losses",
+                 [&link] { return static_cast<double>(link.stats().frames_dropped_loss); });
+  registry.gauge(prefix + ".bytes_delivered",
+                 [&link] { return static_cast<double>(link.stats().bytes_delivered); });
 }
 
 sim::Duration microwave_advantage(Colo a, Colo b) noexcept {

@@ -10,10 +10,12 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
 #include <string_view>
 
 #include "net/link.hpp"
 #include "sim/time.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace tsn::wan {
 
@@ -59,5 +61,11 @@ struct WanTechParams {
 
 // Latency advantage of microwave over fiber for a colo pair.
 [[nodiscard]] sim::Duration microwave_advantage(Colo a, Colo b) noexcept;
+
+// Registers a WAN segment's delivery/drop counters under `prefix`; microwave
+// rain-fade losses surface as "<prefix>.rain_fade_losses". The link must
+// outlive the registry snapshotting.
+void register_wan_link_metrics(telemetry::Registry& registry, const std::string& prefix,
+                               const net::Link& link);
 
 }  // namespace tsn::wan

@@ -4,8 +4,14 @@
 // sessions, driven by background market activity.
 #include <gtest/gtest.h>
 
+#include <string>
+
+#include "deploy/reference.hpp"
 #include "exchange/activity.hpp"
 #include "exchange/exchange.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/report.hpp"
+#include "telemetry/trace.hpp"
 #include "topo/leaf_spine.hpp"
 #include "topo/quad_l1s.hpp"
 #include "trading/gateway.hpp"
@@ -197,6 +203,50 @@ TEST(EndToEnd, QuadL1sPipelineHasNanosecondFabricLatency) {
   EXPECT_EQ(normalizer.stats().sequence_gaps, 0u);
   EXPECT_FALSE(stamps.empty());  // built-in timestamping saw the feed
   EXPECT_EQ(quad.stage_switch(topo::Stage::kFeeds).stats().frames_unpatched, 0u);
+}
+
+TEST(EndToEnd, TelemetryExportIsDeterministicAcrossIdenticalRuns) {
+  // Identical seeds must yield byte-identical trace, metrics, and bench
+  // report JSON — the telemetry layer adds no hidden nondeterminism
+  // (unordered-map iteration, pointer-keyed output, float drift).
+  struct Exports {
+    std::string traces;
+    std::string metrics;
+    std::string report;
+  };
+  auto run_once = [] {
+    deploy::DeploymentConfig config;
+    config.strategy_count = 2;
+    config.symbol_count = 4;
+    config.events_per_second = 20'000;
+    config.seed = 99;
+    deploy::LeafSpineDeployment deployment{config};
+    telemetry::TraceSink sink;
+    telemetry::Registry registry;
+    deployment.register_metrics(registry);
+    telemetry::ScopedTraceSink attach{sink};
+    deployment.start();
+    deployment.run(sim::millis(std::int64_t{25}));
+
+    Exports out;
+    out.traces = sink.to_json();
+    out.metrics = registry.to_json(deployment.engine().now());
+    const auto r = deployment.report();
+    bench::Report report{"determinism_probe", "Determinism probe"};
+    report.param("seed", static_cast<std::int64_t>(config.seed));
+    report.metric("orders_sent", static_cast<double>(r.orders_sent), "count");
+    report.stats("tick_to_trade_ns", r.tick_to_trade_ns, "ns");
+    report.check("traded", r.orders_sent > 0);
+    out.report = report.to_json();
+    return out;
+  };
+  const Exports a = run_once();
+  const Exports b = run_once();
+  EXPECT_GT(a.traces.size(), 100u);   // traces were actually recorded
+  EXPECT_GT(a.metrics.size(), 100u);  // metrics were actually registered
+  EXPECT_EQ(a.traces, b.traces);
+  EXPECT_EQ(a.metrics, b.metrics);
+  EXPECT_EQ(a.report, b.report);
 }
 
 }  // namespace

@@ -1,9 +1,22 @@
+// sim::SampleStats / sim::WindowedCounter are aliases of the telemetry
+// metrics types (sim/stats.hpp is a shim); these tests pin the shared
+// behaviour through the legacy names so existing call sites stay safe.
 #include "sim/stats.hpp"
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <type_traits>
+
+#include "telemetry/metrics.hpp"
+
 namespace tsn::sim {
 namespace {
+
+static_assert(std::is_same_v<SampleStats, telemetry::Histogram>,
+              "sim::SampleStats must alias telemetry::Histogram");
+static_assert(std::is_same_v<WindowedCounter, telemetry::WindowedCounter>,
+              "sim::WindowedCounter must alias telemetry::WindowedCounter");
 
 TEST(SampleStats, EmptyIsSafe) {
   SampleStats s;
@@ -13,6 +26,37 @@ TEST(SampleStats, EmptyIsSafe) {
   EXPECT_EQ(s.max(), 0.0);
   EXPECT_EQ(s.mean(), 0.0);
   EXPECT_EQ(s.median(), 0.0);
+}
+
+// The percentile edge-case contract (documented in telemetry/metrics.hpp).
+TEST(SampleStats, PercentileOnEmptyReturnsZeroForAnyInRangeP) {
+  SampleStats s;
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100.0), 0.0);
+}
+
+TEST(SampleStats, PercentileOutOfRangeThrowsEvenWhenEmpty) {
+  SampleStats s;
+  EXPECT_THROW((void)s.percentile(-0.001), std::invalid_argument);
+  EXPECT_THROW((void)s.percentile(100.001), std::invalid_argument);
+}
+
+TEST(SampleStats, SingleSampleIsEveryPercentile) {
+  SampleStats s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 42.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50.0), 42.0);
+  EXPECT_DOUBLE_EQ(s.percentile(99.0), 42.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100.0), 42.0);
+}
+
+TEST(SampleStats, PercentileZeroAndHundredAreExtremes) {
+  SampleStats s;
+  for (double v : {9.0, 1.0, 5.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100.0), 9.0);
 }
 
 TEST(SampleStats, BasicMoments) {
