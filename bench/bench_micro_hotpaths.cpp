@@ -5,6 +5,9 @@
 // at the busiest second's average and ~100 ns/event at its peak (§3).
 #include <benchmark/benchmark.h>
 
+#include <array>
+#include <cstddef>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -12,10 +15,12 @@
 #include "feed/symbols.hpp"
 #include "mcast/mroute.hpp"
 #include "net/headers.hpp"
+#include "net/packet.hpp"
 #include "proto/boe.hpp"
 #include "proto/norm.hpp"
 #include "proto/pitch.hpp"
 #include "proto/xpress.hpp"
+#include "sim/engine.hpp"
 #include "sim/random.hpp"
 #include "telemetry/report.hpp"
 #include "trading/filter.hpp"
@@ -176,6 +181,51 @@ void BM_FrameDecodeFullStack(benchmark::State& state) {
 }
 BENCHMARK(BM_FrameDecodeFullStack);
 
+void BM_EngineScheduleFire(benchmark::State& state) {
+  // One full pooled-scheduler cycle per iteration: acquire a slot, push the
+  // heap entry, pop it, run the action. The warm pool means the loop body
+  // never allocates (asserted by tsn_hotpath_alloc_tests).
+  sim::Engine engine;
+  engine.reserve(16);
+  std::uint64_t fired = 0;
+  for (auto _ : state) {
+    engine.schedule_in(sim::nanos(std::int64_t{10}), [&fired] { ++fired; });
+    engine.step();
+  }
+  benchmark::DoNotOptimize(fired);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EngineScheduleFire);
+
+void BM_EngineCancel(benchmark::State& state) {
+  // Schedule + O(1) generation-checked cancel; run() prunes the stale heap
+  // entry so the heap stays flat across iterations.
+  sim::Engine engine;
+  engine.reserve(16);
+  for (auto _ : state) {
+    const auto handle = engine.schedule_in(sim::micros(std::int64_t{1}), [] {});
+    benchmark::DoNotOptimize(engine.cancel(handle));
+    engine.run();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EngineCancel);
+
+void BM_PacketPoolChurn(benchmark::State& state) {
+  // Pooled make -> drop for a Table 1 new-order frame: inline payload copy
+  // plus a freelist block reuse; no heap traffic once warm.
+  net::PacketFactory factory;
+  std::array<std::byte, 26> frame{};
+  frame.fill(std::byte{0x5a});
+  { auto warm = factory.make(std::span<const std::byte>{frame}, sim::Time{}); }
+  for (auto _ : state) {
+    auto packet = factory.make(std::span<const std::byte>{frame}, sim::Time{});
+    benchmark::DoNotOptimize(packet);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PacketPoolChurn);
+
 // Forwards console output as usual while collecting per-benchmark timings
 // for the machine-readable report.
 class CapturingReporter : public benchmark::ConsoleReporter {
@@ -212,13 +262,27 @@ int main(int argc, char** argv) {
   // these timings measure the zero-cost disabled path.
   tsn::bench::Report bench_report{"micro_hotpaths", "Hot-path microbenchmarks"};
   bench_report.param("trace_sink", "none");
+  double schedule_fire_ns = 0.0;
+  double pool_churn_ns = 0.0;
   for (const auto& timing : reporter.timings()) {
     bench_report.metric(timing.name, timing.real_ns, "ns");
     // Generous ceiling: every hot path stays sub-microsecond-ish; a blown
     // budget here means an accidental hot-path regression (e.g. telemetry
     // hooks no longer compiling out).
     bench_report.check(timing.name + ".under_5us", timing.real_ns < 5'000.0);
+    if (timing.name == "BM_EngineScheduleFire") schedule_fire_ns = timing.real_ns;
+    if (timing.name == "BM_PacketPoolChurn") pool_churn_ns = timing.real_ns;
   }
-  bench_report.check("all_benchmarks_ran", reporter.timings().size() >= 10);
+  // Throughput rows for the allocation-free hot paths; bench_compare gates
+  // these against bench/baselines/ so a pooled-path regression fails CI.
+  if (schedule_fire_ns > 0.0) {
+    bench_report.metric("scheduler.events_per_s", 1e9 / schedule_fire_ns, "events/s");
+  }
+  if (pool_churn_ns > 0.0) {
+    bench_report.metric("packet_pool.packets_per_s", 1e9 / pool_churn_ns, "packets/s");
+  }
+  bench_report.check("scheduler.events_per_s.reported", schedule_fire_ns > 0.0);
+  bench_report.check("packet_pool.packets_per_s.reported", pool_churn_ns > 0.0);
+  bench_report.check("all_benchmarks_ran", reporter.timings().size() >= 13);
   return bench_report.finish();
 }

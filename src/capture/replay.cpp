@@ -50,7 +50,7 @@ std::size_t FrameReplayer::replay(const std::vector<RecordedFrame>& recording, s
     // before the replay fires.
     auto bytes = std::make_shared<const std::vector<std::byte>>(recorded.frame);
     engine_.schedule_at(at, [this, bytes] {
-      out_.send_frame(std::vector<std::byte>{*bytes});
+      out_.send_frame(std::span<const std::byte>{*bytes});
       ++sent_;
     });
   }

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <utility>
 
+#include "net/packet.hpp"
+
 namespace tsn::core {
 
 // 128-bit intermediate for rate arithmetic; __extension__ keeps the GCC
@@ -31,8 +33,8 @@ LatencyBreakdown evaluate(const PathSpec& path) noexcept {
       path.fpga_hop_latency * static_cast<std::int64_t>(path.fpga_hops);
   out.software = path.software_hop_latency * static_cast<std::int64_t>(path.software_hops);
   if (path.link_rate_bps > 0) {
-    // +20 wire bytes per traversal: preamble + IPG.
-    const auto bits_per_frame = static_cast<std::int64_t>((path.frame_bytes + 20) * 8);
+    const auto bits_per_frame =
+        static_cast<std::int64_t>((path.frame_bytes + net::kWireOverheadBytes) * 8);
     const auto per_link_ps =
         (static_cast<Int128>(bits_per_frame) * 1'000'000'000'000) / path.link_rate_bps;
     out.serialization = sim::Duration{static_cast<std::int64_t>(per_link_ps) *

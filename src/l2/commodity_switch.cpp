@@ -135,11 +135,10 @@ void CommoditySwitch::forward_unicast(const net::PacketPtr& packet,
   net::PacketPtr out = packet;
   if (auto it = host_macs_.find(frame.ip->dst);
       it != host_macs_.end() && frame.eth.dst != it->second) {
-    std::vector<std::byte> bytes{packet->frame().begin(), packet->frame().end()};
+    rewrite_scratch_.assign(packet->frame().begin(), packet->frame().end());
     const auto& mac = it->second.octets();
-    for (std::size_t i = 0; i < 6; ++i) bytes[i] = static_cast<std::byte>(mac[i]);
-    out = std::make_shared<net::Packet>(std::move(bytes), packet->created(), packet->id(),
-                                        packet->trace());
+    for (std::size_t i = 0; i < 6; ++i) rewrite_scratch_[i] = static_cast<std::byte>(mac[i]);
+    out = factory_.remake(rewrite_scratch_, packet->created(), packet->id(), packet->trace());
   }
   ++stats_.unicast_forwarded;
   const sim::Duration delay = config_.forwarding_latency;
@@ -297,7 +296,7 @@ void CommoditySwitch::querier_tick() {
   const auto frame = mcast::build_igmp_frame(
       net::MacAddr::from_host_id(0xfffe), net::Ipv4Addr{10, 255, 255, 254},
       mcast::IgmpMessage{mcast::IgmpType::kMembershipQuery, net::Ipv4Addr{}});
-  const auto packet = query_factory_.make(std::vector<std::byte>{frame}, engine_.now());
+  const auto packet = factory_.make(std::span<const std::byte>{frame}, engine_.now());
   for (net::PortId p = 0; p < egress_.size(); ++p) {
     if (egress_[p] != nullptr && !(p < router_port_.size() && router_port_[p])) {
       transmit_on(p, packet);

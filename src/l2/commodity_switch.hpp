@@ -142,7 +142,11 @@ class CommoditySwitch final : public net::PortedDevice {
     }
   };
   std::unordered_map<MembershipKey, sim::Time, MembershipKeyHash> last_report_;
-  net::PacketFactory query_factory_;
+  // Pooled source for frames this switch originates (IGMP queries) or
+  // rewrites (last-hop MAC); the scratch buffer keeps rewrites
+  // allocation-free for pool-inlined frame sizes.
+  net::PacketFactory factory_;
+  std::vector<std::byte> rewrite_scratch_;
   bool querier_running_ = false;
   std::uint64_t aged_out_ = 0;
 };

@@ -34,22 +34,21 @@ std::uint16_t internet_checksum(std::span<const std::byte> data) noexcept {
 }
 
 void Ipv4Header::encode(WireWriter& w) const {
-  std::vector<std::byte> scratch;
-  scratch.reserve(kIpv4HeaderSize);
-  WireWriter hw{scratch};
-  hw.u8(0x45);  // version 4, IHL 5
-  hw.u8(dscp);
-  hw.u16(total_length);
-  hw.u16(identification);
-  hw.u16(0x4000);  // flags: DF, fragment offset 0
-  hw.u8(ttl);
-  hw.u8(protocol);
-  hw.u16(0);  // checksum placeholder
-  hw.u32(src.value());
-  hw.u32(dst.value());
-  const std::uint16_t sum = internet_checksum(scratch);
-  hw.patch_u16(10, sum);
-  w.bytes(scratch);
+  // Written straight into the output buffer; the checksum is computed over
+  // the in-place header and patched, so encoding allocates nothing.
+  const std::size_t start = w.size();
+  w.u8(0x45);  // version 4, IHL 5
+  w.u8(dscp);
+  w.u16(total_length);
+  w.u16(identification);
+  w.u16(0x4000);  // flags: DF, fragment offset 0
+  w.u8(ttl);
+  w.u8(protocol);
+  w.u16(0);  // checksum placeholder
+  w.u32(src.value());
+  w.u32(dst.value());
+  const std::uint16_t sum = internet_checksum(w.written(start, kIpv4HeaderSize));
+  w.patch_u16(start + 10, sum);
 }
 
 std::optional<Ipv4Header> Ipv4Header::decode(WireReader& r) {
@@ -165,11 +164,10 @@ void finish_frame(std::vector<std::byte>& frame) {
 
 }  // namespace
 
-std::vector<std::byte> build_udp_frame(MacAddr src_mac, MacAddr dst_mac, Ipv4Addr src_ip,
-                                       Ipv4Addr dst_ip, std::uint16_t src_port,
-                                       std::uint16_t dst_port,
-                                       std::span<const std::byte> payload) {
-  std::vector<std::byte> frame;
+void build_udp_frame_into(std::vector<std::byte>& frame, MacAddr src_mac, MacAddr dst_mac,
+                          Ipv4Addr src_ip, Ipv4Addr dst_ip, std::uint16_t src_port,
+                          std::uint16_t dst_port, std::span<const std::byte> payload) {
+  frame.clear();
   frame.reserve(kEthernetHeaderSize + kIpv4HeaderSize + kUdpHeaderSize + payload.size() +
                 kEthernetFcsSize);
   WireWriter w{frame};
@@ -188,6 +186,14 @@ std::vector<std::byte> build_udp_frame(MacAddr src_mac, MacAddr dst_mac, Ipv4Add
   udp.encode(w);
   w.bytes(payload);
   finish_frame(frame);
+}
+
+std::vector<std::byte> build_udp_frame(MacAddr src_mac, MacAddr dst_mac, Ipv4Addr src_ip,
+                                       Ipv4Addr dst_ip, std::uint16_t src_port,
+                                       std::uint16_t dst_port,
+                                       std::span<const std::byte> payload) {
+  std::vector<std::byte> frame;
+  build_udp_frame_into(frame, src_mac, dst_mac, src_ip, dst_ip, src_port, dst_port, payload);
   return frame;
 }
 
@@ -217,6 +223,13 @@ std::vector<std::byte> build_multicast_frame(MacAddr src_mac, Ipv4Addr src_ip, I
                                              std::span<const std::byte> payload) {
   return build_udp_frame(src_mac, multicast_mac(group), src_ip, group, dst_port, dst_port,
                          payload);
+}
+
+void build_multicast_frame_into(std::vector<std::byte>& frame, MacAddr src_mac, Ipv4Addr src_ip,
+                                Ipv4Addr group, std::uint16_t dst_port,
+                                std::span<const std::byte> payload) {
+  build_udp_frame_into(frame, src_mac, multicast_mac(group), src_ip, group, dst_port, dst_port,
+                       payload);
 }
 
 }  // namespace tsn::net

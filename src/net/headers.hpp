@@ -110,6 +110,12 @@ struct DecodedFrame {
                                                      std::uint16_t dst_port,
                                                      std::span<const std::byte> payload);
 
+// Builds into a caller-owned scratch buffer (cleared, capacity reused), so
+// per-frame senders on the hot path allocate nothing once warm.
+void build_udp_frame_into(std::vector<std::byte>& frame, MacAddr src_mac, MacAddr dst_mac,
+                          Ipv4Addr src_ip, Ipv4Addr dst_ip, std::uint16_t src_port,
+                          std::uint16_t dst_port, std::span<const std::byte> payload);
+
 [[nodiscard]] std::vector<std::byte> build_tcp_frame(MacAddr src_mac, MacAddr dst_mac,
                                                      Ipv4Addr src_ip, Ipv4Addr dst_ip,
                                                      const TcpHeader& tcp,
@@ -119,5 +125,9 @@ struct DecodedFrame {
 [[nodiscard]] std::vector<std::byte> build_multicast_frame(MacAddr src_mac, Ipv4Addr src_ip,
                                                            Ipv4Addr group, std::uint16_t dst_port,
                                                            std::span<const std::byte> payload);
+
+void build_multicast_frame_into(std::vector<std::byte>& frame, MacAddr src_mac, Ipv4Addr src_ip,
+                                Ipv4Addr group, std::uint16_t dst_port,
+                                std::span<const std::byte> payload);
 
 }  // namespace tsn::net

@@ -34,6 +34,12 @@ PacketPtr Nic::send_frame(std::vector<std::byte> frame) {
   return packet;
 }
 
+PacketPtr Nic::send_frame(std::span<const std::byte> frame) {
+  auto packet = factory_.make(frame, engine_.now());
+  send(packet);
+  return packet;
+}
+
 void Nic::receive(const PacketPtr& packet, PortId /*port*/) {
   if (!promiscuous_) {
     WireReader r{packet->frame()};

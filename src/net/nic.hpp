@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -45,6 +46,12 @@ class Nic final : public PortedDevice {
   void send(const PacketPtr& packet);
   // Convenience: wraps bytes in a Packet stamped with the current time.
   PacketPtr send_frame(std::vector<std::byte> frame);
+  // Allocation-free variant for hot senders: the bytes are copied into the
+  // pooled Packet (inline for small frames), so the caller can reuse its
+  // scratch buffer across sends.
+  PacketPtr send_frame(std::span<const std::byte> frame);
+  // Pooled packet source for this NIC (pre-warm or inspect reuse counters).
+  [[nodiscard]] PacketFactory& packets() noexcept { return factory_; }
 
   void receive(const PacketPtr& packet, PortId port) override;
   [[nodiscard]] std::string_view name() const noexcept override { return name_; }

@@ -4,9 +4,22 @@
 // Packets are shared immutably (`PacketPtr`) so that multicast fan-out
 // through switches does not copy payload bytes — mirroring how a real switch
 // replicates a frame by reference until egress.
+//
+// Hot-path memory model: the paper's workloads are tiny frames at extreme
+// rates (26 B new-order / 14 B cancel, ≥500k events/s — PAPER §3, Table 1),
+// so frames up to `Packet::kInlineCapacity` live inside the Packet object
+// itself, and `PacketFactory` recycles the shared_ptr control block + Packet
+// allocation through a freelist (`detail::BlockPool`). Once the pool is
+// warm, a make → fan-out → drop cycle performs zero heap allocations; only
+// MTU-scale frames (PITCH unit batches) fall back to heap payload storage.
+// Recycling is reference-safe by construction: a block returns to the
+// freelist only when the last PacketPtr (and weak ref) drops, so a recycled
+// frame can never alias through a still-held pointer.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <span>
 #include <utility>
@@ -17,17 +30,62 @@
 
 namespace tsn::net {
 
+// Per-frame Ethernet wire overhead that never appears in the frame buffer:
+// preamble + start-of-frame delimiter, and the inter-packet gap. Shared by
+// Packet::wire_bytes(), the link serialization model, and the analytical
+// latency model so they can never disagree.
+inline constexpr std::size_t kPreambleSfdBytes = 8;
+inline constexpr std::size_t kInterPacketGapBytes = 12;
+inline constexpr std::size_t kWireOverheadBytes = kPreambleSfdBytes + kInterPacketGapBytes;
+
 class Packet {
  public:
+  // Covers every PITCH/BOE message frame in the paper's Table 1 (14–42 B
+  // payloads; full frames stay ≤ 64 B only for the compressed/L1 formats,
+  // so this is sized to the common small-control/market-message case).
+  static constexpr std::size_t kInlineCapacity = 64;
+
+  // Large frames move the vector in (zero copy); small ones are copied into
+  // inline storage and the vector is discarded.
   Packet(std::vector<std::byte> frame, sim::Time created, std::uint64_t id,
          telemetry::TraceId trace = 0) noexcept
-      : frame_(std::move(frame)), created_(created), id_(id), trace_(trace) {}
+      : created_(created), id_(id), trace_(trace) {
+    if (frame.size() <= kInlineCapacity) {
+      size_ = static_cast<std::uint32_t>(frame.size());
+      // Bounds-checked by the branch above (size <= kInlineCapacity).
+      if (!frame.empty()) std::memcpy(inline_frame_.data(), frame.data(), frame.size());  // tsn-lint: allow(raw-memcpy)
+    } else {
+      heap_frame_ = std::move(frame);
+      size_ = static_cast<std::uint32_t>(heap_frame_.size());
+      inline_stored_ = false;
+    }
+  }
 
-  [[nodiscard]] std::span<const std::byte> frame() const noexcept { return frame_; }
-  [[nodiscard]] std::size_t size_bytes() const noexcept { return frame_.size(); }
-  // On-the-wire size including preamble + SFD (8) and inter-packet gap (12),
-  // which is what serialization delay must account for.
-  [[nodiscard]] std::size_t wire_bytes() const noexcept { return frame_.size() + 20; }
+  // Copies the bytes (inline when they fit), leaving the caller free to
+  // reuse its scratch buffer — the allocation-free path for small frames.
+  Packet(std::span<const std::byte> frame, sim::Time created, std::uint64_t id,
+         telemetry::TraceId trace = 0)
+      : created_(created), id_(id), trace_(trace) {
+    size_ = static_cast<std::uint32_t>(frame.size());
+    if (frame.size() <= kInlineCapacity) {
+      // Bounds-checked by the branch above (size <= kInlineCapacity).
+      if (!frame.empty()) std::memcpy(inline_frame_.data(), frame.data(), frame.size());  // tsn-lint: allow(raw-memcpy)
+    } else {
+      heap_frame_.assign(frame.begin(), frame.end());
+      inline_stored_ = false;
+    }
+  }
+
+  [[nodiscard]] std::span<const std::byte> frame() const noexcept {
+    return inline_stored_ ? std::span<const std::byte>{inline_frame_.data(), size_}
+                          : std::span<const std::byte>{heap_frame_};
+  }
+  [[nodiscard]] std::size_t size_bytes() const noexcept { return size_; }
+  // On-the-wire size including preamble + SFD and inter-packet gap, which is
+  // what serialization delay must account for.
+  [[nodiscard]] std::size_t wire_bytes() const noexcept { return size_ + kWireOverheadBytes; }
+  // True when the frame lives inside the Packet object (no heap payload).
+  [[nodiscard]] bool inline_stored() const noexcept { return inline_stored_; }
 
   // Origin timestamp: when the sender handed the frame to its NIC.
   [[nodiscard]] sim::Time created() const noexcept { return created_; }
@@ -37,27 +95,156 @@ class Packet {
   [[nodiscard]] telemetry::TraceId trace() const noexcept { return trace_; }
 
  private:
-  std::vector<std::byte> frame_;
+  std::vector<std::byte> heap_frame_;  // empty when inline_stored_
+  std::array<std::byte, kInlineCapacity> inline_frame_;
   sim::Time created_;
   std::uint64_t id_;
   telemetry::TraceId trace_ = 0;
+  std::uint32_t size_ = 0;
+  bool inline_stored_ = true;
 };
 
 using PacketPtr = std::shared_ptr<const Packet>;
 
+namespace detail {
+
+// Freelist of fixed-size blocks backing pooled shared_ptr allocations. The
+// block size is pinned by the first allocation (the allocate_shared
+// control-block-plus-Packet node); other sizes fall through to the global
+// allocator untracked. Single-threaded by design, like the simulator.
+class BlockPool {
+ public:
+  BlockPool() = default;
+  BlockPool(const BlockPool&) = delete;
+  BlockPool& operator=(const BlockPool&) = delete;
+
+  ~BlockPool() {
+    for (void* block : free_) ::operator delete(block);
+  }
+
+  [[nodiscard]] void* allocate(std::size_t bytes) {
+    if (block_size_ == 0) block_size_ = bytes;
+    if (bytes != block_size_) {
+      ++fallback_allocations_;
+      return ::operator new(bytes);
+    }
+    if (!free_.empty()) {
+      void* block = free_.back();
+      free_.pop_back();
+      ++reused_;
+      return block;
+    }
+    ++allocated_;
+    return ::operator new(bytes);
+  }
+
+  void deallocate(void* block, std::size_t bytes) noexcept {
+    if (bytes != block_size_) {
+      ::operator delete(block);
+      return;
+    }
+    // push_back cannot allocate here: capacity was reserved to cover every
+    // block this pool has ever handed out.
+    free_.push_back(block);
+  }
+
+  // Called after each fresh allocation to keep the freelist pre-sized.
+  void reserve_freelist() { free_.reserve(allocated_); }
+
+  [[nodiscard]] std::uint64_t blocks_allocated() const noexcept { return allocated_; }
+  [[nodiscard]] std::uint64_t blocks_reused() const noexcept { return reused_; }
+  [[nodiscard]] std::size_t free_blocks() const noexcept { return free_.size(); }
+
+ private:
+  std::vector<void*> free_;
+  std::size_t block_size_ = 0;
+  std::uint64_t allocated_ = 0;
+  std::uint64_t reused_ = 0;
+  std::uint64_t fallback_allocations_ = 0;
+};
+
+// Minimal allocator over a shared BlockPool. Copies (including the one the
+// shared_ptr control block keeps) share the pool and keep it alive, so
+// blocks released after the factory is gone still return safely.
+template <typename T>
+class PoolAllocator {
+ public:
+  using value_type = T;
+
+  explicit PoolAllocator(std::shared_ptr<BlockPool> pool) noexcept : pool_(std::move(pool)) {}
+  template <typename U>
+  PoolAllocator(const PoolAllocator<U>& other) noexcept : pool_(other.pool_) {}
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    static_assert(alignof(T) <= alignof(std::max_align_t),
+                  "pooled blocks are max_align_t-aligned");
+    T* p = static_cast<T*>(pool_->allocate(n * sizeof(T)));
+    pool_->reserve_freelist();
+    return p;
+  }
+  void deallocate(T* p, std::size_t n) noexcept { pool_->deallocate(p, n * sizeof(T)); }
+
+  template <typename U>
+  [[nodiscard]] bool operator==(const PoolAllocator<U>& other) const noexcept {
+    return pool_ == other.pool_;
+  }
+
+ private:
+  template <typename U>
+  friend class PoolAllocator;
+  std::shared_ptr<BlockPool> pool_;
+};
+
+}  // namespace detail
+
 // Process-wide monotonic packet ids; simulation determinism does not depend
-// on ids, only uniqueness within a run.
+// on ids, only uniqueness within a run. Packets are carved out of a
+// per-factory freelist pool; see the file header for the recycling contract.
 class PacketFactory {
  public:
   // New frames are stamped with the ambient trace id, so a packet sent from
   // inside a TraceScope joins that scope's trace with no per-call plumbing.
   [[nodiscard]] PacketPtr make(std::vector<std::byte> frame, sim::Time created) {
-    return std::make_shared<Packet>(std::move(frame), created, next_id_++,
-                                    telemetry::current_trace());
+    return std::allocate_shared<Packet>(alloc(), std::move(frame), created, next_id_++,
+                                        telemetry::current_trace());
+  }
+  [[nodiscard]] PacketPtr make(std::span<const std::byte> frame, sim::Time created) {
+    return std::allocate_shared<Packet>(alloc(), frame, created, next_id_++,
+                                        telemetry::current_trace());
+  }
+
+  // Rewritten copy of an existing frame (e.g. a switch's last-hop MAC
+  // rewrite): keeps the original id/timestamp/trace — it is the same frame
+  // on the wire.
+  [[nodiscard]] PacketPtr remake(std::span<const std::byte> frame, sim::Time created,
+                                 std::uint64_t id, telemetry::TraceId trace) {
+    return std::allocate_shared<Packet>(alloc(), frame, created, id, trace);
+  }
+
+  // Pre-warms the freelist to at least `packets` recycled blocks.
+  void reserve(std::size_t packets) {
+    std::vector<PacketPtr> warm;
+    warm.reserve(packets);
+    const std::byte seed[1] = {};
+    while (pool_->blocks_allocated() < packets) {
+      warm.push_back(remake(std::span<const std::byte>{seed, 0}, sim::Time::zero(), 0, 0));
+    }
+  }
+
+  [[nodiscard]] std::uint64_t pool_blocks_allocated() const noexcept {
+    return pool_->blocks_allocated();
+  }
+  [[nodiscard]] std::uint64_t pool_blocks_reused() const noexcept {
+    return pool_->blocks_reused();
   }
 
  private:
+  [[nodiscard]] detail::PoolAllocator<Packet> alloc() const noexcept {
+    return detail::PoolAllocator<Packet>{pool_};
+  }
+
   std::uint64_t next_id_ = 1;
+  std::shared_ptr<detail::BlockPool> pool_ = std::make_shared<detail::BlockPool>();
 };
 
 }  // namespace tsn::net

@@ -18,13 +18,15 @@ void NetStack::unbind_udp(std::uint16_t port) { udp_handlers_.erase(port); }
 
 void NetStack::send_udp(MacAddr dst_mac, Ipv4Addr dst_ip, std::uint16_t src_port,
                         std::uint16_t dst_port, std::span<const std::byte> payload) {
-  nic_.send_frame(build_udp_frame(nic_.mac(), dst_mac, nic_.ip(), dst_ip, src_port, dst_port,
-                                  payload));
+  build_udp_frame_into(tx_scratch_, nic_.mac(), dst_mac, nic_.ip(), dst_ip, src_port, dst_port,
+                       payload);
+  nic_.send_frame(std::span<const std::byte>{tx_scratch_});
 }
 
 void NetStack::send_multicast(Ipv4Addr group, std::uint16_t port,
                               std::span<const std::byte> payload) {
-  nic_.send_frame(build_multicast_frame(nic_.mac(), nic_.ip(), group, port, payload));
+  build_multicast_frame_into(tx_scratch_, nic_.mac(), nic_.ip(), group, port, payload);
+  nic_.send_frame(std::span<const std::byte>{tx_scratch_});
 }
 
 TcpEndpoint& NetStack::connect_tcp(MacAddr dst_mac, Ipv4Addr dst_ip, std::uint16_t dst_port,

@@ -8,6 +8,7 @@
 #include <map>
 #include <memory>
 #include <span>
+#include <vector>
 
 #include "net/headers.hpp"
 #include "net/nic.hpp"
@@ -66,6 +67,9 @@ class NetStack {
   void handle_tcp(const DecodedFrame& frame, sim::Time arrival);
 
   Nic& nic_;
+  // Reused frame-build buffer: UDP/multicast sends stay allocation-free
+  // once its capacity covers the largest frame sent.
+  std::vector<std::byte> tx_scratch_;
   IgmpHandler igmp_handler_;
   std::map<std::uint16_t, UdpHandler> udp_handlers_;
   std::map<std::uint16_t, AcceptHandler> tcp_listeners_;

@@ -68,6 +68,13 @@ class WireWriter {
 
   [[nodiscard]] std::size_t size() const noexcept { return out_.size(); }
 
+  // Read-back view of previously-written bytes (e.g. to checksum a header
+  // in place instead of staging it in a scratch buffer).
+  [[nodiscard]] std::span<const std::byte> written(std::size_t offset, std::size_t len) const {
+    TSN_ASSERT(offset + len <= out_.size(), "written() range past end of buffer");
+    return std::span<const std::byte>{out_}.subspan(offset, len);
+  }
+
   // Patches a previously-written big-endian u16 at `offset` (e.g. a length
   // field known only after the body is written).
   void patch_u16(std::size_t offset, std::uint16_t v) {

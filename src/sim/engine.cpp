@@ -9,9 +9,16 @@ namespace tsn::sim {
 EventHandle Engine::schedule_at(Time at, Action action) {
   if (at < now_) at = now_;
   const std::uint64_t seq = next_seq_++;
-  queue_.push(Scheduled{at, seq, std::move(action)});
+  const std::uint32_t index = pool_.acquire();
+  EventPool::Slot& slot = pool_.slot(index);
+  slot.at = at;
+  slot.seq = seq;
+  slot.armed = true;
+  slot.action = std::move(action);
+  heap_.push_back(HeapEntry{at, seq, index, slot.generation});
+  std::push_heap(heap_.begin(), heap_.end(), FiresLater{});
   ++live_;
-  return EventHandle{seq};
+  return EventHandle{index, slot.generation};
 }
 
 EventHandle Engine::schedule_in(Duration delay, Action action) {
@@ -20,38 +27,46 @@ EventHandle Engine::schedule_in(Duration delay, Action action) {
 }
 
 bool Engine::cancel(EventHandle handle) {
-  if (!handle.valid() || handle.seq_ >= next_seq_) return false;
-  // Already-cancelled or already-fired sequence numbers are rejected by
-  // checking the cancellation list; fired events can't be distinguished
-  // cheaply, so callers must not cancel handles they know have fired.
-  if (std::find(cancelled_.begin(), cancelled_.end(), handle.seq_) != cancelled_.end()) {
-    return false;
-  }
-  cancelled_.push_back(handle.seq_);
-  if (live_ > 0) --live_;
+  if (!handle.valid() || handle.slot_ >= pool_.capacity()) return false;
+  EventPool::Slot& slot = pool_.slot(handle.slot_);
+  // A fired, cancelled, or reused slot has moved past the handle's
+  // generation; only the live original matches.
+  if (!slot.armed || slot.generation != handle.generation_) return false;
+  pool_.release(handle.slot_);  // heap entry goes stale; pruned at peek
+  --live_;
   return true;
 }
 
-bool Engine::pop_one() {
-  while (!queue_.empty()) {
-    const Scheduled& top = queue_.top();
-    const auto it = std::find(cancelled_.begin(), cancelled_.end(), top.seq);
-    if (it != cancelled_.end()) {
-      cancelled_.erase(it);
-      queue_.pop();
-      continue;
-    }
-    // priority_queue::top is const; the action must be moved out before pop.
-    Scheduled event{top.at, top.seq, std::move(const_cast<Scheduled&>(top).action)};
-    queue_.pop();
-    if (live_ > 0) --live_;
-    TSN_DCHECK(event.at >= now_, "event queue must never run time backwards");
-    now_ = event.at;
-    ++fired_;
-    event.action();
-    return true;
+const Engine::HeapEntry* Engine::peek_live() {
+  while (!heap_.empty()) {
+    const HeapEntry& top = heap_.front();
+    const EventPool::Slot& slot = pool_.slot(top.slot);
+    if (slot.armed && slot.generation == top.generation) return &heap_.front();
+    // Cancelled: the slot was released (and possibly re-armed under a new
+    // generation); this entry is stale.
+    std::pop_heap(heap_.begin(), heap_.end(), FiresLater{});
+    heap_.pop_back();
   }
-  return false;
+  return nullptr;
+}
+
+bool Engine::pop_one() {
+  const HeapEntry* top = peek_live();
+  if (top == nullptr) return false;
+  const HeapEntry entry = *top;
+  std::pop_heap(heap_.begin(), heap_.end(), FiresLater{});
+  heap_.pop_back();
+  EventPool::Slot& slot = pool_.slot(entry.slot);
+  // Release the slot before invoking: the action may schedule new events
+  // (reusing this slot under a fresh generation) or cancel others.
+  Action action = std::move(slot.action);
+  pool_.release(entry.slot);
+  --live_;
+  TSN_DCHECK(entry.at >= now_, "event queue must never run time backwards");
+  now_ = entry.at;
+  ++fired_;
+  action();
+  return true;
 }
 
 std::uint64_t Engine::run() {
@@ -64,16 +79,9 @@ std::uint64_t Engine::run() {
 std::uint64_t Engine::run_until(Time deadline) {
   stop_requested_ = false;
   std::uint64_t count = 0;
-  while (!stop_requested_ && !queue_.empty()) {
-    // Peeking past cancelled entries: pop_one handles them, but the deadline
-    // check must see the first live event's time.
-    const Scheduled& top = queue_.top();
-    if (std::find(cancelled_.begin(), cancelled_.end(), top.seq) != cancelled_.end()) {
-      cancelled_.erase(std::find(cancelled_.begin(), cancelled_.end(), top.seq));
-      queue_.pop();
-      continue;
-    }
-    if (top.at > deadline) break;
+  while (!stop_requested_) {
+    const HeapEntry* next = peek_live();
+    if (next == nullptr || next->at > deadline) break;
     if (pop_one()) ++count;
   }
   if (now_ < deadline) now_ = deadline;
@@ -81,6 +89,11 @@ std::uint64_t Engine::run_until(Time deadline) {
 }
 
 bool Engine::step() { return pop_one(); }
+
+void Engine::reserve(std::size_t events) {
+  pool_.reserve(events);
+  heap_.reserve(events);
+}
 
 std::size_t Engine::pending_events() const noexcept { return live_; }
 

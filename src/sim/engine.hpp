@@ -3,35 +3,45 @@
 // A single-threaded event loop over a time-ordered queue. Events scheduled
 // for the same instant fire in scheduling order (a monotonically increasing
 // sequence number breaks ties), which makes runs fully deterministic.
+//
+// Hot-path memory model: actions are stored in pooled, slab-allocated slots
+// (`EventPool`) as `InlineAction`s — no heap allocation per event once the
+// pool and the heap vector are warm. Cancellation is genuinely O(1): a
+// handle names (slot, generation); cancelling releases the slot immediately
+// and the stale heap entry is discarded when it surfaces at the top.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
+#include "sim/action.hpp"
+#include "sim/event_pool.hpp"
 #include "sim/time.hpp"
 
 namespace tsn::sim {
 
 class Engine;
 
-// Opaque handle for cancelling a scheduled event.
+// Opaque handle for cancelling a scheduled event. Generation-checked: a
+// handle kept past its event's firing (or past a cancel) goes stale and all
+// later cancels through it return false, even after the slot is reused.
 class EventHandle {
  public:
   EventHandle() noexcept = default;
 
-  [[nodiscard]] bool valid() const noexcept { return seq_ != 0; }
+  [[nodiscard]] bool valid() const noexcept { return generation_ != 0; }
 
  private:
   friend class Engine;
-  explicit EventHandle(std::uint64_t seq) noexcept : seq_(seq) {}
-  std::uint64_t seq_ = 0;
+  EventHandle(std::uint32_t slot, std::uint32_t generation) noexcept
+      : slot_(slot), generation_(generation) {}
+  std::uint32_t slot_ = 0;
+  std::uint32_t generation_ = 0;
 };
 
 class Engine {
  public:
-  using Action = std::function<void()>;
+  using Action = InlineAction;
 
   Engine() = default;
   Engine(const Engine&) = delete;
@@ -47,8 +57,9 @@ class Engine {
   // Schedules `action` to run `delay` after now. Negative delays clamp to 0.
   EventHandle schedule_in(Duration delay, Action action);
 
-  // Cancels a pending event. Returns true if the event existed and had not
-  // yet fired. Cancellation is O(1); the slot is dropped lazily at pop time.
+  // Cancels a pending event in O(1). Returns true if the event existed and
+  // had not yet fired; stale handles (fired, already cancelled, or slot
+  // reused) return false.
   bool cancel(EventHandle handle);
 
   // Runs until the queue drains. Returns the number of events fired.
@@ -64,27 +75,41 @@ class Engine {
   // Stops a run() / run_until() in progress after the current event.
   void request_stop() noexcept { stop_requested_ = true; }
 
+  // Pre-warms pool slabs and the heap vector for `events` concurrent
+  // pending events, so bursts (Fig 2c) hit no allocation at schedule time.
+  void reserve(std::size_t events);
+
   [[nodiscard]] std::size_t pending_events() const noexcept;
   [[nodiscard]] std::uint64_t events_fired() const noexcept { return fired_; }
+  // Pool introspection (tests and capacity planning).
+  [[nodiscard]] std::size_t pool_capacity() const noexcept { return pool_.capacity(); }
+  [[nodiscard]] std::size_t pool_in_use() const noexcept { return pool_.in_use(); }
 
  private:
-  struct Scheduled {
+  // Heap entries are small POD (the action stays in the pool slot); a
+  // cancelled event's entry lingers, detected by generation mismatch.
+  struct HeapEntry {
     Time at;
     std::uint64_t seq = 0;
-    Action action;
-
-    // Min-queue on (time, seq): std::priority_queue is a max-queue, so the
-    // comparison is reversed.
-    bool operator<(const Scheduled& other) const noexcept {
-      if (at != other.at) return at > other.at;
-      return seq > other.seq;
+    std::uint32_t slot = 0;
+    std::uint32_t generation = 0;
+  };
+  // std::push_heap/pop_heap build a max-heap; "fires later" as the ordering
+  // puts the earliest (time, seq) on top.
+  struct FiresLater {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
     }
   };
 
   bool pop_one();
+  // Discards stale (cancelled) top entries; returns the next live entry or
+  // nullptr. The single peek path shared by pop_one and run_until.
+  const HeapEntry* peek_live();
 
-  std::priority_queue<Scheduled> queue_;
-  std::vector<std::uint64_t> cancelled_;  // sorted lazily at pop
+  std::vector<HeapEntry> heap_;
+  EventPool pool_;
   Time now_ = Time::zero();
   std::uint64_t next_seq_ = 1;
   std::uint64_t fired_ = 0;

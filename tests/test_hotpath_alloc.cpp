@@ -1,0 +1,163 @@
+// Zero-allocation assertions for the simulator's hot paths.
+//
+// This file replaces the global allocation functions with counting variants,
+// which changes behaviour for the whole process — so it builds into its own
+// test executable (`tsn_hotpath_alloc_tests`) rather than joining tsn_tests.
+//
+// The contract under test (DESIGN.md "Hot-path memory model"): once pools
+// and scratch buffers are warm, (a) an Engine schedule → fire (or cancel)
+// cycle, (b) a PacketFactory make → drop cycle for small frames, and (c) a
+// full NIC → link → NIC UDP delivery perform zero heap allocations.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <span>
+#include <vector>
+
+#include "net/fabric.hpp"
+#include "net/nic.hpp"
+#include "net/packet.hpp"
+#include "net/stack.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocation_count{0};
+
+void* counted_alloc(std::size_t size) {
+  ++g_allocation_count;
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc{};
+}
+
+void* counted_aligned_alloc(std::size_t size, std::size_t alignment) {
+  ++g_allocation_count;
+  // aligned_alloc requires size to be a multiple of alignment.
+  const std::size_t rounded = (size + alignment - 1) / alignment * alignment;
+  if (void* p = std::aligned_alloc(alignment, rounded == 0 ? alignment : rounded)) return p;
+  throw std::bad_alloc{};
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, std::align_val_t al) {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(al));
+}
+void* operator new[](std::size_t size, std::align_val_t al) {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(al));
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  ++g_allocation_count;
+  return std::malloc(size == 0 ? 1 : size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  ++g_allocation_count;
+  return std::malloc(size == 0 ? 1 : size);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+
+namespace tsn {
+namespace {
+
+std::uint64_t allocations() { return g_allocation_count.load(std::memory_order_relaxed); }
+
+TEST(HotPathAlloc, EngineScheduleFireCancelCycleIsAllocationFree) {
+  sim::Engine engine;
+  std::uint64_t fired = 0;
+  // Warm-up: grow the event pool and the heap vector to steady-state size,
+  // including the cancel path.
+  for (int i = 0; i < 1'024; ++i) {
+    engine.schedule_in(sim::nanos(std::int64_t{100} + i), [&fired] { ++fired; });
+  }
+  for (int i = 0; i < 64; ++i) {
+    engine.cancel(engine.schedule_in(sim::micros(std::int64_t{5}), [] {}));
+  }
+  engine.run();
+
+  const std::uint64_t before = allocations();
+  for (int round = 0; round < 8; ++round) {
+    for (int i = 0; i < 1'024; ++i) {
+      engine.schedule_in(sim::nanos(std::int64_t{100} + i), [&fired] { ++fired; });
+    }
+    for (int i = 0; i < 64; ++i) {
+      engine.cancel(engine.schedule_in(sim::micros(std::int64_t{5}), [] {}));
+    }
+    engine.run();
+  }
+  EXPECT_EQ(allocations() - before, 0u)
+      << "steady-state schedule -> fire/cancel cycles must not touch the heap";
+  EXPECT_EQ(fired, 9u * 1'024u);
+}
+
+TEST(HotPathAlloc, PacketMakeDropCycleIsAllocationFree) {
+  net::PacketFactory factory;
+  std::array<std::byte, 26> frame{};  // Table 1 new-order message
+  frame.fill(std::byte{0x5a});
+  // Warm-up: first make allocates the pooled block and sizes the freelist.
+  { auto p = factory.make(std::span<const std::byte>{frame}, sim::Time{}); }
+
+  const std::uint64_t before = allocations();
+  for (int i = 0; i < 4'096; ++i) {
+    auto p = factory.make(std::span<const std::byte>{frame}, sim::Time{});
+  }
+  EXPECT_EQ(allocations() - before, 0u)
+      << "small-frame make -> drop cycles must recycle pooled blocks";
+  EXPECT_GE(factory.pool_blocks_reused(), 4'096u);
+}
+
+TEST(HotPathAlloc, EndToEndUdpDeliveryIsAllocationFree) {
+  sim::Engine engine;
+  net::Fabric fabric{engine};
+  net::Nic a{engine, "a", net::MacAddr::from_host_id(1), net::Ipv4Addr{10, 0, 0, 1}};
+  net::Nic b{engine, "b", net::MacAddr::from_host_id(2), net::Ipv4Addr{10, 0, 0, 2}};
+  fabric.connect(a, 0, b, 0, net::LinkConfig{});
+  // A software hop on the receiver exercises the deferred-rx capture — the
+  // largest InlineAction payload on any hot path.
+  b.set_rx_delay(sim::nanos(std::int64_t{500}));
+  net::NetStack stack_a{a};
+  net::NetStack stack_b{b};
+  std::uint64_t received_bytes = 0;
+  stack_b.bind_udp(7'000, [&received_bytes](const net::Ipv4Header&, const net::UdpHeader&,
+                                            std::span<const std::byte> payload, sim::Time) {
+    received_bytes += payload.size();
+  });
+  // 18 B payload -> 64 B frame (Ethernet + IPv4 + UDP + FCS): the inline
+  // boundary exactly, so the pooled Packet carries it with no heap payload.
+  std::array<std::byte, 18> payload{};
+  payload.fill(std::byte{0x42});
+  auto send_batch = [&](int count) {
+    for (int i = 0; i < count; ++i) {
+      stack_a.send_udp(b.mac(), b.ip(), 6'000, 7'000, std::span<const std::byte>{payload});
+      engine.run();
+    }
+  };
+  send_batch(64);  // warm: pools, tx scratch, engine heap, link path
+  ASSERT_EQ(received_bytes, 64u * 18u);
+
+  const std::uint64_t before = allocations();
+  send_batch(64);
+  EXPECT_EQ(allocations() - before, 0u)
+      << "warm NIC -> link -> NIC UDP delivery must not touch the heap";
+  EXPECT_EQ(received_bytes, 128u * 18u);
+}
+
+}  // namespace
+}  // namespace tsn

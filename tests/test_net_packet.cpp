@@ -1,0 +1,140 @@
+#include "net/packet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace tsn::net {
+namespace {
+
+std::vector<std::byte> pattern_frame(std::size_t size) {
+  std::vector<std::byte> frame(size);
+  for (std::size_t i = 0; i < size; ++i) frame[i] = static_cast<std::byte>(i & 0xff);
+  return frame;
+}
+
+TEST(Packet, SmallFramesAreStoredInline) {
+  PacketFactory factory;
+  const auto bytes = pattern_frame(26);  // Table 1 new-order message
+  const auto packet = factory.make(std::span<const std::byte>{bytes}, sim::Time{5});
+  EXPECT_TRUE(packet->inline_stored());
+  EXPECT_EQ(packet->size_bytes(), 26u);
+  ASSERT_EQ(packet->frame().size(), 26u);
+  EXPECT_TRUE(std::equal(bytes.begin(), bytes.end(), packet->frame().begin()));
+}
+
+TEST(Packet, LargeFramesFallBackToHeapStorage) {
+  PacketFactory factory;
+  const auto bytes = pattern_frame(1'458);  // PITCH unit batch MTU frame
+  const auto packet = factory.make(std::span<const std::byte>{bytes}, sim::Time{5});
+  EXPECT_FALSE(packet->inline_stored());
+  EXPECT_EQ(packet->size_bytes(), 1'458u);
+  EXPECT_TRUE(std::equal(bytes.begin(), bytes.end(), packet->frame().begin()));
+}
+
+TEST(Packet, InlineBoundaryIsExactlyInlineCapacity) {
+  PacketFactory factory;
+  const auto at = factory.make(std::span<const std::byte>{pattern_frame(Packet::kInlineCapacity)},
+                               sim::Time{});
+  const auto over = factory.make(
+      std::span<const std::byte>{pattern_frame(Packet::kInlineCapacity + 1)}, sim::Time{});
+  EXPECT_TRUE(at->inline_stored());
+  EXPECT_FALSE(over->inline_stored());
+}
+
+TEST(Packet, VectorConstructorStillWorksForBothSizes) {
+  PacketFactory factory;
+  const auto small = factory.make(pattern_frame(14), sim::Time{1});  // cancel message
+  const auto large = factory.make(pattern_frame(512), sim::Time{1});
+  EXPECT_TRUE(small->inline_stored());
+  EXPECT_FALSE(large->inline_stored());
+  EXPECT_EQ(small->size_bytes(), 14u);
+  EXPECT_EQ(large->size_bytes(), 512u);
+}
+
+TEST(Packet, WireBytesAddsPreambleSfdAndIpg) {
+  PacketFactory factory;
+  const auto packet = factory.make(pattern_frame(64), sim::Time{});
+  EXPECT_EQ(kPreambleSfdBytes, 8u);
+  EXPECT_EQ(kInterPacketGapBytes, 12u);
+  EXPECT_EQ(packet->wire_bytes(), 64u + kPreambleSfdBytes + kInterPacketGapBytes);
+}
+
+TEST(PacketFactory, IdsAreUniqueAndMonotonic) {
+  PacketFactory factory;
+  const auto a = factory.make(pattern_frame(8), sim::Time{});
+  const auto b = factory.make(pattern_frame(8), sim::Time{});
+  EXPECT_LT(a->id(), b->id());
+}
+
+TEST(PacketFactory, RecyclesBlocksOnceReleased) {
+  PacketFactory factory;
+  const auto frame = pattern_frame(26);
+  {
+    auto p = factory.make(std::span<const std::byte>{frame}, sim::Time{});
+    EXPECT_EQ(factory.pool_blocks_reused(), 0u);
+  }
+  const auto allocated = factory.pool_blocks_allocated();
+  for (int i = 0; i < 100; ++i) {
+    auto p = factory.make(std::span<const std::byte>{frame}, sim::Time{});
+  }
+  EXPECT_EQ(factory.pool_blocks_allocated(), allocated) << "make/drop cycles must reuse blocks";
+  EXPECT_GE(factory.pool_blocks_reused(), 100u);
+}
+
+TEST(PacketFactory, RecycledFrameIsNotVisibleThroughHeldPointer) {
+  // The aliasing contract: a still-held PacketPtr pins its block, so frame
+  // recycling can never rewrite bytes under a live reader — even after the
+  // factory has churned through many pooled packets.
+  PacketFactory factory;
+  const auto original = pattern_frame(26);
+  PacketPtr held = factory.make(std::span<const std::byte>{original}, sim::Time{9});
+  for (int i = 0; i < 1'000; ++i) {
+    auto churn = factory.make(std::span<const std::byte>{pattern_frame(26)}, sim::Time{10});
+  }
+  ASSERT_EQ(held->frame().size(), original.size());
+  EXPECT_TRUE(std::equal(original.begin(), original.end(), held->frame().begin()));
+  EXPECT_EQ(held->created(), sim::Time{9});
+}
+
+TEST(PacketFactory, HeldPointerKeepsPoolAliveAfterFactoryDies) {
+  PacketPtr survivor;
+  {
+    PacketFactory factory;
+    survivor = factory.make(pattern_frame(26), sim::Time{3});
+  }
+  // The pooled block's allocator copy keeps the pool alive; releasing the
+  // last reference after the factory is gone must be safe.
+  EXPECT_EQ(survivor->size_bytes(), 26u);
+  survivor.reset();
+}
+
+TEST(PacketFactory, RemakePreservesIdentity) {
+  PacketFactory factory;
+  const auto frame = pattern_frame(40);
+  auto rewritten = pattern_frame(40);
+  rewritten[0] = std::byte{0xaa};
+  const auto out =
+      factory.remake(std::span<const std::byte>{rewritten}, sim::Time{7}, 1234, 99);
+  EXPECT_EQ(out->id(), 1234u);
+  EXPECT_EQ(out->trace(), 99u);
+  EXPECT_EQ(out->created(), sim::Time{7});
+  EXPECT_EQ(out->frame()[0], std::byte{0xaa});
+}
+
+TEST(PacketFactory, ReservePrewarmsFreelist) {
+  PacketFactory factory;
+  factory.reserve(64);
+  const auto allocated = factory.pool_blocks_allocated();
+  EXPECT_GE(allocated, 64u);
+  std::vector<PacketPtr> live;
+  for (int i = 0; i < 64; ++i) live.push_back(factory.make(pattern_frame(8), sim::Time{}));
+  EXPECT_EQ(factory.pool_blocks_allocated(), allocated);
+}
+
+}  // namespace
+}  // namespace tsn::net

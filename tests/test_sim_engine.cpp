@@ -161,5 +161,127 @@ TEST(Engine, CancelledEventBeforeDeadlineDoesNotBlockRunUntil) {
   EXPECT_EQ(engine.run_until(Time{200}), 1u);
 }
 
+TEST(Engine, CancelAfterFireReturnsFalse) {
+  Engine engine;
+  int fired = 0;
+  const auto h = engine.schedule_at(Time{100}, [&] { ++fired; });
+  engine.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(engine.cancel(h));
+  EXPECT_EQ(engine.pending_events(), 0u);
+}
+
+TEST(Engine, StaleHandleDoesNotCancelSlotReuse) {
+  // After the first event fires, its pool slot is recycled for the next
+  // event under a fresh generation; the stale handle must not cancel the
+  // newcomer even though both name the same slot.
+  Engine engine;
+  const auto stale = engine.schedule_at(Time{100}, [] {});
+  engine.run();
+  bool second_fired = false;
+  const auto fresh = engine.schedule_at(Time{200}, [&] { second_fired = true; });
+  EXPECT_FALSE(engine.cancel(stale));
+  engine.run();
+  EXPECT_TRUE(second_fired);
+  // And the fresh handle goes stale in turn.
+  EXPECT_FALSE(engine.cancel(fresh));
+}
+
+TEST(Engine, CancelledHandleStaysDeadAfterSlotReuse) {
+  Engine engine;
+  const auto h = engine.schedule_at(Time{100}, [] {});
+  EXPECT_TRUE(engine.cancel(h));
+  bool fired = false;
+  engine.schedule_at(Time{50}, [&] { fired = true; });  // reuses the slot
+  EXPECT_FALSE(engine.cancel(h));
+  engine.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Engine, SameInstantOrderSurvivesInterleavedCancels) {
+  Engine engine;
+  std::vector<int> order;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 20; ++i) {
+    handles.push_back(engine.schedule_at(Time{50}, [&order, i] { order.push_back(i); }));
+  }
+  // Cancel every third event; survivors must still fire in scheduling order.
+  for (std::size_t i = 0; i < handles.size(); i += 3) EXPECT_TRUE(engine.cancel(handles[i]));
+  engine.run();
+  std::vector<int> expected;
+  for (int i = 0; i < 20; ++i) {
+    if (i % 3 != 0) expected.push_back(i);
+  }
+  EXPECT_EQ(order, expected);
+}
+
+TEST(Engine, SameInstantScheduledDuringRunFiresAfterEarlierPeers) {
+  // An event scheduled *for now* from inside a handler gets a later seq, so
+  // it fires after events already queued for the same instant.
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule_at(Time{10}, [&] {
+    order.push_back(0);
+    engine.schedule_at(Time{10}, [&] { order.push_back(2); });
+  });
+  engine.schedule_at(Time{10}, [&] { order.push_back(1); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Engine, PoolGrowsUnderBurstAndStaysWarmAcrossBursts) {
+  // Fig 2c peak: 1066 events inside one 100 us window. The pool must grow
+  // to cover the burst, then absorb identical bursts with no further
+  // growth — the allocation-free steady state.
+  Engine engine;
+  std::uint64_t fired = 0;
+  auto burst = [&engine, &fired](Time base) {
+    for (int i = 0; i < 1'066; ++i) {
+      const auto offset = sim::nanos(static_cast<std::int64_t>((i * 94) % 100'000));
+      engine.schedule_at(base + offset, [&fired] { ++fired; });
+    }
+  };
+  burst(Time{0});
+  EXPECT_EQ(engine.pool_in_use(), 1'066u);
+  EXPECT_GE(engine.pool_capacity(), 1'066u);
+  const std::size_t grown = engine.pool_capacity();
+  engine.run();
+  EXPECT_EQ(fired, 1'066u);
+  EXPECT_EQ(engine.pool_in_use(), 0u);
+  for (int round = 1; round <= 3; ++round) {
+    burst(engine.now() + sim::millis(std::int64_t{1}));
+    engine.run();
+    EXPECT_EQ(engine.pool_capacity(), grown) << "burst round " << round << " grew the pool";
+  }
+  EXPECT_EQ(fired, 4u * 1'066u);
+}
+
+TEST(Engine, ReservePrewarmsPool) {
+  Engine engine;
+  engine.reserve(2'000);
+  EXPECT_GE(engine.pool_capacity(), 2'000u);
+  const std::size_t capacity = engine.pool_capacity();
+  for (int i = 0; i < 2'000; ++i) engine.schedule_at(Time{i}, [] {});
+  EXPECT_EQ(engine.pool_capacity(), capacity);
+  engine.run();
+}
+
+TEST(Engine, ManyCancelsStayCheap) {
+  // Regression guard for the old O(n) cancelled-list scan: cancelling tens
+  // of thousands of pending events (and popping past their stale heap
+  // entries) must complete quickly. Run as a functional check; the perf
+  // shape is covered by bench_micro_hotpaths.
+  Engine engine;
+  std::vector<EventHandle> handles;
+  handles.reserve(50'000);
+  for (int i = 0; i < 50'000; ++i) {
+    handles.push_back(engine.schedule_at(Time{i}, [] {}));
+  }
+  for (auto& h : handles) EXPECT_TRUE(engine.cancel(h));
+  EXPECT_EQ(engine.pending_events(), 0u);
+  EXPECT_EQ(engine.run(), 0u);
+  EXPECT_EQ(engine.events_fired(), 0u);
+}
+
 }  // namespace
 }  // namespace tsn::sim
