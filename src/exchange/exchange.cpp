@@ -16,16 +16,25 @@ constexpr std::int64_t kPicosPerSecond = 1'000'000'000'000;
 
 // Per-feed-unit packing state.
 struct Exchange::Unit {
-  Unit(Exchange& owner, std::uint8_t index, net::Ipv4Addr group, std::size_t mtu)
+  Unit(Exchange& owner, std::uint8_t index, net::Ipv4Addr group, net::Ipv4Addr group_b,
+       std::size_t mtu)
       : group_(group),
+        group_b_(group_b),
         builder_(index, mtu, [this, &owner](std::vector<std::byte> payload,
                                             const proto::pitch::UnitHeader& header) {
           owner.feed_stack_->send_multicast(group_, owner.config_.feed_port, payload);
           ++owner.stats_.feed_datagrams;
+          if (owner.config_.dual_publish) {
+            // The B line carries the exact same bytes (same unit, same
+            // sequence) on a second group: path redundancy, not content.
+            owner.feed_stack_->send_multicast(group_b_, owner.config_.feed_port, payload);
+            ++owner.stats_.feed_datagrams_b;
+          }
           (void)header;
         }) {}
 
   net::Ipv4Addr group_;
+  net::Ipv4Addr group_b_;
   proto::pitch::FrameBuilder builder_;
   bool flush_scheduled = false;
   std::uint32_t last_time_second = 0xffffffff;
@@ -123,7 +132,8 @@ Exchange::Exchange(sim::Engine& engine, ExchangeConfig config)
   const auto units = static_cast<std::uint8_t>(config_.feed_partitioning->partition_count());
   units_.reserve(units);
   for (std::uint8_t u = 0; u < units; ++u) {
-    units_.push_back(std::make_unique<Unit>(*this, u, unit_group(u), config_.feed_mtu_payload));
+    units_.push_back(std::make_unique<Unit>(*this, u, unit_group(u), unit_group_b(u),
+                                            config_.feed_mtu_payload));
   }
 
   for (const auto& spec : config_.symbols) {
@@ -292,6 +302,8 @@ void Exchange::register_metrics(telemetry::Registry& registry, const std::string
                  [this] { return static_cast<double>(stats_.feed_messages); });
   registry.gauge(prefix + ".feed_datagrams",
                  [this] { return static_cast<double>(stats_.feed_datagrams); });
+  registry.gauge(prefix + ".feed_datagrams_b",
+                 [this] { return static_cast<double>(stats_.feed_datagrams_b); });
   registry.gauge(prefix + ".orders_received",
                  [this] { return static_cast<double>(stats_.orders_received); });
   registry.gauge(prefix + ".orders_accepted",

@@ -45,6 +45,12 @@ struct ExchangeConfig {
   // Multicast group for unit u is feed_group_base + u.
   net::Ipv4Addr feed_group_base{239, 100, 0, 0};
   std::uint16_t feed_port = 30001;
+  // Redundant A/B publication: real feeds publish every datagram twice, on
+  // two groups that traverse disjoint paths, so receivers can arbitrate and
+  // survive single-path loss (§4). When enabled, unit u's datagrams also go
+  // to feed_group_b_base + u with byte-identical payloads (same sequences).
+  bool dual_publish = false;
+  net::Ipv4Addr feed_group_b_base{239, 102, 0, 0};
   // Snapshot (gap-recovery) channel: unit u's snapshots go to
   // snapshot_group_base + u on snapshot_port. Started via start_snapshots().
   net::Ipv4Addr snapshot_group_base{239, 101, 0, 0};
@@ -73,6 +79,7 @@ struct ExchangeConfig {
 struct ExchangeStats {
   std::uint64_t feed_messages = 0;
   std::uint64_t feed_datagrams = 0;
+  std::uint64_t feed_datagrams_b = 0;  // B-line copies (dual_publish only)
   std::uint64_t orders_received = 0;
   std::uint64_t orders_accepted = 0;
   std::uint64_t orders_rejected = 0;
@@ -97,6 +104,9 @@ class Exchange {
   [[nodiscard]] const ExchangeConfig& config() const noexcept { return config_; }
   [[nodiscard]] std::uint8_t unit_count() const noexcept;
   [[nodiscard]] net::Ipv4Addr unit_group(std::uint8_t unit) const noexcept;
+  [[nodiscard]] net::Ipv4Addr unit_group_b(std::uint8_t unit) const noexcept {
+    return net::Ipv4Addr{config_.feed_group_b_base.value() + unit};
+  }
   [[nodiscard]] net::Ipv4Addr snapshot_group(std::uint8_t unit) const noexcept {
     return net::Ipv4Addr{config_.snapshot_group_base.value() + unit};
   }

@@ -1,0 +1,177 @@
+#include "fault/injector.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "core/check.hpp"
+#include "telemetry/json.hpp"
+
+namespace tsn::fault {
+
+std::string_view fault_kind_name(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kLinkDown:
+      return "link_down";
+    case FaultKind::kLinkUp:
+      return "link_up";
+    case FaultKind::kLossSet:
+      return "loss_set";
+    case FaultKind::kLossClear:
+      return "loss_clear";
+    case FaultKind::kPortStall:
+      return "port_stall";
+    case FaultKind::kMrouteEvict:
+      return "mroute_evict";
+  }
+  return "?";
+}
+
+void FaultInjector::register_link(net::Link& link) {
+  hooks_.insert_or_assign(link.name(), &link);
+}
+
+void FaultInjector::register_hook(std::string name, net::FaultHook& hook) {
+  hooks_.insert_or_assign(std::move(name), &hook);
+}
+
+void FaultInjector::register_switch(l2::CommoditySwitch& sw) {
+  std::string name{sw.name()};
+  hooks_.insert_or_assign(name, static_cast<net::FaultHook*>(&sw));
+  switches_.insert_or_assign(std::move(name), &sw);
+}
+
+net::FaultHook& FaultInjector::hook_for(const std::string& target) const {
+  const auto it = hooks_.find(target);
+  if (it == hooks_.end()) {
+    throw std::invalid_argument{"fault target not registered: " + target};
+  }
+  return *it->second;
+}
+
+l2::CommoditySwitch& FaultInjector::switch_for(const std::string& name) const {
+  const auto it = switches_.find(name);
+  if (it == switches_.end()) {
+    throw std::invalid_argument{"fault target is not a switch: " + name};
+  }
+  return *it->second;
+}
+
+void FaultInjector::record(FaultKind kind, std::string target, double value) {
+  ++stats_.faults_fired;
+  ++kind_counts_[static_cast<std::size_t>(kind)];
+  log_.push_back(FaultEvent{engine_.now(), kind, std::move(target), value});
+}
+
+void FaultInjector::down_at(const std::string& target, sim::Time at) {
+  net::FaultHook& hook = hook_for(target);
+  ++stats_.faults_scheduled;
+  engine_.schedule_at(at, [this, &hook, target] {
+    hook.set_admin_up(false);
+    record(FaultKind::kLinkDown, target, 0.0);
+  });
+}
+
+void FaultInjector::up_at(const std::string& target, sim::Time at) {
+  net::FaultHook& hook = hook_for(target);
+  ++stats_.faults_scheduled;
+  engine_.schedule_at(at, [this, &hook, target] {
+    hook.set_admin_up(true);
+    record(FaultKind::kLinkUp, target, 0.0);
+  });
+}
+
+void FaultInjector::flap(const std::string& target, sim::Time at, sim::Duration duration) {
+  down_at(target, at);
+  up_at(target, at + duration);
+}
+
+void FaultInjector::set_loss_at(const std::string& target, sim::Time at, double probability) {
+  net::FaultHook& hook = hook_for(target);
+  ++stats_.faults_scheduled;
+  engine_.schedule_at(at, [this, &hook, target, probability] {
+    hook.set_loss_override(probability);
+    record(FaultKind::kLossSet, target, probability);
+  });
+}
+
+void FaultInjector::clear_loss_at(const std::string& target, sim::Time at) {
+  net::FaultHook& hook = hook_for(target);
+  ++stats_.faults_scheduled;
+  engine_.schedule_at(at, [this, &hook, target] {
+    hook.set_loss_override(-1.0);
+    record(FaultKind::kLossClear, target, 0.0);
+  });
+}
+
+void FaultInjector::ramp_loss(const std::string& target, sim::Time start, sim::Duration rise,
+                              sim::Duration fall, double peak, std::size_t steps) {
+  TSN_ASSERT(steps > 0, "a loss ramp needs at least one step");
+  // Rising edge: step k (1-based) holds peak*k/steps, evenly spaced so the
+  // final step lands exactly at `start + rise` with the full peak.
+  for (std::size_t k = 1; k <= steps; ++k) {
+    const sim::Time at = start + sim::Duration{rise.picos() * static_cast<std::int64_t>(k - 1) /
+                                               static_cast<std::int64_t>(steps)};
+    set_loss_at(target, at, peak * static_cast<double>(k) / static_cast<double>(steps));
+  }
+  // Falling edge mirrors the rise, then the override clears entirely.
+  for (std::size_t k = 1; k < steps; ++k) {
+    const sim::Time at =
+        start + rise + sim::Duration{fall.picos() * static_cast<std::int64_t>(k) /
+                                     static_cast<std::int64_t>(steps)};
+    set_loss_at(target, at,
+                peak * static_cast<double>(steps - k) / static_cast<double>(steps));
+  }
+  clear_loss_at(target, start + rise + fall);
+}
+
+void FaultInjector::stall_port_at(const std::string& switch_name, net::PortId port,
+                                  sim::Time at, sim::Duration duration) {
+  l2::CommoditySwitch& sw = switch_for(switch_name);
+  ++stats_.faults_scheduled;
+  const std::string target = switch_name + ":port" + std::to_string(port);
+  engine_.schedule_at(at, [this, &sw, port, duration, target] {
+    sw.stall_port(port, duration);
+    record(FaultKind::kPortStall, target, duration.nanos());
+  });
+}
+
+void FaultInjector::evict_mroute_at(const std::string& switch_name, net::Ipv4Addr group,
+                                    sim::Time at) {
+  l2::CommoditySwitch& sw = switch_for(switch_name);
+  ++stats_.faults_scheduled;
+  const std::string target = switch_name + ":" + group.to_string();
+  engine_.schedule_at(at, [this, &sw, group, target] {
+    sw.mroutes().evict(group);
+    record(FaultKind::kMrouteEvict, target, 0.0);
+  });
+}
+
+std::string FaultInjector::log_json() const {
+  telemetry::JsonWriter writer;
+  writer.begin_array();
+  for (const FaultEvent& event : log_) {
+    writer.begin_object();
+    writer.field("at_ps", event.at.picos());
+    writer.field("kind", fault_kind_name(event.kind));
+    writer.field("target", event.target);
+    writer.field("value", event.value);
+    writer.end_object();
+  }
+  writer.end_array();
+  return writer.take();
+}
+
+void FaultInjector::register_metrics(telemetry::Registry& registry,
+                                     const std::string& prefix) const {
+  registry.gauge(prefix + ".scheduled",
+                 [this] { return static_cast<double>(stats_.faults_scheduled); });
+  registry.gauge(prefix + ".fired",
+                 [this] { return static_cast<double>(stats_.faults_fired); });
+  for (std::size_t k = 0; k < 6; ++k) {
+    const auto kind = static_cast<FaultKind>(k);
+    registry.gauge(prefix + "." + std::string{fault_kind_name(kind)},
+                   [this, k] { return static_cast<double>(kind_counts_[k]); });
+  }
+}
+
+}  // namespace tsn::fault

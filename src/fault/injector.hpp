@@ -1,0 +1,125 @@
+// Scripted fault injection for failure drills.
+//
+// The paper's central argument (§4) is that trading networks are engineered
+// around *failure*, not the happy path: merged feeds drop under bursts,
+// microwave links fade in rain, and mroute-table exhaustion black-holes
+// subscribers. `FaultInjector` turns those failure modes into scripted,
+// deterministic events on the simulation clock: link flaps (admin down/up),
+// transient loss-rate ramps, switch egress-port stalls, and mroute
+// evictions, all addressed to devices by name. Every transition is recorded
+// in an in-order fault log that exports as deterministic JSON, so a drill's
+// fault schedule is itself part of the reproducible output.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "l2/commodity_switch.hpp"
+#include "net/addr.hpp"
+#include "net/device.hpp"
+#include "net/link.hpp"
+#include "sim/engine.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace tsn::fault {
+
+enum class FaultKind : std::uint8_t {
+  kLinkDown,
+  kLinkUp,
+  kLossSet,    // loss override raised to `value`
+  kLossClear,  // loss override removed (back to configured loss)
+  kPortStall,  // switch egress port held for `value` nanoseconds
+  kMrouteEvict,
+};
+
+[[nodiscard]] std::string_view fault_kind_name(FaultKind kind) noexcept;
+
+// One fault transition as it fired, in simulation order.
+struct FaultEvent {
+  sim::Time at;
+  FaultKind kind = FaultKind::kLinkDown;
+  std::string target;  // device/link name (plus port or group where relevant)
+  double value = 0.0;  // loss probability, stall nanoseconds, ... (kind-specific)
+};
+
+struct InjectorStats {
+  std::uint64_t faults_scheduled = 0;
+  std::uint64_t faults_fired = 0;
+};
+
+// Schedules faults against registered targets. Targets are registered once
+// at topology-build time and addressed by name afterwards; scheduling
+// against an unknown name throws, so drill scripts fail loudly instead of
+// silently testing nothing. The injector borrows the targets — they must
+// outlive it.
+class FaultInjector {
+ public:
+  explicit FaultInjector(sim::Engine& engine) noexcept : engine_(engine) {}
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // --- target registry ------------------------------------------------
+  void register_link(net::Link& link);
+  // Any device implementing FaultHook (Layer1Switch, custom devices).
+  void register_hook(std::string name, net::FaultHook& hook);
+  // Registers the switch's FaultHook plus its stall/mroute surfaces.
+  void register_switch(l2::CommoditySwitch& sw);
+
+  [[nodiscard]] bool has_target(const std::string& name) const noexcept {
+    return hooks_.count(name) != 0;
+  }
+
+  // --- fault scheduling -----------------------------------------------
+  // All times are absolute simulation times; times already in the past
+  // fire on the next engine step (engine clamps to now()).
+  void down_at(const std::string& target, sim::Time at);
+  void up_at(const std::string& target, sim::Time at);
+  // Admin-down at `at`, admin-up `duration` later: one link flap.
+  void flap(const std::string& target, sim::Time at, sim::Duration duration);
+
+  // Raises the loss override in `steps` equal increments up to `peak`,
+  // holds nothing (the last step *is* the peak), then walks back down and
+  // clears the override — a triangular loss ramp over [start, start+rise+
+  // fall]. Models weather moving across a microwave path (§2).
+  void ramp_loss(const std::string& target, sim::Time start, sim::Duration rise,
+                 sim::Duration fall, double peak, std::size_t steps = 4);
+  // Sets/clears the loss override at a single instant.
+  void set_loss_at(const std::string& target, sim::Time at, double probability);
+  void clear_loss_at(const std::string& target, sim::Time at);
+
+  // Holds a switch egress port dark for `duration` (PFC storm, PHY retrain).
+  void stall_port_at(const std::string& switch_name, net::PortId port, sim::Time at,
+                     sim::Duration duration);
+
+  // Drops the group's mroute entry on the switch at `at` (§3 exhaustion).
+  void evict_mroute_at(const std::string& switch_name, net::Ipv4Addr group, sim::Time at);
+
+  // --- observability ---------------------------------------------------
+  [[nodiscard]] const std::vector<FaultEvent>& log() const noexcept { return log_; }
+  [[nodiscard]] const InjectorStats& stats() const noexcept { return stats_; }
+
+  // Deterministic JSON export of the fault log (events in firing order).
+  [[nodiscard]] std::string log_json() const;
+
+  // Gauges under `prefix`: scheduled/fired counts and per-kind totals.
+  void register_metrics(telemetry::Registry& registry, const std::string& prefix) const;
+
+ private:
+  [[nodiscard]] net::FaultHook& hook_for(const std::string& target) const;
+  [[nodiscard]] l2::CommoditySwitch& switch_for(const std::string& name) const;
+  void record(FaultKind kind, std::string target, double value);
+
+  sim::Engine& engine_;
+  // std::map: deterministic iteration should anyone ever walk the registry.
+  std::map<std::string, net::FaultHook*> hooks_;
+  std::map<std::string, l2::CommoditySwitch*> switches_;
+  std::vector<FaultEvent> log_;
+  InjectorStats stats_;
+  std::uint64_t kind_counts_[6] = {};
+};
+
+}  // namespace tsn::fault

@@ -59,6 +59,14 @@ void Layer1Switch::receive(const net::PacketPtr& packet, net::PortId in_port) {
   TSN_DCHECK(egress_.size() == patch_map_.size() && egress_.size() == feeders_.size(),
              "patch tables must stay sized to the configured port count");
   if (timestamp_hook_) timestamp_hook_(packet, in_port, engine_.now());
+  if (!admin_up_) {
+    ++stats_.admin_down_drops;
+    return;
+  }
+  if (loss_override_ > 0.0 && fault_rng_.bernoulli(loss_override_)) {
+    ++stats_.fault_loss_drops;
+    return;
+  }
   if (in_port >= patch_map_.size() || patch_map_[in_port].empty()) {
     ++stats_.frames_unpatched;
     return;

@@ -19,6 +19,7 @@
 
 #include "net/fabric.hpp"
 #include "sim/engine.hpp"
+#include "sim/random.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace tsn::l1s {
@@ -35,9 +36,11 @@ struct L1Stats {
   std::uint64_t frames_forwarded = 0;
   std::uint64_t frames_unpatched = 0;  // arrived on a port with no circuit
   std::uint64_t merged_frames = 0;     // frames that crossed a mux stage
+  std::uint64_t admin_down_drops = 0;  // fault injection: received while down
+  std::uint64_t fault_loss_drops = 0;  // fault injection: loss override
 };
 
-class Layer1Switch final : public net::PortedDevice {
+class Layer1Switch final : public net::PortedDevice, public net::FaultHook {
  public:
   // Callback invoked for every ingress frame with the hardware timestamp.
   using TimestampHook =
@@ -56,6 +59,16 @@ class Layer1Switch final : public net::PortedDevice {
 
   void set_timestamp_hook(TimestampHook hook) { timestamp_hook_ = std::move(hook); }
 
+  // FaultHook: an L1S has no buffering, so admin-down simply goes dark and a
+  // loss override models a degraded optical path through the crossbar.
+  void set_admin_up(bool up) noexcept override { admin_up_ = up; }
+  [[nodiscard]] bool admin_up() const noexcept override { return admin_up_; }
+  void set_loss_override(double probability) noexcept override {
+    loss_override_ = probability;
+  }
+  [[nodiscard]] double loss_override() const noexcept override { return loss_override_; }
+  void seed_fault_loss(std::uint64_t seed) noexcept { fault_rng_ = sim::Rng{seed}; }
+
   void receive(const net::PacketPtr& packet, net::PortId in_port) override;
   [[nodiscard]] std::string_view name() const noexcept override { return name_; }
   [[nodiscard]] const L1Stats& stats() const noexcept { return stats_; }
@@ -72,6 +85,10 @@ class Layer1Switch final : public net::PortedDevice {
                    [this] { return static_cast<double>(stats_.merged_frames); });
     registry.gauge(base + ".circuits",
                    [this] { return static_cast<double>(circuit_count()); });
+    registry.gauge(base + ".admin_down_drops",
+                   [this] { return static_cast<double>(stats_.admin_down_drops); });
+    registry.gauge(base + ".fault_loss_drops",
+                   [this] { return static_cast<double>(stats_.fault_loss_drops); });
   }
 
  private:
@@ -83,6 +100,9 @@ class Layer1Switch final : public net::PortedDevice {
   std::vector<std::uint32_t> feeders_;               // out-port -> #inputs patched to it
   TimestampHook timestamp_hook_;
   L1Stats stats_;
+  bool admin_up_ = true;
+  double loss_override_ = -1.0;
+  sim::Rng fault_rng_{0x11517a05};
 };
 
 }  // namespace tsn::l1s

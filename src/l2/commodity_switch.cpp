@@ -90,13 +90,44 @@ std::uint64_t CommoditySwitch::flow_hash(const net::DecodedFrame& frame) noexcep
   return h;
 }
 
+void CommoditySwitch::stall_port(net::PortId port, sim::Duration duration) {
+  if (port >= egress_.size()) return;
+  if (port_stalled_until_.empty()) {
+    port_stalled_until_.assign(egress_.size(), sim::Time::zero());
+  }
+  const sim::Time until = engine_.now() + duration;
+  if (until > port_stalled_until_[port]) port_stalled_until_[port] = until;
+}
+
+bool CommoditySwitch::port_stalled(net::PortId port) const noexcept {
+  return port < port_stalled_until_.size() && port_stalled_until_[port] > engine_.now();
+}
+
 void CommoditySwitch::transmit_on(net::PortId port, const net::PacketPtr& packet) {
-  if (port < egress_.size() && egress_[port] != nullptr) egress_[port]->transmit(packet);
+  if (port >= egress_.size() || egress_[port] == nullptr) return;
+  if (port_stalled(port)) {
+    // Held frames release at the stall's end; same-release-time events fire
+    // in scheduling order, so the stalled stream stays in order.
+    ++stats_.frames_stalled;
+    auto self = this;
+    engine_.schedule_at(port_stalled_until_[port],
+                        [self, port, packet] { self->transmit_on(port, packet); });
+    return;
+  }
+  egress_[port]->transmit(packet);
 }
 
 void CommoditySwitch::receive(const net::PacketPtr& packet, net::PortId in_port) {
   TSN_DCHECK(egress_.size() == config_.port_count && router_port_.size() == config_.port_count,
              "port tables must stay sized to the configured port count");
+  if (!admin_up_) {
+    ++stats_.admin_down_drops;
+    return;
+  }
+  if (loss_override_ > 0.0 && fault_rng_.bernoulli(loss_override_)) {
+    ++stats_.fault_loss_drops;
+    return;
+  }
   auto frame = net::decode_frame(packet->frame());
   if (!frame || !frame->ip) {
     ++stats_.no_route_drops;  // non-IP traffic is not carried on these fabrics
@@ -271,6 +302,12 @@ void CommoditySwitch::register_metrics(telemetry::Registry& registry,
                  [this] { return static_cast<double>(stats_.no_group_drops); });
   registry.gauge(base + ".replications",
                  [this] { return static_cast<double>(stats_.replications); });
+  registry.gauge(base + ".admin_down_drops",
+                 [this] { return static_cast<double>(stats_.admin_down_drops); });
+  registry.gauge(base + ".fault_loss_drops",
+                 [this] { return static_cast<double>(stats_.fault_loss_drops); });
+  registry.gauge(base + ".frames_stalled",
+                 [this] { return static_cast<double>(stats_.frames_stalled); });
   // Current depth of the software forwarding queue (in service times).
   registry.gauge(base + ".software_queue_depth", [this] {
     const sim::Time now = engine_.now();

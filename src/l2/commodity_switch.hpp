@@ -29,6 +29,7 @@
 #include "net/fabric.hpp"
 #include "net/headers.hpp"
 #include "sim/engine.hpp"
+#include "sim/random.hpp"
 
 namespace tsn::l2 {
 
@@ -61,9 +62,13 @@ struct SwitchStats {
   std::uint64_t no_group_drops = 0;
   std::uint64_t igmp_processed = 0;
   std::uint64_t replications = 0;  // egress copies made for multicast
+  // Fault-injection accounting.
+  std::uint64_t admin_down_drops = 0;    // received while the switch was down
+  std::uint64_t fault_loss_drops = 0;    // dropped by an injected loss override
+  std::uint64_t frames_stalled = 0;      // delayed by a stalled egress port
 };
 
-class CommoditySwitch final : public net::PortedDevice {
+class CommoditySwitch final : public net::PortedDevice, public net::FaultHook {
  public:
   CommoditySwitch(sim::Engine& engine, std::string name, CommoditySwitchConfig config);
 
@@ -86,6 +91,24 @@ class CommoditySwitch final : public net::PortedDevice {
   // Starts periodic General Queries and membership aging (requires both
   // intervals in the config to be positive). Runs until the engine stops.
   void start_querier();
+
+  // --- fault injection ------------------------------------------------------
+  // FaultHook: while admin-down every received frame is dropped (a powered-
+  // off or rebooting switch); a loss override randomly discards received
+  // frames (ASIC parity errors, overheating optics).
+  void set_admin_up(bool up) noexcept override { admin_up_ = up; }
+  [[nodiscard]] bool admin_up() const noexcept override { return admin_up_; }
+  void set_loss_override(double probability) noexcept override {
+    loss_override_ = probability;
+  }
+  [[nodiscard]] double loss_override() const noexcept override { return loss_override_; }
+  // Deterministic stream for fault-loss draws.
+  void seed_fault_loss(std::uint64_t seed) noexcept { fault_rng_ = sim::Rng{seed}; }
+  // Pauses one egress port: frames bound for it during the stall window are
+  // held and released, in order, when the stall ends — head-of-line blocking
+  // from a PFC storm or a draining linecard buffer.
+  void stall_port(net::PortId port, sim::Duration duration);
+  [[nodiscard]] bool port_stalled(net::PortId port) const noexcept;
 
   // --- data plane ----------------------------------------------------------
   void receive(const net::PacketPtr& packet, net::PortId in_port) override;
@@ -129,6 +152,11 @@ class CommoditySwitch final : public net::PortedDevice {
   SwitchStats stats_;
   // Software forwarding path state (single server queue).
   sim::Time software_free_at_ = sim::Time::zero();
+  // Fault-injection state.
+  bool admin_up_ = true;
+  double loss_override_ = -1.0;  // negative: no injected ingress loss
+  sim::Rng fault_rng_{0xfa017a57};
+  std::vector<sim::Time> port_stalled_until_;  // lazily sized to port_count
   // Querier / aging state.
   void querier_tick();
   struct MembershipKey {

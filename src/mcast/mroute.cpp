@@ -46,6 +46,17 @@ MrouteTable::Lookup MrouteTable::lookup(net::Ipv4Addr group) {
   return Lookup{&it->second.ports, it->second.hardware};
 }
 
+bool MrouteTable::evict(net::Ipv4Addr group) {
+  auto it = entries_.find(group);
+  if (it == entries_.end()) return false;
+  TSN_DCHECK(!it->second.hardware || hardware_used_ > 0,
+             "evicting a hardware entry requires a slot to be in use");
+  if (it->second.hardware && hardware_used_ > 0) --hardware_used_;
+  entries_.erase(it);
+  ++stats_.evictions;
+  return true;
+}
+
 void MrouteTable::reprogram() {
   // Deterministic refill: sort groups numerically, then assign hardware
   // slots from the front.

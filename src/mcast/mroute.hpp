@@ -23,7 +23,8 @@ namespace tsn::mcast {
 struct MrouteStats {
   std::uint64_t hardware_hits = 0;
   std::uint64_t software_hits = 0;
-  std::uint64_t misses = 0;  // lookups for groups with no receivers
+  std::uint64_t misses = 0;      // lookups for groups with no receivers
+  std::uint64_t evictions = 0;   // entries removed by fault injection
 };
 
 class MrouteTable {
@@ -63,6 +64,12 @@ class MrouteTable {
   // hardware table in group order (what "re-provisioning the switch" does).
   void reprogram();
 
+  // Fault injection: drops the group's entry outright — table corruption or
+  // exhaustion-driven reprogramming silently black-holing subscribers (§3).
+  // The group stays dark until a fresh IGMP report re-installs it. Returns
+  // false when the group had no entry.
+  bool evict(net::Ipv4Addr group);
+
   // Exposes table occupancy and hit counters as gauges under `prefix`.
   // Lookup itself stays uninstrumented — it sits on the X1 hot path; the
   // hw/sw split is observable from these counters instead.
@@ -77,6 +84,8 @@ class MrouteTable {
     registry.gauge(prefix + ".software_hits",
                    [this] { return static_cast<double>(stats_.software_hits); });
     registry.gauge(prefix + ".misses", [this] { return static_cast<double>(stats_.misses); });
+    registry.gauge(prefix + ".evictions",
+                   [this] { return static_cast<double>(stats_.evictions); });
   }
 
  private:

@@ -30,4 +30,22 @@ class PortedDevice : public Device {
   virtual void attach_port(PortId port, Link& egress) noexcept = 0;
 };
 
+// Fault-injection control surface (driven by fault::FaultInjector). Links
+// and switches implement it so scripted failure drills can flip
+// availability and loss rates by name, without reaching into entity state.
+class FaultHook {
+ public:
+  virtual ~FaultHook() = default;
+
+  // Administrative availability. While down the entity drops everything it
+  // is handed — a pulled cable, a faded microwave path, a dead linecard.
+  virtual void set_admin_up(bool up) noexcept = 0;
+  [[nodiscard]] virtual bool admin_up() const noexcept = 0;
+
+  // Dynamic loss override: replaces the configured loss probability until
+  // cleared. Negative values clear the override.
+  virtual void set_loss_override(double probability) noexcept = 0;
+  [[nodiscard]] virtual double loss_override() const noexcept = 0;
+};
+
 }  // namespace tsn::net

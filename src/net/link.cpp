@@ -35,7 +35,12 @@ sim::Duration Link::current_backlog() const noexcept {
 
 void Link::transmit(const PacketPtr& packet) {
   assert(destination_ != nullptr && "link not connected");
-  if (config_.loss_probability > 0.0 && rng_.bernoulli(config_.loss_probability)) {
+  if (!admin_up_) {
+    ++stats_.frames_dropped_down;
+    return;
+  }
+  const double loss = effective_loss();
+  if (loss > 0.0 && rng_.bernoulli(loss)) {
     ++stats_.frames_dropped_loss;
     return;
   }

@@ -37,11 +37,12 @@ struct LinkStats {
   std::uint64_t frames_delivered = 0;
   std::uint64_t frames_dropped_queue = 0;
   std::uint64_t frames_dropped_loss = 0;
+  std::uint64_t frames_dropped_down = 0;  // handed over while admin-down
   std::uint64_t bytes_delivered = 0;
   sim::Duration max_queue_delay = sim::Duration::zero();
 };
 
-class Link {
+class Link : public FaultHook {
  public:
   Link(sim::Engine& engine, std::string name, LinkConfig config);
 
@@ -64,6 +65,18 @@ class Link {
   // Deterministic loss draws: the link owns its RNG stream.
   void seed_loss(std::uint64_t seed) noexcept { rng_ = sim::Rng{seed}; }
 
+  // FaultHook: admin state and dynamic loss override (failure drills).
+  void set_admin_up(bool up) noexcept override { admin_up_ = up; }
+  [[nodiscard]] bool admin_up() const noexcept override { return admin_up_; }
+  void set_loss_override(double probability) noexcept override {
+    loss_override_ = probability;
+  }
+  [[nodiscard]] double loss_override() const noexcept override { return loss_override_; }
+  // The loss probability currently in force (override beats config).
+  [[nodiscard]] double effective_loss() const noexcept {
+    return loss_override_ >= 0.0 ? loss_override_ : config_.loss_probability;
+  }
+
  private:
   sim::Engine& engine_;
   std::string name_;
@@ -73,6 +86,8 @@ class Link {
   sim::Time egress_free_at_ = sim::Time::zero();
   LinkStats stats_;
   sim::Rng rng_{0xd1cefa11};
+  bool admin_up_ = true;
+  double loss_override_ = -1.0;  // negative: use config_.loss_probability
 };
 
 // A full-duplex cable: two links, one per direction.

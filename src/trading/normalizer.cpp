@@ -400,8 +400,18 @@ void Normalizer::register_metrics(telemetry::Registry& registry,
                  [this] { return static_cast<double>(stats_.sequence_gaps); });
   registry.gauge(prefix + ".messages_lost",
                  [this] { return static_cast<double>(stats_.messages_lost); });
+  registry.gauge(prefix + ".unknown_orders",
+                 [this] { return static_cast<double>(stats_.unknown_orders); });
+  registry.gauge(prefix + ".resyncs_started",
+                 [this] { return static_cast<double>(stats_.resyncs_started); });
   registry.gauge(prefix + ".resyncs_completed",
                  [this] { return static_cast<double>(stats_.resyncs_completed); });
+  registry.gauge(prefix + ".snapshot_orders_applied",
+                 [this] { return static_cast<double>(stats_.snapshot_orders_applied); });
+  registry.gauge(prefix + ".messages_buffered_in_recovery",
+                 [this] { return static_cast<double>(stats_.messages_buffered_in_recovery); });
+  registry.gauge(prefix + ".messages_replayed_after_recovery",
+                 [this] { return static_cast<double>(stats_.messages_replayed_after_recovery); });
   registry.gauge(prefix + ".tracked_orders",
                  [this] { return static_cast<double>(tracked_orders()); });
 }

@@ -13,6 +13,7 @@
 #include <string>
 #include <string_view>
 
+#include "fault/injector.hpp"
 #include "net/link.hpp"
 #include "sim/time.hpp"
 #include "telemetry/metrics.hpp"
@@ -61,6 +62,15 @@ struct WanTechParams {
 
 // Latency advantage of microwave over fiber for a colo pair.
 [[nodiscard]] sim::Duration microwave_advantage(Colo a, Colo b) noexcept;
+
+// Schedules a rain-fade event against a fault-injector-registered WAN link:
+// a triangular loss ramp that climbs to the technology's weather-loss peak
+// over `rise`, then decays over `fall`. Fiber has no weather loss, so the
+// call is a no-op for it — which is exactly the paper's argument for keeping
+// a fiber backup under every microwave path.
+void schedule_rain_fade(fault::FaultInjector& injector, const std::string& link_name,
+                        sim::Time start, sim::Duration rise, sim::Duration fall,
+                        LinkTech tech = LinkTech::kMicrowave);
 
 // Registers a WAN segment's delivery/drop counters under `prefix`; microwave
 // rain-fade losses surface as "<prefix>.rain_fade_losses". The link must

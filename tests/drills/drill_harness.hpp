@@ -1,0 +1,366 @@
+// Deterministic failure-drill harness.
+//
+// A drill is a scripted end-to-end failure exercise: a dual-publishing
+// exchange feeds an A/B splitter switch, a LineArbiter consumes both lines
+// and republishes the arbitrated stream into a stock Normalizer, and a
+// FaultInjector fires scripted faults against the A path while a market
+// burst is in flight. A capture Tap ahead of the switch records the
+// published (pre-loss) A-line stream, so tests can assert the arbitrated
+// output is byte-identical to what the exchange sent.
+//
+// Scenarios are plain C++ structs — no config files — so a drill's entire
+// behaviour is visible in the test that runs it, and two runs of the same
+// scenario are bit-for-bit identical.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "capture/tap.hpp"
+#include "exchange/activity.hpp"
+#include "exchange/exchange.hpp"
+#include "fault/injector.hpp"
+#include "l2/commodity_switch.hpp"
+#include "net/fabric.hpp"
+#include "net/headers.hpp"
+#include "telemetry/metrics.hpp"
+#include "trading/arbiter.hpp"
+#include "trading/normalizer.hpp"
+#include "wan/metro.hpp"
+
+namespace tsn::drills {
+
+// One scripted fault against the A path.
+struct FaultAction {
+  enum class Kind {
+    kFlapA,       // A link admin-down for `duration`
+    kRainFadeA,   // microwave-profile loss ramp on the A link (wan helper)
+    kLossRampA,   // loss ramp on the A link up to `value`
+    kStallPortA,  // switch egress port feeding the A consumer stalls
+    kEvictGroupA,  // A group's mroute entry evicted from the switch
+  };
+  Kind kind = Kind::kFlapA;
+  sim::Time at;
+  sim::Duration duration = sim::millis(std::int64_t{1});
+  double value = 0.0;  // kLossRampA peak probability
+};
+
+struct DrillScenario {
+  std::string name = "drill";
+  std::uint64_t seed = 1;
+  sim::Duration run_for = sim::millis(std::int64_t{200});
+  double events_per_second = 30'000.0;
+  // Fig 2c-style activity burst: rate multiplies by `burst_multiplier`
+  // inside [burst_start, burst_end).
+  sim::Time burst_start;
+  sim::Time burst_end;
+  double burst_multiplier = 1.0;
+  std::vector<FaultAction> faults;
+};
+
+namespace detail {
+
+inline exchange::ExchangeConfig drill_exchange_config() {
+  exchange::ExchangeConfig config;
+  config.symbols = {
+      {proto::Symbol{"AAA"}, proto::InstrumentKind::kEquity, proto::price_from_dollars(100)},
+      {proto::Symbol{"BBB"}, proto::InstrumentKind::kEquity, proto::price_from_dollars(50)}};
+  config.feed_partitioning = std::make_shared<proto::HashPartition>(1);
+  config.dual_publish = true;
+  config.snapshot_interval = sim::millis(std::int64_t{5});
+  config.feed_mac = net::MacAddr::from_host_id(1);
+  config.feed_ip = net::Ipv4Addr{10, 1, 0, 1};
+  config.order_mac = net::MacAddr::from_host_id(2);
+  config.order_ip = net::Ipv4Addr{10, 1, 0, 2};
+  return config;
+}
+
+inline exchange::ActivityConfig drill_activity(const DrillScenario& scenario) {
+  exchange::ActivityConfig activity;
+  activity.events_per_second = scenario.events_per_second;
+  if (scenario.burst_multiplier != 1.0) {
+    const sim::Time start = scenario.burst_start;
+    const sim::Time end = scenario.burst_end;
+    const double mult = scenario.burst_multiplier;
+    activity.rate_multiplier = [start, end, mult](sim::Time t) {
+      return (t >= start && t < end) ? mult : 1.0;
+    };
+  }
+  return activity;
+}
+
+}  // namespace detail
+
+// Exchange --tap--> switch --{A,B}--> arbiter --> normalizer, with the
+// snapshot channel riding a third switch port. Faults hit the A path.
+class DualFeedRig {
+ public:
+  static constexpr net::PortId kIngressPort = 0;
+  static constexpr net::PortId kAPort = 1;
+  static constexpr net::PortId kBPort = 2;
+  static constexpr net::PortId kNormPort = 3;
+
+  DualFeedRig()
+      : exch_(engine_, detail::drill_exchange_config()),
+        tap_(engine_, "gt-tap"),
+        xsw_(engine_, "xsw", switch_config()),
+        arb_(engine_, arbiter_config()),
+        norm_(engine_, normalizer_config()),
+        injector_(engine_) {
+    // Published stream in, one tap hop ahead of any fault target.
+    net::Link& to_tap = fabric_.make_link("exch->tap", net::LinkConfig{}, tap_, 0);
+    exch_.feed_nic().attach_port(0, to_tap);
+    net::Link& to_xsw = fabric_.make_link("tap->xsw", net::LinkConfig{}, xsw_, kIngressPort);
+    tap_.attach_port(1, to_xsw);
+
+    const net::Cable a_cable = fabric_.connect(xsw_, kAPort, arb_.a_nic(), 0, net::LinkConfig{});
+    const net::Cable b_cable = fabric_.connect(xsw_, kBPort, arb_.b_nic(), 0, net::LinkConfig{});
+    fabric_.connect(xsw_, kNormPort, norm_.in_nic(), 0, net::LinkConfig{});
+    a_link_ = a_cable.a_to_b;
+    b_link_ = b_cable.a_to_b;
+
+    // Arbitrated output goes straight to the normalizer (its own path —
+    // the drill faults the lines ahead of arbitration, not behind it).
+    net::Link& arb_out =
+        fabric_.make_link("arb->norm", net::LinkConfig{}, norm_.in_nic(), 0);
+    arb_.out_nic().attach_port(0, arb_out);
+
+    injector_.register_link(*a_link_);
+    injector_.register_link(*b_link_);
+    injector_.register_switch(xsw_);
+
+    // Ground truth: every A-line feed datagram as published, pre-loss.
+    tap_.set_record_limit(1u << 20);
+    const net::Ipv4Addr a_group = exch_.unit_group(0);
+    const std::uint16_t feed_port = exch_.config().feed_port;
+    tap_.set_packet_hook([this, a_group, feed_port](const net::PacketPtr& packet,
+                                                    net::PortId port, sim::Time) {
+      if (port != 0) return;  // exchange -> switch direction only
+      const auto decoded = net::decode_frame(packet->frame());
+      if (!decoded || !decoded->is_udp()) return;
+      if (decoded->ip->dst != a_group || decoded->udp->dst_port != feed_port) return;
+      published_.emplace_back(decoded->payload.begin(), decoded->payload.end());
+    });
+    arb_.set_output_tap([this](std::uint8_t, std::uint32_t,
+                               std::span<const std::byte> payload) {
+      forwarded_.emplace_back(payload.begin(), payload.end());
+    });
+  }
+
+  void schedule(const FaultAction& action) {
+    switch (action.kind) {
+      case FaultAction::Kind::kFlapA:
+        injector_.flap(a_link_->name(), action.at, action.duration);
+        break;
+      case FaultAction::Kind::kRainFadeA:
+        wan::schedule_rain_fade(injector_, a_link_->name(), action.at, action.duration / 2,
+                                action.duration / 2);
+        break;
+      case FaultAction::Kind::kLossRampA:
+        injector_.ramp_loss(a_link_->name(), action.at, action.duration / 2,
+                            action.duration / 2, action.value);
+        break;
+      case FaultAction::Kind::kStallPortA:
+        injector_.stall_port_at("xsw", kAPort, action.at, action.duration);
+        break;
+      case FaultAction::Kind::kEvictGroupA:
+        injector_.evict_mroute_at("xsw", exch_.unit_group(0), action.at);
+        break;
+    }
+  }
+
+  void run(const DrillScenario& scenario) {
+    exch_.start_snapshots();
+    arb_.join_feeds();
+    norm_.join_feeds();
+    for (const FaultAction& action : scenario.faults) schedule(action);
+    exchange::MarketActivityDriver driver{exch_, detail::drill_activity(scenario),
+                                          scenario.seed};
+    const sim::Time end = sim::Time::zero() + scenario.run_for;
+    driver.run_until(end);
+    // Extra headroom past the last market event so in-flight datagrams,
+    // timers, and any recovery cycle drain deterministically.
+    engine_.run_until(end + sim::millis(std::int64_t{10}));
+  }
+
+  // Every component's gauges in one registry — the telemetry surface the
+  // replay-determinism drill snapshots.
+  void register_all(telemetry::Registry& registry) {
+    exch_.register_metrics(registry, "exch");
+    xsw_.register_metrics(registry, "l2");
+    arb_.register_metrics(registry, "arb");
+    norm_.register_metrics(registry, "norm");
+    injector_.register_metrics(registry, "fault");
+  }
+
+  [[nodiscard]] sim::Engine& engine() noexcept { return engine_; }
+  [[nodiscard]] exchange::Exchange& exch() noexcept { return exch_; }
+  [[nodiscard]] l2::CommoditySwitch& xsw() noexcept { return xsw_; }
+  [[nodiscard]] trading::LineArbiter& arb() noexcept { return arb_; }
+  [[nodiscard]] trading::Normalizer& norm() noexcept { return norm_; }
+  [[nodiscard]] fault::FaultInjector& injector() noexcept { return injector_; }
+  [[nodiscard]] net::Link& a_link() noexcept { return *a_link_; }
+  [[nodiscard]] net::Link& b_link() noexcept { return *b_link_; }
+  [[nodiscard]] const std::vector<std::vector<std::byte>>& published() const noexcept {
+    return published_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::byte>>& forwarded() const noexcept {
+    return forwarded_;
+  }
+
+ private:
+  static l2::CommoditySwitchConfig switch_config() {
+    l2::CommoditySwitchConfig config;
+    config.port_count = 8;
+    return config;
+  }
+
+  trading::ArbiterConfig arbiter_config() {
+    trading::ArbiterConfig config;
+    config.a_groups = {exch_.unit_group(0)};
+    config.b_groups = {exch_.unit_group_b(0)};
+    config.feed_port = exch_.config().feed_port;
+    config.a_mac = net::MacAddr::from_host_id(20);
+    config.a_ip = net::Ipv4Addr{10, 1, 1, 1};
+    config.b_mac = net::MacAddr::from_host_id(21);
+    config.b_ip = net::Ipv4Addr{10, 1, 1, 2};
+    config.out_mac = net::MacAddr::from_host_id(22);
+    config.out_ip = net::Ipv4Addr{10, 1, 1, 3};
+    return config;
+  }
+
+  trading::NormalizerConfig normalizer_config() {
+    trading::NormalizerConfig config;
+    config.exchange_id = 1;
+    // The normalizer consumes the *arbitrated* stream, plus the exchange's
+    // snapshot channel for dual-gap recovery.
+    config.feed_groups = {arb_.out_group(0)};
+    config.feed_port = arb_.config().out_port;
+    config.snapshot_groups = {exch_.snapshot_group(0)};
+    config.exchange_partitioning = std::make_shared<proto::HashPartition>(1);
+    config.partitioning = std::make_shared<proto::HashPartition>(2);
+    config.in_mac = net::MacAddr::from_host_id(30);
+    config.in_ip = net::Ipv4Addr{10, 1, 2, 1};
+    config.out_mac = net::MacAddr::from_host_id(31);
+    config.out_ip = net::Ipv4Addr{10, 1, 2, 2};
+    return config;
+  }
+
+  sim::Engine engine_;
+  net::Fabric fabric_{engine_};
+  exchange::Exchange exch_;
+  capture::Tap tap_;
+  l2::CommoditySwitch xsw_;
+  trading::LineArbiter arb_;
+  trading::Normalizer norm_;
+  fault::FaultInjector injector_;
+  net::Link* a_link_ = nullptr;
+  net::Link* b_link_ = nullptr;
+  std::vector<std::vector<std::byte>> published_;
+  std::vector<std::vector<std::byte>> forwarded_;
+};
+
+// The control rig: same exchange, same switch, same faults on the same
+// port — but the normalizer consumes the A line directly, no arbitration.
+class SingleFeedRig {
+ public:
+  SingleFeedRig()
+      : exch_(engine_, detail::drill_exchange_config()),
+        xsw_(engine_, "xsw", switch_config()),
+        norm_(engine_, normalizer_config()),
+        injector_(engine_) {
+    net::Link& to_xsw =
+        fabric_.make_link("exch->xsw", net::LinkConfig{}, xsw_, DualFeedRig::kIngressPort);
+    exch_.feed_nic().attach_port(0, to_xsw);
+    const net::Cable a_cable = fabric_.connect(xsw_, DualFeedRig::kAPort, norm_.in_nic(), 0, net::LinkConfig{});
+    a_link_ = a_cable.a_to_b;
+    injector_.register_link(*a_link_);
+    injector_.register_switch(xsw_);
+  }
+
+  void run(const DrillScenario& scenario) {
+    exch_.start_snapshots();
+    norm_.join_feeds();
+    for (const FaultAction& action : scenario.faults) {
+      // The single-feed consumer sits on the A port, so every A-path fault
+      // translates directly.
+      switch (action.kind) {
+        case FaultAction::Kind::kFlapA:
+          injector_.flap(a_link_->name(), action.at, action.duration);
+          break;
+        case FaultAction::Kind::kRainFadeA:
+          wan::schedule_rain_fade(injector_, a_link_->name(), action.at, action.duration / 2,
+                                  action.duration / 2);
+          break;
+        case FaultAction::Kind::kLossRampA:
+          injector_.ramp_loss(a_link_->name(), action.at, action.duration / 2,
+                              action.duration / 2, action.value);
+          break;
+        case FaultAction::Kind::kStallPortA:
+          injector_.stall_port_at("xsw", DualFeedRig::kAPort, action.at, action.duration);
+          break;
+        case FaultAction::Kind::kEvictGroupA:
+          injector_.evict_mroute_at("xsw", exch_.unit_group(0), action.at);
+          break;
+      }
+    }
+    exchange::MarketActivityDriver driver{exch_, detail::drill_activity(scenario),
+                                          scenario.seed};
+    const sim::Time end = sim::Time::zero() + scenario.run_for;
+    driver.run_until(end);
+    engine_.run_until(end + sim::millis(std::int64_t{10}));
+  }
+
+  [[nodiscard]] trading::Normalizer& norm() noexcept { return norm_; }
+  [[nodiscard]] net::Link& a_link() noexcept { return *a_link_; }
+
+ private:
+  static l2::CommoditySwitchConfig switch_config() {
+    l2::CommoditySwitchConfig config;
+    config.port_count = 8;
+    return config;
+  }
+
+  trading::NormalizerConfig normalizer_config() {
+    trading::NormalizerConfig config;
+    config.exchange_id = 1;
+    config.feed_groups = {net::Ipv4Addr{239, 100, 0, 0}};
+    config.snapshot_groups = {net::Ipv4Addr{239, 101, 0, 0}};
+    config.exchange_partitioning = std::make_shared<proto::HashPartition>(1);
+    config.partitioning = std::make_shared<proto::HashPartition>(2);
+    config.in_mac = net::MacAddr::from_host_id(40);
+    config.in_ip = net::Ipv4Addr{10, 1, 3, 1};
+    config.out_mac = net::MacAddr::from_host_id(41);
+    config.out_ip = net::Ipv4Addr{10, 1, 3, 2};
+    return config;
+  }
+
+  sim::Engine engine_;
+  net::Fabric fabric_{engine_};
+  exchange::Exchange exch_;
+  l2::CommoditySwitch xsw_;
+  trading::Normalizer norm_;
+  fault::FaultInjector injector_;
+  net::Link* a_link_ = nullptr;
+};
+
+// The acceptance scenario: a 50 ms A-line flap landing inside a 6x burst.
+inline DrillScenario a_flap_during_burst() {
+  DrillScenario scenario;
+  scenario.name = "a-flap-burst";
+  scenario.seed = 41;
+  scenario.run_for = sim::millis(std::int64_t{200});
+  scenario.burst_start = sim::Time::zero() + sim::millis(std::int64_t{60});
+  scenario.burst_end = sim::Time::zero() + sim::millis(std::int64_t{120});
+  scenario.burst_multiplier = 6.0;
+  FaultAction flap;
+  flap.kind = FaultAction::Kind::kFlapA;
+  flap.at = sim::Time::zero() + sim::millis(std::int64_t{70});
+  flap.duration = sim::millis(std::int64_t{50});
+  scenario.faults = {flap};
+  return scenario;
+}
+
+}  // namespace tsn::drills

@@ -126,6 +126,120 @@ TEST(Link, StatsCountBytesAndFrames) {
   EXPECT_EQ(link.stats().bytes_delivered, 300u);
 }
 
+TEST(Link, LossAccountingIsExact) {
+  sim::Engine engine;
+  RecordingDevice sink{engine};
+  LinkConfig config;
+  config.rate_bps = 0;
+  config.loss_probability = 0.25;
+  Link link{engine, "l", config};
+  link.connect_to(sink, 0);
+  link.seed_loss(7);
+  PacketFactory factory;
+  constexpr std::uint64_t kFrames = 5'000;
+  for (std::uint64_t i = 0; i < kFrames; ++i) {
+    link.transmit(make_packet(factory, 100, engine.now()));
+  }
+  engine.run();
+  // Every frame is either delivered or counted lost — nothing vanishes.
+  EXPECT_EQ(link.stats().frames_delivered + link.stats().frames_dropped_loss, kFrames);
+  EXPECT_EQ(sink.arrivals.size(), link.stats().frames_delivered);
+  EXPECT_GT(link.stats().frames_dropped_loss, 0u);
+}
+
+TEST(Link, TailDropTriggersExactlyAtQueueCapacity) {
+  // 8 Gb/s makes one byte exactly one nanosecond of wire time, so the
+  // backlog-in-bytes arithmetic has no rounding: a 100-byte frame (120
+  // wire bytes) leaves a 120-byte backlog the instant after transmit.
+  PacketFactory factory;
+  auto run_with_capacity = [&](std::size_t capacity) {
+    sim::Engine engine;
+    RecordingDevice sink{engine};
+    LinkConfig config;
+    config.rate_bps = 8'000'000'000;
+    config.queue_capacity_bytes = capacity;
+    Link link{engine, "l", config};
+    link.connect_to(sink, 0);
+    link.transmit(make_packet(factory, 100, engine.now()));
+    link.transmit(make_packet(factory, 100, engine.now()));
+    engine.run();
+    return link.stats().frames_dropped_queue;
+  };
+  // backlog 120 + frame 100 = 220: fits at exactly 220, tail-drops at 219.
+  EXPECT_EQ(run_with_capacity(220), 0u);
+  EXPECT_EQ(run_with_capacity(219), 1u);
+}
+
+TEST(Link, MaxQueueDelayIsMonotoneAndMatchesWorstBacklog) {
+  sim::Engine engine;
+  RecordingDevice sink{engine};
+  LinkConfig config;
+  config.rate_bps = 8'000'000'000;  // 120 ns per 100-byte frame
+  Link link{engine, "l", config};
+  link.connect_to(sink, 0);
+  PacketFactory factory;
+  sim::Duration previous = sim::Duration::zero();
+  sim::Duration worst_backlog = sim::Duration::zero();
+  for (int i = 0; i < 6; ++i) {
+    const sim::Duration backlog = link.current_backlog();
+    if (backlog > worst_backlog) worst_backlog = backlog;
+    link.transmit(make_packet(factory, 100, engine.now()));
+    EXPECT_GE(link.stats().max_queue_delay, previous);
+    previous = link.stats().max_queue_delay;
+  }
+  // The recorded high-water mark is exactly the worst backlog any frame
+  // saw at hand-off: 5 frames ahead x 120 ns each.
+  EXPECT_EQ(link.stats().max_queue_delay, worst_backlog);
+  EXPECT_EQ(link.stats().max_queue_delay, sim::nanos(std::int64_t{600}));
+  engine.run();
+}
+
+TEST(Link, AdminDownDropsUntilBroughtBackUp) {
+  sim::Engine engine;
+  RecordingDevice sink{engine};
+  LinkConfig config;
+  config.rate_bps = 0;
+  Link link{engine, "l", config};
+  link.connect_to(sink, 0);
+  PacketFactory factory;
+  EXPECT_TRUE(link.admin_up());
+  link.set_admin_up(false);
+  link.transmit(make_packet(factory, 100, engine.now()));
+  link.transmit(make_packet(factory, 100, engine.now()));
+  engine.run();
+  EXPECT_EQ(link.stats().frames_dropped_down, 2u);
+  EXPECT_EQ(link.stats().frames_delivered, 0u);
+  link.set_admin_up(true);
+  link.transmit(make_packet(factory, 100, engine.now()));
+  engine.run();
+  EXPECT_EQ(link.stats().frames_delivered, 1u);
+  EXPECT_EQ(link.stats().frames_dropped_down, 2u);
+}
+
+TEST(Link, LossOverrideBeatsConfigUntilCleared) {
+  sim::Engine engine;
+  RecordingDevice sink{engine};
+  LinkConfig config;
+  config.rate_bps = 0;
+  config.loss_probability = 0.0;
+  Link link{engine, "l", config};
+  link.connect_to(sink, 0);
+  PacketFactory factory;
+  EXPECT_EQ(link.effective_loss(), 0.0);
+  link.set_loss_override(1.0);  // certain loss, regardless of config
+  EXPECT_EQ(link.effective_loss(), 1.0);
+  link.transmit(make_packet(factory, 100, engine.now()));
+  engine.run();
+  EXPECT_EQ(link.stats().frames_dropped_loss, 1u);
+  EXPECT_EQ(link.stats().frames_delivered, 0u);
+  link.set_loss_override(-1.0);  // back to the configured (lossless) rate
+  EXPECT_EQ(link.effective_loss(), 0.0);
+  link.transmit(make_packet(factory, 100, engine.now()));
+  engine.run();
+  EXPECT_EQ(link.stats().frames_delivered, 1u);
+  EXPECT_EQ(link.stats().frames_dropped_loss, 1u);
+}
+
 TEST(Link, SerializationDelayScalesWithRateAndSize) {
   sim::Engine engine;
   LinkConfig config;
