@@ -12,8 +12,10 @@
 #include <vector>
 
 #include "book/order_book.hpp"
+#include "exchange/exchange.hpp"
 #include "feed/symbols.hpp"
 #include "mcast/mroute.hpp"
+#include "net/fabric.hpp"
 #include "net/headers.hpp"
 #include "net/packet.hpp"
 #include "proto/boe.hpp"
@@ -24,6 +26,7 @@
 #include "sim/random.hpp"
 #include "telemetry/report.hpp"
 #include "trading/filter.hpp"
+#include "trading/gateway.hpp"
 
 namespace {
 
@@ -226,6 +229,48 @@ void BM_PacketPoolChurn(benchmark::State& state) {
 }
 BENCHMARK(BM_PacketPoolChurn);
 
+void BM_GatewayReconnectCycle(benchmark::State& state) {
+  // One full session-recovery cycle per iteration: silent uplink death,
+  // jittered backoff, re-login (the exchange sees a takeover), replay
+  // request, sequence reset, back to ready. Not a nanosecond hot path —
+  // it bounds how much simulation machinery one recovery costs, so a
+  // regression here means reconnect drills got slower everywhere.
+  sim::Engine engine;
+  net::Fabric fabric{engine};
+  exchange::ExchangeConfig econfig;
+  econfig.symbols = {{proto::Symbol{"ACME"}, proto::InstrumentKind::kEquity,
+                      proto::price_from_dollars(100)}};
+  econfig.feed_partitioning = std::make_shared<proto::HashPartition>(1);
+  econfig.feed_mac = net::MacAddr::from_host_id(1);
+  econfig.feed_ip = net::Ipv4Addr{10, 0, 0, 1};
+  econfig.order_mac = net::MacAddr::from_host_id(2);
+  econfig.order_ip = net::Ipv4Addr{10, 0, 0, 2};
+  exchange::Exchange exch{engine, std::move(econfig)};
+  trading::GatewayConfig gconfig;
+  gconfig.exchange_mac = exch.order_nic().mac();
+  gconfig.exchange_ip = exch.order_nic().ip();
+  gconfig.exchange_port = exch.config().order_port;
+  gconfig.client_mac = net::MacAddr::from_host_id(20);
+  gconfig.client_ip = net::Ipv4Addr{10, 0, 0, 20};
+  gconfig.upstream_mac = net::MacAddr::from_host_id(21);
+  gconfig.upstream_ip = net::Ipv4Addr{10, 0, 0, 21};
+  trading::Gateway gw{engine, gconfig};
+  fabric.connect(gw.upstream_nic(), 0, exch.order_nic(), 0, net::LinkConfig{});
+  gw.start();
+  engine.run();
+  for (auto _ : state) {
+    gw.kill_upstream();
+    engine.run();
+  }
+  if (gw.upstream_state() != trading::UpstreamState::kReady) {
+    state.SkipWithError("gateway did not return to ready");
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+// Fixed iteration count: the exchange keeps dead connections as post-mortem
+// records, so an open-ended run would grow state (and skew late iterations).
+BENCHMARK(BM_GatewayReconnectCycle)->Iterations(512);
+
 // Forwards console output as usual while collecting per-benchmark timings
 // for the machine-readable report.
 class CapturingReporter : public benchmark::ConsoleReporter {
@@ -264,8 +309,16 @@ int main(int argc, char** argv) {
   bench_report.param("trace_sink", "none");
   double schedule_fire_ns = 0.0;
   double pool_churn_ns = 0.0;
+  double reconnect_cycle_ns = 0.0;
   for (const auto& timing : reporter.timings()) {
     bench_report.metric(timing.name, timing.real_ns, "ns");
+    if (timing.name.starts_with("BM_GatewayReconnectCycle")) {
+      // A whole recovery (death, backoff, re-login, replay) is hundreds of
+      // simulation events, not a nanosecond hot path: its own ceiling.
+      bench_report.check(timing.name + ".under_200us", timing.real_ns < 200'000.0);
+      reconnect_cycle_ns = timing.real_ns;
+      continue;
+    }
     // Generous ceiling: every hot path stays sub-microsecond-ish; a blown
     // budget here means an accidental hot-path regression (e.g. telemetry
     // hooks no longer compiling out).
@@ -281,8 +334,13 @@ int main(int argc, char** argv) {
   if (pool_churn_ns > 0.0) {
     bench_report.metric("packet_pool.packets_per_s", 1e9 / pool_churn_ns, "packets/s");
   }
+  if (reconnect_cycle_ns > 0.0) {
+    bench_report.metric("gateway.reconnects_per_s", 1e9 / reconnect_cycle_ns,
+                        "reconnects/s");
+  }
   bench_report.check("scheduler.events_per_s.reported", schedule_fire_ns > 0.0);
   bench_report.check("packet_pool.packets_per_s.reported", pool_churn_ns > 0.0);
-  bench_report.check("all_benchmarks_ran", reporter.timings().size() >= 13);
+  bench_report.check("gateway.reconnects_per_s.reported", reconnect_cycle_ns > 0.0);
+  bench_report.check("all_benchmarks_ran", reporter.timings().size() >= 14);
   return bench_report.finish();
 }

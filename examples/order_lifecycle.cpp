@@ -22,6 +22,8 @@ const char* describe(proto::boe::MessageType type) {
     case MessageType::kLoginRejected: return "LoginRejected";
     case MessageType::kHeartbeat: return "Heartbeat";
     case MessageType::kLogout: return "Logout";
+    case MessageType::kReplayRequest: return "ReplayRequest";
+    case MessageType::kSequenceReset: return "SequenceReset";
     case MessageType::kNewOrder: return "NewOrder";
     case MessageType::kCancelOrder: return "CancelOrder";
     case MessageType::kModifyOrder: return "ModifyOrder";

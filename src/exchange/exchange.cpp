@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <unordered_set>
 #include <utility>
 
 #include "telemetry/trace.hpp"
@@ -40,18 +41,41 @@ struct Exchange::Unit {
   std::uint32_t last_time_second = 0xffffffff;
 };
 
-// An order-entry session over one accepted TCP connection.
-struct Exchange::Session {
+// One accepted TCP connection: the physical leg of a session. A session
+// outlives its connections — each reconnect binds a fresh Connection to the
+// same Session.
+struct Exchange::Connection {
   net::TcpEndpoint* endpoint = nullptr;
   proto::boe::StreamParser parser;
-  std::uint32_t tx_seq = 1;
-  bool logged_in = false;
-  bool timed_out = false;
   sim::Time last_rx;
+  // Declared dead (timeout or transport death). Bytes and in-flight matcher
+  // events for a dead connection are dropped; the object stays alive as a
+  // post-mortem record so scheduled closures can never dangle.
+  bool dead = false;
+  Session* session = nullptr;  // bound at login
+};
+
+// The logical order-entry session: identified by the client-chosen
+// session_id, authenticated by its login token, and resumable across
+// connection deaths with exactly-once response replay.
+struct Exchange::Session {
   std::uint32_t session_id = 0;
+  std::uint64_t token = 0;
+  std::uint32_t tx_seq = 1;  // next sequenced application message
+  bool logged_in = false;
+  Connection* conn = nullptr;  // live connection, nullptr while disconnected
+  // Every sequenced application message ever sent, verbatim, keyed by its
+  // sequence — the replay source. Session-level messages (seq 0) are never
+  // journaled. Unbounded by design: a real venue prunes on replay
+  // acknowledgement; a sim run is finite.
+  std::vector<std::pair<std::uint32_t, std::vector<std::byte>>> journal;
   // client order id -> exchange order id, for the orders this session owns
   // that are still live.
   std::unordered_map<proto::OrderId, proto::OrderId> open_orders;
+  // Every client order id ever accepted, live or terminal: the dedupe set
+  // that makes idempotent resubmission safe (a resubmitted id that already
+  // executed gets kDuplicateOrderId instead of a second execution).
+  std::unordered_set<proto::OrderId> used_client_ids;
 };
 
 // Converts book events for one symbol into feed messages and fills.
@@ -274,23 +298,23 @@ void Exchange::start_heartbeats() {
 
 void Exchange::heartbeat_tick() {
   const sim::Time now = engine_.now();
-  for (auto& session : sessions_) {
-    if (session->timed_out || session->endpoint->state() != net::TcpState::kEstablished) {
-      continue;
-    }
-    const auto idle = now - session->last_rx;
+  for (auto& conn : connections_) {
+    if (conn->dead || conn->endpoint->state() != net::TcpState::kEstablished) continue;
+    const auto idle = now - conn->last_rx;
     if (idle > config_.session_timeout) {
-      // A dead counterparty: log the session out and drop the connection —
-      // its resting orders would be pulled by a real exchange's
-      // cancel-on-disconnect; here the owner maps stay for post-mortems.
-      session->timed_out = true;
-      session->logged_in = false;
-      session->endpoint->close();
+      // A dead counterparty: drop the connection and declare the bound
+      // session dead — cancel-on-disconnect (when enabled) pulls its
+      // resting orders and journals the cancels for replay at re-login.
+      conn->dead = true;
+      conn->endpoint->close();
       ++stats_.sessions_timed_out;
+      if (conn->session != nullptr && conn->session->conn == conn.get()) {
+        declare_session_dead(*conn->session);
+      }
       continue;
     }
     if (idle > config_.heartbeat_interval) {
-      send_to(*session, proto::boe::Heartbeat{});
+      send_conn(*conn, proto::boe::Heartbeat{});
       ++stats_.heartbeats_sent;
     }
   }
@@ -319,6 +343,20 @@ void Exchange::register_metrics(telemetry::Registry& registry, const std::string
                  [this] { return static_cast<double>(stats_.heartbeats_sent); });
   registry.gauge(prefix + ".sessions_timed_out",
                  [this] { return static_cast<double>(stats_.sessions_timed_out); });
+  registry.gauge(prefix + ".sessions_resumed",
+                 [this] { return static_cast<double>(stats_.sessions_resumed); });
+  registry.gauge(prefix + ".sessions_taken_over",
+                 [this] { return static_cast<double>(stats_.sessions_taken_over); });
+  registry.gauge(prefix + ".replays_served",
+                 [this] { return static_cast<double>(stats_.replays_served); });
+  registry.gauge(prefix + ".replayed_messages",
+                 [this] { return static_cast<double>(stats_.replayed_messages); });
+  registry.gauge(prefix + ".cod_sessions",
+                 [this] { return static_cast<double>(stats_.cod_sessions); });
+  registry.gauge(prefix + ".cod_orders_cancelled",
+                 [this] { return static_cast<double>(stats_.cod_orders_cancelled); });
+  registry.gauge(prefix + ".duplicate_client_ids_rejected",
+                 [this] { return static_cast<double>(stats_.duplicate_client_ids_rejected); });
   registry.gauge(prefix + ".snapshots_published",
                  [this] { return static_cast<double>(snapshots_published_); });
 }
@@ -342,7 +380,7 @@ void Exchange::notify_fill(const book::Execution& execution) {
     fill.quantity = execution.quantity;
     fill.price = execution.price;
     fill.leaves_quantity = leg.remaining;
-    send_to(session, fill);
+    send_app(session, fill);
     ++stats_.fills_sent;
     if (leg.remaining == 0) {
       session.open_orders.erase(client_it->second);
@@ -354,13 +392,13 @@ void Exchange::notify_fill(const book::Execution& execution) {
 }
 
 void Exchange::on_accept_session(net::TcpEndpoint& endpoint) {
-  auto session = std::make_unique<Session>();
-  session->endpoint = &endpoint;
-  session->session_id = static_cast<std::uint32_t>(sessions_.size() + 1);
-  session->last_rx = engine_.now();
-  Session* raw = session.get();
-  sessions_.push_back(std::move(session));
+  auto conn = std::make_unique<Connection>();
+  conn->endpoint = &endpoint;
+  conn->last_rx = engine_.now();
+  Connection* raw = conn.get();
+  connections_.push_back(std::move(conn));
   endpoint.set_data_handler([this, raw](std::span<const std::byte> bytes, sim::Time arrival) {
+    if (raw->dead) return;  // post-mortem bytes from an already-dead leg
     raw->last_rx = engine_.now();
     raw->parser.feed(bytes);
     while (auto decoded = raw->parser.next()) {
@@ -372,51 +410,183 @@ void Exchange::on_accept_session(net::TcpEndpoint& endpoint) {
         // of the tick-to-trade chain, so responses and the feed events the
         // match produces are not stamped with the inbound order's trace
         // (feed flushes start traces of their own).
+        if (raw->dead) return;  // declared dead while this was in flight
         on_session_message(*raw, message);
         telemetry::record_span(trace, config_.name, telemetry::SpanKind::kMatcher, arrival,
                                engine_.now());
       });
     }
   });
+  endpoint.set_closed_handler([this, raw](net::TcpCloseReason) {
+    if (raw->dead) return;
+    raw->dead = true;
+    if (raw->session != nullptr && raw->session->conn == raw) {
+      declare_session_dead(*raw->session);
+    }
+  });
 }
 
-void Exchange::send_to(Session& session, const proto::boe::Message& message) {
-  const auto bytes = proto::boe::encode(message, session.tx_seq++);
-  session.endpoint->send(bytes);
+void Exchange::send_conn(Connection& conn, const proto::boe::Message& message) {
+  conn.endpoint->send(proto::boe::encode(message, 0));
 }
 
-void Exchange::on_session_message(Session& session, const proto::boe::Message& message) {
+void Exchange::send_app(Session& session, const proto::boe::Message& message) {
+  const std::uint32_t seq = session.tx_seq++;
+  auto bytes = proto::boe::encode(message, seq);
+  if (session.conn != nullptr && !session.conn->dead &&
+      session.conn->endpoint->state() == net::TcpState::kEstablished) {
+    session.conn->endpoint->send(bytes);
+  }
+  session.journal.emplace_back(seq, std::move(bytes));
+}
+
+Exchange::Session* Exchange::find_session(std::uint32_t session_id) noexcept {
+  for (auto& session : sessions_) {
+    if (session->session_id == session_id) return session.get();
+  }
+  return nullptr;
+}
+
+void Exchange::declare_session_dead(Session& session) {
+  session.logged_in = false;
+  if (session.conn != nullptr) {
+    session.conn->dead = true;
+    session.conn = nullptr;
+  }
+  if (!config_.cancel_on_disconnect || session.open_orders.empty()) return;
+  ++stats_.cod_sessions;
+  // Sorted sweep: open_orders iteration order is unordered, and the feed
+  // deletes + journaled cancels this emits must be byte-identical across
+  // replays of the same seed.
+  std::vector<proto::OrderId> client_ids;
+  client_ids.reserve(session.open_orders.size());
+  for (const auto& [client_id, exchange_id] : session.open_orders) {
+    client_ids.push_back(client_id);
+  }
+  std::sort(client_ids.begin(), client_ids.end());
+  for (const proto::OrderId client_id : client_ids) {
+    const proto::OrderId exchange_id = session.open_orders.at(client_id);
+    const auto symbol_it = order_symbol_.find(exchange_id);
+    if (symbol_it != order_symbol_.end()) {
+      // cancel() fires the book listener, which publishes the DeleteOrder
+      // on the feed — disconnect-driven pulls are market data like any
+      // other cancel.
+      const auto cancelled = book(symbol_it->second).cancel(exchange_id);
+      if (cancelled) {
+        send_app(session, proto::boe::OrderCancelled{client_id, *cancelled});
+        ++stats_.cod_orders_cancelled;
+      }
+    }
+    order_owner_.erase(exchange_id);
+    exch_to_client_.erase(exchange_id);
+    order_symbol_.erase(exchange_id);
+  }
+  session.open_orders.clear();
+}
+
+void Exchange::on_session_message(Connection& conn, const proto::boe::Message& message) {
   using namespace proto::boe;
   if (const auto* login = std::get_if<LoginRequest>(&message)) {
-    if (login->token == 0) {
-      send_to(session, LoginRejected{RejectReason::kNotLoggedIn});
-    } else {
-      session.logged_in = true;
-      send_to(session, LoginAccepted{});
-    }
+    handle_login(conn, *login);
     return;
   }
   if (std::get_if<Heartbeat>(&message) != nullptr) {
     return;  // liveness only: the data handler already refreshed the timer
   }
   if (std::get_if<Logout>(&message) != nullptr) {
-    session.logged_in = false;
+    if (conn.session != nullptr) conn.session->logged_in = false;
+    return;
+  }
+  if (const auto* replay = std::get_if<ReplayRequest>(&message)) {
+    handle_replay(conn, *replay);
     return;
   }
   if (const auto* order = std::get_if<NewOrder>(&message)) {
-    handle_new_order(session, *order);
+    if (conn.session == nullptr) {
+      ++stats_.orders_received;
+      ++stats_.orders_rejected;
+      send_conn(conn, OrderRejected{order->client_order_id, RejectReason::kNotLoggedIn});
+      return;
+    }
+    handle_new_order(*conn.session, *order);
     return;
   }
   if (const auto* cancel = std::get_if<CancelOrder>(&message)) {
-    handle_cancel(session, *cancel);
+    if (conn.session == nullptr) {
+      ++stats_.cancels_received;
+      ++stats_.cancel_rejects;
+      send_conn(conn, CancelRejected{cancel->client_order_id, RejectReason::kTooLateToCancel});
+      return;
+    }
+    handle_cancel(*conn.session, *cancel);
     return;
   }
   if (const auto* modify = std::get_if<ModifyOrder>(&message)) {
-    handle_modify(session, *modify);
+    if (conn.session == nullptr) {
+      send_conn(conn, CancelRejected{modify->client_order_id, RejectReason::kUnknownOrder});
+      return;
+    }
+    handle_modify(*conn.session, *modify);
     return;
   }
   // Exchange-to-client message types arriving inbound are protocol errors;
   // ignore them (a production gateway would reset the session).
+}
+
+void Exchange::handle_login(Connection& conn, const proto::boe::LoginRequest& login) {
+  using namespace proto::boe;
+  if (login.token == 0) {
+    send_conn(conn, LoginRejected{RejectReason::kNotLoggedIn});
+    return;
+  }
+  Session* session = find_session(login.session_id);
+  if (session == nullptr) {
+    // First login for this session id: create the logical session.
+    auto fresh = std::make_unique<Session>();
+    fresh->session_id = login.session_id;
+    fresh->token = login.token;
+    session = fresh.get();
+    sessions_.push_back(std::move(fresh));
+  } else if (session->token != login.token) {
+    send_conn(conn, LoginRejected{RejectReason::kSessionInUse});
+    return;
+  } else if (session->conn == &conn) {
+    // Duplicate login on the same connection: idempotent.
+    send_conn(conn, LoginAccepted{});
+    return;
+  } else if (session->conn != nullptr && !session->conn->dead) {
+    // Same credentials on a new connection while the old one still looks
+    // alive: the client knows its old leg is gone even if we don't yet
+    // (e.g. it aborted without a FIN). Take the session over — crucially
+    // WITHOUT cancel-on-disconnect, since the session never died.
+    session->conn->dead = true;
+    session->conn->session = nullptr;
+    session->conn->endpoint->close();
+    session->conn = nullptr;
+    ++stats_.sessions_taken_over;
+  } else {
+    ++stats_.sessions_resumed;
+  }
+  conn.session = session;
+  session->conn = &conn;
+  session->logged_in = true;
+  send_conn(conn, LoginAccepted{});
+}
+
+void Exchange::handle_replay(Connection& conn, const proto::boe::ReplayRequest& request) {
+  using namespace proto::boe;
+  Session* session = conn.session;
+  if (session == nullptr) return;  // replay without a login is a protocol error
+  ++stats_.replays_served;
+  // Journal entries are stored in send order with ascending seqs: replaying
+  // the tail > last_seen_seq re-sends the original bytes verbatim, so the
+  // client sees exactly the stream it missed — byte-identical, exactly once.
+  for (const auto& [seq, bytes] : session->journal) {
+    if (seq <= request.last_seen_seq) continue;
+    conn.endpoint->send(bytes);
+    ++stats_.replayed_messages;
+  }
+  send_conn(conn, SequenceReset{session->tx_seq});
 }
 
 void Exchange::handle_new_order(Session& session, const proto::boe::NewOrder& request) {
@@ -424,13 +594,17 @@ void Exchange::handle_new_order(Session& session, const proto::boe::NewOrder& re
   ++stats_.orders_received;
   auto reject = [&](RejectReason reason) {
     ++stats_.orders_rejected;
-    send_to(session, OrderRejected{request.client_order_id, reason});
+    send_app(session, OrderRejected{request.client_order_id, reason});
   };
   if (!session.logged_in) return reject(RejectReason::kNotLoggedIn);
   if (!lists(request.symbol)) return reject(RejectReason::kInvalidSymbol);
   if (request.quantity == 0) return reject(RejectReason::kInvalidQuantity);
   if (request.price <= 0) return reject(RejectReason::kInvalidPrice);
-  if (session.open_orders.contains(request.client_order_id)) {
+  if (session.used_client_ids.contains(request.client_order_id)) {
+    // Live OR terminal: the id was used before. This is what makes
+    // resubmission after a reconnect idempotent — a resubmitted order whose
+    // original already executed gets a reject, never a second execution.
+    ++stats_.duplicate_client_ids_rejected;
     return reject(RejectReason::kDuplicateOrderId);
   }
   const proto::OrderId exchange_id = next_order_id();
@@ -439,8 +613,9 @@ void Exchange::handle_new_order(Session& session, const proto::boe::NewOrder& re
   ack.client_order_id = request.client_order_id;
   ack.exchange_order_id = exchange_id;
   ack.transact_time_ns = static_cast<std::uint64_t>(engine_.now().picos() / 1000);
-  send_to(session, ack);
+  send_app(session, ack);
 
+  session.used_client_ids.insert(request.client_order_id);
   session.open_orders.emplace(request.client_order_id, exchange_id);
   order_owner_.emplace(exchange_id, &session);
   exch_to_client_.emplace(exchange_id, request.client_order_id);
@@ -455,7 +630,7 @@ void Exchange::handle_new_order(Session& session, const proto::boe::NewOrder& re
     OrderCancelled cancelled;
     cancelled.client_order_id = request.client_order_id;
     cancelled.cancelled_quantity = request.quantity - outcome.filled;
-    send_to(session, cancelled);
+    send_app(session, cancelled);
   }
   // Fully-filled or IOC orders are no longer live.
   if (outcome.result == book::OrderBook::SubmitResult::kFilled ||
@@ -474,7 +649,7 @@ void Exchange::handle_cancel(Session& session, const proto::boe::CancelOrder& re
   if (it == session.open_orders.end()) {
     // Unknown or already filled — the §2 cancel/fill race lands here.
     ++stats_.cancel_rejects;
-    send_to(session, CancelRejected{request.client_order_id, RejectReason::kTooLateToCancel});
+    send_app(session, CancelRejected{request.client_order_id, RejectReason::kTooLateToCancel});
     return;
   }
   const proto::OrderId exchange_id = it->second;
@@ -484,16 +659,16 @@ void Exchange::handle_cancel(Session& session, const proto::boe::CancelOrder& re
   const auto symbol_it = order_symbol_.find(exchange_id);
   if (symbol_it == order_symbol_.end()) {
     ++stats_.cancel_rejects;
-    send_to(session, CancelRejected{request.client_order_id, RejectReason::kUnknownOrder});
+    send_app(session, CancelRejected{request.client_order_id, RejectReason::kUnknownOrder});
     return;
   }
   auto cancelled = book(symbol_it->second).cancel(exchange_id);
   if (!cancelled) {
     ++stats_.cancel_rejects;
-    send_to(session, CancelRejected{request.client_order_id, RejectReason::kTooLateToCancel});
+    send_app(session, CancelRejected{request.client_order_id, RejectReason::kTooLateToCancel});
     return;
   }
-  send_to(session, OrderCancelled{request.client_order_id, *cancelled});
+  send_app(session, OrderCancelled{request.client_order_id, *cancelled});
   session.open_orders.erase(it);
   order_owner_.erase(exchange_id);
   exch_to_client_.erase(exchange_id);
@@ -504,17 +679,17 @@ void Exchange::handle_modify(Session& session, const proto::boe::ModifyOrder& re
   using namespace proto::boe;
   const auto it = session.open_orders.find(request.client_order_id);
   if (it == session.open_orders.end()) {
-    send_to(session, CancelRejected{request.client_order_id, RejectReason::kUnknownOrder});
+    send_app(session, CancelRejected{request.client_order_id, RejectReason::kUnknownOrder});
     return;
   }
   const proto::OrderId exchange_id = it->second;
   const auto symbol_it = order_symbol_.find(exchange_id);
   if (symbol_it == order_symbol_.end() ||
       !book(symbol_it->second).replace(exchange_id, request.quantity, request.price)) {
-    send_to(session, CancelRejected{request.client_order_id, RejectReason::kUnknownOrder});
+    send_app(session, CancelRejected{request.client_order_id, RejectReason::kUnknownOrder});
     return;
   }
-  send_to(session, OrderModified{request.client_order_id, request.quantity, request.price});
+  send_app(session, OrderModified{request.client_order_id, request.quantity, request.price});
 }
 
 }  // namespace tsn::exchange

@@ -65,6 +65,12 @@ struct ExchangeConfig {
   // (reply-to-heartbeat schemes ping-pong forever).
   sim::Duration heartbeat_interval = sim::Duration::zero();
   sim::Duration session_timeout = sim::Duration::zero();
+  // Cancel-on-disconnect: when a session is declared dead (timeout or
+  // connection death), purge its resting orders from the books. The
+  // resulting DeleteOrder messages go out on the feed, and the
+  // OrderCancelled responses are journaled for replay at re-login — the
+  // §2/§4.2 safety contract real venues offer the firm's gateway.
+  bool cancel_on_disconnect = false;
   std::size_t feed_mtu_payload = 1458;
   // Internal processing time between an order-entry message arriving and
   // the matching engine acting on it (and between a match and the
@@ -88,6 +94,13 @@ struct ExchangeStats {
   std::uint64_t fills_sent = 0;
   std::uint64_t heartbeats_sent = 0;
   std::uint64_t sessions_timed_out = 0;
+  std::uint64_t sessions_resumed = 0;     // re-login onto an existing session
+  std::uint64_t sessions_taken_over = 0;  // re-login displacing a live connection
+  std::uint64_t replays_served = 0;
+  std::uint64_t replayed_messages = 0;
+  std::uint64_t cod_sessions = 0;          // cancel-on-disconnect sweeps
+  std::uint64_t cod_orders_cancelled = 0;  // resting orders pulled by those sweeps
+  std::uint64_t duplicate_client_ids_rejected = 0;
 };
 
 class Exchange {
@@ -144,7 +157,8 @@ class Exchange {
 
  private:
   class FeedListener;
-  struct Session;
+  struct Connection;  // one accepted TCP connection (physical)
+  struct Session;     // one order-entry session (logical, survives reconnects)
   struct Unit;
 
   void publish(const proto::pitch::Message& message, std::uint8_t unit);
@@ -153,11 +167,24 @@ class Exchange {
   void snapshot_tick();
   void heartbeat_tick();
   void on_accept_session(net::TcpEndpoint& endpoint);
-  void on_session_message(Session& session, const proto::boe::Message& message);
+  void on_session_message(Connection& conn, const proto::boe::Message& message);
+  void handle_login(Connection& conn, const proto::boe::LoginRequest& login);
+  void handle_replay(Connection& conn, const proto::boe::ReplayRequest& request);
   void handle_new_order(Session& session, const proto::boe::NewOrder& request);
   void handle_cancel(Session& session, const proto::boe::CancelOrder& request);
   void handle_modify(Session& session, const proto::boe::ModifyOrder& request);
-  void send_to(Session& session, const proto::boe::Message& message);
+  // Declares the session dead: unbinds its connection and, when
+  // cancel_on_disconnect is set, pulls its resting orders (feed deletes +
+  // journaled OrderCancelled responses).
+  void declare_session_dead(Session& session);
+  // Unsequenced session-level send (logins, heartbeats, SequenceReset):
+  // carries seq 0 and is never journaled or replayed.
+  void send_conn(Connection& conn, const proto::boe::Message& message);
+  // Sequenced application send: consumes the session's tx_seq, appends the
+  // encoded bytes to the replay journal, and transmits only while the
+  // session has a live established connection.
+  void send_app(Session& session, const proto::boe::Message& message);
+  [[nodiscard]] Session* find_session(std::uint32_t session_id) noexcept;
   [[nodiscard]] std::uint32_t now_seconds() const noexcept;
   [[nodiscard]] std::uint32_t now_offset_ns() const noexcept;
 
@@ -174,6 +201,9 @@ class Exchange {
   std::unordered_map<proto::Symbol, std::unique_ptr<FeedListener>> listeners_;
   std::unordered_map<proto::Symbol, proto::InstrumentKind> kinds_;
 
+  // Connections live for the exchange's lifetime (dead ones stay as
+  // post-mortem records) so in-flight matcher events can never dangle.
+  std::vector<std::unique_ptr<Connection>> connections_;
   std::vector<std::unique_ptr<Session>> sessions_;
   // exchange order id -> owning session (nullptr for driver orders).
   std::unordered_map<proto::OrderId, Session*> order_owner_;

@@ -22,6 +22,8 @@ std::string_view fault_kind_name(FaultKind kind) noexcept {
       return "port_stall";
     case FaultKind::kMrouteEvict:
       return "mroute_evict";
+    case FaultKind::kSessionKill:
+      return "session_kill";
   }
   return "?";
 }
@@ -38,6 +40,10 @@ void FaultInjector::register_switch(l2::CommoditySwitch& sw) {
   std::string name{sw.name()};
   hooks_.insert_or_assign(name, static_cast<net::FaultHook*>(&sw));
   switches_.insert_or_assign(std::move(name), &sw);
+}
+
+void FaultInjector::register_session(std::string name, std::function<void()> kill) {
+  sessions_.insert_or_assign(std::move(name), std::move(kill));
 }
 
 net::FaultHook& FaultInjector::hook_for(const std::string& target) const {
@@ -146,6 +152,19 @@ void FaultInjector::evict_mroute_at(const std::string& switch_name, net::Ipv4Add
   });
 }
 
+void FaultInjector::kill_session_at(const std::string& session, sim::Time at) {
+  const auto it = sessions_.find(session);
+  if (it == sessions_.end()) {
+    throw std::invalid_argument{"fault target is not a session: " + session};
+  }
+  ++stats_.faults_scheduled;
+  // Copy the killer: the map entry could be re-registered before firing.
+  engine_.schedule_at(at, [this, kill = it->second, session] {
+    kill();
+    record(FaultKind::kSessionKill, session, 0.0);
+  });
+}
+
 std::string FaultInjector::log_json() const {
   telemetry::JsonWriter writer;
   writer.begin_array();
@@ -167,7 +186,7 @@ void FaultInjector::register_metrics(telemetry::Registry& registry,
                  [this] { return static_cast<double>(stats_.faults_scheduled); });
   registry.gauge(prefix + ".fired",
                  [this] { return static_cast<double>(stats_.faults_fired); });
-  for (std::size_t k = 0; k < 6; ++k) {
+  for (std::size_t k = 0; k < 7; ++k) {
     const auto kind = static_cast<FaultKind>(k);
     registry.gauge(prefix + "." + std::string{fault_kind_name(kind)},
                    [this, k] { return static_cast<double>(kind_counts_[k]); });

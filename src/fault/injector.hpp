@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <string_view>
@@ -33,6 +34,7 @@ enum class FaultKind : std::uint8_t {
   kLossClear,  // loss override removed (back to configured loss)
   kPortStall,  // switch egress port held for `value` nanoseconds
   kMrouteEvict,
+  kSessionKill,  // registered session killer invoked (order-entry uplink death)
 };
 
 [[nodiscard]] std::string_view fault_kind_name(FaultKind kind) noexcept;
@@ -68,6 +70,10 @@ class FaultInjector {
   void register_hook(std::string name, net::FaultHook& hook);
   // Registers the switch's FaultHook plus its stall/mroute surfaces.
   void register_switch(l2::CommoditySwitch& sw);
+  // Registers a session-level kill switch (e.g. Gateway::kill_upstream):
+  // invoking it must drop the session's transport immediately. Session
+  // faults model order-entry path death (§2) rather than link loss.
+  void register_session(std::string name, std::function<void()> kill);
 
   [[nodiscard]] bool has_target(const std::string& name) const noexcept {
     return hooks_.count(name) != 0;
@@ -98,6 +104,10 @@ class FaultInjector {
   // Drops the group's mroute entry on the switch at `at` (§3 exhaustion).
   void evict_mroute_at(const std::string& switch_name, net::Ipv4Addr group, sim::Time at);
 
+  // Kills a registered session at `at` (uplink death without link faults:
+  // the peer sees silence, not a FIN).
+  void kill_session_at(const std::string& session, sim::Time at);
+
   // --- observability ---------------------------------------------------
   [[nodiscard]] const std::vector<FaultEvent>& log() const noexcept { return log_; }
   [[nodiscard]] const InjectorStats& stats() const noexcept { return stats_; }
@@ -117,9 +127,10 @@ class FaultInjector {
   // std::map: deterministic iteration should anyone ever walk the registry.
   std::map<std::string, net::FaultHook*> hooks_;
   std::map<std::string, l2::CommoditySwitch*> switches_;
+  std::map<std::string, std::function<void()>> sessions_;
   std::vector<FaultEvent> log_;
   InjectorStats stats_;
-  std::uint64_t kind_counts_[6] = {};
+  std::uint64_t kind_counts_[7] = {};
 };
 
 }  // namespace tsn::fault

@@ -44,6 +44,19 @@ void NetStack::listen_tcp(std::uint16_t port, AcceptHandler on_accept) {
   tcp_listeners_[port] = std::move(on_accept);
 }
 
+std::size_t NetStack::reap_closed() {
+  std::size_t reaped = 0;
+  for (auto it = tcp_flows_.begin(); it != tcp_flows_.end();) {
+    if (it->second->state() == TcpState::kClosed) {
+      it = tcp_flows_.erase(it);
+      ++reaped;
+    } else {
+      ++it;
+    }
+  }
+  return reaped;
+}
+
 void NetStack::on_frame(const PacketPtr& packet, sim::Time arrival) {
   auto frame = decode_frame(packet->frame());
   if (!frame || !frame->ip) return;

@@ -43,6 +43,11 @@ class NetStack {
                            std::uint16_t src_port);
   // Passive open: `on_accept` fires once per new established connection.
   void listen_tcp(std::uint16_t port, AcceptHandler on_accept);
+  // Destroys every flow whose endpoint reached kClosed, freeing its port.
+  // Must be called from outside any endpoint callback (it deletes the
+  // endpoints); returns the number of flows reaped.
+  std::size_t reap_closed();
+  [[nodiscard]] std::size_t tcp_flow_count() const noexcept { return tcp_flows_.size(); }
 
   // --- IGMP -----------------------------------------------------------------
   void set_igmp_handler(IgmpHandler handler) { igmp_handler_ = std::move(handler); }

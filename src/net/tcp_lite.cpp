@@ -16,10 +16,23 @@ TcpEndpoint::TcpEndpoint(NetStack& stack, MacAddr peer_mac, Ipv4Addr peer_ip,
       local_port_(local_port),
       config_(config) {}
 
+TcpEndpoint::~TcpEndpoint() {
+  // A pending RTO lambda captures `this`; cancel it so destruction (e.g.
+  // NetStack::reap_closed) cannot leave a dangling timer in the engine.
+  stack_.engine().cancel(rto_timer_);
+}
+
 void TcpEndpoint::set_state(TcpState state) {
   if (state_ == state) return;
   state_ = state;
   if (state_handler_) state_handler_(state);
+}
+
+void TcpEndpoint::notify_closed(TcpCloseReason reason) {
+  if (closed_notified_) return;
+  closed_notified_ = true;
+  close_reason_ = reason;
+  if (closed_handler_) closed_handler_(reason);
 }
 
 void TcpEndpoint::transmit_segment(std::uint32_t seq, std::span<const std::byte> payload,
@@ -80,9 +93,20 @@ void TcpEndpoint::flush_send_queue() {
 
 void TcpEndpoint::close() {
   if (state_ != TcpState::kEstablished && state_ != TcpState::kCloseWait) return;
+  closed_notified_ = true;  // locally initiated: the owner already knows
   transmit_segment(snd_next_, {}, static_cast<std::uint8_t>(TcpHeader::kFin | TcpHeader::kAck));
   ++snd_next_;  // FIN consumes a sequence number
   set_state(state_ == TcpState::kCloseWait ? TcpState::kClosed : TcpState::kFinWait);
+}
+
+void TcpEndpoint::abort() {
+  if (state_ == TcpState::kClosed) return;
+  stack_.engine().cancel(rto_timer_);
+  rto_timer_ = sim::EventHandle{};
+  unacked_.clear();
+  out_of_order_.clear();
+  set_state(TcpState::kClosed);
+  notify_closed(TcpCloseReason::kAborted);
 }
 
 void TcpEndpoint::send_ack() {
@@ -103,7 +127,10 @@ void TcpEndpoint::on_rto() {
   // Retransmissions are recovery traffic, not part of the original path.
   telemetry::TraceScope untraced{0};
   if (++rto_strikes_ > config_.max_retransmits) {
+    // The peer is unreachable. Tell the owner — stalling here silently is
+    // exactly how a gateway loses track of its exchange session.
     set_state(TcpState::kClosed);
+    notify_closed(TcpCloseReason::kRetransmitExhausted);
     return;
   }
   ++retransmits_;
@@ -209,6 +236,7 @@ void TcpEndpoint::on_segment(const TcpHeader& tcp, std::span<const std::byte> pa
       set_state(TcpState::kClosed);
     } else if (state_ == TcpState::kEstablished) {
       set_state(TcpState::kCloseWait);
+      notify_closed(TcpCloseReason::kPeerFin);
     }
   }
 }

@@ -39,24 +39,43 @@ struct TcpConfig {
   int max_retransmits = 8;
 };
 
+// Why a connection died. Delivered once through the closed handler so the
+// owner (e.g. the order gateway) can react instead of silently stalling.
+enum class TcpCloseReason : std::uint8_t {
+  kNone,                  // still open, or closed locally via close()
+  kPeerFin,               // orderly shutdown initiated by the peer
+  kRetransmitExhausted,   // max_retransmits strikes without an ACK
+  kAborted,               // local abort() — immediate teardown, nothing on the wire
+};
+
 class TcpEndpoint {
  public:
   using DataHandler = std::function<void(std::span<const std::byte> bytes, sim::Time arrival)>;
   using StateHandler = std::function<void(TcpState state)>;
+  using ClosedHandler = std::function<void(TcpCloseReason reason)>;
 
   // Construction is done by NetStack (active or passive open).
   TcpEndpoint(NetStack& stack, MacAddr peer_mac, Ipv4Addr peer_ip, std::uint16_t peer_port,
               std::uint16_t local_port, TcpConfig config);
+  ~TcpEndpoint();
 
   void set_data_handler(DataHandler handler) { data_handler_ = std::move(handler); }
   void set_state_handler(StateHandler handler) { state_handler_ = std::move(handler); }
+  // Fired exactly once when the connection dies for a reason the owner did
+  // not initiate through close(): peer FIN, retransmit exhaustion, abort().
+  void set_closed_handler(ClosedHandler handler) { closed_handler_ = std::move(handler); }
 
   // Queues bytes for ordered reliable delivery to the peer.
   void send(std::span<const std::byte> bytes);
   // Graceful close (FIN).
   void close();
+  // Immediate local teardown: no FIN, pending retransmissions cancelled, the
+  // closed handler fires with kAborted. Safe to call only from outside this
+  // endpoint's own callbacks (it may destroy in-flight delivery state).
+  void abort();
 
   [[nodiscard]] TcpState state() const noexcept { return state_; }
+  [[nodiscard]] TcpCloseReason close_reason() const noexcept { return close_reason_; }
   [[nodiscard]] std::uint16_t local_port() const noexcept { return local_port_; }
   [[nodiscard]] std::uint16_t peer_port() const noexcept { return peer_port_; }
   [[nodiscard]] Ipv4Addr peer_ip() const noexcept { return peer_ip_; }
@@ -77,6 +96,7 @@ class TcpEndpoint {
   void on_rto();
   void set_state(TcpState state);
   void deliver_in_order();
+  void notify_closed(TcpCloseReason reason);
 
   NetStack& stack_;
   MacAddr peer_mac_;
@@ -102,6 +122,9 @@ class TcpEndpoint {
 
   DataHandler data_handler_;
   StateHandler state_handler_;
+  ClosedHandler closed_handler_;
+  TcpCloseReason close_reason_ = TcpCloseReason::kNone;
+  bool closed_notified_ = false;
 };
 
 }  // namespace tsn::net

@@ -26,6 +26,8 @@ MessageType type_of(const Message& message) noexcept {
         else if constexpr (std::is_same_v<T, LoginRejected>) return MessageType::kLoginRejected;
         else if constexpr (std::is_same_v<T, Heartbeat>) return MessageType::kHeartbeat;
         else if constexpr (std::is_same_v<T, Logout>) return MessageType::kLogout;
+        else if constexpr (std::is_same_v<T, ReplayRequest>) return MessageType::kReplayRequest;
+        else if constexpr (std::is_same_v<T, SequenceReset>) return MessageType::kSequenceReset;
         else if constexpr (std::is_same_v<T, NewOrder>) return MessageType::kNewOrder;
         else if constexpr (std::is_same_v<T, CancelOrder>) return MessageType::kCancelOrder;
         else if constexpr (std::is_same_v<T, ModifyOrder>) return MessageType::kModifyOrder;
@@ -49,6 +51,8 @@ std::size_t encoded_size(const Message& message) noexcept {
         else if constexpr (std::is_same_v<T, LoginRejected>) return kHeaderSize + 1;
         else if constexpr (std::is_same_v<T, Heartbeat>) return kHeaderSize;
         else if constexpr (std::is_same_v<T, Logout>) return kHeaderSize;
+        else if constexpr (std::is_same_v<T, ReplayRequest>) return kHeaderSize + 4;
+        else if constexpr (std::is_same_v<T, SequenceReset>) return kHeaderSize + 4;
         else if constexpr (std::is_same_v<T, NewOrder>) return kHeaderSize + 28;
         else if constexpr (std::is_same_v<T, CancelOrder>) return kHeaderSize + 8;
         else if constexpr (std::is_same_v<T, ModifyOrder>) return kHeaderSize + 20;
@@ -79,6 +83,10 @@ std::vector<std::byte> encode(const Message& message, std::uint32_t seq) {
           w.u64_le(m.token);
         } else if constexpr (std::is_same_v<T, LoginRejected>) {
           w.u8(static_cast<std::uint8_t>(m.reason));
+        } else if constexpr (std::is_same_v<T, ReplayRequest>) {
+          w.u32_le(m.last_seen_seq);
+        } else if constexpr (std::is_same_v<T, SequenceReset>) {
+          w.u32_le(m.next_seq);
         } else if constexpr (std::is_same_v<T, NewOrder>) {
           w.u64_le(m.client_order_id);
           w.u8(static_cast<std::uint8_t>(m.side));
@@ -167,6 +175,18 @@ std::optional<Decoded> decode(std::span<const std::byte> data) {
     case MessageType::kLogout:
       out.message = Logout{};
       break;
+    case MessageType::kReplayRequest: {
+      ReplayRequest m;
+      m.last_seen_seq = r.u32_le();
+      out.message = m;
+      break;
+    }
+    case MessageType::kSequenceReset: {
+      SequenceReset m;
+      m.next_seq = r.u32_le();
+      out.message = m;
+      break;
+    }
     case MessageType::kNewOrder: {
       NewOrder m;
       m.client_order_id = r.u64_le();

@@ -34,6 +34,8 @@ enum class MessageType : std::uint8_t {
   kLoginRejected = 0x03,
   kHeartbeat = 0x04,
   kLogout = 0x05,
+  kReplayRequest = 0x06,
+  kSequenceReset = 0x07,
   kNewOrder = 0x10,
   kCancelOrder = 0x11,
   kModifyOrder = 0x12,
@@ -55,6 +57,8 @@ enum class RejectReason : std::uint8_t {
   kNotLoggedIn = 6,
   kInvalidPrice = 7,
   kInvalidQuantity = 8,
+  kGatewayBackpressure = 9,  // shed by the gateway's bounded upstream queue
+  kSessionInUse = 10,        // re-login with the wrong token while a live connection holds the session
 };
 
 enum class TimeInForce : std::uint8_t {
@@ -72,6 +76,19 @@ struct LoginRejected {
 };
 struct Heartbeat {};
 struct Logout {};
+
+// Client → exchange after a resumed login: replay every sequenced response
+// with seq > last_seen_seq. Session-level messages (logins, heartbeats,
+// SequenceReset) carry seq 0 and are never replayed.
+struct ReplayRequest {
+  std::uint32_t last_seen_seq = 0;
+};
+
+// Exchange → client: replay is complete; the next sequenced message the
+// session emits will carry `next_seq`.
+struct SequenceReset {
+  std::uint32_t next_seq = 1;
+};
 
 struct NewOrder {
   OrderId client_order_id = 0;
@@ -128,8 +145,9 @@ struct Fill {
 };
 
 using Message = std::variant<LoginRequest, LoginAccepted, LoginRejected, Heartbeat, Logout,
-                             NewOrder, CancelOrder, ModifyOrder, OrderAccepted, OrderRejected,
-                             OrderCancelled, OrderModified, CancelRejected, Fill>;
+                             ReplayRequest, SequenceReset, NewOrder, CancelOrder, ModifyOrder,
+                             OrderAccepted, OrderRejected, OrderCancelled, OrderModified,
+                             CancelRejected, Fill>;
 
 [[nodiscard]] MessageType type_of(const Message& message) noexcept;
 [[nodiscard]] std::size_t encoded_size(const Message& message) noexcept;

@@ -16,6 +16,7 @@
 #include "net/stack.hpp"
 #include "proto/boe.hpp"
 #include "sim/engine.hpp"
+#include "sim/random.hpp"
 #include "telemetry/metrics.hpp"
 #include "trading/risk.hpp"
 
@@ -40,6 +41,34 @@ struct GatewayConfig {
   // heartbeats (exchanges enforce session timeouts; see Exchange's
   // heartbeat_interval/session_timeout).
   sim::Duration heartbeat_interval = sim::Duration::zero();
+  // Upstream session identity for resumable re-login. 0 derives a unique id
+  // from the upstream NIC's IP so multiple gateways never share a session.
+  std::uint32_t session_id = 0;
+  std::uint64_t login_token = 0xca50ULL;
+  // Reconnect state machine: on connection death, back off exponentially
+  // (with deterministic jitter from reconnect_jitter_seed), re-login, and
+  // reconcile in-flight orders through replay + idempotent resubmission.
+  bool reconnect_enabled = true;
+  sim::Duration reconnect_backoff_initial = sim::millis(std::int64_t{2});
+  double reconnect_backoff_multiplier = 2.0;
+  sim::Duration reconnect_backoff_max = sim::millis(std::int64_t{50});
+  int reconnect_max_attempts = 10;
+  double reconnect_jitter = 0.1;  // +/- fraction of each backoff step
+  std::uint64_t reconnect_jitter_seed = 0x5eedULL;
+  // Bound on orders queued while the upstream session is down; excess
+  // messages are shed with a counted kGatewayBackpressure reject back to
+  // the originating strategy session.
+  std::size_t max_pending_upstream = 1024;
+};
+
+// Upstream session lifecycle (metrics export the numeric value).
+enum class UpstreamState : std::uint8_t {
+  kIdle = 0,       // before start()
+  kLoggingIn = 1,  // TCP connect + LoginRequest in flight
+  kReplaying = 2,  // resumed login, ReplayRequest sent, awaiting SequenceReset
+  kReady = 3,      // logged in, orders flow
+  kBackoff = 4,    // connection died, reconnect timer armed
+  kFailed = 5,     // reconnect attempts exhausted (or reconnect disabled)
 };
 
 struct GatewayStats {
@@ -50,6 +79,17 @@ struct GatewayStats {
   std::uint64_t responses_routed = 0;
   std::uint64_t orphan_responses = 0;  // upstream messages with no known id
   std::uint64_t heartbeats_sent = 0;
+  std::uint64_t disconnects = 0;
+  std::uint64_t reconnect_attempts = 0;
+  std::uint64_t reconnects_completed = 0;
+  std::uint64_t reconnects_given_up = 0;
+  std::uint64_t replays_requested = 0;
+  std::uint64_t stale_responses_dropped = 0;  // replay duplicates (seq already applied)
+  std::uint64_t orders_marked_unknown = 0;    // in flight when the session died
+  std::uint64_t orders_resubmitted = 0;       // unresolved by replay, resent under dedupe
+  std::uint64_t duplicate_resubmit_acks = 0;  // dedupe rejects swallowed for resubmissions
+  std::uint64_t orders_shed = 0;              // NewOrders dropped by the pending bound
+  std::uint64_t cancels_shed = 0;             // cancels/modifies dropped by the bound
 };
 
 class Gateway {
@@ -65,8 +105,20 @@ class Gateway {
   // Connects and logs into the exchange. Call after wiring.
   void start();
 
+  // Kills the upstream connection immediately (no FIN on the wire), as a
+  // session-level fault would: the closed handler sees the death and the
+  // reconnect machine takes over. Safe to call from a scheduled event.
+  void kill_upstream();
+
   [[nodiscard]] const GatewayStats& stats() const noexcept { return stats_; }
   [[nodiscard]] bool upstream_ready() const noexcept { return upstream_logged_in_; }
+  [[nodiscard]] UpstreamState upstream_state() const noexcept { return upstream_state_; }
+  [[nodiscard]] std::size_t pending_upstream_depth() const noexcept {
+    return pending_upstream_.size();
+  }
+  [[nodiscard]] std::size_t pending_upstream_hwm() const noexcept {
+    return pending_upstream_hwm_;
+  }
   [[nodiscard]] const GatewayConfig& config() const noexcept { return config_; }
   // Firm-wide exposure view (§4.2).
   [[nodiscard]] const RiskEngine& risk() const noexcept { return risk_; }
@@ -91,6 +143,17 @@ class Gateway {
   void send_upstream(const proto::boe::Message& message);
   void send_to_session(StrategySession& session, const proto::boe::Message& message);
   void heartbeat_tick();
+  void connect_upstream();
+  void on_upstream_closed(net::TcpCloseReason reason);
+  void schedule_reconnect();
+  void reconnect_now();
+  void on_login_accepted();
+  void on_sequence_reset();
+  void flush_pending_upstream();
+  void shed_upstream(const proto::boe::Message& message);
+  void transmit_upstream(const proto::boe::Message& message);
+  [[nodiscard]] std::uint32_t upstream_session_id() const noexcept;
+  void set_upstream_state(UpstreamState state) noexcept { upstream_state_ = state; }
 
   sim::Engine& engine_;
   GatewayConfig config_;
@@ -107,10 +170,23 @@ class Gateway {
   bool upstream_logged_in_ = false;
   sim::Time last_upstream_tx_;
   std::deque<proto::boe::Message> pending_upstream_;
+  std::size_t pending_upstream_hwm_ = 0;
+
+  UpstreamState upstream_state_ = UpstreamState::kIdle;
+  bool ever_logged_in_ = false;   // first LoginAccepted vs resumed session
+  int backoff_attempt_ = 0;       // consecutive failed attempts (resets on ready)
+  std::uint32_t last_applied_seq_ = 0;  // highest sequenced response applied
+  sim::Rng reconnect_rng_;
 
   struct OrderRoute {
     StrategySession* session = nullptr;
     proto::OrderId client_id = 0;
+    // The NewOrder exactly as forwarded upstream (upstream id inside): the
+    // resubmission payload when replay leaves the order unresolved.
+    proto::boe::NewOrder forwarded;
+    bool sent = false;         // handed to the upstream TCP endpoint
+    bool acked = false;        // some sequenced response referenced it
+    bool resubmitted = false;  // resent after a reconnect, under dedupe
   };
   std::unordered_map<proto::OrderId, OrderRoute> routes_;        // upstream id -> origin
   std::unordered_map<StrategySession*,

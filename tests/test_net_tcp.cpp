@@ -199,5 +199,122 @@ TEST(TcpLite, EphemeralPortsAreDistinct) {
   EXPECT_EQ(c2.state(), TcpState::kEstablished);
 }
 
+// --- death notification (session resilience relies on these) ----------------
+
+TEST(TcpLite, ClosedHandlerFiresOnPeerFin) {
+  TcpPair t;
+  TcpEndpoint* server_ep = nullptr;
+  TcpCloseReason reason = TcpCloseReason::kNone;
+  int notifications = 0;
+  t.server.listen_tcp(34000, [&](TcpEndpoint& ep) {
+    server_ep = &ep;
+    ep.set_closed_handler([&](TcpCloseReason r) {
+      reason = r;
+      ++notifications;
+    });
+  });
+  TcpEndpoint& client = t.client.connect_tcp(t.server_nic.mac(), t.server_nic.ip(), 34000, 0);
+  t.engine.run();
+  client.close();
+  t.engine.run();
+  ASSERT_NE(server_ep, nullptr);
+  EXPECT_EQ(notifications, 1);
+  EXPECT_EQ(reason, TcpCloseReason::kPeerFin);
+  EXPECT_EQ(server_ep->close_reason(), TcpCloseReason::kPeerFin);
+}
+
+TEST(TcpLite, SilentPeerDeathExhaustsRetriesAndNotifies) {
+  // The peer dies silently (admin-down both directions): the survivor's
+  // RTO retries exhaust and the owner is told, so a gateway can start its
+  // reconnect machine without polling state().
+  sim::Engine engine;
+  Fabric fabric{engine};
+  Nic client_nic{engine, "client", MacAddr::from_host_id(1), Ipv4Addr{10, 0, 0, 1}};
+  Nic server_nic{engine, "server", MacAddr::from_host_id(2), Ipv4Addr{10, 0, 0, 2}};
+  NetStack client{client_nic};
+  NetStack server{server_nic};
+  Cable cable = fabric.connect(client_nic, 0, server_nic, 0, LinkConfig{});
+  server.listen_tcp(34000, [](TcpEndpoint&) {});
+  TcpEndpoint& ep = client.connect_tcp(server_nic.mac(), server_nic.ip(), 34000, 0);
+  TcpCloseReason reason = TcpCloseReason::kNone;
+  int notifications = 0;
+  ep.set_closed_handler([&](TcpCloseReason r) {
+    reason = r;
+    ++notifications;
+  });
+  engine.run();
+  ASSERT_EQ(ep.state(), TcpState::kEstablished);
+  cable.a_to_b->set_admin_up(false);
+  cable.b_to_a->set_admin_up(false);
+  ep.send(bytes_of("into the void"));
+  engine.run();
+  EXPECT_EQ(ep.state(), TcpState::kClosed);
+  EXPECT_EQ(notifications, 1);
+  EXPECT_EQ(reason, TcpCloseReason::kRetransmitExhausted);
+  EXPECT_GT(ep.retransmit_count(), 0u);
+}
+
+TEST(TcpLite, FailedConnectNotifiesRetransmitExhaustion) {
+  // SYN to a closed port: the connect itself fails and the closed handler
+  // still fires, so reconnect backoff grows across failed attempts too.
+  TcpPair t;
+  TcpEndpoint& client = t.client.connect_tcp(t.server_nic.mac(), t.server_nic.ip(), 9, 0);
+  TcpCloseReason reason = TcpCloseReason::kNone;
+  client.set_closed_handler([&](TcpCloseReason r) { reason = r; });
+  t.engine.run();
+  EXPECT_EQ(client.state(), TcpState::kClosed);
+  EXPECT_EQ(reason, TcpCloseReason::kRetransmitExhausted);
+}
+
+TEST(TcpLite, AbortDropsEverythingAndNotifiesOnce) {
+  TcpPair t;
+  t.server.listen_tcp(34000, [](TcpEndpoint&) {});
+  TcpEndpoint& client = t.client.connect_tcp(t.server_nic.mac(), t.server_nic.ip(), 34000, 0);
+  int notifications = 0;
+  TcpCloseReason reason = TcpCloseReason::kNone;
+  client.set_closed_handler([&](TcpCloseReason r) {
+    reason = r;
+    ++notifications;
+  });
+  t.engine.run();
+  client.send(bytes_of("unacked"));
+  client.abort();
+  EXPECT_EQ(client.state(), TcpState::kClosed);
+  EXPECT_EQ(reason, TcpCloseReason::kAborted);
+  EXPECT_EQ(notifications, 1);
+  client.abort();  // idempotent: no second notification
+  EXPECT_EQ(notifications, 1);
+  t.engine.run();  // any stray timers fire harmlessly
+  EXPECT_EQ(notifications, 1);
+}
+
+TEST(TcpLite, LocalCloseDoesNotFireClosedHandler) {
+  // The owner initiated the close; telling it again would double-trigger
+  // reconnect logic.
+  TcpPair t;
+  t.server.listen_tcp(34000, [](TcpEndpoint&) {});
+  TcpEndpoint& client = t.client.connect_tcp(t.server_nic.mac(), t.server_nic.ip(), 34000, 0);
+  int notifications = 0;
+  client.set_closed_handler([&](TcpCloseReason) { ++notifications; });
+  t.engine.run();
+  client.close();
+  t.engine.run();
+  EXPECT_EQ(notifications, 0);
+}
+
+TEST(TcpLite, ReapClosedRemovesDeadFlows) {
+  TcpPair t;
+  t.server.listen_tcp(34000, [](TcpEndpoint&) {});
+  TcpEndpoint& c1 = t.client.connect_tcp(t.server_nic.mac(), t.server_nic.ip(), 34000, 0);
+  t.client.connect_tcp(t.server_nic.mac(), t.server_nic.ip(), 34000, 0);
+  t.engine.run();
+  EXPECT_EQ(t.client.tcp_flow_count(), 2u);
+  EXPECT_EQ(t.client.reap_closed(), 0u);  // nothing dead yet
+  c1.abort();
+  t.engine.run();
+  EXPECT_EQ(t.client.reap_closed(), 1u);
+  EXPECT_EQ(t.client.tcp_flow_count(), 1u);
+}
+
 }  // namespace
 }  // namespace tsn::net

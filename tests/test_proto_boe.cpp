@@ -12,6 +12,8 @@ TEST(Boe, RoundTripEveryMessageType) {
       Message{LoginRejected{RejectReason::kNotLoggedIn}},
       Message{Heartbeat{}},
       Message{Logout{}},
+      Message{ReplayRequest{42}},
+      Message{SequenceReset{7}},
       Message{NewOrder{101, Side::kBuy, 500, Symbol{"ACME"}, price_from_dollars(99.5),
                        TimeInForce::kImmediateOrCancel}},
       Message{CancelOrder{101}},

@@ -107,7 +107,7 @@ proto::pitch::Message random_pitch_message(sim::Rng& rng) {
 }
 
 proto::boe::Message random_boe_message(sim::Rng& rng) {
-  switch (rng.next_below(14)) {
+  switch (rng.next_below(16)) {
     case 0:
       return proto::boe::LoginRequest{static_cast<std::uint32_t>(rng.next_u64()),
                                       rng.next_u64()};
@@ -165,6 +165,10 @@ proto::boe::Message random_boe_message(sim::Rng& rng) {
     case 12:
       return proto::boe::CancelRejected{rng.next_u64(),
                                         proto::boe::RejectReason::kUnknownOrder};
+    case 13:
+      return proto::boe::ReplayRequest{static_cast<std::uint32_t>(rng.next_u64())};
+    case 14:
+      return proto::boe::SequenceReset{static_cast<std::uint32_t>(rng.next_u64())};
     default: {
       proto::boe::Fill m;
       m.client_order_id = rng.next_u64();

@@ -91,6 +91,40 @@ TEST(SessionLiveness, ClientHeartbeatsKeepTheSessionAlive) {
   EXPECT_EQ(rig.session->state(), net::TcpState::kEstablished);
 }
 
+TEST(SessionLiveness, SilentSessionDiesInExactlyTheTimeoutWindow) {
+  // heartbeat_interval = 20ms, session_timeout = 65ms: the exchange sweeps
+  // on the heartbeat tick and kills a session at the FIRST tick where idle
+  // time exceeds the timeout — not a tick earlier, not a tick later.
+  LivenessRig rig;
+  rig.login();  // last_rx ~ now; heartbeat ticks start counting from here
+  rig.exch.start_heartbeats();
+  // Ticks land near 21/41/61/81ms. At 61ms idle < 65ms: still alive.
+  rig.run_for(70);
+  EXPECT_EQ(rig.exch.stats().sessions_timed_out, 0u);
+  // The 81ms tick sees idle > 65ms: dead exactly one sweep past the window.
+  rig.run_for(15);
+  EXPECT_EQ(rig.exch.stats().sessions_timed_out, 1u);
+}
+
+TEST(SessionLiveness, ClientHeartbeatsRefreshWithoutPingPong) {
+  // Incoming heartbeats are pure liveness: they refresh the idle clock but
+  // are never answered, so a chatty client cannot trigger a heartbeat echo
+  // storm. The exchange only heartbeats a session that has gone quiet.
+  LivenessRig rig;
+  rig.login();
+  rig.exch.start_heartbeats();
+  for (int i = 0; i < 50; ++i) {
+    rig.session->send(proto::boe::encode(proto::boe::Heartbeat{}, rig.seq++));
+    rig.run_for(2);
+  }
+  // 50 client heartbeats over 100ms: session alive, and the exchange sent
+  // nothing back (idle never crossed one heartbeat interval).
+  EXPECT_EQ(rig.exch.stats().sessions_timed_out, 0u);
+  EXPECT_EQ(rig.exch.stats().heartbeats_sent, 0u);
+  EXPECT_EQ(rig.heartbeats_received, 0);
+  EXPECT_EQ(rig.session->state(), net::TcpState::kEstablished);
+}
+
 TEST(SessionLiveness, StartHeartbeatsValidatesConfig) {
   sim::Engine engine;
   auto config = exchange_config();
