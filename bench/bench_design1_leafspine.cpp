@@ -43,7 +43,7 @@ int main() {
   std::printf("  frames dropped in fabric:   %10llu\n\n",
               static_cast<unsigned long long>(report.frames_dropped));
 
-  auto print_stats = [](const char* label, const sim::SampleStats& stats) {
+  auto print_stats = [](const char* label, const telemetry::Histogram& stats) {
     std::printf("  %-26s min %8.0f  mean %8.0f  p99 %8.0f  max %8.0f (ns)\n", label,
                 stats.min(), stats.mean(), stats.percentile(99.0), stats.max());
   };

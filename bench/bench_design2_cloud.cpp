@@ -11,7 +11,7 @@
 
 #include "core/design.hpp"
 #include "net/stack.hpp"
-#include "sim/stats.hpp"
+#include "telemetry/metrics.hpp"
 #include "telemetry/report.hpp"
 #include "topo/cloud.hpp"
 
@@ -63,7 +63,7 @@ int main() {
   engine.run();
 
   std::printf("%-10s %14s %16s\n", "tenant", "native (us)", "delivery (us)");
-  sim::SampleStats deliveries;
+  telemetry::Histogram deliveries;
   for (std::size_t i = 0; i < tenants.size(); ++i) {
     const double us = (tenants[i].arrival - release).micros();
     deliveries.add(us);

@@ -10,7 +10,7 @@
 #include <string>
 
 #include "feed/trend.hpp"
-#include "sim/stats.hpp"
+#include "telemetry/metrics.hpp"
 #include "telemetry/report.hpp"
 
 int main() {
@@ -18,7 +18,7 @@ int main() {
   feed::MarketDataTrendModel model;
   const auto series = model.daily_series();
 
-  std::map<int, sim::SampleStats> by_year;
+  std::map<int, telemetry::Histogram> by_year;
   for (const auto& point : series) by_year[point.year].add(point.events);
 
   bench::Report bench_report{"fig2a_growth", "Figure 2(a): event count by day, 2020-2024"};
@@ -41,8 +41,8 @@ int main() {
 
   // "Increased 500% over the last 5 years" compares the start of the span
   // to its end, so average the first and last ~month of trading days.
-  sim::SampleStats span_start;
-  sim::SampleStats span_end;
+  telemetry::Histogram span_start;
+  telemetry::Histogram span_end;
   for (std::size_t i = 0; i < series.size(); ++i) {
     if (i < 21) span_start.add(series[i].events);
     if (i + 21 >= series.size()) span_end.add(series[i].events);

@@ -7,7 +7,7 @@
 #include <cstdio>
 
 #include "feed/intraday.hpp"
-#include "sim/stats.hpp"
+#include "telemetry/metrics.hpp"
 #include "telemetry/report.hpp"
 
 int main() {
@@ -18,7 +18,7 @@ int main() {
   std::printf("F2b: options events for one stock, one day, 1-second windows\n\n");
   std::printf("%8s %12s %12s %12s\n", "hour", "mean/s", "max/s", "active-sec");
   for (int hour = 8; hour <= 16; ++hour) {
-    sim::SampleStats stats;
+    telemetry::Histogram stats;
     int active = 0;
     for (int sec = hour * 3600; sec < (hour + 1) * 3600 && sec < 86'400; ++sec) {
       const auto c = counts[static_cast<std::size_t>(sec)];
@@ -28,7 +28,7 @@ int main() {
     std::printf("%7d: %12.0f %12.0f %12d\n", hour, stats.mean(), stats.max(), active);
   }
 
-  sim::SampleStats session;
+  telemetry::Histogram session;
   std::size_t busiest_second = 0;
   for (std::uint32_t sec = profile.config().open_second; sec < profile.config().close_second;
        ++sec) {

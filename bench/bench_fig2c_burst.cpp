@@ -9,7 +9,7 @@
 #include <vector>
 
 #include "feed/burst.hpp"
-#include "sim/stats.hpp"
+#include "telemetry/metrics.hpp"
 #include "telemetry/report.hpp"
 
 int main() {
@@ -18,7 +18,7 @@ int main() {
   feed::BurstMicrostructure burst;
   const auto counts = burst.window_counts(kBusiestSecondEvents, 2024);
 
-  sim::SampleStats stats;
+  telemetry::Histogram stats;
   for (auto c : counts) stats.add(static_cast<double>(c));
 
   std::printf("F2c: events per 100 us window within the busiest second (%zu windows)\n\n",

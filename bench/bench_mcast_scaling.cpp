@@ -11,7 +11,7 @@
 
 #include "l2/commodity_switch.hpp"
 #include "net/stack.hpp"
-#include "sim/stats.hpp"
+#include "telemetry/metrics.hpp"
 #include "telemetry/report.hpp"
 
 int main() {
@@ -46,8 +46,8 @@ int main() {
     }
 
     // One frame to every group; measure per-frame transit by group class.
-    sim::SampleStats hw_latency_ns;
-    sim::SampleStats sw_latency_us;
+    telemetry::Histogram hw_latency_ns;
+    telemetry::Histogram sw_latency_us;
     sim::Time sent_at;
     sim::Time arrival;
     sink->set_rx_handler([&arrival, &engine](const net::PacketPtr&, sim::Time) {

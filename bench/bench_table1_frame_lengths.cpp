@@ -10,7 +10,7 @@
 #include "feed/framelen.hpp"
 #include "net/headers.hpp"
 #include "proto/pitch.hpp"
-#include "sim/stats.hpp"
+#include "telemetry/metrics.hpp"
 #include "telemetry/report.hpp"
 
 namespace {
@@ -42,7 +42,7 @@ int main() {
               "(paper: min/avg/median/max)");
   for (const Row& row : rows) {
     feed::FrameLengthSampler sampler{row.profile, 0x71feedULL};
-    sim::SampleStats lengths;
+    telemetry::Histogram lengths;
     std::uint64_t header_bytes = 0;
     std::uint64_t total_bytes = 0;
     std::uint64_t messages = 0;

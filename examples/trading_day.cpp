@@ -69,7 +69,7 @@ int main() {
               static_cast<unsigned long long>(report.orders_sent),
               static_cast<unsigned long long>(report.acks),
               static_cast<unsigned long long>(report.fills));
-  auto print = [](const char* label, const sim::SampleStats& s) {
+  auto print = [](const char* label, const telemetry::Histogram& s) {
     if (s.empty()) return;
     std::printf("  %-24s min %7.0f  p50 %7.0f  p99 %7.0f  max %7.0f ns\n", label, s.min(),
                 s.median(), s.percentile(99.0), s.max());

@@ -40,9 +40,9 @@ struct DeploymentReport {
   std::uint64_t orders_sent = 0;
   std::uint64_t acks = 0;
   std::uint64_t fills = 0;
-  sim::SampleStats tick_to_trade_ns;    // across all strategies
-  sim::SampleStats order_rtt_ns;        // order -> exchange ack
-  sim::SampleStats feed_path_ns;        // exchange event -> strategy NIC
+  telemetry::Histogram tick_to_trade_ns;    // across all strategies
+  telemetry::Histogram order_rtt_ns;        // order -> exchange ack
+  telemetry::Histogram feed_path_ns;        // exchange event -> strategy NIC
   std::uint64_t frames_dropped = 0;
 };
 

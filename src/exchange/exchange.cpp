@@ -460,6 +460,7 @@ void Exchange::declare_session_dead(Session& session) {
   // replays of the same seed.
   std::vector<proto::OrderId> client_ids;
   client_ids.reserve(session.open_orders.size());
+  // tsn-lint: allow(unordered-iter) order-independent: ids sorted before any cancel fires
   for (const auto& [client_id, exchange_id] : session.open_orders) {
     client_ids.push_back(client_id);
   }

@@ -62,6 +62,7 @@ void MrouteTable::reprogram() {
   // slots from the front.
   std::vector<net::Ipv4Addr> groups;
   groups.reserve(entries_.size());
+  // tsn-lint: allow(unordered-iter) order-independent: groups sorted before slots are assigned
   for (const auto& [group, entry] : entries_) groups.push_back(group);
   std::sort(groups.begin(), groups.end());
   hardware_used_ = 0;

@@ -1,5 +1,8 @@
 #include "mcast/responder.hpp"
 
+#include <algorithm>
+#include <vector>
+
 namespace tsn::mcast {
 
 IgmpResponder::IgmpResponder(net::NetStack& stack) : stack_(stack) {
@@ -34,7 +37,12 @@ void IgmpResponder::on_igmp(const IgmpMessage& message) {
   // General query (group 0) refreshes everything; group-specific queries
   // refresh just that group.
   if (message.group == net::Ipv4Addr{}) {
-    for (const auto group : groups_) send_report(group);
+    // Reports are wire output: send them in address order, not hash order,
+    // or the frame sequence differs between runs and breaks replay.
+    // tsn-lint: allow(unordered-iter) order-independent: sorted before any frame is sent
+    std::vector<net::Ipv4Addr> sorted(groups_.begin(), groups_.end());
+    std::sort(sorted.begin(), sorted.end());
+    for (const auto group : sorted) send_report(group);
   } else if (groups_.contains(message.group)) {
     send_report(message.group);
   }

@@ -47,6 +47,7 @@ class Packet {
 
   // Large frames move the vector in (zero copy); small ones are copied into
   // inline storage and the vector is discarded.
+  // tsn-lint: hotpath
   Packet(std::vector<std::byte> frame, sim::Time created, std::uint64_t id,
          telemetry::TraceId trace = 0) noexcept
       : created_(created), id_(id), trace_(trace) {
@@ -63,6 +64,7 @@ class Packet {
 
   // Copies the bytes (inline when they fit), leaving the caller free to
   // reuse its scratch buffer — the allocation-free path for small frames.
+  // tsn-lint: hotpath
   Packet(std::span<const std::byte> frame, sim::Time created, std::uint64_t id,
          telemetry::TraceId trace = 0)
       : created_(created), id_(id), trace_(trace) {
@@ -122,10 +124,12 @@ class BlockPool {
     for (void* block : free_) ::operator delete(block);
   }
 
+  // tsn-lint: hotpath
   [[nodiscard]] void* allocate(std::size_t bytes) {
     if (block_size_ == 0) block_size_ = bytes;
     if (bytes != block_size_) {
       ++fallback_allocations_;
+      // tsn-lint: allow(hotpath-alloc) off-size fallback: MTU-scale frames only, counted
       return ::operator new(bytes);
     }
     if (!free_.empty()) {
@@ -135,11 +139,14 @@ class BlockPool {
       return block;
     }
     ++allocated_;
+    // tsn-lint: allow(hotpath-alloc) cold-start growth: never taken once the pool is warm
     return ::operator new(bytes);
   }
 
+  // tsn-lint: hotpath
   void deallocate(void* block, std::size_t bytes) noexcept {
     if (bytes != block_size_) {
+      // tsn-lint: allow(hotpath-alloc) off-size fallback release, pairs with the fallback new
       ::operator delete(block);
       return;
     }
@@ -204,10 +211,12 @@ class PacketFactory {
  public:
   // New frames are stamped with the ambient trace id, so a packet sent from
   // inside a TraceScope joins that scope's trace with no per-call plumbing.
+  // tsn-lint: hotpath
   [[nodiscard]] PacketPtr make(std::vector<std::byte> frame, sim::Time created) {
     return std::allocate_shared<Packet>(alloc(), std::move(frame), created, next_id_++,
                                         telemetry::current_trace());
   }
+  // tsn-lint: hotpath
   [[nodiscard]] PacketPtr make(std::span<const std::byte> frame, sim::Time created) {
     return std::allocate_shared<Packet>(alloc(), frame, created, next_id_++,
                                         telemetry::current_trace());
@@ -216,6 +225,7 @@ class PacketFactory {
   // Rewritten copy of an existing frame (e.g. a switch's last-hop MAC
   // rewrite): keeps the original id/timestamp/trace — it is the same frame
   // on the wire.
+  // tsn-lint: hotpath
   [[nodiscard]] PacketPtr remake(std::span<const std::byte> frame, sim::Time created,
                                  std::uint64_t id, telemetry::TraceId trace) {
     return std::allocate_shared<Packet>(alloc(), frame, created, id, trace);

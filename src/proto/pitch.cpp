@@ -145,6 +145,7 @@ void encode(const Message& message, net::WireWriter& w) {
              "encoded PITCH message must match its declared length byte");
 }
 
+// tsn-lint: hotpath
 std::optional<Message> decode_one(net::WireReader& r) {
   const std::uint8_t length = r.u8();
   const std::uint8_t type = r.u8();
@@ -299,6 +300,7 @@ void FrameBuilder::flush() {
   begin_frame();
 }
 
+// tsn-lint: hotpath
 std::optional<UnitHeader> peek_header(std::span<const std::byte> payload) {
   net::WireReader r{payload};
   UnitHeader h;
@@ -310,6 +312,7 @@ std::optional<UnitHeader> peek_header(std::span<const std::byte> payload) {
   return h;
 }
 
+// tsn-lint: hotpath
 bool for_each_message(std::span<const std::byte> payload,
                       const std::function<void(const Message&)>& fn) {
   const auto header = peek_header(payload);

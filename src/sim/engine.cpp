@@ -6,6 +6,7 @@
 
 namespace tsn::sim {
 
+// tsn-lint: hotpath
 EventHandle Engine::schedule_at(Time at, Action action) {
   if (at < now_) at = now_;
   const std::uint64_t seq = next_seq_++;
@@ -26,6 +27,7 @@ EventHandle Engine::schedule_in(Duration delay, Action action) {
   return schedule_at(now_ + delay, std::move(action));
 }
 
+// tsn-lint: hotpath
 bool Engine::cancel(EventHandle handle) {
   if (!handle.valid() || handle.slot_ >= pool_.capacity()) return false;
   EventPool::Slot& slot = pool_.slot(handle.slot_);
@@ -37,6 +39,7 @@ bool Engine::cancel(EventHandle handle) {
   return true;
 }
 
+// tsn-lint: hotpath
 const Engine::HeapEntry* Engine::peek_live() {
   while (!heap_.empty()) {
     const HeapEntry& top = heap_.front();
@@ -50,6 +53,7 @@ const Engine::HeapEntry* Engine::peek_live() {
   return nullptr;
 }
 
+// tsn-lint: hotpath
 bool Engine::pop_one() {
   const HeapEntry* top = peek_live();
   if (top == nullptr) return false;

@@ -1,5 +1,8 @@
 #include "trading/compliance.hpp"
 
+#include <algorithm>
+#include <vector>
+
 namespace tsn::trading {
 
 void MarketStateMonitor::set_quote(std::uint8_t venue, const proto::Symbol& symbol,
@@ -39,7 +42,15 @@ void MarketStateMonitor::on_update(const proto::norm::Update& update) {
 
 std::optional<Nbbo> MarketStateMonitor::nbbo_of(const SymbolState& state) {
   Nbbo best;
-  for (const auto& [venue, quote] : state.venues) {
+  // The strict comparisons mean the first venue seen wins price ties, so
+  // venue attribution would follow hash order; walk ids sorted instead.
+  std::vector<std::uint8_t> order;
+  order.reserve(state.venues.size());
+  // tsn-lint: allow(unordered-iter) order-independent: ids sorted before the scan below
+  for (const auto& [venue, quote] : state.venues) order.push_back(venue);
+  std::sort(order.begin(), order.end());
+  for (const std::uint8_t venue : order) {
+    const VenueQuote& quote = state.venues.at(venue);
     if (quote.bid > 0 && (best.bid == 0 || quote.bid > best.bid)) {
       best.bid = quote.bid;
       best.bid_venue = venue;

@@ -72,6 +72,7 @@ void Gateway::on_upstream_closed(net::TcpCloseReason /*reason*/) {
   upstream_logged_in_ = false;
   // Orders sent but never answered are now in an unknown state; replay (or
   // resubmission under the dedupe key) resolves them after re-login.
+  // tsn-lint: allow(unordered-iter) order-independent: pure counting sweep
   for (auto& [upstream_id, route] : routes_) {
     if (route.sent && !route.acked) ++stats_.orders_marked_unknown;
   }
@@ -361,6 +362,7 @@ void Gateway::on_sequence_reset() {
   // resubmit it verbatim — the client-order-id dedupe upstream makes this
   // idempotent even if we're wrong.
   std::vector<proto::OrderId> to_resubmit;
+  // tsn-lint: allow(unordered-iter) order-independent: ids sorted before resubmission
   for (auto& [upstream_id, route] : routes_) {
     if (route.sent && !route.acked && !route.resubmitted) to_resubmit.push_back(upstream_id);
   }

@@ -189,6 +189,9 @@ class Gateway {
     bool resubmitted = false;  // resent after a reconnect, under dedupe
   };
   std::unordered_map<proto::OrderId, OrderRoute> routes_;        // upstream id -> origin
+  // Lookup-only: never iterated or exported, so the pointer key cannot leak
+  // address-dependent order into replay; sessions outlive every entry.
+  // tsn-lint: allow(pointer-identity) lookup-only map, iteration order never observed
   std::unordered_map<StrategySession*,
                      std::unordered_map<proto::OrderId, proto::OrderId>>
       forward_ids_;  // (session, client id) -> upstream id

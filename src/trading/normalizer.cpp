@@ -122,6 +122,7 @@ void Normalizer::on_feed_datagram(std::span<const std::byte> payload, sim::Time 
 
 void Normalizer::purge_unit_state(std::uint8_t unit) {
   const auto& scheme = *config_.exchange_partitioning;
+  // tsn-lint: allow(unordered-iter) order-independent: filtered erase, same surviving set
   for (auto it = orders_.begin(); it != orders_.end();) {
     if (scheme.partition_of(it->second.symbol, proto::InstrumentKind::kEquity) == unit) {
       it = orders_.erase(it);
@@ -129,6 +130,7 @@ void Normalizer::purge_unit_state(std::uint8_t unit) {
       ++it;
     }
   }
+  // tsn-lint: allow(unordered-iter) order-independent: filtered erase, same surviving set
   for (auto it = ladders_.begin(); it != ladders_.end();) {
     if (scheme.partition_of(it->first, proto::InstrumentKind::kEquity) == unit) {
       it = ladders_.erase(it);

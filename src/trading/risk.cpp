@@ -15,6 +15,7 @@ std::int64_t RiskEngine::projected_symbol_exposure(const proto::Symbol& symbol,
   }
   std::int64_t open_buys = delta > 0 ? delta : 0;
   std::int64_t open_sells = delta < 0 ? -delta : 0;
+  // tsn-lint: allow(unordered-iter) order-independent: commutative integer sums
   for (const auto& [id, order] : open_) {
     if (order.symbol != symbol) continue;
     if (order.side == proto::Side::kBuy) {
@@ -92,6 +93,7 @@ std::int64_t RiskEngine::position(const proto::Symbol& symbol) const noexcept {
 
 std::int64_t RiskEngine::firm_gross_position() const noexcept {
   std::int64_t gross = 0;
+  // tsn-lint: allow(unordered-iter) order-independent: commutative integer sum
   for (const auto& [symbol, position] : positions_) gross += std::llabs(position);
   return gross;
 }

@@ -202,6 +202,7 @@ void MarketMaker::on_update(const proto::norm::Update& update, sim::Time /*nic_a
 }
 
 void MarketMaker::on_fill(const proto::boe::Fill& fill) {
+  // tsn-lint: allow(unordered-iter) order-independent: entries matched by unique order id
   for (auto& [symbol, quote] : quotes_) {
     if (quote.bid_id == fill.client_order_id && fill.leaves_quantity == 0) quote.bid_id = 0;
     if (quote.ask_id == fill.client_order_id && fill.leaves_quantity == 0) quote.ask_id = 0;

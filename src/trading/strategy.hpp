@@ -18,7 +18,7 @@
 #include "proto/boe.hpp"
 #include "proto/norm.hpp"
 #include "sim/engine.hpp"
-#include "sim/stats.hpp"
+#include "telemetry/metrics.hpp"
 #include "trading/compliance.hpp"
 
 namespace tsn::trading {
@@ -68,11 +68,11 @@ class Strategy {
 
   [[nodiscard]] const StrategyStats& stats() const noexcept { return stats_; }
   // Tick-to-trade latency samples in nanoseconds.
-  [[nodiscard]] const sim::SampleStats& tick_to_trade() const noexcept { return tick_to_trade_; }
+  [[nodiscard]] const telemetry::Histogram& tick_to_trade() const noexcept { return tick_to_trade_; }
   // Order round-trip (order sent -> exchange ack received), nanoseconds.
-  [[nodiscard]] const sim::SampleStats& order_rtt() const noexcept { return order_rtt_; }
+  [[nodiscard]] const telemetry::Histogram& order_rtt() const noexcept { return order_rtt_; }
   // Feed-path latency (exchange event timestamp -> strategy NIC), ns.
-  [[nodiscard]] const sim::SampleStats& feed_path() const noexcept { return feed_path_; }
+  [[nodiscard]] const telemetry::Histogram& feed_path() const noexcept { return feed_path_; }
   [[nodiscard]] const StrategyConfig& config() const noexcept { return config_; }
   [[nodiscard]] std::size_t open_orders() const noexcept { return open_orders_.size(); }
 
@@ -122,9 +122,9 @@ class Strategy {
   sim::Time current_update_nic_arrival_ = sim::Time::zero();
   bool in_update_context_ = false;
   StrategyStats stats_;
-  sim::SampleStats tick_to_trade_;
-  sim::SampleStats order_rtt_;
-  sim::SampleStats feed_path_;
+  telemetry::Histogram tick_to_trade_;
+  telemetry::Histogram order_rtt_;
+  telemetry::Histogram feed_path_;
 };
 
 // --- Sample strategies -------------------------------------------------------

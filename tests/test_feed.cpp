@@ -8,7 +8,7 @@
 #include "feed/intraday.hpp"
 #include "feed/symbols.hpp"
 #include "feed/trend.hpp"
-#include "sim/stats.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace tsn::feed {
 namespace {
@@ -51,7 +51,7 @@ TEST(Trend, DailyCountsAreTensOfBillions) {
   MarketDataTrendModel model;
   const auto series = model.daily_series();
   ASSERT_EQ(series.size(), 5u * 252u);
-  sim::SampleStats recent;
+  telemetry::Histogram recent;
   for (const auto& point : series) {
     if (point.year == 2024) recent.add(point.events);
   }
@@ -63,7 +63,7 @@ TEST(Trend, DailyCountsAreTensOfBillions) {
 TEST(Trend, DayToDayVariabilityIsVisible) {
   MarketDataTrendModel model;
   const auto series = model.daily_series();
-  sim::SampleStats y2022;
+  telemetry::Histogram y2022;
   for (const auto& point : series) {
     if (point.year == 2022) y2022.add(point.events);
   }
@@ -101,7 +101,7 @@ TEST(Intraday, SecondCountsMatchFigure2bCalibration) {
   IntradayProfile profile;
   const auto counts = profile.second_counts(2024);
   ASSERT_EQ(counts.size(), 86'400u);
-  sim::SampleStats session;
+  telemetry::Histogram session;
   for (std::uint32_t sec = 0; sec < 86'400; ++sec) {
     if (sec >= profile.config().open_second && sec < profile.config().close_second) {
       session.add(static_cast<double>(counts[sec]));
@@ -137,7 +137,7 @@ TEST(Burst, WindowCountsPreserveTotal) {
 TEST(Burst, ShapeMatchesFigure2cCalibration) {
   BurstMicrostructure burst;
   const auto counts = burst.window_counts(1'500'000, 42);
-  sim::SampleStats stats;
+  telemetry::Histogram stats;
   for (auto c : counts) stats.add(static_cast<double>(c));
   // Paper: median 129 events / 100 us, busiest window 1066.
   EXPECT_GT(stats.median(), 90.0);
@@ -181,7 +181,7 @@ class FrameLengthTest : public ::testing::TestWithParam<ProfileCase> {};
 TEST_P(FrameLengthTest, MatchesTable1Shape) {
   const auto& param = GetParam();
   FrameLengthSampler sampler{param.profile, 1234};
-  sim::SampleStats stats;
+  telemetry::Histogram stats;
   for (int i = 0; i < 50'000; ++i) {
     stats.add(static_cast<double>(sampler.next_frame_length()));
   }

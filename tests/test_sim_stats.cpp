@@ -1,25 +1,22 @@
-// sim::SampleStats / sim::WindowedCounter are aliases of the telemetry
-// metrics types (sim/stats.hpp is a shim); these tests pin the shared
-// behaviour through the legacy names so existing call sites stay safe.
-#include "sim/stats.hpp"
-
+// Behavioural contract of the shared summary-statistics types
+// (telemetry::Histogram / telemetry::WindowedCounter): benches, capture
+// appliances, and sim entities all report through these.
 #include <gtest/gtest.h>
 
 #include <stdexcept>
-#include <type_traits>
 
 #include "telemetry/metrics.hpp"
 
-namespace tsn::sim {
+namespace tsn::telemetry {
 namespace {
 
-static_assert(std::is_same_v<SampleStats, telemetry::Histogram>,
-              "sim::SampleStats must alias telemetry::Histogram");
-static_assert(std::is_same_v<WindowedCounter, telemetry::WindowedCounter>,
-              "sim::WindowedCounter must alias telemetry::WindowedCounter");
+using sim::micros;
+using sim::seconds;
+using Duration = sim::Duration;
+using Time = sim::Time;
 
-TEST(SampleStats, EmptyIsSafe) {
-  SampleStats s;
+TEST(Histogram, EmptyIsSafe) {
+  Histogram s;
   EXPECT_TRUE(s.empty());
   EXPECT_EQ(s.count(), 0u);
   EXPECT_EQ(s.min(), 0.0);
@@ -29,21 +26,21 @@ TEST(SampleStats, EmptyIsSafe) {
 }
 
 // The percentile edge-case contract (documented in telemetry/metrics.hpp).
-TEST(SampleStats, PercentileOnEmptyReturnsZeroForAnyInRangeP) {
-  SampleStats s;
+TEST(Histogram, PercentileOnEmptyReturnsZeroForAnyInRangeP) {
+  Histogram s;
   EXPECT_DOUBLE_EQ(s.percentile(0.0), 0.0);
   EXPECT_DOUBLE_EQ(s.percentile(50.0), 0.0);
   EXPECT_DOUBLE_EQ(s.percentile(100.0), 0.0);
 }
 
-TEST(SampleStats, PercentileOutOfRangeThrowsEvenWhenEmpty) {
-  SampleStats s;
+TEST(Histogram, PercentileOutOfRangeThrowsEvenWhenEmpty) {
+  Histogram s;
   EXPECT_THROW((void)s.percentile(-0.001), std::invalid_argument);
   EXPECT_THROW((void)s.percentile(100.001), std::invalid_argument);
 }
 
-TEST(SampleStats, SingleSampleIsEveryPercentile) {
-  SampleStats s;
+TEST(Histogram, SingleSampleIsEveryPercentile) {
+  Histogram s;
   s.add(42.0);
   EXPECT_DOUBLE_EQ(s.percentile(0.0), 42.0);
   EXPECT_DOUBLE_EQ(s.percentile(1.0), 42.0);
@@ -52,15 +49,15 @@ TEST(SampleStats, SingleSampleIsEveryPercentile) {
   EXPECT_DOUBLE_EQ(s.percentile(100.0), 42.0);
 }
 
-TEST(SampleStats, PercentileZeroAndHundredAreExtremes) {
-  SampleStats s;
+TEST(Histogram, PercentileZeroAndHundredAreExtremes) {
+  Histogram s;
   for (double v : {9.0, 1.0, 5.0}) s.add(v);
   EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);
   EXPECT_DOUBLE_EQ(s.percentile(100.0), 9.0);
 }
 
-TEST(SampleStats, BasicMoments) {
-  SampleStats s;
+TEST(Histogram, BasicMoments) {
+  Histogram s;
   for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
   EXPECT_EQ(s.count(), 8u);
   EXPECT_DOUBLE_EQ(s.min(), 2.0);
@@ -69,8 +66,8 @@ TEST(SampleStats, BasicMoments) {
   EXPECT_NEAR(s.stddev(), 2.138, 0.01);  // sample stddev
 }
 
-TEST(SampleStats, PercentilesAreExactNearestRank) {
-  SampleStats s;
+TEST(Histogram, PercentilesAreExactNearestRank) {
+  Histogram s;
   for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
   EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);
   EXPECT_DOUBLE_EQ(s.percentile(50.0), 50.0);
@@ -79,15 +76,15 @@ TEST(SampleStats, PercentilesAreExactNearestRank) {
   EXPECT_DOUBLE_EQ(s.median(), 50.0);
 }
 
-TEST(SampleStats, PercentileOutOfRangeThrows) {
-  SampleStats s;
+TEST(Histogram, PercentileOutOfRangeThrows) {
+  Histogram s;
   s.add(1.0);
   EXPECT_THROW((void)s.percentile(-1.0), std::invalid_argument);
   EXPECT_THROW((void)s.percentile(101.0), std::invalid_argument);
 }
 
-TEST(SampleStats, AddAfterPercentileStillCorrect) {
-  SampleStats s;
+TEST(Histogram, AddAfterPercentileStillCorrect) {
+  Histogram s;
   s.add(10.0);
   s.add(20.0);
   EXPECT_DOUBLE_EQ(s.median(), 10.0);  // nearest-rank of 2 samples
@@ -96,8 +93,8 @@ TEST(SampleStats, AddAfterPercentileStillCorrect) {
   EXPECT_DOUBLE_EQ(s.min(), 5.0);
 }
 
-TEST(SampleStats, ClearResets) {
-  SampleStats s;
+TEST(Histogram, ClearResets) {
+  Histogram s;
   s.add(3.0);
   s.clear();
   EXPECT_TRUE(s.empty());
@@ -105,8 +102,8 @@ TEST(SampleStats, ClearResets) {
   EXPECT_DOUBLE_EQ(s.mean(), 7.0);
 }
 
-TEST(SampleStats, TableRowFormatsFourColumns) {
-  SampleStats s;
+TEST(Histogram, TableRowFormatsFourColumns) {
+  Histogram s;
   s.add(73.0);
   s.add(89.0);
   s.add(1514.0);
@@ -147,4 +144,4 @@ TEST(WindowedCounter, StatsSkipEmptyWindowsByDefault) {
 }
 
 }  // namespace
-}  // namespace tsn::sim
+}  // namespace tsn::telemetry

@@ -1,0 +1,41 @@
+// Committed-baseline suppression ("tsn-analyze-baseline-v1").
+//
+// Inline `tsn-lint: allow(rule)` comments are the preferred suppression —
+// the audit lives next to the code. The baseline file exists for findings
+// that cannot carry a comment (e.g. a rule tightened over a wide legacy
+// surface in one PR): each entry admits up to `count` findings of `rule` in
+// `file` (root-relative path). Entries that match nothing are reported as
+// stale so the baseline only ever shrinks.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analyzer.hpp"
+
+namespace tsn::analyze {
+
+struct BaselineEntry {
+  std::string file;  // root-relative, '/'-separated
+  std::string rule;
+  int count = 1;
+  int matched = 0;  // filled by apply_baseline
+};
+
+struct Baseline {
+  std::vector<BaselineEntry> entries;
+};
+
+// Parses a baseline file. Returns nullopt (with a message in `error`) on
+// malformed JSON or a wrong schema id.
+std::optional<Baseline> load_baseline(const std::string& path, std::string* error);
+
+// Partitions findings: entries absorb up to `count` matching findings each
+// (by root-relative file + rule, in emission order); the remainder is
+// returned as still-active. `rel` maps a finding's display path to the
+// root-relative form used in baseline entries.
+std::vector<Finding> apply_baseline(std::vector<Finding> findings, Baseline& baseline,
+                                    const std::string& display_prefix);
+
+}  // namespace tsn::analyze

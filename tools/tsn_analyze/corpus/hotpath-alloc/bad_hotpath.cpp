@@ -1,0 +1,40 @@
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace demo {
+
+struct Queue {
+  std::vector<int> items_;
+
+  // tsn-lint: hotpath
+  void on_packet(int v) {
+    auto* node = new int(v);  // lint-expect: hotpath-alloc
+    consume(node);
+  }
+
+  // tsn-lint: hotpath
+  void on_burst(int v) {
+    items_.push_back(v);  // lint-expect: hotpath-alloc
+  }
+
+  // tsn-lint: hotpath
+  std::size_t label_len(int v) {
+    std::string label = format_label(v);  // lint-expect: hotpath-alloc
+    return label.size();
+  }
+
+  // tsn-lint: hotpath
+  void scratch() {
+    std::vector<int> tmp;  // lint-expect: hotpath-alloc
+    use(tmp);
+  }
+
+  // tsn-lint: hotpath
+  void share(int v) {
+    auto p = std::make_shared<int>(v);  // lint-expect: hotpath-alloc
+    keep(p);
+  }
+};
+
+}  // namespace demo

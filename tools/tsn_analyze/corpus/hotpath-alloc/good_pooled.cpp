@@ -1,0 +1,39 @@
+#include <cstddef>
+#include <vector>
+
+namespace demo {
+
+struct Pool {
+  std::vector<int> items_;
+  std::vector<unsigned char> slab_;
+
+  // Warm-up: size everything before the hot phase starts.
+  void reserve(std::size_t n) {
+    items_.reserve(n);
+    slab_.resize(n * sizeof(int));
+  }
+
+  // tsn-lint: hotpath
+  void on_packet(int v) {
+    items_.push_back(v);
+  }
+
+  // tsn-lint: hotpath
+  int* place(std::size_t at, int v) {
+    return new (&slab_[at]) int(v);
+  }
+
+  // tsn-lint: hotpath
+  void drop(int* p) {
+    // tsn-lint: allow(hotpath-alloc) teardown-only branch, never taken while warm
+    delete p;
+  }
+
+  // Off the hot path: allocation is fine here.
+  void rebuild() {
+    std::vector<int> fresh;
+    items_.swap(fresh);
+  }
+};
+
+}  // namespace demo

@@ -1,0 +1,5 @@
+#pragma once
+#include "a/y.hpp"
+namespace demo::a {
+struct X {};
+}  // namespace demo::a

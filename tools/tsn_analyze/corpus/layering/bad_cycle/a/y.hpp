@@ -1,0 +1,5 @@
+#pragma once
+#include "a/x.hpp"  // lint-expect: include-cycle
+namespace demo::a {
+struct Y {};
+}  // namespace demo::a

@@ -1,0 +1,5 @@
+#pragma once
+#include "a/gone.hpp"  // lint-expect: include-missing
+namespace demo::a {
+struct X {};
+}  // namespace demo::a

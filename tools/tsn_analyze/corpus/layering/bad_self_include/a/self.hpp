@@ -1,0 +1,5 @@
+#pragma once
+#include "a/self.hpp"  // lint-expect: include-cycle
+namespace demo::a {
+struct Self {};
+}  // namespace demo::a

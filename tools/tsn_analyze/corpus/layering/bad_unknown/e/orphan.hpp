@@ -1,0 +1,4 @@
+#pragma once  // lint-expect: unknown-module
+namespace demo::e {
+struct Orphan {};
+}  // namespace demo::e

@@ -1,0 +1,4 @@
+#pragma once
+namespace demo::a {
+struct Base {};
+}  // namespace demo::a

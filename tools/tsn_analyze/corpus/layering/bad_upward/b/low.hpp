@@ -1,0 +1,6 @@
+#pragma once
+#include "a/base.hpp"
+#include "d/high.hpp"  // lint-expect: layer-violation
+namespace demo::b {
+struct Low {};
+}  // namespace demo::b

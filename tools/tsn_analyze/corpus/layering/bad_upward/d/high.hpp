@@ -1,0 +1,5 @@
+#pragma once
+#include "a/base.hpp"
+namespace demo::d {
+struct High {};
+}  // namespace demo::d

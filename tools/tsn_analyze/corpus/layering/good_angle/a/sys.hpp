@@ -1,0 +1,6 @@
+#pragma once
+#include <vector>
+#include <unresolvable/system/header.hpp>
+namespace demo::a {
+using Ints = std::vector<int>;
+}  // namespace demo::a

@@ -1,0 +1,5 @@
+#pragma once
+#include "a/base.hpp"
+namespace demo::b {
+struct Mid1 : demo::a::Base {};
+}  // namespace demo::b

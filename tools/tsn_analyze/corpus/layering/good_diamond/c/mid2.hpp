@@ -1,0 +1,5 @@
+#pragma once
+#include "a/base.hpp"
+namespace demo::c {
+struct Mid2 : demo::a::Base {};
+}  // namespace demo::c

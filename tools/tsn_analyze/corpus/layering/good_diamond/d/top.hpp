@@ -1,0 +1,9 @@
+#pragma once
+#include "b/mid1.hpp"
+#include "c/mid2.hpp"
+namespace demo::d {
+struct Top {
+  demo::b::Mid1 left;
+  demo::c::Mid2 right;
+};
+}  // namespace demo::d

@@ -1,0 +1,21 @@
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+namespace demo {
+
+struct Session;
+
+struct Router {
+  std::unordered_map<Session*, int> credits_;  // lint-expect: pointer-identity
+
+  static std::uint64_t id_of(const Session* s) {
+    return reinterpret_cast<std::uintptr_t>(s);  // lint-expect: pointer-identity
+  }
+
+  static std::size_t bucket_of(Session* s) {
+    return std::hash<Session*>{}(s);  // lint-expect: pointer-identity
+  }
+};
+
+}  // namespace demo

@@ -1,0 +1,15 @@
+#include <cstdint>
+#include <map>
+
+namespace demo {
+
+// Sessions are keyed by an id allocated from sim state: replayable, stable
+// across runs, and the map iterates in id order.
+struct Router {
+  std::map<std::uint64_t, int> credits_;
+  std::uint64_t next_id_ = 1;
+
+  std::uint64_t allocate_id() { return next_id_++; }
+};
+
+}  // namespace demo

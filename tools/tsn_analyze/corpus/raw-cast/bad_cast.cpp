@@ -1,0 +1,12 @@
+namespace demo {
+
+struct Header {
+  unsigned short len;
+  unsigned short type;
+};
+
+const Header* peek(const unsigned char* buf) {
+  return reinterpret_cast<const Header*>(buf);  // lint-expect: raw-cast
+}
+
+}  // namespace demo

@@ -1,0 +1,16 @@
+// Field-wise decode through the checked reader instead of casting the
+// buffer to a struct layout.
+namespace demo {
+
+struct Header {
+  unsigned short len = 0;
+  unsigned short type = 0;
+};
+
+bool peek(net::WireReader& r, Header& out) {
+  out.len = r.u16();
+  out.type = r.u16();
+  return r.ok();
+}
+
+}  // namespace demo

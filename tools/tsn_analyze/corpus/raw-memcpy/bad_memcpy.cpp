@@ -1,0 +1,9 @@
+#include <cstring>
+
+namespace demo {
+
+void serialize(unsigned char* dst, const unsigned* fields, unsigned n) {
+  std::memcpy(dst, fields, n * sizeof(unsigned));  // lint-expect: raw-memcpy
+}
+
+}  // namespace demo

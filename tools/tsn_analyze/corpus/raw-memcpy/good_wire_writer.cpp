@@ -1,0 +1,8 @@
+// Byte access goes through WireWriter, which bounds-checks every append.
+namespace demo {
+
+void serialize(net::WireWriter& w, const unsigned* fields, unsigned n) {
+  for (unsigned i = 0; i < n; ++i) w.u32(fields[i]);
+}
+
+}  // namespace demo

@@ -1,0 +1,14 @@
+#include <cstddef>
+#include <span>
+
+namespace demo {
+
+inline constexpr std::size_t kHeaderBytes = 8;
+
+// `len` came off the wire; nothing in this function compares it against the
+// frame size before indexing.
+std::span<const std::byte> body(std::span<const std::byte> frame, std::size_t len) {
+  return frame.subspan(kHeaderBytes, len);  // lint-expect: unchecked-length-index
+}
+
+}  // namespace demo

@@ -1,0 +1,13 @@
+#include <cstddef>
+#include <span>
+
+namespace demo {
+
+inline constexpr std::size_t kHeaderBytes = 8;
+
+std::span<const std::byte> body(std::span<const std::byte> frame, std::size_t len) {
+  if (kHeaderBytes + len > frame.size()) return {};
+  return frame.subspan(kHeaderBytes, len);
+}
+
+}  // namespace demo

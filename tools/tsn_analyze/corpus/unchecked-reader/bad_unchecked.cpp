@@ -1,0 +1,17 @@
+// A reader consumed without a single .ok() check: the sticky failure flag
+// means truncated frames silently decode as zeroes.
+namespace demo {
+
+struct Msg {
+  unsigned type = 0;
+  unsigned seq = 0;
+};
+
+Msg decode(net::WireReader& r) {
+  Msg m;
+  m.type = r.u8();  // lint-expect: unchecked-reader
+  m.seq = r.u32();
+  return m;
+}
+
+}  // namespace demo

@@ -1,0 +1,16 @@
+// One deferred .ok() check covers every consuming call before it — that is
+// the WireReader contract (the failure flag is sticky).
+namespace demo {
+
+struct Msg {
+  unsigned type = 0;
+  unsigned seq = 0;
+};
+
+bool decode(net::WireReader& r, Msg& out) {
+  out.type = r.u8();
+  out.seq = r.u32();
+  return r.ok();
+}
+
+}  // namespace demo

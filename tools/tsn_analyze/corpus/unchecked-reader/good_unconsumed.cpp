@@ -1,0 +1,9 @@
+// A reader that is only passed along (never consumed here) needs no check
+// in this function.
+namespace demo {
+
+void forward(net::WireReader& r) {
+  route(r);
+}
+
+}  // namespace demo

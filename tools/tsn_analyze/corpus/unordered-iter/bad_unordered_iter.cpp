@@ -1,0 +1,24 @@
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace demo {
+
+struct Tracker {
+  std::unordered_map<std::uint32_t, int> flows_;
+  std::unordered_set<std::uint32_t> groups_;
+
+  void publish() {
+    for (const auto g : groups_) send_report(g);  // lint-expect: unordered-iter
+  }
+
+  int total() const {
+    int sum = 0;
+    for (const auto& [id, n] : flows_) sum += n;  // lint-expect: unordered-iter
+    return sum;
+  }
+
+  auto first() { return flows_.begin(); }  // lint-expect: unordered-iter
+};
+
+}  // namespace demo

@@ -1,0 +1,29 @@
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace demo {
+
+struct Exporter {
+  std::unordered_map<std::uint32_t, int> flows_;
+
+  // Collect-then-sort: the iteration itself is order-independent because the
+  // result is sorted before anything observable happens.
+  std::vector<std::uint32_t> sorted_ids() const {
+    std::vector<std::uint32_t> ids;
+    ids.reserve(flows_.size());
+    // tsn-lint: allow(unordered-iter) order-independent: sorted before use
+    for (const auto& [id, n] : flows_) ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
+    return ids;
+  }
+
+  // Point lookups never observe hash order.
+  int lookup(std::uint32_t id) const {
+    const auto it = flows_.find(id);
+    return it == flows_.end() ? 0 : it->second;
+  }
+};
+
+}  // namespace demo

@@ -1,0 +1,19 @@
+#include <cstdlib>
+#include <random>
+
+namespace demo {
+
+int jitter() {
+  return std::rand() % 8;  // lint-expect: unseeded-random
+}
+
+unsigned seed_source() {
+  std::random_device rd;  // lint-expect: unseeded-random
+  return rd();
+}
+
+void reseed(unsigned s) {
+  srand(s);  // lint-expect: unseeded-random
+}
+
+}  // namespace demo

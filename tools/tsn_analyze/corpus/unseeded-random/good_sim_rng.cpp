@@ -1,0 +1,13 @@
+// Randomness flows from sim::Rng, seeded from the scenario config and
+// seed-stable across platforms; member calls named rand() are not libc.
+namespace demo {
+
+double sample(sim::Rng& rng) {
+  return rng.uniform(0.0, 1.0);
+}
+
+unsigned roll(Dice& dice) {
+  return dice.rand(6);
+}
+
+}  // namespace demo

@@ -1,0 +1,22 @@
+#include <chrono>
+#include <ctime>
+#include <sys/time.h>
+
+namespace demo {
+
+long stamp_ns() {
+  const auto now = std::chrono::system_clock::now();  // lint-expect: wall-clock
+  return now.time_since_epoch().count();
+}
+
+long stamp_s() {
+  return static_cast<long>(std::time(nullptr));  // lint-expect: wall-clock
+}
+
+long stamp_us() {
+  timeval tv{};
+  gettimeofday(&tv, nullptr);  // lint-expect: wall-clock
+  return tv.tv_usec;
+}
+
+}  // namespace demo

@@ -1,0 +1,13 @@
+// All time flows from the sim clock: Engine::now() advances only when the
+// event loop pops, so two runs with the same seed see identical timestamps.
+namespace demo {
+
+long stamp(const sim::Engine& engine) {
+  return engine.now().nanos();
+}
+
+long deadline(const sim::Engine& engine, long budget_ns) {
+  return engine.now().nanos() + budget_ns;
+}
+
+}  // namespace demo

@@ -1,0 +1,13 @@
+#pragma once
+
+#include <string>
+
+namespace tsn::analyze {
+
+// Runs the on-disk corpus under `corpus_dir` (tools/tsn_analyze/corpus):
+// one directory per rule, `good_*` files/trees must scan clean and `bad_*`
+// files/trees must produce exactly the findings marked inline with
+// `lint-expect: <rule>` comments. Returns a process exit code.
+int run_self_test(const std::string& corpus_dir);
+
+}  // namespace tsn::analyze
