@@ -5,6 +5,7 @@
 // same one-way latency to the cloud-hosted exchange; and (ii) the cost —
 // that equalized latency is orders of magnitude above a colo fabric, and
 // anything beyond the cloud region crosses a WAN that dwarfs it further.
+#include "sim/engine.hpp"
 #include <cstdio>
 #include <memory>
 #include <vector>

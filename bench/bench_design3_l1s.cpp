@@ -7,6 +7,7 @@
 //  3. The merge trade-off: as more bursty feeds merge onto one strategy
 //     NIC, queueing and loss appear at the merged egress — the paper's
 //     "interface proliferation vs merge congestion" dilemma.
+#include "sim/engine.hpp"
 #include <cstdio>
 #include <memory>
 #include <string>

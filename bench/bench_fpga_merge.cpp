@@ -8,6 +8,7 @@
 // drowns as the merge widens), while the FPGA merge filters to the
 // subscription in hardware and stays inside the link budget no matter how
 // wide the merge gets.
+#include "sim/engine.hpp"
 #include <cstdio>
 #include <memory>
 #include <string>

@@ -4,6 +4,7 @@
 // past its hardware table capacity and measures, event-driven, what the
 // paper describes: groups that fall to the software path see forwarding
 // latency explode and heavy loss under load.
+#include "sim/engine.hpp"
 #include <cstdio>
 #include <memory>
 #include <string>

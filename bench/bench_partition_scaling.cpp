@@ -5,14 +5,17 @@
 // forward and asks, year by year: does it fit the commodity mroute table,
 // and how wide do L1S merges have to get when strategies only have a few
 // market-data NICs?
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <unordered_map>
 
 #include "cluster/manager.hpp"
 #include "core/mcast_analysis.hpp"
+#include "deploy/sharded_market.hpp"
 #include "l2/trends.hpp"
 #include "sim/random.hpp"
+#include "sim/sharded_engine.hpp"
 #include "telemetry/report.hpp"
 
 int main() {
@@ -81,5 +84,73 @@ int main() {
               "partitioned as widely, leading to increased latency and reduced\n"
               "performance\" — the merged share above is the traffic at risk of\n"
               "burst congestion on the shared NIC)\n");
+
+  // Sharded simulation: the same partition-growth story from the simulator's
+  // side. A 4-partition market runs one shard per partition under
+  // conservative lookahead windows; the gated rows are deterministic
+  // (sim-time throughput and the shard load-balance bound), because wall
+  // clock on a shared CI box is not. Wall times per worker count are
+  // reported informationally.
+  std::printf("\nSharded engine: 4-partition market, conservative lookahead windows\n");
+  deploy::ShardedMarketConfig market_config;
+  market_config.partitions = 4;
+  market_config.seed = 5;
+  market_config.events_per_second = 20'000.0;
+  market_config.run_for = sim::millis(std::int64_t{40});
+
+  std::uint64_t golden_digest = 0;
+  std::uint64_t total_events = 0;
+  std::uint64_t max_shard_events = 0;
+  double sim_seconds = 0.0;
+  {
+    sim::ShardedEngine engine{
+        {.domains = market_config.partitions, .mode = sim::SyncMode::kGolden}};
+    deploy::ShardedMarket market{engine, market_config};
+    market.run();
+    golden_digest = market.digest();
+    total_events = engine.events_fired();
+    for (sim::DomainId d = 0; d < market_config.partitions; ++d) {
+      const std::uint64_t fired = engine.domain(d).events_fired();
+      if (fired > max_shard_events) max_shard_events = fired;
+    }
+    sim_seconds = static_cast<double>((market_config.run_for + market_config.drain).picos()) /
+                  1e12;
+  }
+  // Load-balance bound on lookahead-parallel speedup: with one worker per
+  // shard, a window cannot finish before its busiest shard does, so the
+  // whole run cannot beat total/max. Symmetric partitions keep the shards
+  // balanced, which is exactly what makes sharding this topology pay off.
+  const double speedup_bound =
+      static_cast<double>(total_events) / static_cast<double>(max_shard_events);
+  std::printf("%12s %14s %14s %12s\n", "workers", "events", "wall-ms", "digest-ok");
+  for (const std::uint32_t workers : {1u, 2u, 4u}) {
+    sim::ShardedEngine engine{{.domains = market_config.partitions,
+                               .num_workers = workers,
+                               .mode = sim::SyncMode::kWindowed}};
+    deploy::ShardedMarket market{engine, market_config};
+    const auto wall_start = std::chrono::steady_clock::now();
+    market.run();
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                  wall_start)
+            .count();
+    const bool digest_ok = market.digest() == golden_digest;
+    std::printf("%12u %14llu %14.1f %12s\n", workers,
+                static_cast<unsigned long long>(engine.events_fired()), wall_ms,
+                digest_ok ? "yes" : "NO");
+    const std::string prefix = "shard.workers" + std::to_string(workers);
+    bench_report.metric(prefix + ".wall_ms", wall_ms, "ms");
+    bench_report.check(prefix + ".digest_matches_golden", digest_ok);
+  }
+  bench_report.metric("shard.events_total", static_cast<double>(total_events), "events");
+  // Deterministic throughput row (events per *simulated* second): identical
+  // on every machine and every run, so bench_compare can gate it hard.
+  bench_report.metric("shard.sim_rate", static_cast<double>(total_events) / sim_seconds,
+                      "ev/s");
+  bench_report.metric("shard.speedup_bound_4w", speedup_bound, "x");
+  std::printf("4-shard speedup bound (total/max shard load): %.2fx\n", speedup_bound);
+  bench_report.check("shard.speedup_bound_ge_2x", speedup_bound >= 2.0,
+                     "4 balanced shards must admit at least 2x lookahead parallelism");
+
   return bench_report.finish();
 }

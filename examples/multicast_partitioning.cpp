@@ -5,6 +5,7 @@
 // allocator carving address blocks per feed, IGMP-snooped delivery through
 // a ToR, and what happens when the partition count crosses the switch's
 // hardware mroute capacity.
+#include "sim/engine.hpp"
 #include <cstdio>
 #include <memory>
 

@@ -4,6 +4,7 @@
 // an order through its life — accept, partial fill, modify, the cancel/
 // fill race, and an IOC — printing every protocol message with its
 // simulation timestamp, like a decoded session capture.
+#include "sim/engine.hpp"
 #include <cstdio>
 
 #include "exchange/exchange.hpp"

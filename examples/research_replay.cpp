@@ -7,6 +7,7 @@
 // reloaded, and replayed at 10x speed through a fresh normalizer feeding a
 // compliance monitor — producing the NBBO/locked/crossed statistics a
 // surveillance team would pull from the day, without touching production.
+#include "sim/engine.hpp"
 #include <cstdio>
 
 #include "capture/replay.hpp"

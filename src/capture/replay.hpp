@@ -15,7 +15,7 @@
 #include <vector>
 
 #include "net/nic.hpp"
-#include "sim/engine.hpp"
+#include "sim/scheduler.hpp"
 
 namespace tsn::capture {
 
@@ -47,7 +47,7 @@ class FrameRecorder {
 class FrameReplayer {
  public:
   // Replays into `out` (frames are sent exactly as recorded).
-  FrameReplayer(sim::Engine& engine, net::Nic& out) noexcept : engine_(engine), out_(out) {}
+  FrameReplayer(sim::Scheduler& engine, net::Nic& out) noexcept : engine_(engine), out_(out) {}
 
   // Schedules every recorded frame: frame i fires at
   //   start + (recorded[i].at - recorded[0].at) / speed.
@@ -59,7 +59,7 @@ class FrameReplayer {
   [[nodiscard]] std::size_t frames_sent() const noexcept { return sent_; }
 
  private:
-  sim::Engine& engine_;
+  sim::Scheduler& engine_;
   net::Nic& out_;
   std::size_t sent_ = 0;
 };

@@ -4,7 +4,7 @@
 
 namespace tsn::capture {
 
-Tap::Tap(sim::Engine& engine, std::string name, CaptureClock clock)
+Tap::Tap(sim::Scheduler& engine, std::string name, CaptureClock clock)
     : engine_(engine), name_(std::move(name)), clock_(clock) {}
 
 void Tap::attach_port(net::PortId port, net::Link& egress) noexcept {

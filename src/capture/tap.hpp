@@ -15,7 +15,7 @@
 #include <vector>
 
 #include "net/fabric.hpp"
-#include "sim/engine.hpp"
+#include "sim/scheduler.hpp"
 #include "sim/random.hpp"
 #include "telemetry/metrics.hpp"
 
@@ -57,7 +57,7 @@ class Tap final : public net::PortedDevice {
   // Optional hook receiving every tapped packet (e.g. a FrameRecorder).
   using PacketHook = std::function<void(const net::PacketPtr&, net::PortId, sim::Time)>;
 
-  Tap(sim::Engine& engine, std::string name, CaptureClock clock = {});
+  Tap(sim::Scheduler& engine, std::string name, CaptureClock clock = {});
 
   void attach_port(net::PortId port, net::Link& egress) noexcept override;
   void receive(const net::PacketPtr& packet, net::PortId port) override;
@@ -81,7 +81,7 @@ class Tap final : public net::PortedDevice {
   }
 
  private:
-  sim::Engine& engine_;
+  sim::Scheduler& engine_;
   std::string name_;
   CaptureClock clock_;
   net::Link* egress_[2] = {nullptr, nullptr};

@@ -104,7 +104,7 @@ struct BuiltApps {
   std::vector<std::unique_ptr<trading::MomentumTaker>> strategies;
 };
 
-BuiltApps build_apps(sim::Engine& engine, const DeploymentConfig& config,
+BuiltApps build_apps(sim::Scheduler& engine, const DeploymentConfig& config,
                      const Addresser& address, std::uint32_t& next_host_id) {
   BuiltApps apps;
   auto next_mac = [&next_host_id] { return net::MacAddr::from_host_id(next_host_id++); };

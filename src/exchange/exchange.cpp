@@ -139,7 +139,7 @@ class Exchange::FeedListener final : public book::BookListener {
   std::uint8_t unit_;
 };
 
-Exchange::Exchange(sim::Engine& engine, ExchangeConfig config)
+Exchange::Exchange(sim::Scheduler& engine, ExchangeConfig config)
     : engine_(engine), config_(std::move(config)) {
   if (!config_.feed_partitioning) {
     throw std::invalid_argument{"exchange requires a feed partitioning scheme"};

@@ -25,7 +25,7 @@
 #include "proto/boe.hpp"
 #include "proto/partition.hpp"
 #include "proto/pitch.hpp"
-#include "sim/engine.hpp"
+#include "sim/scheduler.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace tsn::exchange {
@@ -105,7 +105,7 @@ struct ExchangeStats {
 
 class Exchange {
  public:
-  Exchange(sim::Engine& engine, ExchangeConfig config);
+  Exchange(sim::Scheduler& engine, ExchangeConfig config);
   ~Exchange();
   Exchange(const Exchange&) = delete;
   Exchange& operator=(const Exchange&) = delete;
@@ -150,7 +150,7 @@ class Exchange {
   [[nodiscard]] proto::OrderId next_order_id() noexcept { return next_order_id_++; }
 
   [[nodiscard]] const ExchangeStats& stats() const noexcept { return stats_; }
-  [[nodiscard]] sim::Engine& engine() noexcept { return engine_; }
+  [[nodiscard]] sim::Scheduler& engine() noexcept { return engine_; }
 
   // Registers feed/order-flow/session gauges under "<prefix>".
   void register_metrics(telemetry::Registry& registry, const std::string& prefix) const;
@@ -188,7 +188,7 @@ class Exchange {
   [[nodiscard]] std::uint32_t now_seconds() const noexcept;
   [[nodiscard]] std::uint32_t now_offset_ns() const noexcept;
 
-  sim::Engine& engine_;
+  sim::Scheduler& engine_;
   ExchangeConfig config_;
   std::unique_ptr<net::Host> host_;
   net::Nic* feed_nic_ = nullptr;

@@ -22,7 +22,7 @@
 #include "net/addr.hpp"
 #include "net/device.hpp"
 #include "net/link.hpp"
-#include "sim/engine.hpp"
+#include "sim/scheduler.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace tsn::fault {
@@ -59,7 +59,7 @@ struct InjectorStats {
 // outlive it.
 class FaultInjector {
  public:
-  explicit FaultInjector(sim::Engine& engine) noexcept : engine_(engine) {}
+  explicit FaultInjector(sim::Scheduler& engine) noexcept : engine_(engine) {}
 
   FaultInjector(const FaultInjector&) = delete;
   FaultInjector& operator=(const FaultInjector&) = delete;
@@ -123,7 +123,7 @@ class FaultInjector {
   [[nodiscard]] l2::CommoditySwitch& switch_for(const std::string& name) const;
   void record(FaultKind kind, std::string target, double value);
 
-  sim::Engine& engine_;
+  sim::Scheduler& engine_;
   // std::map: deterministic iteration should anyone ever walk the registry.
   std::map<std::string, net::FaultHook*> hooks_;
   std::map<std::string, l2::CommoditySwitch*> switches_;

@@ -7,7 +7,7 @@
 
 namespace tsn::l1s {
 
-FpgaSwitch::FpgaSwitch(sim::Engine& engine, std::string name, FpgaSwitchConfig config)
+FpgaSwitch::FpgaSwitch(sim::Scheduler& engine, std::string name, FpgaSwitchConfig config)
     : engine_(engine),
       name_(std::move(name)),
       config_(config),

@@ -20,7 +20,7 @@
 
 #include "net/fabric.hpp"
 #include "net/headers.hpp"
-#include "sim/engine.hpp"
+#include "sim/scheduler.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace tsn::l1s {
@@ -41,7 +41,7 @@ struct FpgaStats {
 
 class FpgaSwitch final : public net::PortedDevice {
  public:
-  FpgaSwitch(sim::Engine& engine, std::string name, FpgaSwitchConfig config);
+  FpgaSwitch(sim::Scheduler& engine, std::string name, FpgaSwitchConfig config);
 
   void attach_port(net::PortId port, net::Link& egress) noexcept override;
 
@@ -84,7 +84,7 @@ class FpgaSwitch final : public net::PortedDevice {
 
   [[nodiscard]] bool passes_filter(net::PortId port, net::Ipv4Addr group) const noexcept;
 
-  sim::Engine& engine_;
+  sim::Scheduler& engine_;
   std::string name_;
   FpgaSwitchConfig config_;
   std::vector<net::Link*> egress_;

@@ -9,7 +9,7 @@
 
 namespace tsn::l1s {
 
-Layer1Switch::Layer1Switch(sim::Engine& engine, std::string name, L1SwitchConfig config)
+Layer1Switch::Layer1Switch(sim::Scheduler& engine, std::string name, L1SwitchConfig config)
     : engine_(engine),
       name_(std::move(name)),
       config_(config),

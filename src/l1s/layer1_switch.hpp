@@ -18,7 +18,7 @@
 #include <vector>
 
 #include "net/fabric.hpp"
-#include "sim/engine.hpp"
+#include "sim/scheduler.hpp"
 #include "sim/random.hpp"
 #include "telemetry/metrics.hpp"
 
@@ -46,7 +46,7 @@ class Layer1Switch final : public net::PortedDevice, public net::FaultHook {
   using TimestampHook =
       std::function<void(const net::PacketPtr&, net::PortId in_port, sim::Time at)>;
 
-  Layer1Switch(sim::Engine& engine, std::string name, L1SwitchConfig config);
+  Layer1Switch(sim::Scheduler& engine, std::string name, L1SwitchConfig config);
 
   void attach_port(net::PortId port, net::Link& egress) noexcept override;
 
@@ -92,7 +92,7 @@ class Layer1Switch final : public net::PortedDevice, public net::FaultHook {
   }
 
  private:
-  sim::Engine& engine_;
+  sim::Scheduler& engine_;
   std::string name_;
   L1SwitchConfig config_;
   std::vector<net::Link*> egress_;

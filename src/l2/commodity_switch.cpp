@@ -9,7 +9,7 @@
 
 namespace tsn::l2 {
 
-CommoditySwitch::CommoditySwitch(sim::Engine& engine, std::string name,
+CommoditySwitch::CommoditySwitch(sim::Scheduler& engine, std::string name,
                                  CommoditySwitchConfig config)
     : engine_(engine),
       name_(std::move(name)),

@@ -28,7 +28,7 @@
 #include "mcast/mroute.hpp"
 #include "net/fabric.hpp"
 #include "net/headers.hpp"
-#include "sim/engine.hpp"
+#include "sim/scheduler.hpp"
 #include "sim/random.hpp"
 
 namespace tsn::l2 {
@@ -70,7 +70,7 @@ struct SwitchStats {
 
 class CommoditySwitch final : public net::PortedDevice, public net::FaultHook {
  public:
-  CommoditySwitch(sim::Engine& engine, std::string name, CommoditySwitchConfig config);
+  CommoditySwitch(sim::Scheduler& engine, std::string name, CommoditySwitchConfig config);
 
   // --- wiring -------------------------------------------------------------
   void attach_port(net::PortId port, net::Link& egress) noexcept override;
@@ -141,7 +141,7 @@ class CommoditySwitch final : public net::PortedDevice, public net::FaultHook {
   [[nodiscard]] const Route* lookup_route(net::Ipv4Addr dst) const noexcept;
   [[nodiscard]] static std::uint64_t flow_hash(const net::DecodedFrame& frame) noexcept;
 
-  sim::Engine& engine_;
+  sim::Scheduler& engine_;
   std::string name_;
   CommoditySwitchConfig config_;
   std::vector<net::Link*> egress_;  // per port, may be null (unused port)

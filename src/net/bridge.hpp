@@ -1,0 +1,53 @@
+// Cross-shard link bridging for the sharded simulation engine.
+//
+// A bridged link models exactly the same wire as a local one — admin state,
+// loss, egress queueing, serialization, and propagation all run on the
+// sending shard — but its delivery hop crosses domains through
+// `Domain::post_to` instead of a local `schedule_at`. The link's propagation
+// delay is registered with the ShardedEngine as a lookahead bound, which is
+// what makes conservative window synchronization sound: no frame can arrive
+// on the far shard sooner than the shortest bridged propagation delay.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "core/check.hpp"
+#include "net/device.hpp"
+#include "net/link.hpp"
+#include "net/packet.hpp"
+#include "sim/domain.hpp"
+#include "sim/sharded_engine.hpp"
+
+namespace tsn::net {
+
+// Wires `link` (owned by shard `src`, typically via Fabric::make_remote_link
+// on that shard's fabric) to `destination` living on shard `dst`. Frame
+// bytes are copied out and the packet rebuilt in the destination fabric's
+// factory: packet pools are single-threaded by design, so a PacketPtr must
+// never cross shards. The frame's id and origin timestamp survive the
+// rebuild; its trace id does not (traces are shard-local).
+inline void bridge_domains(sim::ShardedEngine& engine, sim::Domain& src, Link& link,
+                           sim::Domain& dst, PacketFactory& dst_packets, Device& destination,
+                           PortId destination_port) {
+  TSN_ASSERT(src.domain_id() != dst.domain_id(), "bridging a domain to itself");
+  TSN_ASSERT(link.config().propagation > sim::Duration::zero(),
+             "a cross-domain link needs nonzero propagation to bound the lookahead");
+  engine.note_cross_domain_delay(link.config().propagation);
+  sim::Domain* source = &src;
+  const sim::DomainId dst_id = dst.domain_id();
+  PacketFactory* packets = &dst_packets;
+  Device* device = &destination;
+  link.set_remote_delivery([source, dst_id, packets, device, destination_port](
+                               sim::Time arrival, const PacketPtr& packet) {
+    std::vector<std::byte> bytes{packet->frame().begin(), packet->frame().end()};
+    source->post_to(dst_id, arrival,
+                    [packets, device, destination_port, bytes = std::move(bytes),
+                     created = packet->created(), id = packet->id()] {
+                      device->receive(packets->remake(bytes, created, id, 0), destination_port);
+                    });
+  });
+}
+
+}  // namespace tsn::net

@@ -7,14 +7,14 @@
 
 #include "net/link.hpp"
 #include "net/packet.hpp"
-#include "sim/engine.hpp"
+#include "sim/scheduler.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace tsn::net {
 
 class Fabric {
  public:
-  explicit Fabric(sim::Engine& engine) noexcept : engine_(engine) {}
+  explicit Fabric(sim::Scheduler& engine) noexcept : engine_(engine) {}
   Fabric(const Fabric&) = delete;
   Fabric& operator=(const Fabric&) = delete;
 
@@ -24,6 +24,13 @@ class Fabric {
     auto& link = links_.emplace_back(engine_, std::move(name), config);
     link.connect_to(destination, destination_port);
     return link;
+  }
+
+  // Creates a unidirectional link with no local destination: its far end
+  // lives on another simulation shard, and the caller attaches the
+  // cross-shard delivery hook via net/bridge.hpp.
+  Link& make_remote_link(std::string name, const LinkConfig& config) {
+    return links_.emplace_back(engine_, std::move(name), config);
   }
 
   // Wires a full-duplex cable between two ported devices: both directions
@@ -37,7 +44,7 @@ class Fabric {
     return Cable{&ab, &ba};
   }
 
-  [[nodiscard]] sim::Engine& engine() noexcept { return engine_; }
+  [[nodiscard]] sim::Scheduler& engine() noexcept { return engine_; }
   [[nodiscard]] PacketFactory& packets() noexcept { return packets_; }
   [[nodiscard]] std::size_t link_count() const noexcept { return links_.size(); }
 
@@ -74,7 +81,7 @@ class Fabric {
   }
 
  private:
-  sim::Engine& engine_;
+  sim::Scheduler& engine_;
   PacketFactory packets_;
   std::deque<Link> links_;  // deque: stable addresses as links are added
 };

@@ -11,7 +11,7 @@ namespace tsn::net {
 // builtin usable under -Wpedantic.
 __extension__ typedef __int128 Int128;
 
-Link::Link(sim::Engine& engine, std::string name, LinkConfig config)
+Link::Link(sim::Scheduler& engine, std::string name, LinkConfig config)
     : engine_(engine), name_(std::move(name)), config_(config) {}
 
 void Link::connect_to(Device& destination, PortId destination_port) noexcept {
@@ -34,7 +34,7 @@ sim::Duration Link::current_backlog() const noexcept {
 }
 
 void Link::transmit(const PacketPtr& packet) {
-  assert(destination_ != nullptr && "link not connected");
+  assert((destination_ != nullptr || remote_delivery_) && "link not connected");
   if (!admin_up_) {
     ++stats_.frames_dropped_down;
     return;
@@ -66,6 +66,10 @@ void Link::transmit(const PacketPtr& packet) {
   // Link span: sender hand-off (including queue wait) to wire arrival, so a
   // path's link + hop spans tile the timeline exactly.
   telemetry::record_span(packet->trace(), name_, config_.span_kind, now, arrival);
+  if (remote_delivery_) {
+    remote_delivery_(arrival, packet);
+    return;
+  }
   Device* dst = destination_;
   const PortId port = destination_port_;
   engine_.schedule_at(arrival, [dst, port, packet] { dst->receive(packet, port); });

@@ -13,7 +13,7 @@
 #include <string>
 
 #include "net/device.hpp"
-#include "sim/engine.hpp"
+#include "sim/scheduler.hpp"
 #include "sim/random.hpp"
 #include "telemetry/trace.hpp"
 
@@ -44,10 +44,19 @@ struct LinkStats {
 
 class Link : public FaultHook {
  public:
-  Link(sim::Engine& engine, std::string name, LinkConfig config);
+  Link(sim::Scheduler& engine, std::string name, LinkConfig config);
 
   // Attaches the receiving end. Must be called before transmit().
   void connect_to(Device& destination, PortId destination_port) noexcept;
+
+  // Frame-level delivery override for links whose far end lives on another
+  // simulation shard: instead of scheduling `Device::receive` locally, the
+  // link hands (arrival time, frame) to this hook, which is expected to
+  // `post_to` the destination domain (see net/bridge.hpp). The hook runs
+  // after loss/queueing/serialization — everything up to the wire is still
+  // modeled on the sending shard.
+  using RemoteDelivery = std::function<void(sim::Time arrival, const PacketPtr& packet)>;
+  void set_remote_delivery(RemoteDelivery deliver) { remote_delivery_ = std::move(deliver); }
 
   // Hands one frame to the egress. Never blocks; drops on overflow.
   void transmit(const PacketPtr& packet);
@@ -78,11 +87,12 @@ class Link : public FaultHook {
   }
 
  private:
-  sim::Engine& engine_;
+  sim::Scheduler& engine_;
   std::string name_;
   LinkConfig config_;
   Device* destination_ = nullptr;
   PortId destination_port_ = 0;
+  RemoteDelivery remote_delivery_;
   sim::Time egress_free_at_ = sim::Time::zero();
   LinkStats stats_;
   sim::Rng rng_{0xd1cefa11};

@@ -7,7 +7,7 @@
 
 namespace tsn::net {
 
-Nic::Nic(sim::Engine& engine, std::string name, MacAddr mac, Ipv4Addr ip)
+Nic::Nic(sim::Scheduler& engine, std::string name, MacAddr mac, Ipv4Addr ip)
     : engine_(engine), name_(std::move(name)), mac_(mac), ip_(ip) {}
 
 void Nic::attach_port(PortId /*port*/, Link& egress) noexcept { egress_ = &egress; }
@@ -74,7 +74,7 @@ void Nic::receive(const PacketPtr& packet, PortId /*port*/) {
   });
 }
 
-Host::Host(sim::Engine& engine, std::string name, sim::Duration software_latency)
+Host::Host(sim::Scheduler& engine, std::string name, sim::Duration software_latency)
     : engine_(engine), name_(std::move(name)), software_latency_(software_latency) {}
 
 Nic& Host::add_nic(std::string suffix, MacAddr mac, Ipv4Addr ip) {

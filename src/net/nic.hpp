@@ -19,7 +19,7 @@
 #include "net/device.hpp"
 #include "net/link.hpp"
 #include "net/packet.hpp"
-#include "sim/engine.hpp"
+#include "sim/scheduler.hpp"
 
 namespace tsn::net {
 
@@ -29,7 +29,7 @@ class Nic final : public PortedDevice {
   // software latency, if the NIC belongs to a host).
   using RxHandler = std::function<void(const PacketPtr&, sim::Time arrival)>;
 
-  Nic(sim::Engine& engine, std::string name, MacAddr mac, Ipv4Addr ip);
+  Nic(sim::Scheduler& engine, std::string name, MacAddr mac, Ipv4Addr ip);
 
   void attach_port(PortId port, Link& egress) noexcept override;
   void set_rx_handler(RxHandler handler) { rx_handler_ = std::move(handler); }
@@ -61,10 +61,10 @@ class Nic final : public PortedDevice {
   [[nodiscard]] std::uint64_t rx_frames() const noexcept { return rx_frames_; }
   [[nodiscard]] std::uint64_t tx_frames() const noexcept { return tx_frames_; }
   [[nodiscard]] std::uint64_t rx_filtered() const noexcept { return rx_filtered_; }
-  [[nodiscard]] sim::Engine& engine() noexcept { return engine_; }
+  [[nodiscard]] sim::Scheduler& engine() noexcept { return engine_; }
 
  private:
-  sim::Engine& engine_;
+  sim::Scheduler& engine_;
   std::string name_;
   MacAddr mac_;
   Ipv4Addr ip_;
@@ -83,7 +83,7 @@ class Nic final : public PortedDevice {
 // processing latency.
 class Host {
  public:
-  Host(sim::Engine& engine, std::string name, sim::Duration software_latency);
+  Host(sim::Scheduler& engine, std::string name, sim::Duration software_latency);
 
   // Adds a NIC; rx frames reach handlers software_latency after arrival.
   Nic& add_nic(std::string suffix, MacAddr mac, Ipv4Addr ip);
@@ -93,10 +93,10 @@ class Host {
   [[nodiscard]] std::size_t nic_count() const noexcept { return nics_.size(); }
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] sim::Duration software_latency() const noexcept { return software_latency_; }
-  [[nodiscard]] sim::Engine& engine() noexcept { return engine_; }
+  [[nodiscard]] sim::Scheduler& engine() noexcept { return engine_; }
 
  private:
-  sim::Engine& engine_;
+  sim::Scheduler& engine_;
   std::string name_;
   sim::Duration software_latency_;
   std::vector<std::unique_ptr<Nic>> nics_;

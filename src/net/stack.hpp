@@ -53,7 +53,7 @@ class NetStack {
   void set_igmp_handler(IgmpHandler handler) { igmp_handler_ = std::move(handler); }
 
   [[nodiscard]] Nic& nic() noexcept { return nic_; }
-  [[nodiscard]] sim::Engine& engine() noexcept { return nic_.engine(); }
+  [[nodiscard]] sim::Scheduler& engine() noexcept { return nic_.engine(); }
   [[nodiscard]] std::uint64_t udp_rx_count() const noexcept { return udp_rx_; }
   [[nodiscard]] std::uint64_t udp_unbound_drops() const noexcept { return udp_unbound_; }
 

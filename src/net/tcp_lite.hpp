@@ -17,7 +17,7 @@
 
 #include "net/headers.hpp"
 #include "net/packet.hpp"
-#include "sim/engine.hpp"
+#include "sim/scheduler.hpp"
 #include "sim/time.hpp"
 
 namespace tsn::net {

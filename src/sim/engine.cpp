@@ -1,6 +1,6 @@
 #include "sim/engine.hpp"
 
-#include <algorithm>
+#include <utility>
 
 #include "core/check.hpp"
 
@@ -9,74 +9,21 @@ namespace tsn::sim {
 // tsn-lint: hotpath
 EventHandle Engine::schedule_at(Time at, Action action) {
   if (at < now_) at = now_;
-  const std::uint64_t seq = next_seq_++;
-  const std::uint32_t index = pool_.acquire();
-  EventPool::Slot& slot = pool_.slot(index);
-  slot.at = at;
-  slot.seq = seq;
-  slot.armed = true;
-  slot.action = std::move(action);
-  heap_.push_back(HeapEntry{at, seq, index, slot.generation});
-  std::push_heap(heap_.begin(), heap_.end(), FiresLater{});
-  ++live_;
-  return EventHandle{index, slot.generation};
-}
-
-EventHandle Engine::schedule_in(Duration delay, Action action) {
-  if (delay < Duration::zero()) delay = Duration::zero();
-  return schedule_at(now_ + delay, std::move(action));
+  return queue_.push(at, next_seq_++, std::move(action));
 }
 
 // tsn-lint: hotpath
 bool Engine::cancel(EventHandle handle) {
-  if (!handle.valid() || handle.slot_ >= pool_.capacity()) return false;
-  EventPool::Slot& slot = pool_.slot(handle.slot_);
-  // A fired, cancelled, or reused slot has moved past the handle's
-  // generation; only the live original matches.
-  if (!slot.armed || slot.generation != handle.generation_) return false;
-  pool_.release(handle.slot_);  // heap entry goes stale; pruned at peek
-  --live_;
-  return true;
-}
-
-// tsn-lint: hotpath
-const Engine::HeapEntry* Engine::peek_live() {
-  while (!heap_.empty()) {
-    const HeapEntry& top = heap_.front();
-    const EventPool::Slot& slot = pool_.slot(top.slot);
-    if (slot.armed && slot.generation == top.generation) return &heap_.front();
-    // Cancelled: the slot was released (and possibly re-armed under a new
-    // generation); this entry is stale.
-    std::pop_heap(heap_.begin(), heap_.end(), FiresLater{});
-    heap_.pop_back();
-  }
-  return nullptr;
-}
-
-// tsn-lint: hotpath
-bool Engine::pop_one() {
-  const HeapEntry* top = peek_live();
-  if (top == nullptr) return false;
-  const HeapEntry entry = *top;
-  std::pop_heap(heap_.begin(), heap_.end(), FiresLater{});
-  heap_.pop_back();
-  EventPool::Slot& slot = pool_.slot(entry.slot);
-  // Release the slot before invoking: the action may schedule new events
-  // (reusing this slot under a fresh generation) or cancel others.
-  Action action = std::move(slot.action);
-  pool_.release(entry.slot);
-  --live_;
-  TSN_DCHECK(entry.at >= now_, "event queue must never run time backwards");
-  now_ = entry.at;
-  ++fired_;
-  action();
-  return true;
+  TSN_DCHECK(!handle.valid() || handle.domain() == kMainDomain,
+             "cancelling a sharded Domain's handle through a plain Engine");
+  if (handle.valid() && handle.domain() != kMainDomain) return false;
+  return queue_.cancel(handle);
 }
 
 std::uint64_t Engine::run() {
   stop_requested_ = false;
   std::uint64_t count = 0;
-  while (!stop_requested_ && pop_one()) ++count;
+  while (!stop_requested_ && queue_.pop_one(now_, fired_)) ++count;
   return count;
 }
 
@@ -84,21 +31,14 @@ std::uint64_t Engine::run_until(Time deadline) {
   stop_requested_ = false;
   std::uint64_t count = 0;
   while (!stop_requested_) {
-    const HeapEntry* next = peek_live();
+    const EventQueue::HeapEntry* next = queue_.peek_live();
     if (next == nullptr || next->at > deadline) break;
-    if (pop_one()) ++count;
+    if (queue_.pop_one(now_, fired_)) ++count;
   }
   if (now_ < deadline) now_ = deadline;
   return count;
 }
 
-bool Engine::step() { return pop_one(); }
-
-void Engine::reserve(std::size_t events) {
-  pool_.reserve(events);
-  heap_.reserve(events);
-}
-
-std::size_t Engine::pending_events() const noexcept { return live_; }
+bool Engine::step() { return queue_.pop_one(now_, fired_); }
 
 }  // namespace tsn::sim

@@ -1,66 +1,49 @@
-// The discrete-event simulation engine.
+// The discrete-event simulation engine (single-threaded golden reference).
 //
 // A single-threaded event loop over a time-ordered queue. Events scheduled
 // for the same instant fire in scheduling order (a monotonically increasing
 // sequence number breaks ties), which makes runs fully deterministic.
 //
+// `Engine` is one of two `Scheduler` implementations — the other is
+// `Domain` (sim/domain.hpp), one shard of a parallel `ShardedEngine`. The
+// engine is the golden reference the sharded runtime must match: a
+// ShardedEngine run with one worker is byte-identical to an Engine run of
+// the same topology.
+//
 // Hot-path memory model: actions are stored in pooled, slab-allocated slots
 // (`EventPool`) as `InlineAction`s — no heap allocation per event once the
 // pool and the heap vector are warm. Cancellation is genuinely O(1): a
 // handle names (slot, generation); cancelling releases the slot immediately
-// and the stale heap entry is discarded when it surfaces at the top.
+// and the stale heap entry is discarded when it surfaces at the top. The
+// queue core lives in sim/event_queue.hpp, shared with `Domain`.
 #pragma once
 
 #include <cstdint>
-#include <vector>
 
-#include "sim/action.hpp"
-#include "sim/event_pool.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/scheduler.hpp"
 #include "sim/time.hpp"
 
 namespace tsn::sim {
 
-class Engine;
-
-// Opaque handle for cancelling a scheduled event. Generation-checked: a
-// handle kept past its event's firing (or past a cancel) goes stale and all
-// later cancels through it return false, even after the slot is reused.
-class EventHandle {
+class Engine final : public Scheduler {
  public:
-  EventHandle() noexcept = default;
-
-  [[nodiscard]] bool valid() const noexcept { return generation_ != 0; }
-
- private:
-  friend class Engine;
-  EventHandle(std::uint32_t slot, std::uint32_t generation) noexcept
-      : slot_(slot), generation_(generation) {}
-  std::uint32_t slot_ = 0;
-  std::uint32_t generation_ = 0;
-};
-
-class Engine {
- public:
-  using Action = InlineAction;
-
   Engine() = default;
-  Engine(const Engine&) = delete;
-  Engine& operator=(const Engine&) = delete;
 
   // Current simulation time. Monotonically non-decreasing.
-  [[nodiscard]] Time now() const noexcept { return now_; }
+  [[nodiscard]] Time now() const noexcept override { return now_; }
 
   // Schedules `action` to run at absolute time `at`. Scheduling into the
   // past clamps to `now()` (the event fires next, after already-due events).
-  EventHandle schedule_at(Time at, Action action);
-
-  // Schedules `action` to run `delay` after now. Negative delays clamp to 0.
-  EventHandle schedule_in(Duration delay, Action action);
+  EventHandle schedule_at(Time at, Action action) override;
 
   // Cancels a pending event in O(1). Returns true if the event existed and
   // had not yet fired; stale handles (fired, already cancelled, or slot
   // reused) return false.
-  bool cancel(EventHandle handle);
+  bool cancel(EventHandle handle) override;
+
+  // A plain engine is always the main domain.
+  [[nodiscard]] DomainId domain_id() const noexcept override { return kMainDomain; }
 
   // Runs until the queue drains. Returns the number of events fired.
   std::uint64_t run();
@@ -77,43 +60,19 @@ class Engine {
 
   // Pre-warms pool slabs and the heap vector for `events` concurrent
   // pending events, so bursts (Fig 2c) hit no allocation at schedule time.
-  void reserve(std::size_t events);
+  void reserve(std::size_t events) { queue_.reserve(events); }
 
-  [[nodiscard]] std::size_t pending_events() const noexcept;
+  [[nodiscard]] std::size_t pending_events() const noexcept { return queue_.live(); }
   [[nodiscard]] std::uint64_t events_fired() const noexcept { return fired_; }
   // Pool introspection (tests and capacity planning).
-  [[nodiscard]] std::size_t pool_capacity() const noexcept { return pool_.capacity(); }
-  [[nodiscard]] std::size_t pool_in_use() const noexcept { return pool_.in_use(); }
+  [[nodiscard]] std::size_t pool_capacity() const noexcept { return queue_.pool_capacity(); }
+  [[nodiscard]] std::size_t pool_in_use() const noexcept { return queue_.pool_in_use(); }
 
  private:
-  // Heap entries are small POD (the action stays in the pool slot); a
-  // cancelled event's entry lingers, detected by generation mismatch.
-  struct HeapEntry {
-    Time at;
-    std::uint64_t seq = 0;
-    std::uint32_t slot = 0;
-    std::uint32_t generation = 0;
-  };
-  // std::push_heap/pop_heap build a max-heap; "fires later" as the ordering
-  // puts the earliest (time, seq) on top.
-  struct FiresLater {
-    bool operator()(const HeapEntry& a, const HeapEntry& b) const noexcept {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
-  };
-
-  bool pop_one();
-  // Discards stale (cancelled) top entries; returns the next live entry or
-  // nullptr. The single peek path shared by pop_one and run_until.
-  const HeapEntry* peek_live();
-
-  std::vector<HeapEntry> heap_;
-  EventPool pool_;
+  EventQueue queue_{kMainDomain};
   Time now_ = Time::zero();
   std::uint64_t next_seq_ = 1;
   std::uint64_t fired_ = 0;
-  std::uint64_t live_ = 0;  // pending minus cancelled
   bool stop_requested_ = false;
 };
 

@@ -1,0 +1,93 @@
+// The scheduling API every event producer talks to.
+//
+// Links, switches, the exchange, trading apps, and the fault injector all
+// schedule through a `Scheduler&` — never through a concrete engine. Two
+// implementations exist: `Engine` (the classic single-threaded loop, domain
+// 0) and `Domain` (one shard of a `ShardedEngine`). Components built against
+// a Domain are automatically confined to that shard; anything that must
+// cross shards goes through `Domain::post_to`, which is how the sharded
+// runtime keeps per-shard execution race-free.
+//
+// Event handles are domain-qualified: a handle remembers which shard its
+// event lives on, and cancelling it through a scheduler of a different
+// domain is a TSN_DCHECK-able bug (the slot index would silently name an
+// unrelated event on the other shard's pool).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "sim/action.hpp"
+#include "sim/time.hpp"
+
+namespace tsn::sim {
+
+// Identifies one event-queue shard. A plain `Engine` is always domain 0.
+using DomainId = std::uint16_t;
+inline constexpr DomainId kMainDomain = 0;
+
+class EventQueue;
+
+// Opaque handle for cancelling a scheduled event. Generation-checked: a
+// handle kept past its event's firing (or past a cancel) goes stale and all
+// later cancels through it return false, even after the slot is reused.
+class EventHandle {
+ public:
+  EventHandle() noexcept = default;
+
+  [[nodiscard]] bool valid() const noexcept { return generation_ != 0; }
+  // Which shard the event lives on. Handles may only be cancelled through
+  // the scheduler of the same domain.
+  [[nodiscard]] DomainId domain() const noexcept { return domain_; }
+
+ private:
+  friend class EventQueue;
+  EventHandle(std::uint32_t slot, std::uint32_t generation, DomainId domain) noexcept
+      : slot_(slot), generation_(generation), domain_(domain) {}
+  std::uint32_t slot_ = 0;
+  std::uint32_t generation_ = 0;
+  DomainId domain_ = kMainDomain;
+};
+
+// Abstract scheduling interface. Implementations: `Engine` (single-threaded
+// reference), `Domain` (one shard of a `ShardedEngine`). Both are `final`,
+// so calls through a concrete reference devirtualize.
+class Scheduler {
+ public:
+  using Action = InlineAction;
+
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  // Current simulation time of this scheduler's shard. Monotonically
+  // non-decreasing.
+  [[nodiscard]] virtual Time now() const noexcept = 0;
+
+  // Schedules `action` to run at absolute time `at` on this scheduler's
+  // shard. Scheduling into the past clamps to `now()` (the event fires
+  // next, after already-due events).
+  virtual EventHandle schedule_at(Time at, Action action) = 0;
+
+  // Cancels a pending event in O(1). Returns true if the event existed and
+  // had not yet fired; stale handles (fired, already cancelled, or slot
+  // reused) return false. Cancelling a handle from a different domain is a
+  // TSN_DCHECK failure (and returns false in release builds).
+  virtual bool cancel(EventHandle handle) = 0;
+
+  // Which shard this scheduler runs. Plain engines report kMainDomain.
+  [[nodiscard]] virtual DomainId domain_id() const noexcept = 0;
+
+  // Schedules `action` to run `delay` after now. Negative delays clamp to 0.
+  EventHandle schedule_in(Duration delay, Action action) {
+    if (delay < Duration::zero()) delay = Duration::zero();
+    return schedule_at(now() + delay, std::move(action));
+  }
+
+ protected:
+  // Components hold `Scheduler&` but never own the engine; destruction is
+  // always through the concrete type.
+  ~Scheduler() = default;
+};
+
+}  // namespace tsn::sim

@@ -8,8 +8,8 @@
 namespace tsn::telemetry {
 
 namespace detail {
-TraceSink* g_sink = nullptr;
-TraceId g_trace = 0;
+thread_local TraceSink* g_sink = nullptr;
+thread_local TraceId g_trace = 0;
 }  // namespace detail
 
 std::string_view span_kind_name(SpanKind kind) noexcept {

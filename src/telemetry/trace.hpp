@@ -21,11 +21,11 @@
 // run) are auxiliary: they sit *inside* the enclosing kSoftware span and are
 // excluded from tiling. kL1sFanout/kL1sMerge tile like kSwitch.
 //
-// Trace context is ambient (a process-wide current trace id plus a
-// process-wide sink pointer) — sound because the simulation is
-// single-threaded and events never interleave mid-callback. Instrumentation
-// is compiled in unconditionally but costs one pointer null-check when no
-// sink is attached, so hot-path microbenches do not regress (X1).
+// Trace context is ambient (a per-thread current trace id plus a per-thread
+// sink pointer) — sound because each simulation shard is single-threaded on
+// its worker and events never interleave mid-callback. Instrumentation is
+// compiled in unconditionally but costs one pointer null-check when no sink
+// is attached, so hot-path microbenches do not regress (X1).
 #pragma once
 
 #include <cstdint>
@@ -93,9 +93,11 @@ class TraceSink {
 };
 
 namespace detail {
-// Ambient trace context. The simulator is single-threaded; see file header.
-extern TraceSink* g_sink;
-extern TraceId g_trace;
+// Ambient trace context, one per thread: a shard's events never interleave
+// mid-callback on their worker thread, and shards on different workers get
+// independent context (see sim/sharded_engine.hpp).
+extern thread_local TraceSink* g_sink;
+extern thread_local TraceId g_trace;
 }  // namespace detail
 
 [[nodiscard]] inline TraceSink* sink() noexcept { return detail::g_sink; }

@@ -7,7 +7,7 @@
 
 namespace tsn::trading {
 
-LineArbiter::LineArbiter(sim::Engine& engine, ArbiterConfig config)
+LineArbiter::LineArbiter(sim::Scheduler& engine, ArbiterConfig config)
     : engine_(engine), config_(std::move(config)) {
   host_ = std::make_unique<net::Host>(engine_, config_.name, config_.software_latency);
   a_nic_ = &host_->add_nic("a-in", config_.a_mac, config_.a_ip);

@@ -29,7 +29,7 @@
 
 #include "mcast/responder.hpp"
 #include "net/stack.hpp"
-#include "sim/engine.hpp"
+#include "sim/scheduler.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace tsn::trading {
@@ -82,7 +82,7 @@ class LineArbiter {
       std::function<void(std::uint8_t unit, std::uint32_t sequence,
                          std::span<const std::byte> payload)>;
 
-  LineArbiter(sim::Engine& engine, ArbiterConfig config);
+  LineArbiter(sim::Scheduler& engine, ArbiterConfig config);
   ~LineArbiter();
   LineArbiter(const LineArbiter&) = delete;
   LineArbiter& operator=(const LineArbiter&) = delete;
@@ -127,7 +127,7 @@ class LineArbiter {
   void arm_gap_timer(std::uint8_t unit, UnitState& state);
   void on_gap_timeout(std::uint8_t unit);
 
-  sim::Engine& engine_;
+  sim::Scheduler& engine_;
   ArbiterConfig config_;
   std::unique_ptr<net::Host> host_;
   net::Nic* a_nic_ = nullptr;

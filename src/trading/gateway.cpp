@@ -7,7 +7,7 @@
 
 namespace tsn::trading {
 
-Gateway::Gateway(sim::Engine& engine, GatewayConfig config)
+Gateway::Gateway(sim::Scheduler& engine, GatewayConfig config)
     : engine_(engine),
       config_(std::move(config)),
       reconnect_rng_(config_.reconnect_jitter_seed),

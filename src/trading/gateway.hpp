@@ -15,7 +15,7 @@
 
 #include "net/stack.hpp"
 #include "proto/boe.hpp"
-#include "sim/engine.hpp"
+#include "sim/scheduler.hpp"
 #include "sim/random.hpp"
 #include "telemetry/metrics.hpp"
 #include "trading/risk.hpp"
@@ -94,7 +94,7 @@ struct GatewayStats {
 
 class Gateway {
  public:
-  Gateway(sim::Engine& engine, GatewayConfig config);
+  Gateway(sim::Scheduler& engine, GatewayConfig config);
   ~Gateway();
   Gateway(const Gateway&) = delete;
   Gateway& operator=(const Gateway&) = delete;
@@ -155,7 +155,7 @@ class Gateway {
   [[nodiscard]] std::uint32_t upstream_session_id() const noexcept;
   void set_upstream_state(UpstreamState state) noexcept { upstream_state_ = state; }
 
-  sim::Engine& engine_;
+  sim::Scheduler& engine_;
   GatewayConfig config_;
   std::unique_ptr<net::Host> host_;
   net::Nic* client_nic_ = nullptr;

@@ -24,7 +24,7 @@ struct Normalizer::Partition {
   bool flush_scheduled = false;
 };
 
-Normalizer::Normalizer(sim::Engine& engine, NormalizerConfig config)
+Normalizer::Normalizer(sim::Scheduler& engine, NormalizerConfig config)
     : engine_(engine), config_(std::move(config)) {
   if (!config_.partitioning) throw std::invalid_argument{"normalizer requires partitioning"};
   host_ = std::make_unique<net::Host>(engine_, config_.name, config_.software_latency);

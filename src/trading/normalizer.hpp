@@ -25,7 +25,7 @@
 #include "proto/norm.hpp"
 #include "proto/partition.hpp"
 #include "proto/pitch.hpp"
-#include "sim/engine.hpp"
+#include "sim/scheduler.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace tsn::trading {
@@ -76,7 +76,7 @@ struct NormalizerStats {
 
 class Normalizer {
  public:
-  Normalizer(sim::Engine& engine, NormalizerConfig config);
+  Normalizer(sim::Scheduler& engine, NormalizerConfig config);
   ~Normalizer();
   Normalizer(const Normalizer&) = delete;
   Normalizer& operator=(const Normalizer&) = delete;
@@ -151,7 +151,7 @@ class Normalizer {
     return !config_.snapshot_groups.empty();
   }
 
-  sim::Engine& engine_;
+  sim::Scheduler& engine_;
   NormalizerConfig config_;
   std::unique_ptr<net::Host> host_;
   net::Nic* in_nic_ = nullptr;

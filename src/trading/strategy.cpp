@@ -7,7 +7,7 @@
 
 namespace tsn::trading {
 
-Strategy::Strategy(sim::Engine& engine, StrategyConfig config)
+Strategy::Strategy(sim::Scheduler& engine, StrategyConfig config)
     : engine_(engine), config_(std::move(config)) {
   host_ = std::make_unique<net::Host>(engine_, config_.name, config_.software_latency);
   md_nic_ = &host_->add_nic("md", config_.md_mac, config_.md_ip);
@@ -156,7 +156,7 @@ void Strategy::on_cancelled(const proto::boe::OrderCancelled&) {}
 
 // --- MomentumTaker -----------------------------------------------------------
 
-MomentumTaker::MomentumTaker(sim::Engine& engine, StrategyConfig config, proto::Price tick,
+MomentumTaker::MomentumTaker(sim::Scheduler& engine, StrategyConfig config, proto::Price tick,
                              proto::Quantity clip)
     : Strategy(engine, std::move(config)), tick_(tick), clip_(clip) {}
 
@@ -184,7 +184,7 @@ void MomentumTaker::on_update(const proto::norm::Update& update, sim::Time /*nic
 
 // --- MarketMaker -------------------------------------------------------------
 
-MarketMaker::MarketMaker(sim::Engine& engine, StrategyConfig config, proto::Price half_spread,
+MarketMaker::MarketMaker(sim::Scheduler& engine, StrategyConfig config, proto::Price half_spread,
                          proto::Quantity clip)
     : Strategy(engine, std::move(config)), half_spread_(half_spread), clip_(clip) {}
 
@@ -211,7 +211,7 @@ void MarketMaker::on_fill(const proto::boe::Fill& fill) {
 
 // --- CompliantMarketMaker ----------------------------------------------------
 
-CompliantMarketMaker::CompliantMarketMaker(sim::Engine& engine, StrategyConfig config,
+CompliantMarketMaker::CompliantMarketMaker(sim::Scheduler& engine, StrategyConfig config,
                                            proto::Price half_spread, proto::Quantity clip,
                                            proto::Price tick)
     : Strategy(engine, std::move(config)),
@@ -242,7 +242,7 @@ void CompliantMarketMaker::on_update(const proto::norm::Update& update,
 
 // --- CrossVenueArb -----------------------------------------------------------
 
-CrossVenueArb::CrossVenueArb(sim::Engine& engine, StrategyConfig config, std::uint8_t venue_a,
+CrossVenueArb::CrossVenueArb(sim::Scheduler& engine, StrategyConfig config, std::uint8_t venue_a,
                              std::uint8_t venue_b, proto::Price threshold,
                              proto::Quantity clip)
     : Strategy(engine, std::move(config)),

@@ -17,7 +17,7 @@
 #include "net/stack.hpp"
 #include "proto/boe.hpp"
 #include "proto/norm.hpp"
-#include "sim/engine.hpp"
+#include "sim/scheduler.hpp"
 #include "telemetry/metrics.hpp"
 #include "trading/compliance.hpp"
 
@@ -54,7 +54,7 @@ struct StrategyStats {
 
 class Strategy {
  public:
-  Strategy(sim::Engine& engine, StrategyConfig config);
+  Strategy(sim::Scheduler& engine, StrategyConfig config);
   virtual ~Strategy();
   Strategy(const Strategy&) = delete;
   Strategy& operator=(const Strategy&) = delete;
@@ -97,7 +97,7 @@ class Strategy {
                             proto::boe::TimeInForce tif = proto::boe::TimeInForce::kDay);
   void send_cancel(proto::OrderId client_order_id);
 
-  [[nodiscard]] sim::Engine& engine() noexcept { return engine_; }
+  [[nodiscard]] sim::Scheduler& engine() noexcept { return engine_; }
 
  private:
   void on_norm_datagram(std::span<const std::byte> payload, sim::Time handler_time);
@@ -105,7 +105,7 @@ class Strategy {
   void dispatch_response(const proto::boe::Message& message);
   void transmit(const proto::boe::Message& message);
 
-  sim::Engine& engine_;
+  sim::Scheduler& engine_;
   StrategyConfig config_;
   std::unique_ptr<net::Host> host_;
   net::Nic* md_nic_ = nullptr;
@@ -133,7 +133,7 @@ class Strategy {
 // symbol trigger an IOC order chasing the move.
 class MomentumTaker final : public Strategy {
  public:
-  MomentumTaker(sim::Engine& engine, StrategyConfig config, proto::Price tick = 100,
+  MomentumTaker(sim::Scheduler& engine, StrategyConfig config, proto::Price tick = 100,
                 proto::Quantity clip = 100);
 
  protected:
@@ -153,7 +153,7 @@ class MomentumTaker final : public Strategy {
 // price for each watched symbol, repricing when the market drifts.
 class MarketMaker final : public Strategy {
  public:
-  MarketMaker(sim::Engine& engine, StrategyConfig config, proto::Price half_spread = 300,
+  MarketMaker(sim::Scheduler& engine, StrategyConfig config, proto::Price half_spread = 300,
               proto::Quantity clip = 200);
 
  protected:
@@ -178,7 +178,7 @@ class MarketMaker final : public Strategy {
 // designs hard: the monitor needs every venue's top of book, everywhere.
 class CompliantMarketMaker final : public Strategy {
  public:
-  CompliantMarketMaker(sim::Engine& engine, StrategyConfig config,
+  CompliantMarketMaker(sim::Scheduler& engine, StrategyConfig config,
                        proto::Price half_spread = 300, proto::Quantity clip = 200,
                        proto::Price tick = 100);
 
@@ -207,7 +207,7 @@ class CompliantMarketMaker final : public Strategy {
 // the "analyze combined market data from many exchanges" pattern (§2).
 class CrossVenueArb final : public Strategy {
  public:
-  CrossVenueArb(sim::Engine& engine, StrategyConfig config, std::uint8_t venue_a,
+  CrossVenueArb(sim::Scheduler& engine, StrategyConfig config, std::uint8_t venue_a,
                 std::uint8_t venue_b, proto::Price threshold = 500,
                 proto::Quantity clip = 100);
 

@@ -13,6 +13,7 @@
 // scenario are bit-for-bit identical.
 #pragma once
 
+#include "sim/engine.hpp"
 #include <cstdint>
 #include <functional>
 #include <string>

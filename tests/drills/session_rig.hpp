@@ -20,6 +20,7 @@
 //  40.0ms  end of drill
 #pragma once
 
+#include "sim/engine.hpp"
 #include <cstdint>
 #include <variant>
 #include <vector>

@@ -1,3 +1,4 @@
+#include "sim/engine.hpp"
 #include "capture/tap.hpp"
 
 #include <gtest/gtest.h>

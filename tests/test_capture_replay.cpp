@@ -1,6 +1,7 @@
 // Record-and-replay: the §2 after-hours-simulation workflow. A live run's
 // feed is tapped and recorded; replaying it through an identical
 // normalizer stack must reproduce the day bit-for-bit.
+#include "sim/engine.hpp"
 #include <gtest/gtest.h>
 
 #include "capture/replay.hpp"

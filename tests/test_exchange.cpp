@@ -1,3 +1,4 @@
+#include "sim/engine.hpp"
 #include "exchange/exchange.hpp"
 
 #include <gtest/gtest.h>

@@ -2,6 +2,7 @@
 // engine and PITCH feed, normalizer, strategy, gateway — running over the
 // §4.1 leaf-spine fabric with real IGMP joins, multicast, and TCP order
 // sessions, driven by background market activity.
+#include "sim/engine.hpp"
 #include <gtest/gtest.h>
 
 #include <string>

@@ -3,6 +3,7 @@
 // one physical pipe into a consumer through an L1S mux; Xpress's
 // self-delimiting compressed headers let the consumer demultiplex the
 // interleaved streams with no Ethernet/IP/UDP framing at all.
+#include "sim/engine.hpp"
 #include <gtest/gtest.h>
 
 #include "l1s/layer1_switch.hpp"

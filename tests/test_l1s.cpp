@@ -1,3 +1,4 @@
+#include "sim/engine.hpp"
 #include <gtest/gtest.h>
 
 #include "l1s/fpga_switch.hpp"

@@ -1,3 +1,4 @@
+#include "sim/engine.hpp"
 #include "l2/commodity_switch.hpp"
 
 #include <gtest/gtest.h>

@@ -3,6 +3,7 @@
 // and went silent are aged out — the operational behaviour that makes
 // "why did this server stop getting the feed?" a classic trading-floor
 // incident.
+#include "sim/engine.hpp"
 #include <gtest/gtest.h>
 
 #include "l2/commodity_switch.hpp"

@@ -1,3 +1,4 @@
+#include "sim/engine.hpp"
 #include "net/link.hpp"
 
 #include <gtest/gtest.h>

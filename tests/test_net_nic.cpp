@@ -1,3 +1,4 @@
+#include "sim/engine.hpp"
 #include "net/nic.hpp"
 
 #include <gtest/gtest.h>

@@ -1,3 +1,4 @@
+#include "sim/engine.hpp"
 #include "net/tcp_lite.hpp"
 
 #include <gtest/gtest.h>

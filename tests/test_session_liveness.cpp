@@ -1,6 +1,7 @@
 // Session liveness on the order-entry link: exchanges heartbeat idle
 // sessions and disconnect dead counterparties (§2's long-lived TCP
 // sessions survive six-hour days only because both ends prove liveness).
+#include "sim/engine.hpp"
 #include <gtest/gtest.h>
 
 #include "exchange/exchange.hpp"

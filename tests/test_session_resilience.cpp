@@ -2,6 +2,7 @@
 // client-order-id dedupe, cancel-on-disconnect, session resume/takeover on
 // the exchange side; reconnect backoff, in-flight reconciliation, and the
 // bounded pending queue on the gateway side.
+#include "sim/engine.hpp"
 #include <gtest/gtest.h>
 
 #include <algorithm>

@@ -1,0 +1,233 @@
+// Domain / ShardedEngine semantics: the Scheduler interface contract,
+// domain-qualified handles, golden-mode byte-identity with the plain
+// Engine, and worker-count-independent windowed determinism.
+#include "sim/sharded_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "sim/domain.hpp"
+#include "sim/engine.hpp"
+
+namespace tsn::sim {
+namespace {
+
+constexpr Duration kHop = nanos(std::int64_t{5});
+
+// One executed event: (fire time in picos, scripted tag). Byte-identity
+// between two runs means these sequences compare equal element-for-element.
+using Firing = std::pair<std::int64_t, int>;
+
+// The scripted workload: four logical regions, each seeding a chain of
+// local events that also hands work to the ring-next region. `local[i]`
+// schedules on region i; `post(src, dst, at, tag)` crosses regions. The
+// plain-Engine run maps every region to the same engine and every post to
+// a plain schedule_at — exactly what golden mode must reproduce.
+struct Script {
+  std::function<Scheduler&(int)> local;
+  std::function<void(int, int, Time, int)> post;
+};
+
+// The script must outlive the engine run: scheduled events call back into
+// `script.post`.
+void run_script(const Script& script, std::array<std::vector<Firing>*, 4> out) {
+  const Script* sc = &script;
+  for (int region = 0; region < 4; ++region) {
+    Scheduler* sched = &script.local(region);
+    for (int k = 0; k < 3; ++k) {
+      // Deliberate same-instant ties across regions and within a region.
+      const Time at = Time::zero() + nanos(std::int64_t{10 * (k + 1)});
+      auto* fired = out[static_cast<std::size_t>(region)];
+      const int tag = 100 * region + k;
+      sched->schedule_at(at, [sc, sched, fired, region, tag] {
+        fired->emplace_back(sched->now().picos(), tag);
+        // Chain one local follow-up and one cross-region hand-off, the
+        // hand-off at exactly the lookahead bound.
+        const int next_tag = tag + 10;
+        sched->schedule_in(nanos(std::int64_t{7}), [sched, fired, next_tag] {
+          fired->emplace_back(sched->now().picos(), next_tag);
+        });
+        sc->post(region, (region + 1) % 4, sched->now() + kHop, tag + 1000);
+      });
+    }
+  }
+}
+
+// Collects a plain-Engine reference run of the script.
+std::vector<Firing> plain_reference() {
+  Engine engine;
+  std::vector<Firing> fired;
+  std::array<std::vector<Firing>*, 4> out{&fired, &fired, &fired, &fired};
+  Script script;
+  script.local = [&engine](int) -> Scheduler& { return engine; };
+  script.post = [&engine, &fired](int, int, Time at, int tag) {
+    engine.schedule_at(at, [&engine, &fired, tag] {
+      fired.emplace_back(engine.now().picos(), tag);
+    });
+  };
+  run_script(script, out);
+  engine.run();
+  return fired;
+}
+
+Script sharded_script(ShardedEngine& engine, std::array<std::vector<Firing>*, 4> out) {
+  Script script;
+  script.local = [&engine](int region) -> Scheduler& {
+    return engine.domain(static_cast<DomainId>(region));
+  };
+  script.post = [&engine, out](int src, int dst, Time at, int tag) {
+    Domain& sink = engine.domain(static_cast<DomainId>(dst));
+    auto* fired = out[static_cast<std::size_t>(dst)];
+    engine.domain(static_cast<DomainId>(src))
+        .post_to(static_cast<DomainId>(dst), at, [&sink, fired, tag] {
+          fired->emplace_back(sink.now().picos(), tag);
+        });
+  };
+  return script;
+}
+
+TEST(Scheduler, EngineImplementsTheInterface) {
+  Engine engine;
+  Scheduler& sched = engine;
+  EXPECT_EQ(sched.domain_id(), kMainDomain);
+  int hits = 0;
+  sched.schedule_in(Duration{-50}, [&hits] { ++hits; });  // clamps to now
+  const EventHandle handle = sched.schedule_at(Time{100}, [&hits] { ++hits; });
+  EXPECT_TRUE(handle.valid());
+  EXPECT_EQ(handle.domain(), kMainDomain);
+  EXPECT_TRUE(sched.cancel(handle));
+  engine.run();
+  EXPECT_EQ(hits, 1);
+  EXPECT_FALSE(EventHandle{}.valid());
+}
+
+TEST(Scheduler, DomainImplementsTheInterface) {
+  ShardedEngine engine{{.domains = 2}};
+  Scheduler& sched = engine.domain(1);
+  EXPECT_EQ(sched.domain_id(), DomainId{1});
+  int hits = 0;
+  const EventHandle handle = sched.schedule_at(Time{100}, [&hits] { ++hits; });
+  EXPECT_EQ(handle.domain(), DomainId{1});
+  EXPECT_TRUE(sched.cancel(handle));
+  engine.run();
+  EXPECT_EQ(hits, 0);
+}
+
+TEST(Scheduler, CrossDomainCancelIsRejected) {
+  ShardedEngine engine{{.domains = 2}};
+  const EventHandle foreign = engine.domain(1).schedule_at(Time{100}, [] {});
+#ifdef NDEBUG
+  // Release: refused, not silently honoured — the event still fires.
+  Engine plain;
+  EXPECT_FALSE(plain.cancel(foreign));
+  EXPECT_FALSE(engine.domain(0).cancel(foreign));
+  EXPECT_EQ(engine.run(), 1u);
+#else
+  EXPECT_DEATH(static_cast<void>(engine.domain(0).cancel(foreign)),
+               "wrong domain's scheduler");
+#endif
+}
+
+TEST(ShardedEngine, GoldenModeIsByteIdenticalToPlainEngine) {
+  const std::vector<Firing> reference = plain_reference();
+  ASSERT_FALSE(reference.empty());
+
+  ShardedEngine engine{{.domains = 4, .num_workers = 1}};
+  ASSERT_TRUE(engine.golden());
+  std::vector<Firing> fired;
+  std::array<std::vector<Firing>*, 4> out{&fired, &fired, &fired, &fired};
+  const Script script = sharded_script(engine, out);
+  run_script(script, out);
+  engine.run();
+  EXPECT_EQ(fired, reference);
+}
+
+TEST(ShardedEngine, WindowedModeMatchesGoldenPerDomainAtAnyWorkerCount) {
+  // Golden per-domain firing sequences are the oracle; windowed execution
+  // must reproduce them exactly for 1, 2, and 4 workers — and across
+  // repeated runs (the run-twice determinism gate).
+  std::array<std::vector<Firing>, 4> golden;
+  {
+    ShardedEngine engine{{.domains = 4, .mode = SyncMode::kGolden}};
+    std::array<std::vector<Firing>*, 4> out{&golden[0], &golden[1], &golden[2], &golden[3]};
+    const Script script = sharded_script(engine, out);
+    run_script(script, out);
+    engine.note_cross_domain_delay(kHop);
+    engine.run();
+  }
+  ASSERT_FALSE(golden[0].empty());
+
+  for (const std::uint32_t workers : {1u, 2u, 4u}) {
+    for (int repeat = 0; repeat < 2; ++repeat) {
+      ShardedEngine engine{
+          {.domains = 4, .num_workers = workers, .mode = SyncMode::kWindowed}};
+      ASSERT_FALSE(engine.golden());
+      std::array<std::vector<Firing>, 4> fired;
+      std::array<std::vector<Firing>*, 4> out{&fired[0], &fired[1], &fired[2], &fired[3]};
+      const Script script = sharded_script(engine, out);
+      run_script(script, out);
+      engine.note_cross_domain_delay(kHop);
+      engine.run();
+      for (std::size_t d = 0; d < 4; ++d) {
+        EXPECT_EQ(fired[d], golden[d]) << "domain " << d << " workers " << workers
+                                       << " repeat " << repeat;
+      }
+    }
+  }
+}
+
+TEST(ShardedEngine, RunUntilAdvancesEveryDomainClock) {
+  ShardedEngine engine{{.domains = 3, .num_workers = 2, .mode = SyncMode::kWindowed}};
+  engine.note_cross_domain_delay(kHop);
+  int hits = 0;
+  engine.domain(1).schedule_at(Time::zero() + nanos(std::int64_t{20}), [&hits] { ++hits; });
+  const Time deadline = Time::zero() + nanos(std::int64_t{100});
+  engine.run_until(deadline);
+  EXPECT_EQ(hits, 1);
+  EXPECT_EQ(engine.now(), deadline);
+  for (DomainId d = 0; d < 3; ++d) EXPECT_EQ(engine.domain(d).now(), deadline);
+}
+
+TEST(ShardedEngine, UnboundedLookaheadRunsWithoutOverflow) {
+  // No cross-domain links registered: lookahead stays Duration::max() and
+  // each domain free-runs its whole queue in one saturated window.
+  ShardedEngine engine{{.domains = 2, .num_workers = 2, .mode = SyncMode::kWindowed}};
+  int hits = 0;
+  engine.domain(0).schedule_at(Time{1'000}, [&hits] { ++hits; });
+  engine.domain(1).schedule_at(Time{2'000}, [&hits] { ++hits; });
+  EXPECT_EQ(engine.run(), 2u);
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(ShardedEngine, PostToIsDeliveredAtTheRequestedTime) {
+  ShardedEngine engine{{.domains = 2, .num_workers = 2, .mode = SyncMode::kWindowed}};
+  engine.note_cross_domain_delay(kHop);
+  Time delivered = Time::zero();
+  Domain& src = engine.domain(0);
+  Domain& dst = engine.domain(1);
+  src.schedule_at(Time::zero() + nanos(std::int64_t{10}), [&src, &dst, &delivered] {
+    src.post_to(1, src.now() + kHop, [&dst, &delivered] { delivered = dst.now(); });
+  });
+  engine.run();
+  EXPECT_EQ(delivered, Time::zero() + nanos(std::int64_t{15}));
+}
+
+TEST(ShardedEngine, StopRequestHaltsAllShards) {
+  ShardedEngine engine{{.domains = 2, .num_workers = 1}};
+  int hits = 0;
+  engine.domain(0).schedule_at(Time{100}, [&engine, &hits] {
+    ++hits;
+    engine.request_stop();
+  });
+  engine.domain(1).schedule_at(Time{200}, [&hits] { ++hits; });
+  engine.run();
+  EXPECT_EQ(hits, 1);
+}
+
+}  // namespace
+}  // namespace tsn::sim

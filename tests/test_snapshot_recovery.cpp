@@ -2,6 +2,7 @@
 // normalizer's resync logic turn detected feed loss (mroute overflow,
 // merged-feed drops, microwave rain fade — all §3/§4 failure modes) into
 // a bounded outage instead of permanently corrupt book state.
+#include "sim/engine.hpp"
 #include <gtest/gtest.h>
 
 #include "exchange/activity.hpp"

@@ -1,3 +1,4 @@
+#include "sim/engine.hpp"
 #include <gtest/gtest.h>
 
 #include "mcast/subscribe.hpp"

@@ -5,6 +5,7 @@
 // number, the arbitrated output is byte-identical to the lossless
 // published stream. The property test below drives 120 seeded-random loss
 // masks and delivery jitters through the arbitration core directly.
+#include "sim/engine.hpp"
 #include <gtest/gtest.h>
 
 #include <vector>

@@ -1,3 +1,4 @@
+#include "sim/engine.hpp"
 #include "trading/normalizer.hpp"
 
 #include <gtest/gtest.h>

@@ -1,0 +1,14 @@
+// Reaching through the engine to another shard's queue: in windowed mode
+// that queue may be running on a worker thread, and the direct push skips
+// both the deterministic mailbox drain order and the lookahead bound.
+void rearm_peer(tsn::sim::ShardedEngine& engine, tsn::sim::Domain& self) {
+  engine.domain(1).schedule_at(self.now(), [] {});  // lint-expect: cross-domain-sched
+  engine.domain(peer_of(self)).schedule_in(tsn::sim::nanos(5), [] {});  // lint-expect: cross-domain-sched
+}
+
+struct ShardTable {
+  std::vector<tsn::sim::Domain*> domains;
+  void kick(std::size_t dst) {
+    domains[dst]->schedule_at(tsn::sim::Time{100}, [] {});  // lint-expect: cross-domain-sched
+  }
+};

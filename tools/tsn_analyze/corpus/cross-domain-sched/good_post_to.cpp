@@ -1,0 +1,21 @@
+// The sanctioned shapes: schedule on your own scheduler (ambient reference
+// or the domain you run inside), and cross shards only through post_to,
+// whose arrival time the engine checks against the lookahead.
+void deliver(tsn::sim::Domain& self, tsn::sim::Scheduler& sched) {
+  self.schedule_at(self.now() + tsn::sim::nanos(5), [] {});
+  sched.schedule_in(tsn::sim::nanos(7), [] {});
+  self.post_to(1, self.now() + tsn::sim::micros(5), [] {});
+}
+
+// Reading a foreign domain's clock (or handing the domain itself to a
+// component as its scheduler) is not scheduling.
+tsn::sim::Time peer_clock(tsn::sim::ShardedEngine& engine) {
+  auto& peer = engine.domain(1);
+  return peer.now();
+}
+
+// allow() escape hatch: same-domain setup before the engine runs.
+void seed(tsn::sim::ShardedEngine& engine) {
+  // tsn-lint: allow(cross-domain-sched) pre-run seeding, every queue is idle
+  engine.domain(0).schedule_at(tsn::sim::Time::zero(), [] {});
+}

@@ -18,6 +18,15 @@
 //                     addresses change run to run, so pointer-keyed maps
 //                     iterate in a different order every run and exported
 //                     pointer ids never match a replay.
+//   cross-domain-sched no scheduling directly onto another shard's queue
+//                     (`engine.domain(d).schedule_at(...)` and friends):
+//                     in windowed parallel mode another domain's queue may
+//                     be mid-execution on a worker thread, and a direct
+//                     push bypasses the mailbox ordering AND the lookahead
+//                     bound the conservative synchronizer relies on. Cross-
+//                     domain work goes through Domain::post_to. Same-domain
+//                     setup code that provably runs before the engine does
+//                     carries an audited allow().
 #include <cctype>
 #include <string>
 #include <vector>
@@ -80,6 +89,7 @@ class DeterminismScanner {
       if (!in_sim_random) scan_random(line, li, line_no);
       scan_unordered_iter(line, li, line_no);
       scan_pointer_identity(line, li, line_no);
+      scan_cross_domain_sched(line, li, line_no);
     }
   }
 
@@ -213,6 +223,55 @@ class DeterminismScanner {
       emit(line_no, "pointer-identity",
            "pointer value used as an identifier; addresses differ run to run — use a stable "
            "id allocated from sim state instead");
+    }
+  }
+
+  void scan_cross_domain_sched(const std::string& line, std::size_t li, int line_no) {
+    for (const std::string_view call : {"schedule_at(", "schedule_in("}) {
+      std::size_t pos = 0;
+      while ((pos = find_word(line, call.substr(0, call.size() - 1), pos)) !=
+             std::string::npos) {
+        const std::size_t start = pos;
+        pos += call.size() - 1;
+        if (pos >= line.size() || line[pos] != '(') continue;
+        // Member access only: a free definition or an unqualified call on
+        // the ambient scheduler is somebody's own queue.
+        std::size_t recv_end = start;
+        if (recv_end >= 2 && line.compare(recv_end - 2, 2, "->") == 0) {
+          recv_end -= 2;
+        } else if (recv_end >= 1 && line[recv_end - 1] == '.') {
+          recv_end -= 1;
+        } else {
+          continue;
+        }
+        if (recv_end == 0) continue;
+        // The receiver is foreign when the expression ends in a domain
+        // lookup: `...domain(<id>)` (the ShardedEngine accessor) or a
+        // `...domains...[<id>]` index into a shard table.
+        std::string head;
+        if (line[recv_end - 1] == ')' || line[recv_end - 1] == ']') {
+          const char open = line[recv_end - 1] == ')' ? '(' : '[';
+          const char close = line[recv_end - 1];
+          int nest = 0;
+          std::size_t i = recv_end;
+          while (i > 0) {
+            --i;
+            if (line[i] == close) ++nest;
+            if (line[i] == open && --nest == 0) break;
+          }
+          std::size_t id_start = i;
+          while (id_start > 0 && is_ident_char(line[id_start - 1])) --id_start;
+          head = line.substr(id_start, i - id_start);
+        }
+        const bool is_accessor = head == "domain";
+        const bool is_shard_table = head.find("domain") != std::string::npos && !head.empty();
+        if (!is_accessor && !is_shard_table) continue;
+        if (!check(li, "cross-domain-sched")) return;
+        emit(line_no, "cross-domain-sched",
+             "scheduling directly onto another domain's queue bypasses the mailbox and the "
+             "lookahead bound; cross-domain work must go through Domain::post_to");
+        return;
+      }
     }
   }
 

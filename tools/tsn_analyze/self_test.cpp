@@ -37,6 +37,7 @@ const std::map<std::string, Family>& rule_families() {
       {"unseeded-random", Family::kDeterminism},
       {"unordered-iter", Family::kDeterminism},
       {"pointer-identity", Family::kDeterminism},
+      {"cross-domain-sched", Family::kDeterminism},
       {"hotpath-alloc", Family::kHotpath},
       {"layering", Family::kLayering},
   };
