@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "book/order_book.hpp"
+#include "capture/replay.hpp"
 #include "exchange/exchange.hpp"
 #include "feed/symbols.hpp"
 #include "mcast/mroute.hpp"
@@ -114,7 +115,11 @@ void BM_BookSubmitCancel(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
-BENCHMARK(BM_BookSubmitCancel);
+// Fixed iteration count: the live window is 64 orders, but the id index
+// accumulates tombstones and order ids keep growing, so an open-ended run
+// lets google-benchmark's auto-scaling time differently-aged books between
+// runs. A fixed count makes every run measure the same book history.
+BENCHMARK(BM_BookSubmitCancel)->Iterations(1 << 16);
 
 void BM_BookMatchingCrossingFlow(benchmark::State& state) {
   // The 650 ns / 100 ns-per-event budgets of §3, against a real book.
@@ -129,8 +134,146 @@ void BM_BookMatchingCrossingFlow(benchmark::State& state) {
     if (best.ask_price) book.submit({id++, proto::Side::kBuy, *best.ask_price, 100}, true);
     book.submit({id++, proto::Side::kSell, best.ask_price.value_or(10'000), 100});
   }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
-BENCHMARK(BM_BookMatchingCrossingFlow);
+// Fixed iteration count for the same reason as BM_BookSubmitCancel: resting
+// depth is constant (each fill is replenished) but ids and execution history
+// grow, so auto-scaled runs would compare differently-aged books.
+BENCHMARK(BM_BookMatchingCrossingFlow)->Iterations(1 << 14);
+
+// Operations per BM_SoaBookUpdateMix iteration (the book.updates_per_s row).
+constexpr int kBookMixOps = 4;
+
+void BM_SoaBookUpdateMix(benchmark::State& state) {
+  // A realistic per-datagram update blend against the warm pooled SoA book:
+  // passive add on each side, a marketable IOC that executes one resting
+  // order, and a cancel of an aged bid. Sells are consumed as fast as they
+  // are added and bids live exactly 64 iterations, so the book (and the
+  // slabs behind it) stay bounded for the whole run.
+  book::OrderBook book{proto::Symbol{"ACME"}};
+  book.reserve(1 << 10, 256);
+  sim::Rng rng{11};
+  std::uint64_t iter = 0;
+  for (auto _ : state) {
+    const proto::OrderId base = iter * 3;
+    const auto bid_price = 9'000 + static_cast<proto::Price>(rng.next_below(50)) * 100;
+    const auto ask_price = 14'200 + static_cast<proto::Price>(rng.next_below(50)) * 100;
+    book.submit({base + 1, proto::Side::kBuy, bid_price, 100});
+    book.submit({base + 2, proto::Side::kSell, ask_price, 100});
+    const auto best = book.best();
+    if (best.ask_price) book.submit({base + 3, proto::Side::kBuy, *best.ask_price, 100}, true);
+    if (iter >= 64) (void)book.cancel((iter - 64) * 3 + 1);
+    ++iter;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * kBookMixOps);
+}
+BENCHMARK(BM_SoaBookUpdateMix)->Iterations(1 << 15);
+
+// Messages per BM_PitchBatchDecode datagram (pitch.batch_decode_msgs_per_s).
+constexpr int kBatchMsgs = 50;
+
+void BM_PitchBatchDecode(benchmark::State& state) {
+  // One warm decode_batch pass over a 50-message datagram with the bimodal
+  // add/execute/delete blend of §2 (20 long-form adds, 15 executes, 15
+  // deletes). The SoA buffer is reused, so the loop body is pure decode.
+  std::vector<std::byte> payload;
+  proto::pitch::FrameBuilder builder{1, 1458,
+                                     [&payload](std::vector<std::byte> p,
+                                                const proto::pitch::UnitHeader&) {
+                                       payload = std::move(p);
+                                     }};
+  proto::pitch::AddOrder add;
+  add.symbol = proto::Symbol{"ACME"};
+  add.quantity = 100;
+  add.price = 60'000;
+  for (int i = 0; i < 20; ++i) {
+    add.order_id = static_cast<proto::OrderId>(i + 1);
+    builder.append(proto::pitch::Message{add});
+  }
+  proto::pitch::OrderExecuted exec;
+  exec.executed_quantity = 50;
+  for (int i = 0; i < 15; ++i) {
+    exec.order_id = static_cast<proto::OrderId>(i + 1);
+    exec.execution_id = static_cast<proto::ExecId>(1'000 + i);
+    builder.append(proto::pitch::Message{exec});
+  }
+  proto::pitch::DeleteOrder del;
+  for (int i = 0; i < 15; ++i) {
+    del.order_id = static_cast<proto::OrderId>(i + 1);
+    builder.append(proto::pitch::Message{del});
+  }
+  builder.flush();
+  proto::pitch::DecodedBatch batch;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(proto::pitch::decode_batch(payload, batch));
+    benchmark::DoNotOptimize(batch.count);
+  }
+  if (batch.count != kBatchMsgs) state.SkipWithError("batch decode dropped messages");
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * kBatchMsgs);
+}
+BENCHMARK(BM_PitchBatchDecode);
+
+// Messages per BM_ReplayToBook recording (replay.to_book_msgs_per_s).
+constexpr int kReplayMsgs = 1 + 512 + 256 + 256;
+
+void BM_ReplayToBook(benchmark::State& state) {
+  // The end-to-end replay lane: recorded Ethernet frames through
+  // decode_frame, batch decode, and SoA book updates. The recording is a
+  // clock tick, 512 adds, 256 full executes, and 256 deletes, so the book
+  // drains back to empty on every pass — state is bounded across
+  // iterations and any divergence (unknown ids, malformed frames, resting
+  // leftovers) fails the benchmark rather than skewing it.
+  const auto src_mac = net::MacAddr::from_host_id(1);
+  const auto dst_mac = net::MacAddr::from_host_id(2);
+  const net::Ipv4Addr src_ip{10, 0, 0, 1};
+  const net::Ipv4Addr dst_ip{239, 100, 0, 1};
+  std::vector<capture::RecordedFrame> recording;
+  proto::pitch::FrameBuilder builder{
+      1, 1458,
+      [&](std::vector<std::byte> p, const proto::pitch::UnitHeader&) {
+        recording.push_back(capture::RecordedFrame{
+            sim::Time{}, net::build_udp_frame(src_mac, dst_mac, src_ip, dst_ip, 30'001,
+                                              30'001, p)});
+      }};
+  builder.append(proto::pitch::Message{proto::pitch::Time{34'200}});
+  sim::Rng rng{13};
+  for (int i = 0; i < 512; ++i) {
+    proto::pitch::AddOrder add;
+    add.order_id = static_cast<proto::OrderId>(i + 1);
+    add.side = (i & 1) != 0 ? proto::Side::kBuy : proto::Side::kSell;
+    add.price = (add.side == proto::Side::kBuy ? 9'000 : 14'200) +
+                static_cast<proto::Price>(rng.next_below(50)) * 100;
+    add.quantity = 100;
+    add.symbol = proto::Symbol{"ACME"};
+    builder.append(proto::pitch::Message{add});
+  }
+  for (int i = 0; i < 256; ++i) {
+    proto::pitch::OrderExecuted exec;
+    exec.order_id = static_cast<proto::OrderId>(2 * i + 1);
+    exec.executed_quantity = 100;  // full fill: the order leaves the book
+    exec.execution_id = static_cast<proto::ExecId>(10'000 + i);
+    builder.append(proto::pitch::Message{exec});
+  }
+  for (int i = 0; i < 256; ++i) {
+    proto::pitch::DeleteOrder del;
+    del.order_id = static_cast<proto::OrderId>(2 * i + 2);
+    builder.append(proto::pitch::Message{del});
+  }
+  builder.flush();
+  book::OrderBook book{proto::Symbol{"ACME"}};
+  capture::BookReplayer replayer{book};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(replayer.replay(recording));
+  }
+  if (replayer.stats().unknown_orders != 0 || replayer.stats().malformed_datagrams != 0) {
+    state.SkipWithError("replay diverged");
+  }
+  if (book.open_orders() != 0) state.SkipWithError("book did not drain");
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * kReplayMsgs);
+}
+// Fixed count: each iteration replays the same full recording, so
+// auto-scaling only adds noise (and execution history still accumulates).
+BENCHMARK(BM_ReplayToBook)->Iterations(1 << 9);
 
 void BM_MrouteLookup(benchmark::State& state) {
   mcast::MrouteTable table{4'096};
@@ -310,6 +453,9 @@ int main(int argc, char** argv) {
   double schedule_fire_ns = 0.0;
   double pool_churn_ns = 0.0;
   double reconnect_cycle_ns = 0.0;
+  double book_mix_ns = 0.0;
+  double batch_decode_ns = 0.0;
+  double replay_to_book_ns = 0.0;
   for (const auto& timing : reporter.timings()) {
     bench_report.metric(timing.name, timing.real_ns, "ns");
     if (timing.name.starts_with("BM_GatewayReconnectCycle")) {
@@ -319,12 +465,21 @@ int main(int argc, char** argv) {
       reconnect_cycle_ns = timing.real_ns;
       continue;
     }
+    if (timing.name.starts_with("BM_ReplayToBook")) {
+      // One iteration replays a 1k-message recording, not a single op:
+      // its own ceiling (~195 ns/msg at the 200 us line).
+      bench_report.check(timing.name + ".under_200us", timing.real_ns < 200'000.0);
+      replay_to_book_ns = timing.real_ns;
+      continue;
+    }
     // Generous ceiling: every hot path stays sub-microsecond-ish; a blown
     // budget here means an accidental hot-path regression (e.g. telemetry
     // hooks no longer compiling out).
     bench_report.check(timing.name + ".under_5us", timing.real_ns < 5'000.0);
     if (timing.name == "BM_EngineScheduleFire") schedule_fire_ns = timing.real_ns;
     if (timing.name == "BM_PacketPoolChurn") pool_churn_ns = timing.real_ns;
+    if (timing.name.starts_with("BM_SoaBookUpdateMix")) book_mix_ns = timing.real_ns;
+    if (timing.name.starts_with("BM_PitchBatchDecode")) batch_decode_ns = timing.real_ns;
   }
   // Throughput rows for the allocation-free hot paths; bench_compare gates
   // these against bench/baselines/ so a pooled-path regression fails CI.
@@ -338,9 +493,26 @@ int main(int argc, char** argv) {
     bench_report.metric("gateway.reconnects_per_s", 1e9 / reconnect_cycle_ns,
                         "reconnects/s");
   }
+  // SoA book + batch decode lanes (ROADMAP item 4). The replay row is the
+  // headline: full recorded frames to book updates on one core.
+  if (book_mix_ns > 0.0) {
+    bench_report.metric("book.updates_per_s", kBookMixOps * 1e9 / book_mix_ns,
+                        "updates/s");
+  }
+  if (batch_decode_ns > 0.0) {
+    bench_report.metric("pitch.batch_decode_msgs_per_s",
+                        kBatchMsgs * 1e9 / batch_decode_ns, "msgs/s");
+  }
+  if (replay_to_book_ns > 0.0) {
+    bench_report.metric("replay.to_book_msgs_per_s",
+                        kReplayMsgs * 1e9 / replay_to_book_ns, "msgs/s");
+  }
   bench_report.check("scheduler.events_per_s.reported", schedule_fire_ns > 0.0);
   bench_report.check("packet_pool.packets_per_s.reported", pool_churn_ns > 0.0);
   bench_report.check("gateway.reconnects_per_s.reported", reconnect_cycle_ns > 0.0);
-  bench_report.check("all_benchmarks_ran", reporter.timings().size() >= 14);
+  bench_report.check("book.updates_per_s.reported", book_mix_ns > 0.0);
+  bench_report.check("pitch.batch_decode_msgs_per_s.reported", batch_decode_ns > 0.0);
+  bench_report.check("replay.to_book_msgs_per_s.reported", replay_to_book_ns > 0.0);
+  bench_report.check("all_benchmarks_ran", reporter.timings().size() >= 17);
   return bench_report.finish();
 }

@@ -1,183 +1,427 @@
 #include "book/order_book.hpp"
 
+#include <algorithm>
+
+#include "core/check.hpp"
+
 namespace tsn::book {
 
 namespace {
 
-// Whether an incoming order at `incoming_price` crosses a resting level at
-// `level_price` on the opposite side.
-bool crosses(Side incoming_side, Price incoming_price, Price level_price) noexcept {
-  return incoming_side == Side::kBuy ? incoming_price >= level_price
-                                     : incoming_price <= level_price;
+constexpr std::size_t kInitialOrders = 256;
+constexpr std::size_t kInitialLevels = 64;
+constexpr std::size_t kInitialIndex = 512;  // power of two
+
+constexpr std::uint8_t kEmpty = 0;
+constexpr std::uint8_t kFull = 1;
+constexpr std::uint8_t kTombstone = 2;
+
+// Integer finalizer (splitmix64 tail): order ids are often sequential, so
+// the index needs real avalanche to keep probe chains short.
+constexpr std::size_t hash_id(OrderId id) noexcept {
+  std::uint64_t x = id;
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return static_cast<std::size_t>(x);
+}
+
+constexpr std::size_t next_pow2(std::size_t v) noexcept {
+  std::size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
 }
 
 }  // namespace
 
+// ---------------------------------------------------------------------------
+// Slab growth (cold: runs only when a slab or the index is exhausted; every
+// structure is index-linked, so reallocation never invalidates live state).
+
+void OrderBook::grow_orders(std::size_t new_capacity) {
+  const std::size_t old = order_id_.size();
+  TSN_DCHECK(new_capacity > old, "order slab growth must add slots");
+  order_id_.resize(new_capacity);
+  order_price_.resize(new_capacity);
+  order_qty_.resize(new_capacity);
+  order_next_.resize(new_capacity);
+  order_prev_.resize(new_capacity);
+  order_level_.resize(new_capacity);
+  order_side_.resize(new_capacity);
+  // Thread the new slots onto the freelist so pops come out ascending.
+  for (std::size_t i = new_capacity; i-- > old;) {
+    order_next_[i] = free_order_;
+    free_order_ = static_cast<std::uint32_t>(i);
+  }
+}
+
+void OrderBook::grow_levels(std::size_t new_capacity) {
+  const std::size_t old = level_price_.size();
+  TSN_DCHECK(new_capacity > old, "level slab growth must add slots");
+  level_price_.resize(new_capacity);
+  level_qty_.resize(new_capacity);
+  level_head_.resize(new_capacity);
+  level_tail_.resize(new_capacity);
+  level_next_.resize(new_capacity);
+  level_prev_.resize(new_capacity);
+  for (std::size_t i = new_capacity; i-- > old;) {
+    level_next_[i] = free_level_;
+    free_level_ = static_cast<std::uint32_t>(i);
+  }
+}
+
+void OrderBook::index_grow(std::size_t min_capacity) {
+  const std::size_t new_cap = next_pow2(std::max(min_capacity, kInitialIndex));
+  Column<OrderId> keys(new_cap);
+  Column<std::uint32_t> slots(new_cap);
+  Column<std::uint8_t> states(new_cap);  // zero-initialized: all kEmpty
+  const std::size_t mask = new_cap - 1;
+  for (std::size_t i = 0; i < index_.keys.size(); ++i) {
+    if (index_.states[i] != kFull) continue;
+    std::size_t j = hash_id(index_.keys[i]) & mask;
+    while (states[j] == kFull) j = (j + 1) & mask;
+    states[j] = kFull;
+    keys[j] = index_.keys[i];
+    slots[j] = index_.slots[i];
+  }
+  index_.keys = std::move(keys);
+  index_.slots = std::move(slots);
+  index_.states = std::move(states);
+  index_.occupied = index_.count;  // tombstones compacted away
+}
+
+void OrderBook::reserve(std::size_t orders, std::size_t levels) {
+  if (orders > order_id_.size()) grow_orders(next_pow2(orders));
+  if (levels > level_price_.size()) grow_levels(next_pow2(levels));
+  // Keep the index below the 3/4 load trigger for `orders` live entries.
+  if (orders * 2 > index_.keys.size()) index_grow(orders * 2);
+}
+
+// ---------------------------------------------------------------------------
+// Id index.
+
 // tsn-lint: hotpath
-template <typename Ladder>
-Quantity OrderBook::match_against(Ladder& ladder, Order& incoming) {
+std::uint32_t OrderBook::index_find(OrderId id) const {
+  if (index_.keys.empty()) return kNull;
+  const std::size_t mask = index_.keys.size() - 1;
+  std::size_t i = hash_id(id) & mask;
+  while (true) {
+    const std::uint8_t state = index_.states[i];
+    if (state == kEmpty) return kNull;
+    if (state == kFull && index_.keys[i] == id) return index_.slots[i];
+    i = (i + 1) & mask;
+  }
+}
+
+// tsn-lint: hotpath
+void OrderBook::index_insert(OrderId id, std::uint32_t slot) {
+  // 3/4 load (live + tombstones) triggers the cold rehash, which also
+  // compacts tombstones left by cancels.
+  if ((index_.occupied + 1) * 4 >= index_.keys.size() * 3) {
+    index_grow((index_.count + 1) * 2);
+  }
+  const std::size_t mask = index_.keys.size() - 1;
+  std::size_t i = hash_id(id) & mask;
+  while (index_.states[i] == kFull) i = (i + 1) & mask;
+  if (index_.states[i] == kEmpty) ++index_.occupied;  // tombstone reuse keeps occupancy
+  index_.states[i] = kFull;
+  index_.keys[i] = id;
+  index_.slots[i] = slot;
+  ++index_.count;
+}
+
+// tsn-lint: hotpath
+void OrderBook::index_erase(OrderId id) {
+  const std::size_t mask = index_.keys.size() - 1;
+  std::size_t i = hash_id(id) & mask;
+  while (true) {
+    const std::uint8_t state = index_.states[i];
+    TSN_DCHECK(state != kEmpty, "index_erase requires a present key");
+    if (state == kFull && index_.keys[i] == id) {
+      index_.states[i] = kTombstone;
+      --index_.count;
+      return;
+    }
+    i = (i + 1) & mask;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Slab freelists.
+
+// tsn-lint: hotpath
+std::uint32_t OrderBook::alloc_order_slot() {
+  if (free_order_ == kNull) {
+    grow_orders(order_id_.empty() ? kInitialOrders : order_id_.size() * 2);
+  }
+  const std::uint32_t slot = free_order_;
+  free_order_ = order_next_[slot];
+  return slot;
+}
+
+// tsn-lint: hotpath
+std::uint32_t OrderBook::alloc_level_slot() {
+  if (free_level_ == kNull) {
+    grow_levels(level_price_.empty() ? kInitialLevels : level_price_.size() * 2);
+  }
+  const std::uint32_t slot = free_level_;
+  free_level_ = level_next_[slot];
+  return slot;
+}
+
+// ---------------------------------------------------------------------------
+// Ladder maintenance.
+
+// Finds the level for `price` on one side, splicing in a fresh level slot at
+// the sorted position if none exists. Walks from the best level: resting
+// traffic clusters near the top of book, so the scan is short in practice.
+// tsn-lint: hotpath
+std::uint32_t OrderBook::level_for(bool bid_side, Price price) {
+  std::uint32_t* head = bid_side ? &best_bid_ : &best_ask_;
+  std::uint32_t prev = kNull;
+  std::uint32_t cur = *head;
+  while (cur != kNull) {
+    const Price level_price = level_price_[cur];
+    if (level_price == price) return cur;
+    const bool better = bid_side ? level_price > price : level_price < price;
+    if (!better) break;
+    prev = cur;
+    cur = level_next_[cur];
+  }
+  const std::uint32_t level = alloc_level_slot();
+  level_price_[level] = price;
+  level_qty_[level] = 0;
+  level_head_[level] = kNull;
+  level_tail_[level] = kNull;
+  level_prev_[level] = prev;
+  level_next_[level] = cur;
+  if (prev != kNull) {
+    level_next_[prev] = level;
+  } else {
+    *head = level;
+  }
+  if (cur != kNull) level_prev_[cur] = level;
+  if (bid_side) {
+    ++bid_level_count_;
+  } else {
+    ++ask_level_count_;
+  }
+  return level;
+}
+
+// tsn-lint: hotpath
+void OrderBook::unlink_level(bool bid_side, std::uint32_t level) {
+  const std::uint32_t prev = level_prev_[level];
+  const std::uint32_t next = level_next_[level];
+  if (prev != kNull) {
+    level_next_[prev] = next;
+  } else if (bid_side) {
+    best_bid_ = next;
+  } else {
+    best_ask_ = next;
+  }
+  if (next != kNull) level_prev_[next] = prev;
+  level_next_[level] = free_level_;
+  free_level_ = level;
+  if (bid_side) {
+    --bid_level_count_;
+  } else {
+    --ask_level_count_;
+  }
+}
+
+// Removes one resting order from its level chain (freeing the level when it
+// empties) and recycles the order slot. The id index entry is the caller's
+// responsibility.
+// tsn-lint: hotpath
+void OrderBook::unlink_order(std::uint32_t order) {
+  const std::uint32_t level = order_level_[order];
+  const std::uint32_t prev = order_prev_[order];
+  const std::uint32_t next = order_next_[order];
+  if (prev != kNull) {
+    order_next_[prev] = next;
+  } else {
+    level_head_[level] = next;
+  }
+  if (next != kNull) {
+    order_prev_[next] = prev;
+  } else {
+    level_tail_[level] = prev;
+  }
+  level_qty_[level] -= order_qty_[order];
+  if (level_head_[level] == kNull) {
+    unlink_level(order_side_[order] == Side::kBuy, level);
+  }
+  order_next_[order] = free_order_;
+  free_order_ = order;
+}
+
+// ---------------------------------------------------------------------------
+// Matching.
+
+// tsn-lint: hotpath
+Quantity OrderBook::match_incoming(Order& incoming) {
   Quantity filled = 0;
-  while (incoming.quantity > 0 && !ladder.empty()) {
-    auto level_it = ladder.begin();
-    if (!crosses(incoming.side, incoming.price, level_it->first)) break;
-    Level& level = level_it->second;
-    while (incoming.quantity > 0 && !level.empty()) {
-      Order& resting = level.front();
-      const Quantity traded = std::min(incoming.quantity, resting.quantity);
-      resting.quantity -= traded;
+  const bool buy = incoming.side == Side::kBuy;
+  std::uint32_t* best = buy ? &best_ask_ : &best_bid_;
+  while (incoming.quantity > 0) {
+    const std::uint32_t level = *best;
+    if (level == kNull) break;
+    const Price level_price = level_price_[level];
+    if (buy ? incoming.price < level_price : incoming.price > level_price) break;
+    while (incoming.quantity > 0) {
+      const std::uint32_t resting = level_head_[level];
+      if (resting == kNull) break;
+      const Quantity traded = std::min(incoming.quantity, order_qty_[resting]);
+      order_qty_[resting] -= traded;
       incoming.quantity -= traded;
+      level_qty_[level] -= traded;
       filled += traded;
       ++exec_count_;
       const ExecId exec = next_exec_id_++;
       if (listener_ != nullptr) {
-        listener_->on_execute(Execution{resting.id, incoming.id, traded, resting.price, exec,
-                                        resting.quantity, incoming.quantity});
+        listener_->on_execute(Execution{order_id_[resting], incoming.id, traded,
+                                        order_price_[resting], exec, order_qty_[resting],
+                                        incoming.quantity});
       }
-      if (resting.quantity == 0) {
-        index_.erase(resting.id);
-        level.pop_front();
+      if (order_qty_[resting] == 0) {
+        index_erase(order_id_[resting]);
+        // Pop the front of the FIFO chain and recycle the slot.
+        const std::uint32_t next = order_next_[resting];
+        level_head_[level] = next;
+        if (next != kNull) {
+          order_prev_[next] = kNull;
+        } else {
+          level_tail_[level] = kNull;
+        }
+        order_next_[resting] = free_order_;
+        free_order_ = resting;
       }
     }
-    if (level.empty()) ladder.erase(level_it);
+    if (level_head_[level] == kNull) unlink_level(!buy, level);
   }
   return filled;
 }
 
 // tsn-lint: hotpath
-template <typename Ladder>
-void OrderBook::rest_on(Ladder& ladder, const Order& order) {
-  Level& level = ladder[order.price];
-  // Level lists grow node-by-node today; pooled level storage is ROADMAP
-  // item 4, and the counting-allocator drill bounds the cost until then.
-  // tsn-lint: allow(hotpath-alloc)
-  level.push_back(order);
-  auto position = std::prev(level.end());
-  index_.emplace(order.id, Locator{order.side, order.price, position});
+void OrderBook::rest_order(const Order& order) {
+  const bool bid_side = order.side == Side::kBuy;
+  const std::uint32_t level = level_for(bid_side, order.price);
+  const std::uint32_t slot = alloc_order_slot();
+  order_id_[slot] = order.id;
+  order_price_[slot] = order.price;
+  order_qty_[slot] = order.quantity;
+  order_side_[slot] = order.side;
+  order_level_[slot] = level;
+  order_next_[slot] = kNull;
+  const std::uint32_t tail = level_tail_[level];
+  order_prev_[slot] = tail;
+  if (tail != kNull) {
+    order_next_[tail] = slot;
+  } else {
+    level_head_[level] = slot;
+  }
+  level_tail_[level] = slot;
+  level_qty_[level] += order.quantity;
+  index_insert(order.id, slot);
   if (listener_ != nullptr) listener_->on_accept(order);
 }
 
+// ---------------------------------------------------------------------------
+// Public API.
+
 // tsn-lint: hotpath
 OrderBook::SubmitOutcome OrderBook::submit(const Order& order, bool immediate_or_cancel) {
-  if (index_.contains(order.id)) return {SubmitResult::kRejectedDuplicate, 0};
+  if (index_find(order.id) != kNull) return {SubmitResult::kRejectedDuplicate, 0};
   Order incoming = order;
-  Quantity filled;
-  if (incoming.side == Side::kBuy) {
-    filled = match_against(asks_, incoming);
-  } else {
-    filled = match_against(bids_, incoming);
-  }
+  const Quantity filled = match_incoming(incoming);
   if (incoming.quantity == 0) return {SubmitResult::kFilled, filled};
   // Unfilled remainder of an IOC evaporates without ever entering the book.
   if (immediate_or_cancel) return {SubmitResult::kCancelled, filled};
-  if (incoming.side == Side::kBuy) {
-    rest_on(bids_, incoming);
-  } else {
-    rest_on(asks_, incoming);
-  }
+  rest_order(incoming);
   return {filled > 0 ? SubmitResult::kPartialFill : SubmitResult::kRested, filled};
 }
 
 // tsn-lint: hotpath
-bool OrderBook::erase_located(OrderId id, const Locator& loc) {
-  if (loc.side == Side::kBuy) {
-    auto level_it = bids_.find(loc.price);
-    if (level_it == bids_.end()) return false;
-    level_it->second.erase(loc.position);
-    if (level_it->second.empty()) bids_.erase(level_it);
-  } else {
-    auto level_it = asks_.find(loc.price);
-    if (level_it == asks_.end()) return false;
-    level_it->second.erase(loc.position);
-    if (level_it->second.empty()) asks_.erase(level_it);
-  }
-  index_.erase(id);
-  return true;
-}
-
-// tsn-lint: hotpath
 std::optional<Quantity> OrderBook::cancel(OrderId id) {
-  auto it = index_.find(id);
-  if (it == index_.end()) return std::nullopt;
-  const Locator loc = it->second;
-  const Quantity remaining = loc.position->quantity;
-  if (!erase_located(id, loc)) return std::nullopt;
+  const std::uint32_t slot = index_find(id);
+  if (slot == kNull) return std::nullopt;
+  const Quantity remaining = order_qty_[slot];
+  index_erase(id);
+  unlink_order(slot);
   if (listener_ != nullptr) listener_->on_delete(id);
   return remaining;
 }
 
+// tsn-lint: hotpath
 bool OrderBook::reduce(OrderId id, Quantity new_quantity) {
-  auto it = index_.find(id);
-  if (it == index_.end()) return false;
-  Order& order = *it->second.position;
-  if (new_quantity >= order.quantity) return false;
+  const std::uint32_t slot = index_find(id);
+  if (slot == kNull) return false;
+  if (new_quantity >= order_qty_[slot]) return false;
   if (new_quantity == 0) return cancel(id).has_value();
-  const Quantity cancelled = order.quantity - new_quantity;
-  order.quantity = new_quantity;
+  const Quantity cancelled = order_qty_[slot] - new_quantity;
+  order_qty_[slot] = new_quantity;
+  level_qty_[order_level_[slot]] -= cancelled;
   if (listener_ != nullptr) listener_->on_reduce(id, cancelled);
   return true;
 }
 
+// tsn-lint: hotpath
 bool OrderBook::replace(OrderId id, Quantity new_quantity, Price new_price) {
-  auto it = index_.find(id);
-  if (it == index_.end()) return false;
-  const Locator loc = it->second;
-  const Side side = loc.side;
-  if (!erase_located(id, loc)) return false;
+  const std::uint32_t slot = index_find(id);
+  if (slot == kNull) return false;
+  const Side side = order_side_[slot];
+  index_erase(id);
+  unlink_order(slot);
   if (listener_ != nullptr) listener_->on_replace(id, new_quantity, new_price);
   // Re-entry matches as a fresh order (price-time priority lost, §2's
   // repricing behaviour).
   Order incoming{id, side, new_price, new_quantity};
-  if (incoming.side == Side::kBuy) {
-    match_against(asks_, incoming);
-  } else {
-    match_against(bids_, incoming);
-  }
-  if (incoming.quantity > 0) {
-    if (incoming.side == Side::kBuy) {
-      rest_on(bids_, incoming);
-    } else {
-      rest_on(asks_, incoming);
-    }
-  }
+  match_incoming(incoming);
+  if (incoming.quantity > 0) rest_order(incoming);
   return true;
 }
 
 void OrderBook::for_each_order(const std::function<void(const Order&)>& fn) const {
-  for (const auto& [price, level] : bids_) {
-    for (const Order& order : level) fn(order);
+  for (std::uint32_t level = best_bid_; level != kNull; level = level_next_[level]) {
+    for (std::uint32_t o = level_head_[level]; o != kNull; o = order_next_[o]) {
+      fn(Order{order_id_[o], order_side_[o], order_price_[o], order_qty_[o]});
+    }
   }
-  for (const auto& [price, level] : asks_) {
-    for (const Order& order : level) fn(order);
+  for (std::uint32_t level = best_ask_; level != kNull; level = level_next_[level]) {
+    for (std::uint32_t o = level_head_[level]; o != kNull; o = order_next_[o]) {
+      fn(Order{order_id_[o], order_side_[o], order_price_[o], order_qty_[o]});
+    }
   }
 }
 
 BestQuote OrderBook::best() const {
   BestQuote quote;
-  if (!bids_.empty()) {
-    const auto& [price, level] = *bids_.begin();
-    quote.bid_price = price;
-    for (const Order& o : level) quote.bid_quantity += o.quantity;
+  if (best_bid_ != kNull) {
+    quote.bid_price = level_price_[best_bid_];
+    quote.bid_quantity = level_qty_[best_bid_];
   }
-  if (!asks_.empty()) {
-    const auto& [price, level] = *asks_.begin();
-    quote.ask_price = price;
-    for (const Order& o : level) quote.ask_quantity += o.quantity;
+  if (best_ask_ != kNull) {
+    quote.ask_price = level_price_[best_ask_];
+    quote.ask_quantity = level_qty_[best_ask_];
   }
   return quote;
 }
 
 Quantity OrderBook::depth_at(Side side, Price price) const {
-  Quantity total = 0;
-  if (side == Side::kBuy) {
-    auto it = bids_.find(price);
-    if (it == bids_.end()) return 0;
-    for (const Order& o : it->second) total += o.quantity;
-  } else {
-    auto it = asks_.find(price);
-    if (it == asks_.end()) return 0;
-    for (const Order& o : it->second) total += o.quantity;
+  for (std::uint32_t level = side == Side::kBuy ? best_bid_ : best_ask_; level != kNull;
+       level = level_next_[level]) {
+    if (level_price_[level] == price) return level_qty_[level];
   }
-  return total;
+  return 0;
+}
+
+std::optional<Order> OrderBook::find(OrderId id) const {
+  const std::uint32_t slot = index_find(id);
+  if (slot == kNull) return std::nullopt;
+  return Order{order_id_[slot], order_side_[slot], order_price_[slot], order_qty_[slot]};
 }
 
 }  // namespace tsn::book

@@ -2,19 +2,31 @@
 // exchange in the simulation runs (§2: exchanges "match up compatible buy
 // and sell orders").
 //
-// The book keeps two price-ordered ladders of FIFO queues. Incoming orders
-// match against the opposite side from the top of book, in price-time
-// priority; any remainder rests. The book reports every state change
-// through a listener interface, which the exchange turns into market-data
-// messages.
+// Pooled struct-of-arrays implementation (ROADMAP item 4). Orders and price
+// levels live in slab-allocated parallel columns with freelist reuse:
+//
+//   order slab   id | price | qty | next | prev | level | side
+//   level slab   price | qty | head | tail | next | prev
+//
+// Each column is its own 64-byte-aligned array (SNIPPETS.md snippet 2), so
+// the fields the matching loop touches stream through separate cache lines
+// and a submit/cancel/match never allocates once the slabs are warm. Levels
+// form an intrusive sorted doubly-linked ladder per side (best at the head);
+// orders form an intrusive FIFO chain per level; an open-addressing id index
+// gives O(1) cancels. Growth doubles the slabs off the hot path.
+//
+// The book reports every state change through a listener interface, which
+// the exchange turns into market-data messages. Event order, execution ids,
+// and all query results are byte-identical to the node-based ReferenceBook
+// (asserted by tests/test_book_differential.cpp).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <list>
-#include <map>
+#include <new>
 #include <optional>
-#include <unordered_map>
+#include <vector>
 
 #include "proto/types.hpp"
 
@@ -65,6 +77,33 @@ class BookListener {
   virtual void on_replace(OrderId order_id, Quantity new_quantity, Price new_price) = 0;
 };
 
+// Cache-line-aligned backing for one SoA column: the base of every column is
+// 64-byte aligned so no two columns share a line and the matching loop's
+// streaming loads stay line-exclusive.
+template <typename T>
+struct CacheAlignedAllocator {
+  using value_type = T;
+  static constexpr std::size_t kAlign = 64;
+
+  CacheAlignedAllocator() = default;
+  template <typename U>
+  CacheAlignedAllocator(const CacheAlignedAllocator<U>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(::operator new(n * sizeof(T), std::align_val_t{kAlign}));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    ::operator delete(p, n * sizeof(T), std::align_val_t{kAlign});
+  }
+  template <typename U>
+  bool operator==(const CacheAlignedAllocator<U>&) const noexcept {
+    return true;
+  }
+};
+
+template <typename T>
+using Column = std::vector<T, CacheAlignedAllocator<T>>;
+
 class OrderBook {
  public:
   explicit OrderBook(Symbol symbol, BookListener* listener = nullptr) noexcept
@@ -106,37 +145,80 @@ class OrderBook {
   // Visits every resting order, bids first (best to worst), then asks —
   // the iteration a snapshot service uses to serialize book state.
   void for_each_order(const std::function<void(const Order&)>& fn) const;
-  [[nodiscard]] std::size_t open_orders() const noexcept { return index_.size(); }
-  [[nodiscard]] std::size_t bid_levels() const noexcept { return bids_.size(); }
-  [[nodiscard]] std::size_t ask_levels() const noexcept { return asks_.size(); }
+  [[nodiscard]] std::size_t open_orders() const noexcept { return index_.count; }
+  [[nodiscard]] std::size_t bid_levels() const noexcept { return bid_level_count_; }
+  [[nodiscard]] std::size_t ask_levels() const noexcept { return ask_level_count_; }
   [[nodiscard]] Symbol symbol() const noexcept { return symbol_; }
   [[nodiscard]] std::uint64_t executions() const noexcept { return exec_count_; }
   // Depth at a given price level (0 if none).
   [[nodiscard]] Quantity depth_at(Side side, Price price) const;
+  // O(1) lookup of a resting order (replay-to-book consumers resolve
+  // executed/reduced quantities through this).
+  [[nodiscard]] std::optional<Order> find(OrderId id) const;
+
+  // Pre-sizes the slabs and the id index so the first `orders` resting
+  // orders across `levels` price levels never grow mid-update.
+  void reserve(std::size_t orders, std::size_t levels);
 
  private:
-  // Bids: best = highest price. Asks: best = lowest. Each level is FIFO.
-  using Level = std::list<Order>;
-  using BidLadder = std::map<Price, Level, std::greater<>>;
-  using AskLadder = std::map<Price, Level, std::less<>>;
+  static constexpr std::uint32_t kNull = 0xffffffffu;
 
-  struct Locator {
-    Side side;
-    Price price;
-    Level::iterator position;
+  // Open-addressing OrderId -> order-slot map (linear probing, tombstones,
+  // power-of-two capacity). Never iterated, so probe order can't leak into
+  // observable behaviour.
+  struct IdIndex {
+    Column<OrderId> keys;
+    Column<std::uint32_t> slots;
+    Column<std::uint8_t> states;  // 0 empty, 1 full, 2 tombstone
+    std::size_t count = 0;        // live entries
+    std::size_t occupied = 0;     // live + tombstones
   };
 
-  template <typename Ladder>
-  Quantity match_against(Ladder& ladder, Order& incoming);
-  template <typename Ladder>
-  void rest_on(Ladder& ladder, const Order& order);
-  bool erase_located(OrderId id, const Locator& loc);
+  Quantity match_incoming(Order& incoming);
+  void rest_order(const Order& order);
+  std::uint32_t level_for(bool bid_side, Price price);
+  void unlink_order(std::uint32_t order);
+  void unlink_level(bool bid_side, std::uint32_t level);
+  std::uint32_t alloc_order_slot();
+  std::uint32_t alloc_level_slot();
+  void grow_orders(std::size_t new_capacity);
+  void grow_levels(std::size_t new_capacity);
+
+  [[nodiscard]] std::uint32_t index_find(OrderId id) const;
+  void index_insert(OrderId id, std::uint32_t slot);
+  void index_erase(OrderId id);
+  void index_grow(std::size_t min_capacity);
 
   Symbol symbol_;
   BookListener* listener_;
-  BidLadder bids_;
-  AskLadder asks_;
-  std::unordered_map<OrderId, Locator> index_;
+
+  // Order slab (parallel columns; slot = row).
+  Column<OrderId> order_id_;
+  Column<Price> order_price_;
+  Column<Quantity> order_qty_;
+  Column<std::uint32_t> order_next_;  // FIFO chain toward the level tail / freelist link
+  Column<std::uint32_t> order_prev_;
+  Column<std::uint32_t> order_level_;
+  Column<Side> order_side_;
+  std::uint32_t free_order_ = kNull;
+
+  // Level slab (parallel columns; slot = row).
+  Column<Price> level_price_;
+  Column<Quantity> level_qty_;        // aggregate resting quantity at the level
+  Column<std::uint32_t> level_head_;  // front of the FIFO (oldest order)
+  Column<std::uint32_t> level_tail_;
+  Column<std::uint32_t> level_next_;  // next-worse level on the side / freelist link
+  Column<std::uint32_t> level_prev_;
+  std::uint32_t free_level_ = kNull;
+
+  // Ladder heads: bids descend from the highest price, asks ascend from the
+  // lowest, so the head is always the best level on its side.
+  std::uint32_t best_bid_ = kNull;
+  std::uint32_t best_ask_ = kNull;
+  std::size_t bid_level_count_ = 0;
+  std::size_t ask_level_count_ = 0;
+
+  IdIndex index_;
   ExecId next_exec_id_ = 1;
   std::uint64_t exec_count_ = 0;
 };

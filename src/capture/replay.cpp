@@ -1,8 +1,10 @@
 #include "capture/replay.hpp"
 
+#include <algorithm>
 #include <memory>
 #include <stdexcept>
 
+#include "net/headers.hpp"
 #include "net/wire.hpp"
 
 namespace tsn::capture {
@@ -55,6 +57,104 @@ std::size_t FrameReplayer::replay(const std::vector<RecordedFrame>& recording, s
     });
   }
   return recording.size();
+}
+
+std::uint64_t BookReplayer::replay_frame(std::span<const std::byte> frame) {
+  const auto decoded = net::decode_frame(frame);
+  if (!decoded || !decoded->is_udp()) {
+    ++stats_.malformed_datagrams;
+    return 0;
+  }
+  return replay_payload(decoded->payload);
+}
+
+std::uint64_t BookReplayer::replay_payload(std::span<const std::byte> payload) {
+  ++stats_.datagrams;
+  if (!proto::pitch::decode_batch(payload, batch_)) {
+    // The valid prefix still applies (mirrors the normalizer's lane).
+    ++stats_.malformed_datagrams;
+  }
+  return apply(batch_);
+}
+
+// tsn-lint: hotpath
+std::uint64_t BookReplayer::apply(const proto::pitch::DecodedBatch& batch) {
+  using proto::pitch::DecodedKind;
+  std::uint64_t applied = 0;
+  for (std::size_t i = 0; i < batch.count; ++i) {
+    ++stats_.messages;
+    switch (batch.kind[i]) {
+      case DecodedKind::kAddOrder: {
+        // Feed adds describe orders already resting on the exchange book,
+        // so they never cross; submit() rests them directly.
+        (void)book_.submit(book::Order{batch.order_id[i], batch.side[i], batch.price[i],
+                                       batch.quantity[i]});
+        ++applied;
+        break;
+      }
+      case DecodedKind::kOrderExecuted: {
+        const auto resting = book_.find(batch.order_id[i]);
+        if (!resting) {
+          ++stats_.unknown_orders;
+          break;
+        }
+        const proto::Quantity traded = std::min(batch.quantity[i], resting->quantity);
+        if (traded == resting->quantity) {
+          (void)book_.cancel(batch.order_id[i]);
+        } else {
+          (void)book_.reduce(batch.order_id[i], resting->quantity - traded);
+        }
+        ++applied;
+        break;
+      }
+      case DecodedKind::kReduceSize: {
+        const auto resting = book_.find(batch.order_id[i]);
+        if (!resting) {
+          ++stats_.unknown_orders;
+          break;
+        }
+        const proto::Quantity cut = std::min(batch.quantity[i], resting->quantity);
+        if (cut == resting->quantity) {
+          (void)book_.cancel(batch.order_id[i]);
+        } else {
+          (void)book_.reduce(batch.order_id[i], resting->quantity - cut);
+        }
+        ++applied;
+        break;
+      }
+      case DecodedKind::kModifyOrder: {
+        if (!book_.replace(batch.order_id[i], batch.quantity[i], batch.price[i])) {
+          ++stats_.unknown_orders;
+          break;
+        }
+        ++applied;
+        break;
+      }
+      case DecodedKind::kDeleteOrder: {
+        if (!book_.cancel(batch.order_id[i])) {
+          ++stats_.unknown_orders;
+          break;
+        }
+        ++applied;
+        break;
+      }
+      case DecodedKind::kTime:
+      case DecodedKind::kTrade:
+      case DecodedKind::kSnapshotBegin:
+      case DecodedKind::kSnapshotEnd:
+        // Clock, off-book prints, and snapshot framing carry no book edits.
+        break;
+    }
+  }
+  return applied;
+}
+
+std::uint64_t BookReplayer::replay(const std::vector<RecordedFrame>& recording) {
+  std::uint64_t applied = 0;
+  for (const auto& recorded : recording) {
+    applied += replay_frame(recorded.frame);
+  }
+  return applied;
 }
 
 }  // namespace tsn::capture

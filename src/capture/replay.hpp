@@ -12,9 +12,12 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
+#include "book/order_book.hpp"
 #include "net/nic.hpp"
+#include "proto/pitch.hpp"
 #include "sim/scheduler.hpp"
 
 namespace tsn::capture {
@@ -62,6 +65,44 @@ class FrameReplayer {
   sim::Scheduler& engine_;
   net::Nic& out_;
   std::size_t sent_ = 0;
+};
+
+// Replay-to-book fast lane (ROADMAP item 4): walks a recording of feed
+// frames straight into a book — decode_frame to find the UDP payload, one
+// batch decode per datagram, then flat-column book updates. No scheduler,
+// no NIC hop, no per-message variant: this is the path the "whole trading
+// day through the strategy stack before tomorrow's open" use case needs,
+// and what bench_micro_hotpaths measures as replay.to_book_msgs_per_s.
+class BookReplayer {
+ public:
+  explicit BookReplayer(book::OrderBook& book) noexcept : book_(book) {}
+
+  struct Stats {
+    std::uint64_t datagrams = 0;
+    std::uint64_t messages = 0;        // decoded rows seen
+    std::uint64_t applied = 0;         // rows that mutated the book
+    std::uint64_t malformed_datagrams = 0;
+    std::uint64_t unknown_orders = 0;  // executes/reduces/deletes for unseen ids
+  };
+
+  // Applies one recorded Ethernet frame (non-UDP frames are counted
+  // malformed). Returns messages applied to the book.
+  std::uint64_t replay_frame(std::span<const std::byte> frame);
+  // Applies one already-deframed datagram payload.
+  std::uint64_t replay_payload(std::span<const std::byte> payload);
+  // Replays a whole recording in order; returns total messages applied.
+  std::uint64_t replay(const std::vector<RecordedFrame>& recording);
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] book::OrderBook& book() noexcept { return book_; }
+
+ private:
+  std::uint64_t apply(const proto::pitch::DecodedBatch& batch);
+
+  book::OrderBook& book_;
+  // Reusable batch buffer: warm replay decodes allocation-free.
+  proto::pitch::DecodedBatch batch_;
+  Stats stats_;
 };
 
 }  // namespace tsn::capture

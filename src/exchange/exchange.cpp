@@ -165,6 +165,9 @@ Exchange::Exchange(sim::Scheduler& engine, ExchangeConfig config)
         static_cast<std::uint8_t>(config_.feed_partitioning->partition_of(spec.symbol, spec.kind));
     auto listener = std::make_unique<FeedListener>(*this, spec.symbol, unit);
     auto book = std::make_unique<book::OrderBook>(spec.symbol, listener.get());
+    // Pre-warm the SoA slabs at startup so the first burst of resting
+    // orders never pays mid-update slab growth.
+    book->reserve(1'024, 128);
     books_.emplace(spec.symbol, std::move(book));
     listeners_.emplace(spec.symbol, std::move(listener));
     kinds_.emplace(spec.symbol, spec.kind);

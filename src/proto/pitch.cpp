@@ -326,6 +326,181 @@ bool for_each_message(std::span<const std::byte> payload,
   return r.remaining() == 0;
 }
 
+namespace {
+
+// Straight-line little-endian loads for the batch decoder. Bounds are
+// established once per message (the length byte is checked against the
+// datagram end before any field load), so these are plain unaligned
+// byte-assembly loads the compiler folds into single moves.
+constexpr std::uint8_t load_u8(const std::byte* p) noexcept {
+  return std::to_integer<std::uint8_t>(*p);
+}
+
+constexpr std::uint16_t load_u16_le(const std::byte* p) noexcept {
+  return static_cast<std::uint16_t>(std::to_integer<std::uint16_t>(p[0]) |
+                                    (std::to_integer<std::uint16_t>(p[1]) << 8));
+}
+
+constexpr std::uint32_t load_u32_le(const std::byte* p) noexcept {
+  return std::to_integer<std::uint32_t>(p[0]) |
+         (std::to_integer<std::uint32_t>(p[1]) << 8) |
+         (std::to_integer<std::uint32_t>(p[2]) << 16) |
+         (std::to_integer<std::uint32_t>(p[3]) << 24);
+}
+
+constexpr std::uint64_t load_u64_le(const std::byte* p) noexcept {
+  return static_cast<std::uint64_t>(load_u32_le(p)) |
+         (static_cast<std::uint64_t>(load_u32_le(p + 4)) << 32);
+}
+
+Symbol load_symbol(const std::byte* p) noexcept {
+  char buf[Symbol::kWidth];
+  for (std::size_t i = 0; i < Symbol::kWidth; ++i) buf[i] = std::to_integer<char>(p[i]);
+  return Symbol{std::string_view{buf, Symbol::kWidth}};
+}
+
+}  // namespace
+
+// tsn-lint: hotpath
+bool decode_batch(std::span<const std::byte> payload, DecodedBatch& out) {
+  out.count = 0;
+  const auto header = peek_header(payload);
+  if (!header) return false;
+  out.header = *header;
+  const std::size_t n = header->count;
+  // Columns keep capacity across datagrams (count <= 255), so a warm buffer
+  // never reallocates here.
+  out.kind.resize(n);
+  out.u32a.resize(n);
+  out.order_id.resize(n);
+  out.side.resize(n);
+  out.quantity.resize(n);
+  out.price.resize(n);
+  out.execution_id.resize(n);
+  out.symbol.resize(n);
+  out.flags.resize(n);
+  const std::byte* p = payload.data() + kUnitHeaderSize;
+  const std::byte* const end = payload.data() + header->length;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (end - p < 2) return false;
+    const std::uint8_t length = load_u8(p);
+    const std::uint8_t type = load_u8(p + 1);
+    if (length > end - p) return false;
+    switch (static_cast<MessageType>(type)) {
+      case MessageType::kTime:
+        if (length != kTimeSize) return false;
+        out.kind[i] = DecodedKind::kTime;
+        out.u32a[i] = load_u32_le(p + 2);
+        break;
+      case MessageType::kAddOrderShort:
+        if (length != kAddShortSize) return false;
+        out.kind[i] = DecodedKind::kAddOrder;
+        out.u32a[i] = load_u32_le(p + 2);
+        out.order_id[i] = load_u64_le(p + 6);
+        out.side[i] = static_cast<Side>(load_u8(p + 14));
+        out.quantity[i] = load_u16_le(p + 15);
+        out.symbol[i] = load_symbol(p + 17);
+        out.price[i] = load_u16_le(p + 23);
+        out.flags[i] = load_u8(p + 25);
+        break;
+      case MessageType::kAddOrderLong:
+        if (length != kAddLongSize) return false;
+        out.kind[i] = DecodedKind::kAddOrder;
+        out.u32a[i] = load_u32_le(p + 2);
+        out.order_id[i] = load_u64_le(p + 6);
+        out.side[i] = static_cast<Side>(load_u8(p + 14));
+        out.quantity[i] = load_u32_le(p + 15);
+        out.symbol[i] = load_symbol(p + 19);
+        out.price[i] = static_cast<Price>(load_u64_le(p + 25));
+        out.flags[i] = load_u8(p + 33);
+        break;
+      case MessageType::kOrderExecuted:
+        if (length != kExecutedSize) return false;
+        out.kind[i] = DecodedKind::kOrderExecuted;
+        out.u32a[i] = load_u32_le(p + 2);
+        out.order_id[i] = load_u64_le(p + 6);
+        out.quantity[i] = load_u32_le(p + 14);
+        out.execution_id[i] = load_u64_le(p + 18);
+        break;
+      case MessageType::kReduceSize:
+        if (length != kReduceSize_) return false;
+        out.kind[i] = DecodedKind::kReduceSize;
+        out.u32a[i] = load_u32_le(p + 2);
+        out.order_id[i] = load_u64_le(p + 6);
+        out.quantity[i] = load_u32_le(p + 14);
+        break;
+      case MessageType::kModifyOrder:
+        if (length != kModifySize) return false;
+        out.kind[i] = DecodedKind::kModifyOrder;
+        out.u32a[i] = load_u32_le(p + 2);
+        out.order_id[i] = load_u64_le(p + 6);
+        out.quantity[i] = load_u32_le(p + 14);
+        out.price[i] = static_cast<Price>(load_u64_le(p + 18));
+        out.flags[i] = load_u8(p + 26);
+        break;
+      case MessageType::kDeleteOrder:
+        if (length != kDeleteSize) return false;
+        out.kind[i] = DecodedKind::kDeleteOrder;
+        out.u32a[i] = load_u32_le(p + 2);
+        out.order_id[i] = load_u64_le(p + 6);
+        break;
+      case MessageType::kTrade:
+        if (length != kTradeSize) return false;
+        out.kind[i] = DecodedKind::kTrade;
+        out.u32a[i] = load_u32_le(p + 2);
+        out.order_id[i] = load_u64_le(p + 6);
+        out.side[i] = static_cast<Side>(load_u8(p + 14));
+        out.quantity[i] = load_u32_le(p + 15);
+        out.symbol[i] = load_symbol(p + 19);
+        out.price[i] = static_cast<Price>(load_u64_le(p + 25));
+        out.execution_id[i] = load_u64_le(p + 33);
+        break;
+      case MessageType::kSnapshotBegin:
+        if (length != kSnapshotBeginSize) return false;
+        out.kind[i] = DecodedKind::kSnapshotBegin;
+        out.flags[i] = load_u8(p + 2);
+        out.u32a[i] = load_u32_le(p + 3);
+        break;
+      case MessageType::kSnapshotEnd:
+        if (length != kSnapshotEndSize) return false;
+        out.kind[i] = DecodedKind::kSnapshotEnd;
+        out.flags[i] = load_u8(p + 2);
+        out.u32a[i] = load_u32_le(p + 3);
+        break;
+      default:
+        return false;
+    }
+    p += length;
+    out.count = i + 1;
+  }
+  return p == end;
+}
+
+Message DecodedBatch::message_at(std::size_t i) const {
+  switch (kind[i]) {
+    case DecodedKind::kTime:
+      return Time{u32a[i]};
+    case DecodedKind::kAddOrder:
+      return AddOrder{u32a[i], order_id[i], side[i], quantity[i], symbol[i], price[i], flags[i]};
+    case DecodedKind::kOrderExecuted:
+      return OrderExecuted{u32a[i], order_id[i], quantity[i], execution_id[i]};
+    case DecodedKind::kReduceSize:
+      return ReduceSize{u32a[i], order_id[i], quantity[i]};
+    case DecodedKind::kModifyOrder:
+      return ModifyOrder{u32a[i], order_id[i], quantity[i], price[i], flags[i]};
+    case DecodedKind::kDeleteOrder:
+      return DeleteOrder{u32a[i], order_id[i]};
+    case DecodedKind::kTrade:
+      return Trade{u32a[i], order_id[i], side[i], quantity[i], symbol[i], price[i],
+                   execution_id[i]};
+    case DecodedKind::kSnapshotBegin:
+      return SnapshotBegin{flags[i], u32a[i]};
+    case DecodedKind::kSnapshotEnd:
+      return SnapshotEnd{flags[i], u32a[i]};
+  }
+  return Time{};  // unreachable: kind only ever holds the enumerators above
+}
+
 std::optional<ParsedFrame> parse_frame(std::span<const std::byte> payload) {
   const auto header = peek_header(payload);
   if (!header) return std::nullopt;

@@ -187,4 +187,70 @@ struct ParsedFrame {
 // Parses just the unit header (e.g. for gap detection at taps).
 [[nodiscard]] std::optional<UnitHeader> peek_header(std::span<const std::byte> payload);
 
+// ---------------------------------------------------------------------------
+// Batch decode (ROADMAP item 4).
+//
+// `decode_batch` walks a whole datagram's messages into a caller-provided
+// struct-of-arrays buffer in one pass: the per-message cost is one length/
+// type load, one bounds check, and straight-line little-endian field loads
+// into flat columns — no variant construction, no per-field reader checks,
+// no callback dispatch. Consumers iterate `kind[0..count)` and read only the
+// columns their switch arm needs.
+
+enum class DecodedKind : std::uint8_t {
+  kTime = 0,
+  kAddOrder,
+  kOrderExecuted,
+  kReduceSize,
+  kModifyOrder,
+  kDeleteOrder,
+  kTrade,
+  kSnapshotBegin,
+  kSnapshotEnd,
+};
+
+// SoA view of one decoded datagram. Row i holds message i; every column is
+// resized to the datagram's message count, and only the fields the row's
+// kind carries are meaningful:
+//
+//   kTime           u32a = seconds_since_midnight
+//   kAddOrder       u32a = time_offset_ns; order_id, side, quantity, symbol,
+//                   price, flags
+//   kOrderExecuted  u32a = time_offset_ns; order_id, quantity, execution_id
+//   kReduceSize     u32a = time_offset_ns; order_id, quantity (cancelled)
+//   kModifyOrder    u32a = time_offset_ns; order_id, quantity, price, flags
+//   kDeleteOrder    u32a = time_offset_ns; order_id
+//   kTrade          u32a = time_offset_ns; order_id, side, quantity, symbol,
+//                   price, execution_id
+//   kSnapshotBegin  u32a = next_sequence; flags = unit
+//   kSnapshotEnd    u32a = order_count;   flags = unit
+//
+// The buffer is reusable: columns keep their capacity across datagrams, so a
+// warm consumer decodes allocation-free.
+struct DecodedBatch {
+  UnitHeader header;
+  std::size_t count = 0;
+
+  std::vector<DecodedKind> kind;
+  std::vector<std::uint32_t> u32a;
+  std::vector<OrderId> order_id;
+  std::vector<Side> side;
+  std::vector<Quantity> quantity;
+  std::vector<Price> price;
+  std::vector<ExecId> execution_id;
+  std::vector<Symbol> symbol;
+  std::vector<std::uint8_t> flags;
+
+  void clear() noexcept { count = 0; }
+
+  // AoS view of row i, for slow consumers and differential tests.
+  [[nodiscard]] Message message_at(std::size_t i) const;
+};
+
+// Decodes every message of `payload` into `out`. Returns true when the whole
+// datagram parsed; on malformed input returns false with `out.count` set to
+// the valid message prefix (mirroring `for_each_message`, which invokes its
+// callback for the prefix before reporting failure).
+[[nodiscard]] bool decode_batch(std::span<const std::byte> payload, DecodedBatch& out);
+
 }  // namespace tsn::proto::pitch

@@ -116,8 +116,53 @@ void Normalizer::on_feed_datagram(std::span<const std::byte> payload, sim::Time 
       return;
     }
   }
-  (void)proto::pitch::for_each_message(
-      payload, [this](const proto::pitch::Message& m) { handle_message(m); });
+  // Fast lane (ROADMAP item 4): one batch decode into the reusable SoA
+  // buffer, then a flat-column switch — no variant construction and no
+  // per-message callback hop. A malformed tail leaves the valid prefix in
+  // `batch_.count`, matching the slow lane's prefix semantics. Recovery
+  // bypasses this path above: the buffered tail must hold Messages.
+  (void)proto::pitch::decode_batch(payload, batch_);
+  apply_batch(batch_);
+}
+
+// tsn-lint: hotpath
+void Normalizer::apply_batch(const proto::pitch::DecodedBatch& batch) {
+  using proto::pitch::DecodedKind;
+  for (std::size_t i = 0; i < batch.count; ++i) {
+    ++stats_.messages_in;
+    switch (batch.kind[i]) {
+      case DecodedKind::kTime:
+        handle_time(batch.u32a[i]);
+        break;
+      case DecodedKind::kAddOrder:
+        handle_add({batch.u32a[i], batch.order_id[i], batch.side[i], batch.quantity[i],
+                    batch.symbol[i], batch.price[i], batch.flags[i]});
+        break;
+      case DecodedKind::kOrderExecuted:
+        handle_exec({batch.u32a[i], batch.order_id[i], batch.quantity[i],
+                     batch.execution_id[i]});
+        break;
+      case DecodedKind::kReduceSize:
+        handle_reduce({batch.u32a[i], batch.order_id[i], batch.quantity[i]});
+        break;
+      case DecodedKind::kModifyOrder:
+        handle_modify({batch.u32a[i], batch.order_id[i], batch.quantity[i], batch.price[i],
+                       batch.flags[i]});
+        break;
+      case DecodedKind::kDeleteOrder:
+        handle_delete({batch.u32a[i], batch.order_id[i]});
+        break;
+      case DecodedKind::kTrade:
+        handle_trade({batch.u32a[i], batch.order_id[i], batch.side[i], batch.quantity[i],
+                      batch.symbol[i], batch.price[i], batch.execution_id[i]});
+        break;
+      case DecodedKind::kSnapshotBegin:
+      case DecodedKind::kSnapshotEnd:
+        // No book state on the live feed: counted and dropped, exactly like
+        // the variant path.
+        break;
+    }
+  }
 }
 
 void Normalizer::purge_unit_state(std::uint8_t unit) {
@@ -234,156 +279,175 @@ void Normalizer::emit_bbo(const proto::Symbol& symbol, proto::Side side,
 void Normalizer::handle_message(const proto::pitch::Message& message) {
   ++stats_.messages_in;
   using namespace proto::pitch;
+  if (const auto* time = std::get_if<Time>(&message)) {
+    handle_time(time->seconds_since_midnight);
+  } else if (const auto* add = std::get_if<AddOrder>(&message)) {
+    handle_add(*add);
+  } else if (const auto* exec = std::get_if<OrderExecuted>(&message)) {
+    handle_exec(*exec);
+  } else if (const auto* reduce = std::get_if<ReduceSize>(&message)) {
+    handle_reduce(*reduce);
+  } else if (const auto* modify = std::get_if<ModifyOrder>(&message)) {
+    handle_modify(*modify);
+  } else if (const auto* del = std::get_if<DeleteOrder>(&message)) {
+    handle_delete(*del);
+  } else if (const auto* trade = std::get_if<Trade>(&message)) {
+    handle_trade(*trade);
+  }
+  // SnapshotBegin/End on the live feed: counted and dropped.
+}
+
+Normalizer::OrderInfo* Normalizer::resolve(proto::OrderId id) {
+  auto it = orders_.find(id);
+  if (it == orders_.end()) {
+    ++stats_.unknown_orders;
+    return nullptr;
+  }
+  return &it->second;
+}
+
+void Normalizer::handle_time(std::uint32_t seconds_since_midnight) {
+  clock_seconds_ = seconds_since_midnight;  // clock messages are not republished
+}
+
+void Normalizer::handle_add(const proto::pitch::AddOrder& add) {
+  orders_[add.order_id] = OrderInfo{add.symbol, add.side, add.price, add.quantity};
   proto::norm::Update update;
   update.exchange_id = config_.exchange_id;
+  update.kind = proto::norm::UpdateKind::kOrderAdd;
+  update.side = add.side;
+  update.symbol = add.symbol;
+  update.price = add.price;
+  update.quantity = add.quantity;
+  update.order_id = add.order_id;
+  update.exchange_time_ns =
+      std::uint64_t{clock_seconds_} * 1'000'000'000ULL + add.time_offset_ns;
+  const auto change = apply_depth(add.symbol, add.side, add.price, add.quantity);
+  emit(update);
+  emit_bbo(add.symbol, add.side, change, update.exchange_time_ns);
+}
 
-  if (const auto* time = std::get_if<Time>(&message)) {
-    clock_seconds_ = time->seconds_since_midnight;
-    return;  // clock messages are not republished
-  }
+void Normalizer::handle_exec(const proto::pitch::OrderExecuted& exec) {
+  OrderInfo* info = resolve(exec.order_id);
+  if (info == nullptr) return;
+  const proto::Quantity traded = std::min(exec.executed_quantity, info->quantity);
+  info->quantity -= traded;
+  proto::norm::Update update;
+  update.exchange_id = config_.exchange_id;
+  update.kind = proto::norm::UpdateKind::kTradePrint;
+  update.side = info->side;
+  update.symbol = info->symbol;
+  update.price = info->price;
+  update.quantity = traded;
+  update.order_id = exec.order_id;
+  update.exchange_time_ns =
+      std::uint64_t{clock_seconds_} * 1'000'000'000ULL + exec.time_offset_ns;
+  const auto side = info->side;
+  const auto symbol = info->symbol;
+  const auto change =
+      apply_depth(info->symbol, info->side, info->price, -static_cast<std::int64_t>(traded));
+  if (info->quantity == 0) orders_.erase(exec.order_id);
+  emit(update);
+  emit_bbo(symbol, side, change, update.exchange_time_ns);
+}
 
-  if (const auto* add = std::get_if<AddOrder>(&message)) {
-    orders_[add->order_id] = OrderInfo{add->symbol, add->side, add->price, add->quantity};
-    update.kind = proto::norm::UpdateKind::kOrderAdd;
-    update.side = add->side;
-    update.symbol = add->symbol;
-    update.price = add->price;
-    update.quantity = add->quantity;
-    update.order_id = add->order_id;
-    update.exchange_time_ns =
-        std::uint64_t{clock_seconds_} * 1'000'000'000ULL + add->time_offset_ns;
-    const auto change = apply_depth(add->symbol, add->side, add->price, add->quantity);
-    emit(update);
-    emit_bbo(add->symbol, add->side, change, update.exchange_time_ns);
-    return;
-  }
+void Normalizer::handle_reduce(const proto::pitch::ReduceSize& reduce) {
+  OrderInfo* info = resolve(reduce.order_id);
+  if (info == nullptr) return;
+  const proto::Quantity cut = std::min(reduce.cancelled_quantity, info->quantity);
+  info->quantity -= cut;
+  proto::norm::Update update;
+  update.exchange_id = config_.exchange_id;
+  update.kind = proto::norm::UpdateKind::kOrderModify;
+  update.side = info->side;
+  update.symbol = info->symbol;
+  update.price = info->price;
+  update.quantity = info->quantity;
+  update.order_id = reduce.order_id;
+  update.exchange_time_ns =
+      std::uint64_t{clock_seconds_} * 1'000'000'000ULL + reduce.time_offset_ns;
+  const auto side = info->side;
+  const auto symbol = info->symbol;
+  const auto change =
+      apply_depth(info->symbol, info->side, info->price, -static_cast<std::int64_t>(cut));
+  if (info->quantity == 0) orders_.erase(reduce.order_id);
+  emit(update);
+  emit_bbo(symbol, side, change, update.exchange_time_ns);
+}
 
-  auto resolve = [this](proto::OrderId id) -> OrderInfo* {
-    auto it = orders_.find(id);
-    if (it == orders_.end()) {
-      ++stats_.unknown_orders;
-      return nullptr;
-    }
-    return &it->second;
-  };
-
-  if (const auto* exec = std::get_if<OrderExecuted>(&message)) {
-    OrderInfo* info = resolve(exec->order_id);
-    if (info == nullptr) return;
-    const proto::Quantity traded = std::min(exec->executed_quantity, info->quantity);
-    info->quantity -= traded;
-    update.kind = proto::norm::UpdateKind::kTradePrint;
-    update.side = info->side;
-    update.symbol = info->symbol;
-    update.price = info->price;
-    update.quantity = traded;
-    update.order_id = exec->order_id;
-    update.exchange_time_ns =
-        std::uint64_t{clock_seconds_} * 1'000'000'000ULL + exec->time_offset_ns;
-    const auto side = info->side;
-    const auto symbol = info->symbol;
-    const auto change =
-        apply_depth(info->symbol, info->side, info->price, -static_cast<std::int64_t>(traded));
-    if (info->quantity == 0) orders_.erase(exec->order_id);
-    emit(update);
-    emit_bbo(symbol, side, change, update.exchange_time_ns);
-    return;
-  }
-
-  if (const auto* reduce = std::get_if<ReduceSize>(&message)) {
-    OrderInfo* info = resolve(reduce->order_id);
-    if (info == nullptr) return;
-    const proto::Quantity cut = std::min(reduce->cancelled_quantity, info->quantity);
-    info->quantity -= cut;
-    update.kind = proto::norm::UpdateKind::kOrderModify;
-    update.side = info->side;
-    update.symbol = info->symbol;
-    update.price = info->price;
-    update.quantity = info->quantity;
-    update.order_id = reduce->order_id;
-    update.exchange_time_ns =
-        std::uint64_t{clock_seconds_} * 1'000'000'000ULL + reduce->time_offset_ns;
-    const auto side = info->side;
-    const auto symbol = info->symbol;
-    const auto change =
-        apply_depth(info->symbol, info->side, info->price, -static_cast<std::int64_t>(cut));
-    if (info->quantity == 0) orders_.erase(reduce->order_id);
-    emit(update);
-    emit_bbo(symbol, side, change, update.exchange_time_ns);
-    return;
-  }
-
-  if (const auto* modify = std::get_if<ModifyOrder>(&message)) {
-    OrderInfo* info = resolve(modify->order_id);
-    if (info == nullptr) return;
-    update.kind = proto::norm::UpdateKind::kOrderModify;
-    update.side = info->side;
-    update.symbol = info->symbol;
-    update.price = modify->price;
-    update.quantity = modify->quantity;
-    update.order_id = modify->order_id;
-    update.exchange_time_ns =
-        std::uint64_t{clock_seconds_} * 1'000'000'000ULL + modify->time_offset_ns;
-    // Two ladder edits (leave the old level, enter the new one): emit one
-    // BBO update describing the final top, not the transient middle state.
-    const auto first = apply_depth(info->symbol, info->side, info->price,
-                                   -static_cast<std::int64_t>(info->quantity));
-    info->price = modify->price;
-    info->quantity = modify->quantity;
-    const auto second =
-        apply_depth(info->symbol, info->side, info->price, modify->quantity);
-    emit(update);
-    if (first.changed || second.changed) {
-      TopChange final_top = second;
-      if (!second.changed) {
-        // The second edit left the top where the first edit put it.
-        const auto bbo = best_of(info->symbol);
-        final_top.changed = true;
-        if (info->side == proto::Side::kBuy) {
-          final_top.best = bbo ? bbo->bid : 0;
-        } else {
-          final_top.best = bbo ? bbo->ask : 0;
-        }
-        final_top.quantity = 0;  // unknown without a depth query; price is the signal
+void Normalizer::handle_modify(const proto::pitch::ModifyOrder& modify) {
+  OrderInfo* info = resolve(modify.order_id);
+  if (info == nullptr) return;
+  proto::norm::Update update;
+  update.exchange_id = config_.exchange_id;
+  update.kind = proto::norm::UpdateKind::kOrderModify;
+  update.side = info->side;
+  update.symbol = info->symbol;
+  update.price = modify.price;
+  update.quantity = modify.quantity;
+  update.order_id = modify.order_id;
+  update.exchange_time_ns =
+      std::uint64_t{clock_seconds_} * 1'000'000'000ULL + modify.time_offset_ns;
+  // Two ladder edits (leave the old level, enter the new one): emit one
+  // BBO update describing the final top, not the transient middle state.
+  const auto first = apply_depth(info->symbol, info->side, info->price,
+                                 -static_cast<std::int64_t>(info->quantity));
+  info->price = modify.price;
+  info->quantity = modify.quantity;
+  const auto second =
+      apply_depth(info->symbol, info->side, info->price, modify.quantity);
+  emit(update);
+  if (first.changed || second.changed) {
+    TopChange final_top = second;
+    if (!second.changed) {
+      // The second edit left the top where the first edit put it.
+      const auto bbo = best_of(info->symbol);
+      final_top.changed = true;
+      if (info->side == proto::Side::kBuy) {
+        final_top.best = bbo ? bbo->bid : 0;
+      } else {
+        final_top.best = bbo ? bbo->ask : 0;
       }
-      emit_bbo(info->symbol, info->side, final_top, update.exchange_time_ns);
+      final_top.quantity = 0;  // unknown without a depth query; price is the signal
     }
-    return;
+    emit_bbo(info->symbol, info->side, final_top, update.exchange_time_ns);
   }
+}
 
-  if (const auto* del = std::get_if<DeleteOrder>(&message)) {
-    OrderInfo* info = resolve(del->order_id);
-    if (info == nullptr) return;
-    update.kind = proto::norm::UpdateKind::kOrderDelete;
-    update.side = info->side;
-    update.symbol = info->symbol;
-    update.price = info->price;
-    update.quantity = 0;
-    update.order_id = del->order_id;
-    update.exchange_time_ns =
-        std::uint64_t{clock_seconds_} * 1'000'000'000ULL + del->time_offset_ns;
-    const auto side = info->side;
-    const auto symbol = info->symbol;
-    const auto change = apply_depth(info->symbol, info->side, info->price,
-                                    -static_cast<std::int64_t>(info->quantity));
-    orders_.erase(del->order_id);
-    emit(update);
-    emit_bbo(symbol, side, change, update.exchange_time_ns);
-    return;
-  }
+void Normalizer::handle_delete(const proto::pitch::DeleteOrder& del) {
+  OrderInfo* info = resolve(del.order_id);
+  if (info == nullptr) return;
+  proto::norm::Update update;
+  update.exchange_id = config_.exchange_id;
+  update.kind = proto::norm::UpdateKind::kOrderDelete;
+  update.side = info->side;
+  update.symbol = info->symbol;
+  update.price = info->price;
+  update.quantity = 0;
+  update.order_id = del.order_id;
+  update.exchange_time_ns =
+      std::uint64_t{clock_seconds_} * 1'000'000'000ULL + del.time_offset_ns;
+  const auto side = info->side;
+  const auto symbol = info->symbol;
+  const auto change = apply_depth(info->symbol, info->side, info->price,
+                                  -static_cast<std::int64_t>(info->quantity));
+  orders_.erase(del.order_id);
+  emit(update);
+  emit_bbo(symbol, side, change, update.exchange_time_ns);
+}
 
-  if (const auto* trade = std::get_if<Trade>(&message)) {
-    update.kind = proto::norm::UpdateKind::kTradePrint;
-    update.side = trade->side;
-    update.symbol = trade->symbol;
-    update.price = trade->price;
-    update.quantity = trade->quantity;
-    update.order_id = trade->order_id;
-    update.exchange_time_ns =
-        std::uint64_t{clock_seconds_} * 1'000'000'000ULL + trade->time_offset_ns;
-    emit(update);
-    return;
-  }
+void Normalizer::handle_trade(const proto::pitch::Trade& trade) {
+  proto::norm::Update update;
+  update.exchange_id = config_.exchange_id;
+  update.kind = proto::norm::UpdateKind::kTradePrint;
+  update.side = trade.side;
+  update.symbol = trade.symbol;
+  update.price = trade.price;
+  update.quantity = trade.quantity;
+  update.order_id = trade.order_id;
+  update.exchange_time_ns =
+      std::uint64_t{clock_seconds_} * 1'000'000'000ULL + trade.time_offset_ns;
+  emit(update);
 }
 
 void Normalizer::register_metrics(telemetry::Registry& registry,

@@ -132,7 +132,21 @@ class Normalizer {
 
   void on_feed_datagram(std::span<const std::byte> payload, sim::Time arrival);
   void on_snapshot_datagram(std::span<const std::byte> payload);
+  // Slow lane: variant dispatch, used for snapshot replay and the buffered
+  // recovery tail (which must hold Messages). Counts the message, then
+  // forwards to the per-type handler the fast lane shares.
   void handle_message(const proto::pitch::Message& message);
+  // Fast lane: flat-column switch over one batch-decoded datagram — no
+  // variant construction, no per-message std::function hop.
+  void apply_batch(const proto::pitch::DecodedBatch& batch);
+  void handle_time(std::uint32_t seconds_since_midnight);
+  void handle_add(const proto::pitch::AddOrder& add);
+  void handle_exec(const proto::pitch::OrderExecuted& exec);
+  void handle_reduce(const proto::pitch::ReduceSize& reduce);
+  void handle_modify(const proto::pitch::ModifyOrder& modify);
+  void handle_delete(const proto::pitch::DeleteOrder& del);
+  void handle_trade(const proto::pitch::Trade& trade);
+  [[nodiscard]] OrderInfo* resolve(proto::OrderId id);
   void emit(const proto::norm::Update& update);
   // Applies a depth change; when the side's top of book moved, returns the
   // new best (price 0 / quantity 0 for an emptied side).
@@ -160,6 +174,9 @@ class Normalizer {
   std::unique_ptr<net::NetStack> out_stack_;
   std::unique_ptr<mcast::IgmpResponder> responder_;
   std::vector<std::unique_ptr<Partition>> partitions_;
+  // Reusable batch-decode buffer for the fast lane (warm after the first
+  // datagram; columns keep their capacity).
+  proto::pitch::DecodedBatch batch_;
   std::unordered_map<proto::OrderId, OrderInfo> orders_;
   std::unordered_map<proto::Symbol, Ladder> ladders_;
   std::unordered_map<std::uint8_t, std::uint32_t> expected_seq_;  // per unit

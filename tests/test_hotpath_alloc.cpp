@@ -20,10 +20,12 @@
 #include <span>
 #include <vector>
 
+#include "book/order_book.hpp"
 #include "net/fabric.hpp"
 #include "net/nic.hpp"
 #include "net/packet.hpp"
 #include "net/stack.hpp"
+#include "proto/pitch.hpp"
 #include "sim/engine.hpp"
 
 namespace {
@@ -157,6 +159,74 @@ TEST(HotPathAlloc, EndToEndUdpDeliveryIsAllocationFree) {
   EXPECT_EQ(allocations() - before, 0u)
       << "warm NIC -> link -> NIC UDP delivery must not touch the heap";
   EXPECT_EQ(received_bytes, 128u * 18u);
+}
+
+TEST(HotPathAlloc, WarmBookUpdateMixIsAllocationFree) {
+  // The SoA book contract: with reserved slabs (or after organic growth),
+  // submit/cancel/reduce/replace — including matching — never allocate.
+  // CacheAlignedAllocator goes through aligned operator new, so slab growth
+  // IS counted here; reserve() must front-load all of it.
+  book::OrderBook book{proto::Symbol{"ACME"}};
+  book.reserve(4'096, 256);
+  proto::OrderId id = 1;
+  auto churn = [&book, &id](int rounds) {
+    for (int i = 0; i < rounds; ++i) {
+      const auto side = (id & 1) != 0 ? proto::Side::kBuy : proto::Side::kSell;
+      const auto price = (side == proto::Side::kBuy ? 9'000 : 14'200) +
+                         static_cast<proto::Price>(i % 50) * 100;
+      book.submit({id, side, price, 100});
+      (void)book.reduce(id, 60);
+      // Marketable IOC consumes one resting order on the opposite side.
+      const auto best = book.best();
+      if (side == proto::Side::kBuy && best.ask_price) {
+        (void)book.submit({id + 1'000'000, proto::Side::kBuy, *best.ask_price, 60}, true);
+      }
+      if (id > 64) (void)book.cancel(id - 64);
+      ++id;
+    }
+  };
+  churn(512);  // warm: index growth, level ladder, freelists
+  const std::uint64_t before = allocations();
+  churn(2'048);
+  EXPECT_EQ(allocations() - before, 0u)
+      << "warm SoA book updates must not touch the heap";
+  EXPECT_GT(book.executions(), 0u);
+}
+
+TEST(HotPathAlloc, WarmBatchDecodeIsAllocationFree) {
+  // decode_batch into a reused DecodedBatch: columns keep their capacity, so
+  // a warm decode of the same-shaped datagram is pure loads and stores.
+  std::vector<std::byte> payload;
+  proto::pitch::FrameBuilder builder{1, 1458,
+                                     [&payload](std::vector<std::byte> p,
+                                                const proto::pitch::UnitHeader&) {
+                                       payload = std::move(p);
+                                     }};
+  proto::pitch::AddOrder add;
+  add.symbol = proto::Symbol{"ACME"};
+  add.quantity = 100;
+  add.price = 60'000;
+  for (int i = 0; i < 30; ++i) {
+    add.order_id = static_cast<proto::OrderId>(i + 1);
+    builder.append(proto::pitch::Message{add});
+  }
+  proto::pitch::DeleteOrder del;
+  for (int i = 0; i < 20; ++i) {
+    del.order_id = static_cast<proto::OrderId>(i + 1);
+    builder.append(proto::pitch::Message{del});
+  }
+  builder.flush();
+  proto::pitch::DecodedBatch batch;
+  ASSERT_TRUE(proto::pitch::decode_batch(payload, batch));  // warm: column growth
+  ASSERT_EQ(batch.count, 50u);
+
+  const std::uint64_t before = allocations();
+  for (int i = 0; i < 4'096; ++i) {
+    ASSERT_TRUE(proto::pitch::decode_batch(payload, batch));
+  }
+  EXPECT_EQ(allocations() - before, 0u)
+      << "warm batch decode must reuse the SoA columns without heap traffic";
+  EXPECT_EQ(batch.count, 50u);
 }
 
 }  // namespace

@@ -191,6 +191,8 @@ TEST_P(FuzzTest, RandomBytesNeverCrashAnyDecoder) {
     (void)net::decode_frame(bytes);
     (void)proto::pitch::parse_frame(bytes);
     (void)proto::pitch::peek_header(bytes);
+    proto::pitch::DecodedBatch batch;
+    (void)proto::pitch::decode_batch(bytes, batch);
     (void)proto::norm::parse(bytes);
     (void)proto::boe::decode(bytes);
     (void)proto::boe::complete_length(bytes);
@@ -397,6 +399,101 @@ TEST_P(FuzzTest, PitchTruncationSweepOverWholeFrames) {
     EXPECT_FALSE(proto::pitch::parse_frame(prefix).has_value());
   }
   EXPECT_TRUE(proto::pitch::parse_frame(frame).has_value());
+}
+
+// --- batch decoder (SoA lane) ----------------------------------------------
+
+// Re-encodes a message so structurally-equal messages compare byte-equal.
+std::vector<std::byte> reencoded(const proto::pitch::Message& message) {
+  std::vector<std::byte> out;
+  net::WireWriter w{out};
+  proto::pitch::encode(message, w);
+  return out;
+}
+
+TEST_P(FuzzTest, BatchDecodeMatchesVariantDecoderOnValidFrames) {
+  sim::Rng rng{GetParam() ^ 0x42415443};
+  proto::pitch::DecodedBatch batch;  // reused across rounds, as consumers do
+  for (int round = 0; round < 100; ++round) {
+    std::vector<std::vector<std::byte>> frames;
+    proto::pitch::FrameBuilder builder{
+        2, 1458,
+        [&frames](std::vector<std::byte> p, const proto::pitch::UnitHeader&) {
+          frames.push_back(std::move(p));
+        }};
+    const auto n = 1 + rng.next_below(40);
+    for (std::uint64_t i = 0; i < n; ++i) builder.append(random_pitch_message(rng));
+    builder.flush();
+    for (const auto& frame : frames) {
+      std::vector<proto::pitch::Message> variant_messages;
+      ASSERT_TRUE(proto::pitch::for_each_message(
+          frame,
+          [&variant_messages](const proto::pitch::Message& m) { variant_messages.push_back(m); }));
+      ASSERT_TRUE(proto::pitch::decode_batch(frame, batch));
+      ASSERT_EQ(batch.count, variant_messages.size());
+      const auto header = proto::pitch::peek_header(frame);
+      ASSERT_TRUE(header.has_value());
+      EXPECT_EQ(batch.header.sequence, header->sequence);
+      EXPECT_EQ(batch.header.unit, header->unit);
+      for (std::size_t i = 0; i < batch.count; ++i) {
+        // Row-by-row: the SoA columns must reconstruct the exact message.
+        EXPECT_EQ(reencoded(batch.message_at(i)), reencoded(variant_messages[i]))
+            << "message " << i;
+      }
+    }
+  }
+}
+
+TEST_P(FuzzTest, BatchDecodeBitFlipParityWithForEachMessage) {
+  sim::Rng rng{GetParam() ^ 0x42466c70};
+  std::vector<std::byte> valid;
+  proto::pitch::FrameBuilder builder{1, 1458,
+                                     [&valid](std::vector<std::byte> p,
+                                              const proto::pitch::UnitHeader&) {
+                                       valid = std::move(p);
+                                     }};
+  for (int i = 0; i < 12; ++i) builder.append(random_pitch_message(rng));
+  builder.flush();
+  proto::pitch::DecodedBatch batch;
+  for (int round = 0; round < 2'000; ++round) {
+    auto mutated = valid;
+    const auto flips = 1 + rng.next_below(4);
+    for (std::uint64_t f = 0; f < flips; ++f) {
+      mutated[rng.next_below(mutated.size())] ^=
+          static_cast<std::byte>(1 << rng.next_below(8));
+    }
+    // Both decoders share prefix semantics: same verdict, same number of
+    // messages surfaced, and identical messages for the shared prefix.
+    std::vector<proto::pitch::Message> variant_messages;
+    const bool variant_ok = proto::pitch::for_each_message(
+        mutated,
+        [&variant_messages](const proto::pitch::Message& m) { variant_messages.push_back(m); });
+    const bool batch_ok = proto::pitch::decode_batch(mutated, batch);
+    EXPECT_EQ(batch_ok, variant_ok);
+    ASSERT_EQ(batch.count, variant_messages.size());
+    for (std::size_t i = 0; i < batch.count; ++i) {
+      EXPECT_EQ(reencoded(batch.message_at(i)), reencoded(variant_messages[i]));
+    }
+  }
+}
+
+TEST_P(FuzzTest, BatchDecodeTruncationSweepMatchesParseFrame) {
+  sim::Rng rng{GetParam() ^ 0x42545253};
+  std::vector<std::byte> frame;
+  proto::pitch::FrameBuilder builder{
+      1, 1458,
+      [&frame](std::vector<std::byte> p, const proto::pitch::UnitHeader&) {
+        frame = std::move(p);
+      }};
+  for (int i = 0; i < 10; ++i) builder.append(random_pitch_message(rng));
+  builder.flush();
+  proto::pitch::DecodedBatch batch;
+  for (std::size_t len = 0; len <= frame.size(); ++len) {
+    const auto prefix = std::span{frame}.subspan(0, len);
+    const bool ok = proto::pitch::decode_batch(prefix, batch);
+    EXPECT_EQ(ok, proto::pitch::parse_frame(prefix).has_value()) << "len=" << len;
+    EXPECT_LE(batch.count, std::size_t{255});
+  }
 }
 
 TEST_P(FuzzTest, XpressTruncationSweepNeverOverReads) {

@@ -1,0 +1,34 @@
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace demo {
+
+// A batch decoder that allocates per message inside its marked hot loop —
+// the shape the SoA decode lane exists to avoid. Every row-building
+// operation here must be flagged: the columns were never reserved, the
+// per-row node is heap-built, and the scratch vector is loop-local.
+struct BatchDecoder {
+  std::vector<std::uint64_t> order_ids_;
+  std::vector<std::uint32_t> quantities_;
+
+  // tsn-lint: hotpath
+  std::size_t decode_all(const unsigned char* p, std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) {
+      order_ids_.push_back(load_id(p, i));    // lint-expect: hotpath-alloc
+      quantities_.push_back(load_qty(p, i));  // lint-expect: hotpath-alloc
+      auto row = std::make_unique<std::uint64_t>(i);  // lint-expect: hotpath-alloc
+      stash(row.get());
+    }
+    std::vector<std::size_t> offsets;  // lint-expect: hotpath-alloc
+    offsets.push_back(count);          // lint-expect: hotpath-alloc
+    return offsets.back();
+  }
+
+  static std::uint64_t load_id(const unsigned char* p, std::size_t i);
+  static std::uint32_t load_qty(const unsigned char* p, std::size_t i);
+  static void stash(const std::uint64_t* row);
+};
+
+}  // namespace demo

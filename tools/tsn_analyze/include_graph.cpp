@@ -74,7 +74,7 @@ const LayerConfig& default_layer_config() {
     c.deps["l2"] = {"mcast"};
     c.deps["fault"] = {"l2"};
     c.deps["wan"] = {"fault"};
-    c.deps["capture"] = {"net"};
+    c.deps["capture"] = {"net", "book"};
     c.deps["cluster"] = {"sim"};
     c.deps["book"] = {"proto"};
     c.deps["feed"] = {"proto"};
