@@ -1,0 +1,125 @@
+// S2 — gateway session scale-out: 100k order-entry sessions on one exchange.
+//
+// The paper's order-entry front end must carry ~10^5..10^6 mostly-idle
+// sessions and survive correlated reconnect storms (a switch reboot logs a
+// whole rack back in at once). This bench drives the storm load generator
+// against the pooled session store and reports three sim-time rates:
+//
+//   sessions.admitted_per_s                 — cold-start admission ramp
+//   orders.sustained_per_s_at_100k_sessions — steady rotate churn, all ready
+//   reconnect.recovered_sessions_per_s      — 10k-session storm re-admission
+//
+// All three are events per *simulated* second, so they are byte-identical
+// on every machine and bench_compare gates them hard; wall-clock rows are
+// informational. The recovery ceiling is also checked here directly — the
+// same bound the session-scale drill enforces.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+
+#include "exchange/exchange.hpp"
+#include "exchange/loadgen.hpp"
+#include "proto/partition.hpp"
+#include "sim/engine.hpp"
+#include "telemetry/report.hpp"
+
+int main() {
+  using namespace tsn;
+
+  constexpr std::uint32_t kSessions = 100'000;
+  constexpr std::uint32_t kStormKill = 10'000;
+  constexpr std::int64_t kRecoveryCeilingMs = 10;
+
+  std::printf("S2: session scale-out (%u sessions, %u-session storm)\n\n",
+              kSessions, kStormKill);
+
+  bench::Report report{"session_scale",
+                       "Gateway session scale-out: admission, churn, storm recovery"};
+  report.param("sessions", std::int64_t{kSessions});
+  report.param("storm_kill", std::int64_t{kStormKill});
+  report.param("recovery_ceiling_ms", kRecoveryCeilingMs);
+
+  sim::Engine engine;
+  exchange::ExchangeConfig xcfg;
+  xcfg.name = "SCALE";
+  xcfg.symbols = {{proto::Symbol{"AAPL"}}, {proto::Symbol{"MSFT"}},
+                  {proto::Symbol{"NVDA"}}, {proto::Symbol{"AMZN"}}};
+  xcfg.feed_partitioning = std::make_shared<proto::AlphabetPartition>(2);
+  xcfg.cancel_on_disconnect = true;
+  xcfg.heartbeat_interval = sim::millis(std::int64_t{5});
+  xcfg.session_timeout = sim::millis(std::int64_t{50});
+  xcfg.session_shards = 128;
+  xcfg.sharded_liveness_sweep = true;
+  xcfg.expected_sessions = kSessions + kSessions / 8;
+  xcfg.expected_open_orders = static_cast<std::size_t>(kSessions) * 8;
+  xcfg.expected_journal_bytes = std::size_t{96} << 20;
+  exchange::Exchange ex{engine, xcfg};
+
+  exchange::LoadGenConfig gcfg;
+  gcfg.sessions = kSessions;
+  gcfg.seed = 7;
+  gcfg.logins_per_tick = 5'000;
+  gcfg.target_open_orders = 2;
+  gcfg.burst_size = 2;
+  exchange::LoadGen gen{engine, ex, gcfg};
+  ex.start_heartbeats();
+
+  const auto at = [](std::int64_t ms) { return sim::Time() + sim::millis(ms); };
+  const auto sim_seconds = [](sim::Duration d) {
+    return static_cast<double>(d.picos()) * 1e-12;
+  };
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  // --- admission ramp ------------------------------------------------------
+  gen.start();
+  engine.run_until(at(5));
+  const bool admitted = report.check("all_admitted", gen.all_admitted(),
+                                     "every session logged in and acked by 5ms");
+  const double admit_s = sim_seconds(gen.admitted_at() - sim::Time());
+  const double admitted_per_s = admitted ? kSessions / admit_s : 0.0;
+  report.metric("sessions.admitted_per_s", admitted_per_s, "sessions/s");
+  std::printf("admission: %u sessions in %.3f sim-ms (%.3g /s)\n", kSessions,
+              admit_s * 1e3, admitted_per_s);
+
+  // --- sustained order churn ----------------------------------------------
+  // Steady-state window: every persona rotating on cadence, no storms. The
+  // rate counts acked order submissions (rotations + bursts) per sim second.
+  engine.run_until(at(8));
+  const std::uint64_t acked_before = gen.stats().orders_acked;
+  engine.run_until(at(24));
+  const std::uint64_t acked = gen.stats().orders_acked - acked_before;
+  const double churn_s = sim_seconds(sim::millis(std::int64_t{24} - 8));
+  const double sustained = static_cast<double>(acked) / churn_s;
+  report.metric("orders.sustained_per_s_at_100k_sessions", sustained, "orders/s");
+  report.check("churn_nonzero", acked > 0, "steady window must ack orders");
+  std::printf("churn: %llu acked in %.0f sim-ms (%.3g /s)\n",
+              static_cast<unsigned long long>(acked), churn_s * 1e3, sustained);
+
+  // --- reconnect storm -----------------------------------------------------
+  const std::uint32_t dropped = gen.storm(kStormKill);
+  engine.run_until(at(34));
+  const bool recovered =
+      report.check("storm_recovered", dropped == kStormKill && gen.storm_recovered(),
+                   "all storm victims ready again with nothing outstanding");
+  const double recovery_s = recovered ? sim_seconds(gen.storm_recovery_duration()) : 0.0;
+  const double recovery_ms = recovery_s * 1e3;
+  report.metric("reconnect.storm_recovery_ms", recovery_ms, "ms");
+  report.metric("reconnect.recovered_sessions_per_s",
+                recovered ? kStormKill / recovery_s : 0.0, "sessions/s");
+  report.check("recovery_under_ceiling",
+               recovered && recovery_ms < static_cast<double>(kRecoveryCeilingMs),
+               "10k-session storm must recover within the drill ceiling");
+  std::printf("storm: %u sessions recovered in %.3f sim-ms\n", dropped, recovery_ms);
+
+  // Wall-clock context (machine-dependent — informational only, unit "ms"
+  // keeps it out of the bench_compare throughput gate).
+  const double wall_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - wall_start)
+                             .count();
+  report.metric("wall.total_ms", wall_ms, "ms");
+  report.metric("sessions.live", static_cast<double>(gen.ready_sessions()), "sessions");
+  std::printf("wall: %.0f ms for the full scenario\n", wall_ms);
+
+  return report.finish();
+}

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <stdexcept>
-#include <unordered_set>
 #include <utility>
 
 #include "telemetry/trace.hpp"
@@ -41,41 +40,26 @@ struct Exchange::Unit {
   std::uint32_t last_time_second = 0xffffffff;
 };
 
-// One accepted TCP connection: the physical leg of a session. A session
-// outlives its connections — each reconnect binds a fresh Connection to the
-// same Session.
+// One accepted connection: the physical leg of a session — a TcpEndpoint
+// for real legs, a DirectClient for in-process population-scale legs. A
+// session outlives its connections — each reconnect binds a fresh
+// Connection to the same pooled session row. All logical session state
+// (journal, open orders, dedupe, tx_seq) lives in the SessionStore.
 struct Exchange::Connection {
-  net::TcpEndpoint* endpoint = nullptr;
+  net::TcpEndpoint* endpoint = nullptr;  // null for direct connections
+  DirectClient* direct = nullptr;
+  std::uint32_t index = 0;  // position in connections_
   proto::boe::StreamParser parser;
   sim::Time last_rx;
   // Declared dead (timeout or transport death). Bytes and in-flight matcher
   // events for a dead connection are dropped; the object stays alive as a
   // post-mortem record so scheduled closures can never dangle.
   bool dead = false;
-  Session* session = nullptr;  // bound at login
-};
-
-// The logical order-entry session: identified by the client-chosen
-// session_id, authenticated by its login token, and resumable across
-// connection deaths with exactly-once response replay.
-struct Exchange::Session {
-  std::uint32_t session_id = 0;
-  std::uint64_t token = 0;
-  std::uint32_t tx_seq = 1;  // next sequenced application message
-  bool logged_in = false;
-  Connection* conn = nullptr;  // live connection, nullptr while disconnected
-  // Every sequenced application message ever sent, verbatim, keyed by its
-  // sequence — the replay source. Session-level messages (seq 0) are never
-  // journaled. Unbounded by design: a real venue prunes on replay
-  // acknowledgement; a sim run is finite.
-  std::vector<std::pair<std::uint32_t, std::vector<std::byte>>> journal;
-  // client order id -> exchange order id, for the orders this session owns
-  // that are still live.
-  std::unordered_map<proto::OrderId, proto::OrderId> open_orders;
-  // Every client order id ever accepted, live or terminal: the dedupe set
-  // that makes idempotent resubmission safe (a resubmitted id that already
-  // executed gets kDuplicateOrderId instead of a second execution).
-  std::unordered_set<proto::OrderId> used_client_ids;
+  std::uint32_t session = SessionStore::kNullSlot;  // store slot, bound at login
+  // Links for the unbound-live-connections sweep list.
+  std::uint32_t live_prev = SessionStore::kNullSlot;
+  std::uint32_t live_next = SessionStore::kNullSlot;
+  bool in_unbound_list = false;
 };
 
 // Converts book events for one symbol into feed messages and fills.
@@ -140,7 +124,9 @@ class Exchange::FeedListener final : public book::BookListener {
 };
 
 Exchange::Exchange(sim::Scheduler& engine, ExchangeConfig config)
-    : engine_(engine), config_(std::move(config)) {
+    : engine_(engine),
+      config_(std::move(config)),
+      store_(SessionStoreConfig{config_.session_shards}) {
   if (!config_.feed_partitioning) {
     throw std::invalid_argument{"exchange requires a feed partitioning scheme"};
   }
@@ -168,10 +154,22 @@ Exchange::Exchange(sim::Scheduler& engine, ExchangeConfig config)
     // Pre-warm the SoA slabs at startup so the first burst of resting
     // orders never pays mid-update slab growth.
     book->reserve(1'024, 128);
+    symbol_idx_.emplace(spec.symbol, static_cast<std::uint16_t>(book_ptrs_.size()));
+    book_ptrs_.push_back(book.get());
     books_.emplace(spec.symbol, std::move(book));
     listeners_.emplace(spec.symbol, std::move(listener));
     kinds_.emplace(spec.symbol, spec.kind);
   }
+
+  if (config_.expected_sessions > 0) {
+    store_.reserve(config_.expected_sessions, config_.expected_open_orders,
+                   config_.expected_journal_bytes);
+    connections_.reserve(config_.expected_sessions + 16);
+    scratch_sweep_.reserve(
+        (2 * config_.expected_sessions) / std::max<std::uint32_t>(1, store_.shard_count()) + 16);
+  }
+  scratch_tx_.reserve(64);
+  scratch_cod_ids_.reserve(64);
 
   order_stack_->listen_tcp(config_.order_port,
                            [this](net::TcpEndpoint& endpoint) { on_accept_session(endpoint); });
@@ -299,26 +297,64 @@ void Exchange::start_heartbeats() {
   engine_.schedule_in(config_.heartbeat_interval, [this] { heartbeat_tick(); });
 }
 
+void Exchange::check_liveness(Connection& conn, sim::Time now) {
+  const auto idle = now - conn.last_rx;
+  if (idle > config_.session_timeout) {
+    // A dead counterparty: drop the connection and declare the bound
+    // session dead — cancel-on-disconnect (when enabled) pulls its
+    // resting orders and journals the cancels for replay at re-login.
+    conn.dead = true;
+    if (conn.in_unbound_list) unlink_unbound(conn);
+    close_leg(conn);
+    ++stats_.sessions_timed_out;
+    if (conn.session != SessionStore::kNullSlot && store_.conn(conn.session) == conn.index) {
+      declare_session_dead(conn.session);
+    }
+    return;
+  }
+  if (idle > config_.heartbeat_interval) {
+    send_conn(conn, proto::boe::Heartbeat{});
+    ++stats_.heartbeats_sent;
+  }
+}
+
 void Exchange::heartbeat_tick() {
   const sim::Time now = engine_.now();
-  for (auto& conn : connections_) {
-    if (conn->dead || conn->endpoint->state() != net::TcpState::kEstablished) continue;
-    const auto idle = now - conn->last_rx;
-    if (idle > config_.session_timeout) {
-      // A dead counterparty: drop the connection and declare the bound
-      // session dead — cancel-on-disconnect (when enabled) pulls its
-      // resting orders and journals the cancels for replay at re-login.
-      conn->dead = true;
-      conn->endpoint->close();
-      ++stats_.sessions_timed_out;
-      if (conn->session != nullptr && conn->session->conn == conn.get()) {
-        declare_session_dead(*conn->session);
+  if (!config_.sharded_liveness_sweep) {
+    // Legacy sweep: every connection, every tick — PR 5's exact semantics.
+    for (auto& conn : connections_) {
+      if (conn->dead) continue;
+      if (conn->endpoint != nullptr && conn->endpoint->state() != net::TcpState::kEstablished) {
+        continue;
       }
-      continue;
+      check_liveness(*conn, now);
     }
-    if (idle > config_.heartbeat_interval) {
-      send_conn(*conn, proto::boe::Heartbeat{});
-      ++stats_.heartbeats_sent;
+  } else {
+    // O(shard) sweep: pre-login legs every tick (they are few and
+    // short-lived), bound sessions one directory shard per tick in bind
+    // order. Collect first — a timeout kill unbinds mid-walk.
+    for (std::uint32_t ci = unbound_head_; ci != SessionStore::kNullSlot;) {
+      Connection& conn = *connections_[ci];
+      ci = conn.live_next;  // the kill path unlinks `conn`
+      if (conn.dead) continue;
+      if (conn.endpoint != nullptr && conn.endpoint->state() != net::TcpState::kEstablished) {
+        continue;
+      }
+      check_liveness(conn, now);
+    }
+    const std::uint32_t shard = sweep_cursor_++ & (store_.shard_count() - 1);
+    scratch_sweep_.clear();
+    store_.for_each_connected(shard,
+                              [this](std::uint32_t slot) { scratch_sweep_.push_back(slot); });
+    for (const std::uint32_t slot : scratch_sweep_) {
+      const std::uint32_t ci = store_.conn(slot);
+      if (ci == SessionStore::kNullSlot) continue;
+      Connection& conn = *connections_[ci];
+      if (conn.dead) continue;
+      if (conn.endpoint != nullptr && conn.endpoint->state() != net::TcpState::kEstablished) {
+        continue;
+      }
+      check_liveness(conn, now);
     }
   }
   engine_.schedule_in(config_.heartbeat_interval, [this] { heartbeat_tick(); });
@@ -362,8 +398,19 @@ void Exchange::register_metrics(telemetry::Registry& registry, const std::string
                  [this] { return static_cast<double>(stats_.duplicate_client_ids_rejected); });
   registry.gauge(prefix + ".snapshots_published",
                  [this] { return static_cast<double>(snapshots_published_); });
+  registry.gauge(prefix + ".sessions_live",
+                 [this] { return static_cast<double>(store_.session_count()); });
+  registry.gauge(prefix + ".session_open_orders",
+                 [this] { return static_cast<double>(store_.open_orders_total()); });
+  registry.gauge(prefix + ".journal_appends",
+                 [this] { return static_cast<double>(store_.stats().journal_appends); });
+  registry.gauge(prefix + ".journal_flushes",
+                 [this] { return static_cast<double>(store_.stats().journal_flushes); });
+  registry.gauge(prefix + ".journal_bytes",
+                 [this] { return static_cast<double>(store_.stats().journal_bytes); });
 }
 
+// tsn-lint: hotpath
 void Exchange::notify_fill(const book::Execution& execution) {
   struct Leg {
     proto::OrderId exchange_id;
@@ -372,34 +419,107 @@ void Exchange::notify_fill(const book::Execution& execution) {
   const Leg legs[2] = {{execution.resting_id, execution.resting_remaining},
                        {execution.aggressive_id, execution.aggressive_remaining}};
   for (const Leg& leg : legs) {
-    auto owner_it = order_owner_.find(leg.exchange_id);
-    if (owner_it == order_owner_.end()) continue;  // background-driver order
-    Session& session = *owner_it->second;
-    const auto client_it = exch_to_client_.find(leg.exchange_id);
-    if (client_it == exch_to_client_.end()) continue;
+    const std::uint32_t order = store_.find_by_exchange(leg.exchange_id);
+    if (order == SessionStore::kNullSlot) continue;  // background-driver order
+    const std::uint32_t session = store_.order_session(order);
     proto::boe::Fill fill;
-    fill.client_order_id = client_it->second;
+    fill.client_order_id = store_.order_client_id(order);
     fill.execution_id = execution.exec_id;
     fill.quantity = execution.quantity;
     fill.price = execution.price;
     fill.leaves_quantity = leg.remaining;
     send_app(session, fill);
     ++stats_.fills_sent;
-    if (leg.remaining == 0) {
-      session.open_orders.erase(client_it->second);
-      order_owner_.erase(owner_it);
-      exch_to_client_.erase(client_it);
-      order_symbol_.erase(leg.exchange_id);
-    }
+    if (leg.remaining == 0) store_.close_order(order);
+  }
+}
+
+void Exchange::link_unbound(Connection& conn) noexcept {
+  conn.live_prev = unbound_tail_;
+  conn.live_next = SessionStore::kNullSlot;
+  if (unbound_tail_ != SessionStore::kNullSlot) {
+    connections_[unbound_tail_]->live_next = conn.index;
+  } else {
+    unbound_head_ = conn.index;
+  }
+  unbound_tail_ = conn.index;
+  conn.in_unbound_list = true;
+}
+
+void Exchange::unlink_unbound(Connection& conn) noexcept {
+  if (!conn.in_unbound_list) return;
+  if (conn.live_prev != SessionStore::kNullSlot) {
+    connections_[conn.live_prev]->live_next = conn.live_next;
+  } else {
+    unbound_head_ = conn.live_next;
+  }
+  if (conn.live_next != SessionStore::kNullSlot) {
+    connections_[conn.live_next]->live_prev = conn.live_prev;
+  } else {
+    unbound_tail_ = conn.live_prev;
+  }
+  conn.live_prev = SessionStore::kNullSlot;
+  conn.live_next = SessionStore::kNullSlot;
+  conn.in_unbound_list = false;
+}
+
+void Exchange::close_leg(Connection& conn) {
+  if (conn.endpoint != nullptr) {
+    conn.endpoint->close();
+  } else if (conn.direct != nullptr) {
+    conn.direct->on_direct_closed(conn.index);
+  }
+}
+
+void Exchange::send_bytes(Connection& conn, std::span<const std::byte> bytes) {
+  if (conn.endpoint != nullptr) {
+    conn.endpoint->send(bytes);
+  } else {
+    conn.direct->on_direct_bytes(conn.index, bytes);
+  }
+}
+
+std::uint32_t Exchange::open_direct(DirectClient& client) {
+  auto conn = std::make_unique<Connection>();
+  conn->direct = &client;
+  conn->index = static_cast<std::uint32_t>(connections_.size());
+  conn->last_rx = engine_.now();
+  connections_.push_back(std::move(conn));
+  link_unbound(*connections_.back());
+  return connections_.back()->index;
+}
+
+void Exchange::deliver_direct(std::uint32_t conn, const proto::boe::Message& message) {
+  Connection& c = *connections_.at(conn);
+  if (c.dead) return;
+  c.last_rx = engine_.now();
+  // Same matcher latency as the TCP path; dead-leg drop re-checked at the
+  // matcher instant so post-mortem messages can never act.
+  engine_.schedule_in(config_.matching_latency, [this, conn, message] {
+    Connection& cc = *connections_[conn];
+    if (cc.dead) return;
+    on_session_message(cc, message);
+  });
+}
+
+void Exchange::close_direct(std::uint32_t conn) {
+  Connection& c = *connections_.at(conn);
+  if (c.dead) return;
+  c.dead = true;
+  if (c.in_unbound_list) unlink_unbound(c);
+  if (c.session != SessionStore::kNullSlot && store_.conn(c.session) == c.index) {
+    declare_session_dead(c.session);
   }
 }
 
 void Exchange::on_accept_session(net::TcpEndpoint& endpoint) {
   auto conn = std::make_unique<Connection>();
   conn->endpoint = &endpoint;
+  conn->index = static_cast<std::uint32_t>(connections_.size());
   conn->last_rx = engine_.now();
   Connection* raw = conn.get();
   connections_.push_back(std::move(conn));
+  link_unbound(*raw);
   endpoint.set_data_handler([this, raw](std::span<const std::byte> bytes, sim::Time arrival) {
     if (raw->dead) return;  // post-mortem bytes from an already-dead leg
     raw->last_rx = engine_.now();
@@ -423,69 +543,74 @@ void Exchange::on_accept_session(net::TcpEndpoint& endpoint) {
   endpoint.set_closed_handler([this, raw](net::TcpCloseReason) {
     if (raw->dead) return;
     raw->dead = true;
-    if (raw->session != nullptr && raw->session->conn == raw) {
-      declare_session_dead(*raw->session);
+    if (raw->in_unbound_list) unlink_unbound(*raw);
+    if (raw->session != SessionStore::kNullSlot && store_.conn(raw->session) == raw->index) {
+      declare_session_dead(raw->session);
     }
   });
 }
 
 void Exchange::send_conn(Connection& conn, const proto::boe::Message& message) {
-  conn.endpoint->send(proto::boe::encode(message, 0));
+  scratch_tx_.clear();
+  proto::boe::encode_into(message, 0, scratch_tx_);
+  send_bytes(conn, scratch_tx_);
 }
 
-void Exchange::send_app(Session& session, const proto::boe::Message& message) {
-  const std::uint32_t seq = session.tx_seq++;
-  auto bytes = proto::boe::encode(message, seq);
-  if (session.conn != nullptr && !session.conn->dead &&
-      session.conn->endpoint->state() == net::TcpState::kEstablished) {
-    session.conn->endpoint->send(bytes);
-  }
-  session.journal.emplace_back(seq, std::move(bytes));
-}
-
-Exchange::Session* Exchange::find_session(std::uint32_t session_id) noexcept {
-  for (auto& session : sessions_) {
-    if (session->session_id == session_id) return session.get();
-  }
-  return nullptr;
-}
-
-void Exchange::declare_session_dead(Session& session) {
-  session.logged_in = false;
-  if (session.conn != nullptr) {
-    session.conn->dead = true;
-    session.conn = nullptr;
-  }
-  if (!config_.cancel_on_disconnect || session.open_orders.empty()) return;
-  ++stats_.cod_sessions;
-  // Sorted sweep: open_orders iteration order is unordered, and the feed
-  // deletes + journaled cancels this emits must be byte-identical across
-  // replays of the same seed.
-  std::vector<proto::OrderId> client_ids;
-  client_ids.reserve(session.open_orders.size());
-  // tsn-lint: allow(unordered-iter) order-independent: ids sorted before any cancel fires
-  for (const auto& [client_id, exchange_id] : session.open_orders) {
-    client_ids.push_back(client_id);
-  }
-  std::sort(client_ids.begin(), client_ids.end());
-  for (const proto::OrderId client_id : client_ids) {
-    const proto::OrderId exchange_id = session.open_orders.at(client_id);
-    const auto symbol_it = order_symbol_.find(exchange_id);
-    if (symbol_it != order_symbol_.end()) {
-      // cancel() fires the book listener, which publishes the DeleteOrder
-      // on the feed — disconnect-driven pulls are market data like any
-      // other cancel.
-      const auto cancelled = book(symbol_it->second).cancel(exchange_id);
-      if (cancelled) {
-        send_app(session, proto::boe::OrderCancelled{client_id, *cancelled});
-        ++stats_.cod_orders_cancelled;
-      }
+// tsn-lint: hotpath
+void Exchange::send_app(std::uint32_t session, const proto::boe::Message& message) {
+  const std::uint32_t seq = store_.next_seq(session);
+  scratch_tx_.clear();
+  proto::boe::encode_into(message, seq, scratch_tx_);
+  const std::uint32_t ci = store_.conn(session);
+  if (ci != SessionStore::kNullSlot) {
+    Connection& conn = *connections_[ci];
+    if (!conn.dead &&
+        (conn.endpoint == nullptr || conn.endpoint->state() == net::TcpState::kEstablished)) {
+      send_bytes(conn, scratch_tx_);
     }
-    order_owner_.erase(exchange_id);
-    exch_to_client_.erase(exchange_id);
-    order_symbol_.erase(exchange_id);
   }
-  session.open_orders.clear();
+  store_.journal_stage(session, seq, scratch_tx_);
+  schedule_journal_flush();
+}
+
+void Exchange::schedule_journal_flush() {
+  if (journal_flush_scheduled_) return;
+  journal_flush_scheduled_ = true;
+  // Runs after the current event cascade: every message staged at this
+  // instant — across all sessions — commits in one arena append.
+  engine_.schedule_in(sim::Duration::zero(), [this] {
+    journal_flush_scheduled_ = false;
+    store_.journal_flush();
+  });
+}
+
+void Exchange::declare_session_dead(std::uint32_t session) {
+  store_.set_logged_in(session, false);
+  const std::uint32_t ci = store_.conn(session);
+  if (ci != SessionStore::kNullSlot) {
+    connections_[ci]->dead = true;
+    store_.unbind(session);
+  }
+  if (!config_.cancel_on_disconnect || store_.open_order_count(session) == 0) return;
+  ++stats_.cod_sessions;
+  // Sorted sweep: the feed deletes + journaled cancels this emits must be
+  // byte-identical across replays of the same seed, independent of the
+  // order chain's (insertion-history-dependent) layout.
+  store_.collect_open_client_ids(session, scratch_cod_ids_);
+  for (const proto::OrderId client_id : scratch_cod_ids_) {
+    const std::uint32_t order = store_.find_open(session, client_id);
+    if (order == SessionStore::kNullSlot) continue;
+    // cancel() fires the book listener, which publishes the DeleteOrder
+    // on the feed — disconnect-driven pulls are market data like any
+    // other cancel.
+    const auto cancelled =
+        book_ptrs_[store_.order_symbol(order)]->cancel(store_.order_exchange_id(order));
+    if (cancelled) {
+      send_app(session, proto::boe::OrderCancelled{client_id, *cancelled});
+      ++stats_.cod_orders_cancelled;
+    }
+    store_.close_order(order);
+  }
 }
 
 void Exchange::on_session_message(Connection& conn, const proto::boe::Message& message) {
@@ -498,7 +623,7 @@ void Exchange::on_session_message(Connection& conn, const proto::boe::Message& m
     return;  // liveness only: the data handler already refreshed the timer
   }
   if (std::get_if<Logout>(&message) != nullptr) {
-    if (conn.session != nullptr) conn.session->logged_in = false;
+    if (conn.session != SessionStore::kNullSlot) store_.set_logged_in(conn.session, false);
     return;
   }
   if (const auto* replay = std::get_if<ReplayRequest>(&message)) {
@@ -506,31 +631,31 @@ void Exchange::on_session_message(Connection& conn, const proto::boe::Message& m
     return;
   }
   if (const auto* order = std::get_if<NewOrder>(&message)) {
-    if (conn.session == nullptr) {
+    if (conn.session == SessionStore::kNullSlot) {
       ++stats_.orders_received;
       ++stats_.orders_rejected;
       send_conn(conn, OrderRejected{order->client_order_id, RejectReason::kNotLoggedIn});
       return;
     }
-    handle_new_order(*conn.session, *order);
+    handle_new_order(conn.session, *order);
     return;
   }
   if (const auto* cancel = std::get_if<CancelOrder>(&message)) {
-    if (conn.session == nullptr) {
+    if (conn.session == SessionStore::kNullSlot) {
       ++stats_.cancels_received;
       ++stats_.cancel_rejects;
       send_conn(conn, CancelRejected{cancel->client_order_id, RejectReason::kTooLateToCancel});
       return;
     }
-    handle_cancel(*conn.session, *cancel);
+    handle_cancel(conn.session, *cancel);
     return;
   }
   if (const auto* modify = std::get_if<ModifyOrder>(&message)) {
-    if (conn.session == nullptr) {
+    if (conn.session == SessionStore::kNullSlot) {
       send_conn(conn, CancelRejected{modify->client_order_id, RejectReason::kUnknownOrder});
       return;
     }
-    handle_modify(*conn.session, *modify);
+    handle_modify(conn.session, *modify);
     return;
   }
   // Exchange-to-client message types arriving inbound are protocol errors;
@@ -543,68 +668,72 @@ void Exchange::handle_login(Connection& conn, const proto::boe::LoginRequest& lo
     send_conn(conn, LoginRejected{RejectReason::kNotLoggedIn});
     return;
   }
-  Session* session = find_session(login.session_id);
-  if (session == nullptr) {
-    // First login for this session id: create the logical session.
-    auto fresh = std::make_unique<Session>();
-    fresh->session_id = login.session_id;
-    fresh->token = login.token;
-    session = fresh.get();
-    sessions_.push_back(std::move(fresh));
-  } else if (session->token != login.token) {
+  const auto result = store_.login(login.session_id, login.token);
+  if (result.verdict == LoginVerdict::kInUse) {
     send_conn(conn, LoginRejected{RejectReason::kSessionInUse});
     return;
-  } else if (session->conn == &conn) {
-    // Duplicate login on the same connection: idempotent.
-    send_conn(conn, LoginAccepted{});
-    return;
-  } else if (session->conn != nullptr && !session->conn->dead) {
-    // Same credentials on a new connection while the old one still looks
-    // alive: the client knows its old leg is gone even if we don't yet
-    // (e.g. it aborted without a FIN). Take the session over — crucially
-    // WITHOUT cancel-on-disconnect, since the session never died.
-    session->conn->dead = true;
-    session->conn->session = nullptr;
-    session->conn->endpoint->close();
-    session->conn = nullptr;
-    ++stats_.sessions_taken_over;
-  } else {
-    ++stats_.sessions_resumed;
+  }
+  const std::uint32_t session = result.slot;
+  if (result.verdict == LoginVerdict::kMatch) {
+    const std::uint32_t cur = store_.conn(session);
+    if (cur == conn.index) {
+      // Duplicate login on the same connection: idempotent.
+      send_conn(conn, LoginAccepted{});
+      return;
+    }
+    if (cur != SessionStore::kNullSlot && !connections_[cur]->dead) {
+      // Same credentials on a new connection while the old one still looks
+      // alive: the client knows its old leg is gone even if we don't yet
+      // (e.g. it aborted without a FIN). Take the session over — crucially
+      // WITHOUT cancel-on-disconnect, since the session never died.
+      Connection& old = *connections_[cur];
+      old.dead = true;
+      old.session = SessionStore::kNullSlot;
+      store_.unbind(session);
+      close_leg(old);
+      ++stats_.sessions_taken_over;
+    } else {
+      if (cur != SessionStore::kNullSlot) store_.unbind(session);
+      ++stats_.sessions_resumed;
+    }
   }
   conn.session = session;
-  session->conn = &conn;
-  session->logged_in = true;
+  if (conn.in_unbound_list) unlink_unbound(conn);
+  store_.bind(session, conn.index);
+  store_.set_logged_in(session, true);
   send_conn(conn, LoginAccepted{});
 }
 
 void Exchange::handle_replay(Connection& conn, const proto::boe::ReplayRequest& request) {
   using namespace proto::boe;
-  Session* session = conn.session;
-  if (session == nullptr) return;  // replay without a login is a protocol error
+  if (conn.session == SessionStore::kNullSlot) return;  // replay without a login
   ++stats_.replays_served;
-  // Journal entries are stored in send order with ascending seqs: replaying
-  // the tail > last_seen_seq re-sends the original bytes verbatim, so the
-  // client sees exactly the stream it missed — byte-identical, exactly once.
-  for (const auto& [seq, bytes] : session->journal) {
-    if (seq <= request.last_seen_seq) continue;
-    conn.endpoint->send(bytes);
-    ++stats_.replayed_messages;
-  }
-  send_conn(conn, SequenceReset{session->tx_seq});
+  // Journal records are chained in send order with ascending seqs:
+  // replaying the tail > last_seen_seq re-sends the original bytes
+  // verbatim, so the client sees exactly the stream it missed —
+  // byte-identical, exactly once.
+  store_.replay(conn.session, request.last_seen_seq,
+                [this, &conn](std::uint32_t, std::span<const std::byte> bytes) {
+                  send_bytes(conn, bytes);
+                  ++stats_.replayed_messages;
+                });
+  send_conn(conn, SequenceReset{store_.tx_seq(conn.session)});
 }
 
-void Exchange::handle_new_order(Session& session, const proto::boe::NewOrder& request) {
+// tsn-lint: hotpath
+void Exchange::handle_new_order(std::uint32_t session, const proto::boe::NewOrder& request) {
   using namespace proto::boe;
   ++stats_.orders_received;
   auto reject = [&](RejectReason reason) {
     ++stats_.orders_rejected;
     send_app(session, OrderRejected{request.client_order_id, reason});
   };
-  if (!session.logged_in) return reject(RejectReason::kNotLoggedIn);
-  if (!lists(request.symbol)) return reject(RejectReason::kInvalidSymbol);
+  if (!store_.logged_in(session)) return reject(RejectReason::kNotLoggedIn);
+  const auto symbol_it = symbol_idx_.find(request.symbol);
+  if (symbol_it == symbol_idx_.end()) return reject(RejectReason::kInvalidSymbol);
   if (request.quantity == 0) return reject(RejectReason::kInvalidQuantity);
   if (request.price <= 0) return reject(RejectReason::kInvalidPrice);
-  if (session.used_client_ids.contains(request.client_order_id)) {
+  if (store_.client_id_used(session, request.client_order_id)) {
     // Live OR terminal: the id was used before. This is what makes
     // resubmission after a reconnect idempotent — a resubmitted order whose
     // original already executed gets a reject, never a second execution.
@@ -619,13 +748,9 @@ void Exchange::handle_new_order(Session& session, const proto::boe::NewOrder& re
   ack.transact_time_ns = static_cast<std::uint64_t>(engine_.now().picos() / 1000);
   send_app(session, ack);
 
-  session.used_client_ids.insert(request.client_order_id);
-  session.open_orders.emplace(request.client_order_id, exchange_id);
-  order_owner_.emplace(exchange_id, &session);
-  exch_to_client_.emplace(exchange_id, request.client_order_id);
-  order_symbol_.emplace(exchange_id, request.symbol);
+  store_.register_order(session, request.client_order_id, exchange_id, symbol_it->second);
 
-  auto& target_book = book(request.symbol);
+  auto& target_book = *book_ptrs_[symbol_it->second];
   const book::Order order{exchange_id, request.side, request.price, request.quantity};
   const bool ioc = request.tif == TimeInForce::kImmediateOrCancel;
   const auto outcome = target_book.submit(order, ioc);
@@ -636,60 +761,48 @@ void Exchange::handle_new_order(Session& session, const proto::boe::NewOrder& re
     cancelled.cancelled_quantity = request.quantity - outcome.filled;
     send_app(session, cancelled);
   }
-  // Fully-filled or IOC orders are no longer live.
+  // Fully-filled or IOC orders are no longer live. A full fill was already
+  // closed by notify_fill inside submit(), hence the re-lookup.
   if (outcome.result == book::OrderBook::SubmitResult::kFilled ||
       outcome.result == book::OrderBook::SubmitResult::kCancelled) {
-    session.open_orders.erase(request.client_order_id);
-    order_owner_.erase(exchange_id);
-    exch_to_client_.erase(exchange_id);
-    order_symbol_.erase(exchange_id);
+    const std::uint32_t open = store_.find_open(session, request.client_order_id);
+    if (open != SessionStore::kNullSlot) store_.close_order(open);
   }
 }
 
-void Exchange::handle_cancel(Session& session, const proto::boe::CancelOrder& request) {
+// tsn-lint: hotpath
+void Exchange::handle_cancel(std::uint32_t session, const proto::boe::CancelOrder& request) {
   using namespace proto::boe;
   ++stats_.cancels_received;
-  const auto it = session.open_orders.find(request.client_order_id);
-  if (it == session.open_orders.end()) {
+  const std::uint32_t order = store_.find_open(session, request.client_order_id);
+  if (order == SessionStore::kNullSlot) {
     // Unknown or already filled — the §2 cancel/fill race lands here.
     ++stats_.cancel_rejects;
     send_app(session, CancelRejected{request.client_order_id, RejectReason::kTooLateToCancel});
     return;
   }
-  const proto::OrderId exchange_id = it->second;
-  // Find the book holding the order: sessions don't say, so consult the
-  // owner map's symbol via a linear scan fallback. To keep this O(1) we
-  // track symbols alongside; see order_symbol_.
-  const auto symbol_it = order_symbol_.find(exchange_id);
-  if (symbol_it == order_symbol_.end()) {
-    ++stats_.cancel_rejects;
-    send_app(session, CancelRejected{request.client_order_id, RejectReason::kUnknownOrder});
-    return;
-  }
-  auto cancelled = book(symbol_it->second).cancel(exchange_id);
+  auto cancelled =
+      book_ptrs_[store_.order_symbol(order)]->cancel(store_.order_exchange_id(order));
   if (!cancelled) {
     ++stats_.cancel_rejects;
     send_app(session, CancelRejected{request.client_order_id, RejectReason::kTooLateToCancel});
     return;
   }
   send_app(session, OrderCancelled{request.client_order_id, *cancelled});
-  session.open_orders.erase(it);
-  order_owner_.erase(exchange_id);
-  exch_to_client_.erase(exchange_id);
-  order_symbol_.erase(exchange_id);
+  store_.close_order(order);
 }
 
-void Exchange::handle_modify(Session& session, const proto::boe::ModifyOrder& request) {
+void Exchange::handle_modify(std::uint32_t session, const proto::boe::ModifyOrder& request) {
   using namespace proto::boe;
-  const auto it = session.open_orders.find(request.client_order_id);
-  if (it == session.open_orders.end()) {
+  const std::uint32_t order = store_.find_open(session, request.client_order_id);
+  if (order == SessionStore::kNullSlot) {
     send_app(session, CancelRejected{request.client_order_id, RejectReason::kUnknownOrder});
     return;
   }
-  const proto::OrderId exchange_id = it->second;
-  const auto symbol_it = order_symbol_.find(exchange_id);
-  if (symbol_it == order_symbol_.end() ||
-      !book(symbol_it->second).replace(exchange_id, request.quantity, request.price)) {
+  // replace() can rematch and fully fill via notify_fill, which closes the
+  // order row — don't touch `order` after this call.
+  if (!book_ptrs_[store_.order_symbol(order)]->replace(store_.order_exchange_id(order),
+                                                       request.quantity, request.price)) {
     send_app(session, CancelRejected{request.client_order_id, RejectReason::kUnknownOrder});
     return;
   }

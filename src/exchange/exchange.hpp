@@ -16,11 +16,13 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "book/order_book.hpp"
+#include "exchange/session_store.hpp"
 #include "net/stack.hpp"
 #include "proto/boe.hpp"
 #include "proto/partition.hpp"
@@ -29,6 +31,26 @@
 #include "telemetry/metrics.hpp"
 
 namespace tsn::exchange {
+
+// In-process order-entry transport for population-scale load: a direct
+// connection skips TcpLite entirely (no endpoint, no stream parser, no
+// per-byte simulation) while running the identical session state machine —
+// login, journal, replay, dedupe, cancel-on-disconnect, liveness. The
+// exchange pushes every outbound message through on_direct_bytes; inbound
+// messages are injected with Exchange::deliver_direct and still pay
+// matching_latency before the matcher acts.
+//
+// Callbacks run inside the exchange's own send path: implementations must
+// not call back into close_direct/deliver_direct synchronously (schedule a
+// zero-delay event instead) — the same re-entrancy rule as
+// net::TcpEndpoint::abort.
+class DirectClient {
+ public:
+  virtual ~DirectClient() = default;
+  virtual void on_direct_bytes(std::uint32_t conn, std::span<const std::byte> bytes) = 0;
+  // The exchange dropped the connection (liveness timeout or takeover).
+  virtual void on_direct_closed(std::uint32_t conn) { (void)conn; }
+};
 
 struct SymbolSpec {
   proto::Symbol symbol;
@@ -76,6 +98,22 @@ struct ExchangeConfig {
   // the matching engine acting on it (and between a match and the
   // acknowledgement leaving).
   sim::Duration matching_latency = sim::micros(std::int64_t{5});
+  // --- million-session scale-out (ROADMAP item 2) ---
+  // Session-directory shards (rounded up to a power of two). Lookups hash
+  // straight to a shard; 1 keeps PR 5's single-directory behavior.
+  std::uint32_t session_shards = 1;
+  // When true, each heartbeat tick sweeps only the connected sessions of
+  // shard (tick % session_shards) plus every pre-login connection, so a
+  // tick costs O(population / shards) instead of O(population). A silent
+  // session is then declared dead up to (shards - 1) ticks later than the
+  // legacy full scan — deterministic, just coarser. False preserves PR 5's
+  // exact per-tick semantics.
+  bool sharded_liveness_sweep = false;
+  // Pre-sizing for the pooled session store (sessions / concurrently open
+  // orders / journal byte arena). Zero leaves growth on demand.
+  std::size_t expected_sessions = 0;
+  std::size_t expected_open_orders = 0;
+  std::size_t expected_journal_bytes = 0;
   net::MacAddr feed_mac;
   net::Ipv4Addr feed_ip;
   net::MacAddr order_mac;
@@ -152,13 +190,27 @@ class Exchange {
   [[nodiscard]] const ExchangeStats& stats() const noexcept { return stats_; }
   [[nodiscard]] sim::Scheduler& engine() noexcept { return engine_; }
 
+  // --- direct (in-process) order-entry connections ---------------------
+  // Opens a TCP-less connection bound to `client`; returns its connection
+  // id for deliver_direct/close_direct. Session semantics are identical to
+  // the TCP path.
+  [[nodiscard]] std::uint32_t open_direct(DirectClient& client);
+  // Injects one inbound message; the matcher acts after matching_latency.
+  void deliver_direct(std::uint32_t conn, const proto::boe::Message& message);
+  // Client-side drop (no on_direct_closed callback). Like
+  // net::TcpEndpoint::abort, safe to call only from outside the exchange's
+  // own callbacks.
+  void close_direct(std::uint32_t conn);
+
+  // Pooled session/order/journal state (read-only; tests and benches).
+  [[nodiscard]] const SessionStore& session_store() const noexcept { return store_; }
+
   // Registers feed/order-flow/session gauges under "<prefix>".
   void register_metrics(telemetry::Registry& registry, const std::string& prefix) const;
 
  private:
   class FeedListener;
-  struct Connection;  // one accepted TCP connection (physical)
-  struct Session;     // one order-entry session (logical, survives reconnects)
+  struct Connection;  // one accepted connection (physical: TCP or direct)
   struct Unit;
 
   void publish(const proto::pitch::Message& message, std::uint8_t unit);
@@ -166,25 +218,34 @@ class Exchange {
   void notify_fill(const book::Execution& execution);
   void snapshot_tick();
   void heartbeat_tick();
+  void check_liveness(Connection& conn, sim::Time now);
   void on_accept_session(net::TcpEndpoint& endpoint);
   void on_session_message(Connection& conn, const proto::boe::Message& message);
   void handle_login(Connection& conn, const proto::boe::LoginRequest& login);
   void handle_replay(Connection& conn, const proto::boe::ReplayRequest& request);
-  void handle_new_order(Session& session, const proto::boe::NewOrder& request);
-  void handle_cancel(Session& session, const proto::boe::CancelOrder& request);
-  void handle_modify(Session& session, const proto::boe::ModifyOrder& request);
+  void handle_new_order(std::uint32_t session, const proto::boe::NewOrder& request);
+  void handle_cancel(std::uint32_t session, const proto::boe::CancelOrder& request);
+  void handle_modify(std::uint32_t session, const proto::boe::ModifyOrder& request);
   // Declares the session dead: unbinds its connection and, when
   // cancel_on_disconnect is set, pulls its resting orders (feed deletes +
   // journaled OrderCancelled responses).
-  void declare_session_dead(Session& session);
+  void declare_session_dead(std::uint32_t session);
   // Unsequenced session-level send (logins, heartbeats, SequenceReset):
   // carries seq 0 and is never journaled or replayed.
   void send_conn(Connection& conn, const proto::boe::Message& message);
-  // Sequenced application send: consumes the session's tx_seq, appends the
-  // encoded bytes to the replay journal, and transmits only while the
+  // Sequenced application send: consumes the session's tx_seq, stages the
+  // encoded bytes in the shared journal ring, and transmits only while the
   // session has a live established connection.
-  void send_app(Session& session, const proto::boe::Message& message);
-  [[nodiscard]] Session* find_session(std::uint32_t session_id) noexcept;
+  void send_app(std::uint32_t session, const proto::boe::Message& message);
+  // Transport-agnostic byte push: TcpEndpoint::send or on_direct_bytes.
+  void send_bytes(Connection& conn, std::span<const std::byte> bytes);
+  // Severs the remote leg: TCP close or on_direct_closed notification.
+  void close_leg(Connection& conn);
+  void link_unbound(Connection& conn) noexcept;
+  void unlink_unbound(Connection& conn) noexcept;
+  // Commits staged journal entries after the current event cascade (one
+  // group flush per instant, like the feed flush).
+  void schedule_journal_flush();
   [[nodiscard]] std::uint32_t now_seconds() const noexcept;
   [[nodiscard]] std::uint32_t now_offset_ns() const noexcept;
 
@@ -200,16 +261,30 @@ class Exchange {
   std::unordered_map<proto::Symbol, std::unique_ptr<book::OrderBook>> books_;
   std::unordered_map<proto::Symbol, std::unique_ptr<FeedListener>> listeners_;
   std::unordered_map<proto::Symbol, proto::InstrumentKind> kinds_;
+  // Dense symbol handles: the session hot path stores u16 indexes instead
+  // of 6-byte symbols and resolves books through one vector load.
+  std::unordered_map<proto::Symbol, std::uint16_t> symbol_idx_;
+  std::vector<book::OrderBook*> book_ptrs_;
 
   // Connections live for the exchange's lifetime (dead ones stay as
   // post-mortem records) so in-flight matcher events can never dangle.
   std::vector<std::unique_ptr<Connection>> connections_;
-  std::vector<std::unique_ptr<Session>> sessions_;
-  // exchange order id -> owning session (nullptr for driver orders).
-  std::unordered_map<proto::OrderId, Session*> order_owner_;
-  std::unordered_map<proto::OrderId, proto::OrderId> exch_to_client_;
-  std::unordered_map<proto::OrderId, proto::Symbol> order_symbol_;
+  // Intrusive list of live connections not yet bound to a session: the
+  // sharded liveness sweep walks these every tick (bound sessions are
+  // swept via the store's per-shard connected lists).
+  std::uint32_t unbound_head_ = SessionStore::kNullSlot;
+  std::uint32_t unbound_tail_ = SessionStore::kNullSlot;
+
+  // All per-session, per-order and journal state, pooled (SoA slabs).
+  SessionStore store_;
   proto::OrderId next_order_id_ = 1'000'000'000ULL;
+
+  // Hot-path scratch (reserved once, reused per message/sweep).
+  std::vector<std::byte> scratch_tx_;
+  std::vector<proto::OrderId> scratch_cod_ids_;
+  std::vector<std::uint32_t> scratch_sweep_;
+  bool journal_flush_scheduled_ = false;
+  std::uint32_t sweep_cursor_ = 0;
 
   ExchangeStats stats_;
   bool snapshots_running_ = false;

@@ -1,0 +1,551 @@
+#include "exchange/session_store.hpp"
+
+#include <algorithm>
+
+#include "core/check.hpp"
+
+namespace tsn::exchange {
+
+namespace {
+
+[[nodiscard]] std::size_t next_pow2(std::size_t x) {
+  std::size_t p = 1;
+  while (p < x) p <<= 1;
+  return p;
+}
+
+constexpr std::uint8_t kEmpty = 0;
+constexpr std::uint8_t kFull = 1;
+constexpr std::uint8_t kTombstone = 2;
+
+}  // namespace
+
+SessionStore::SessionStore(SessionStoreConfig config) {
+  const std::size_t shard_count = next_pow2(std::max<std::uint32_t>(1, config.shards));
+  shards_.resize(shard_count);
+  shard_mask_ = static_cast<std::uint32_t>(shard_count - 1);
+  for (Shard& shard : shards_) dir_grow(shard, 16);
+  exch_grow(16);
+  client_grow(16);
+}
+
+void SessionStore::reserve(std::size_t sessions, std::size_t orders, std::size_t journal_bytes) {
+  if (sessions > sess_external_.size()) grow_sessions(next_pow2(sessions));
+  if (orders > ord_client_.size()) grow_orders(next_pow2(orders));
+  // One journal record per staged message; size the record slab for the
+  // arena byte budget assuming small (header-ish) messages.
+  const std::size_t records = std::max<std::size_t>(sessions, journal_bytes / 16);
+  if (records > jr_seq_.size()) grow_records(next_pow2(records));
+  for (Shard& shard : shards_) {
+    dir_grow(shard, next_pow2(std::max<std::size_t>(16, (2 * sessions) / shards_.size())));
+  }
+  exch_grow(next_pow2(std::max<std::size_t>(16, 2 * orders)));
+  // The client index keeps one entry per client id *ever used*; give it the
+  // same budget as the journal-record slab so warm churn stays rehash-free.
+  client_grow(next_pow2(std::max<std::size_t>(16, 2 * std::max(orders, records / 4))));
+  arena_.reserve(journal_bytes);
+  staging_bytes_.reserve(std::max<std::size_t>(4096, journal_bytes / 8));
+  staged_.reserve(std::max<std::size_t>(256, sessions));
+}
+
+// --- slabs ---------------------------------------------------------------
+
+void SessionStore::grow_sessions(std::size_t new_capacity) {
+  const std::size_t old = sess_external_.size();
+  TSN_ASSERT(new_capacity > old, "index grow overflow");
+  sess_external_.resize(new_capacity);
+  sess_token_.resize(new_capacity);
+  sess_gen_.resize(new_capacity, 0);
+  sess_tx_seq_.resize(new_capacity);
+  sess_conn_.resize(new_capacity);
+  sess_flags_.resize(new_capacity);
+  sess_order_head_.resize(new_capacity);
+  sess_order_count_.resize(new_capacity);
+  sess_jr_head_.resize(new_capacity);
+  sess_jr_tail_.resize(new_capacity);
+  sess_jr_count_.resize(new_capacity);
+  sess_shard_.resize(new_capacity);
+  sess_prev_.resize(new_capacity);
+  sess_next_.resize(new_capacity);
+  // New rows join the freelist in descending order so allocation hands out
+  // ascending slots — keeps slot order deterministic and cache-friendly.
+  for (std::size_t i = new_capacity; i > old; --i) {
+    const auto slot = static_cast<std::uint32_t>(i - 1);
+    sess_next_[slot] = free_sess_;
+    free_sess_ = slot;
+  }
+}
+
+void SessionStore::grow_orders(std::size_t new_capacity) {
+  const std::size_t old = ord_client_.size();
+  TSN_ASSERT(new_capacity > old, "index grow overflow");
+  ord_client_.resize(new_capacity);
+  ord_exch_.resize(new_capacity);
+  ord_session_.resize(new_capacity);
+  ord_symbol_.resize(new_capacity);
+  ord_prev_.resize(new_capacity);
+  ord_next_.resize(new_capacity);
+  for (std::size_t i = new_capacity; i > old; --i) {
+    const auto slot = static_cast<std::uint32_t>(i - 1);
+    ord_next_[slot] = free_ord_;
+    free_ord_ = slot;
+  }
+}
+
+void SessionStore::grow_records(std::size_t new_capacity) {
+  const std::size_t old = jr_seq_.size();
+  TSN_ASSERT(new_capacity > old, "index grow overflow");
+  jr_seq_.resize(new_capacity);
+  jr_off_.resize(new_capacity);
+  jr_len_.resize(new_capacity);
+  jr_next_.resize(new_capacity);
+  for (std::size_t i = new_capacity; i > old; --i) {
+    const auto slot = static_cast<std::uint32_t>(i - 1);
+    jr_next_[slot] = free_jr_;
+    free_jr_ = slot;
+  }
+}
+
+std::uint32_t SessionStore::alloc_session() {
+  if (free_sess_ == kNullSlot) {
+    grow_sessions(std::max<std::size_t>(16, sess_external_.size() * 2));
+  }
+  const std::uint32_t slot = free_sess_;
+  free_sess_ = sess_next_[slot];
+  return slot;
+}
+
+std::uint32_t SessionStore::alloc_order() {
+  if (free_ord_ == kNullSlot) {
+    grow_orders(std::max<std::size_t>(16, ord_client_.size() * 2));
+  }
+  const std::uint32_t slot = free_ord_;
+  free_ord_ = ord_next_[slot];
+  return slot;
+}
+
+std::uint32_t SessionStore::alloc_record() {
+  if (free_jr_ == kNullSlot) {
+    grow_records(std::max<std::size_t>(64, jr_seq_.size() * 2));
+  }
+  const std::uint32_t slot = free_jr_;
+  free_jr_ = jr_next_[slot];
+  return slot;
+}
+
+// --- per-shard session-id directory --------------------------------------
+
+// tsn-lint: hotpath
+std::uint32_t SessionStore::dir_find(const Shard& shard, std::uint32_t session_id) const noexcept {
+  const std::size_t mask = shard.keys.size() - 1;
+  std::size_t pos = mix32(session_id) & mask;
+  while (true) {
+    const std::uint8_t state = shard.states[pos];
+    if (state == kEmpty) return kNullSlot;
+    if (state == kFull && shard.keys[pos] == session_id) return shard.slots[pos];
+    pos = (pos + 1) & mask;
+  }
+}
+
+void SessionStore::dir_insert(Shard& shard, std::uint32_t session_id, std::uint32_t slot) {
+  if ((shard.occupied + 1) * 10 >= shard.keys.size() * 7) {
+    dir_grow(shard, shard.keys.size() * 2);
+  }
+  const std::size_t mask = shard.keys.size() - 1;
+  std::size_t pos = mix32(session_id) & mask;
+  while (shard.states[pos] == kFull) pos = (pos + 1) & mask;
+  if (shard.states[pos] == kEmpty) ++shard.occupied;
+  shard.states[pos] = kFull;
+  shard.keys[pos] = session_id;
+  shard.slots[pos] = slot;
+  ++shard.count;
+}
+
+void SessionStore::dir_erase(Shard& shard, std::uint32_t session_id) noexcept {
+  const std::size_t mask = shard.keys.size() - 1;
+  std::size_t pos = mix32(session_id) & mask;
+  while (true) {
+    const std::uint8_t state = shard.states[pos];
+    TSN_DCHECK(state != kEmpty, "probe fell off a full table");
+    if (state == kFull && shard.keys[pos] == session_id) {
+      shard.states[pos] = kTombstone;
+      --shard.count;
+      return;
+    }
+    pos = (pos + 1) & mask;
+  }
+}
+
+void SessionStore::dir_grow(Shard& shard, std::size_t min_capacity) {
+  const std::size_t capacity = next_pow2(std::max<std::size_t>(min_capacity, 2 * shard.count));
+  if (capacity <= shard.keys.size() && shard.occupied == shard.count) return;
+  Column<std::uint32_t> old_keys = std::move(shard.keys);
+  Column<std::uint32_t> old_slots = std::move(shard.slots);
+  Column<std::uint8_t> old_states = std::move(shard.states);
+  shard.keys.assign(capacity, 0);
+  shard.slots.assign(capacity, 0);
+  shard.states.assign(capacity, kEmpty);
+  shard.count = 0;
+  shard.occupied = 0;
+  for (std::size_t i = 0; i < old_keys.size(); ++i) {
+    if (old_states[i] == kFull) dir_insert(shard, old_keys[i], old_slots[i]);
+  }
+}
+
+// --- exchange-order-id index ---------------------------------------------
+
+// tsn-lint: hotpath
+std::uint32_t SessionStore::exch_find(proto::OrderId id) const noexcept {
+  const std::size_t mask = exch_index_.keys.size() - 1;
+  std::size_t pos = mix64(id) & mask;
+  while (true) {
+    const std::uint8_t state = exch_index_.states[pos];
+    if (state == kEmpty) return kNullSlot;
+    if (state == kFull && exch_index_.keys[pos] == id) return exch_index_.slots[pos];
+    pos = (pos + 1) & mask;
+  }
+}
+
+void SessionStore::exch_insert(proto::OrderId id, std::uint32_t slot) {
+  if ((exch_index_.occupied + 1) * 10 >= exch_index_.keys.size() * 7) {
+    exch_grow(exch_index_.keys.size() * 2);
+  }
+  const std::size_t mask = exch_index_.keys.size() - 1;
+  std::size_t pos = mix64(id) & mask;
+  while (exch_index_.states[pos] == kFull) pos = (pos + 1) & mask;
+  if (exch_index_.states[pos] == kEmpty) ++exch_index_.occupied;
+  exch_index_.states[pos] = kFull;
+  exch_index_.keys[pos] = id;
+  exch_index_.slots[pos] = slot;
+  ++exch_index_.count;
+}
+
+void SessionStore::exch_erase(proto::OrderId id) noexcept {
+  const std::size_t mask = exch_index_.keys.size() - 1;
+  std::size_t pos = mix64(id) & mask;
+  while (true) {
+    const std::uint8_t state = exch_index_.states[pos];
+    TSN_DCHECK(state != kEmpty, "probe fell off a full table");
+    if (state == kFull && exch_index_.keys[pos] == id) {
+      exch_index_.states[pos] = kTombstone;
+      --exch_index_.count;
+      return;
+    }
+    pos = (pos + 1) & mask;
+  }
+}
+
+void SessionStore::exch_grow(std::size_t min_capacity) {
+  const std::size_t capacity =
+      next_pow2(std::max<std::size_t>(min_capacity, 2 * exch_index_.count));
+  if (capacity <= exch_index_.keys.size() && exch_index_.occupied == exch_index_.count) return;
+  Column<proto::OrderId> old_keys = std::move(exch_index_.keys);
+  Column<std::uint32_t> old_slots = std::move(exch_index_.slots);
+  Column<std::uint8_t> old_states = std::move(exch_index_.states);
+  exch_index_.keys.assign(capacity, 0);
+  exch_index_.slots.assign(capacity, 0);
+  exch_index_.states.assign(capacity, kEmpty);
+  exch_index_.count = 0;
+  exch_index_.occupied = 0;
+  for (std::size_t i = 0; i < old_keys.size(); ++i) {
+    if (old_states[i] == kFull) exch_insert(old_keys[i], old_slots[i]);
+  }
+}
+
+// --- (session, gen, client id) index -------------------------------------
+
+// tsn-lint: hotpath
+std::uint32_t SessionStore::client_find(std::uint32_t slot, proto::OrderId id) const noexcept {
+  const std::uint32_t gen = sess_gen_[slot];
+  const std::size_t mask = client_index_.sess.size() - 1;
+  std::size_t pos = client_key_hash(slot, gen, id) & mask;
+  while (true) {
+    if (client_index_.states[pos] == kEmpty) return kNullSlot;
+    if (client_index_.sess[pos] == slot && client_index_.gen[pos] == gen &&
+        client_index_.client[pos] == id) {
+      return static_cast<std::uint32_t>(pos);
+    }
+    pos = (pos + 1) & mask;
+  }
+}
+
+void SessionStore::client_insert(std::uint32_t slot, proto::OrderId id, std::uint32_t value) {
+  if ((client_index_.count + 1) * 10 >= client_index_.sess.size() * 7) {
+    client_grow(client_index_.sess.size() * 2);
+  }
+  const std::uint32_t gen = sess_gen_[slot];
+  const std::size_t mask = client_index_.sess.size() - 1;
+  std::size_t pos = client_key_hash(slot, gen, id) & mask;
+  while (client_index_.states[pos] == kFull) pos = (pos + 1) & mask;
+  client_index_.states[pos] = kFull;
+  client_index_.sess[pos] = slot;
+  client_index_.gen[pos] = gen;
+  client_index_.client[pos] = id;
+  client_index_.value[pos] = value;
+  ++client_index_.count;
+}
+
+// tsn-lint: hotpath
+void SessionStore::client_set(std::uint32_t slot, proto::OrderId id, std::uint32_t value) noexcept {
+  const std::uint32_t pos = client_find(slot, id);
+  TSN_DCHECK(pos != kNullSlot, "directory entry vanished");
+  client_index_.value[pos] = value;
+}
+
+void SessionStore::client_grow(std::size_t min_capacity) {
+  const std::size_t capacity =
+      next_pow2(std::max<std::size_t>(min_capacity, 2 * client_index_.count));
+  if (capacity <= client_index_.sess.size()) return;
+  Column<std::uint32_t> old_sess = std::move(client_index_.sess);
+  Column<std::uint32_t> old_gen = std::move(client_index_.gen);
+  Column<proto::OrderId> old_client = std::move(client_index_.client);
+  Column<std::uint32_t> old_value = std::move(client_index_.value);
+  Column<std::uint8_t> old_states = std::move(client_index_.states);
+  client_index_.sess.assign(capacity, 0);
+  client_index_.gen.assign(capacity, 0);
+  client_index_.client.assign(capacity, 0);
+  client_index_.value.assign(capacity, 0);
+  client_index_.states.assign(capacity, kEmpty);
+  client_index_.count = 0;
+  for (std::size_t i = 0; i < old_sess.size(); ++i) {
+    if (old_states[i] != kFull) continue;
+    // Stale-generation marks belong to destroyed sessions; drop them here.
+    const std::uint32_t sess = old_sess[i];
+    if (sess < sess_gen_.size() && sess_gen_[sess] != old_gen[i]) continue;
+    client_insert_raw(sess, old_gen[i], old_client[i], old_value[i]);
+  }
+}
+
+void SessionStore::client_insert_raw(std::uint32_t slot, std::uint32_t gen, proto::OrderId id,
+                                     std::uint32_t value) {
+  const std::size_t mask = client_index_.sess.size() - 1;
+  std::size_t pos = client_key_hash(slot, gen, id) & mask;
+  while (client_index_.states[pos] == kFull) pos = (pos + 1) & mask;
+  client_index_.states[pos] = kFull;
+  client_index_.sess[pos] = slot;
+  client_index_.gen[pos] = gen;
+  client_index_.client[pos] = id;
+  client_index_.value[pos] = value;
+  ++client_index_.count;
+}
+
+// --- directory API --------------------------------------------------------
+
+// tsn-lint: hotpath
+std::uint32_t SessionStore::lookup(std::uint32_t session_id) const noexcept {
+  return dir_find(shards_[shard_of(session_id)], session_id);
+}
+
+SessionStore::LoginResult SessionStore::login(std::uint32_t session_id, std::uint64_t token) {
+  Shard& shard = shards_[shard_of(session_id)];
+  const std::uint32_t existing = dir_find(shard, session_id);
+  if (existing != kNullSlot) {
+    if (sess_token_[existing] != token) return {kNullSlot, LoginVerdict::kInUse};
+    return {existing, LoginVerdict::kMatch};
+  }
+  const std::uint32_t slot = alloc_session();
+  sess_external_[slot] = session_id;
+  sess_token_[slot] = token;
+  sess_tx_seq_[slot] = 1;
+  sess_conn_[slot] = kNullSlot;
+  sess_flags_[slot] = 0;
+  sess_order_head_[slot] = kNullSlot;
+  sess_order_count_[slot] = 0;
+  sess_jr_head_[slot] = kNullSlot;
+  sess_jr_tail_[slot] = kNullSlot;
+  sess_jr_count_[slot] = 0;
+  sess_shard_[slot] = shard_of(session_id);
+  sess_prev_[slot] = kNullSlot;
+  sess_next_[slot] = kNullSlot;
+  dir_insert(shard, session_id, slot);
+  ++live_sessions_;
+  ++stats_.sessions_created;
+  return {slot, LoginVerdict::kNew};
+}
+
+// tsn-lint: hotpath
+void SessionStore::bind(std::uint32_t slot, std::uint32_t conn) noexcept {
+  if (sess_conn_[slot] != kNullSlot) unbind(slot);
+  sess_conn_[slot] = conn;
+  Shard& shard = shards_[sess_shard_[slot]];
+  sess_prev_[slot] = shard.tail;
+  sess_next_[slot] = kNullSlot;
+  if (shard.tail != kNullSlot) {
+    sess_next_[shard.tail] = slot;
+  } else {
+    shard.head = slot;
+  }
+  shard.tail = slot;
+  ++shard.connected;
+}
+
+// tsn-lint: hotpath
+void SessionStore::unbind(std::uint32_t slot) noexcept {
+  if (sess_conn_[slot] == kNullSlot) return;
+  sess_conn_[slot] = kNullSlot;
+  Shard& shard = shards_[sess_shard_[slot]];
+  const std::uint32_t prev = sess_prev_[slot];
+  const std::uint32_t next = sess_next_[slot];
+  if (prev != kNullSlot) {
+    sess_next_[prev] = next;
+  } else {
+    shard.head = next;
+  }
+  if (next != kNullSlot) {
+    sess_prev_[next] = prev;
+  } else {
+    shard.tail = prev;
+  }
+  sess_prev_[slot] = kNullSlot;
+  sess_next_[slot] = kNullSlot;
+  --shard.connected;
+}
+
+void SessionStore::destroy(std::uint32_t slot) {
+  unbind(slot);
+  // Free the open-order chain (exchange-id entries included).
+  std::uint32_t order = sess_order_head_[slot];
+  while (order != kNullSlot) {
+    const std::uint32_t next = ord_next_[order];
+    exch_erase(ord_exch_[order]);
+    ord_next_[order] = free_ord_;
+    free_ord_ = order;
+    order = next;
+  }
+  sess_order_head_[slot] = kNullSlot;
+  sess_order_count_[slot] = 0;
+  // Staged-but-unflushed records would otherwise commit into a freed chain.
+  if (!staged_.empty()) journal_flush();
+  std::uint32_t rec = sess_jr_head_[slot];
+  while (rec != kNullSlot) {
+    const std::uint32_t next = jr_next_[rec];
+    jr_next_[rec] = free_jr_;
+    free_jr_ = rec;
+    rec = next;
+  }
+  sess_jr_head_[slot] = kNullSlot;
+  sess_jr_tail_[slot] = kNullSlot;
+  sess_jr_count_[slot] = 0;
+  // Generation bump lazily invalidates this session's client-id marks.
+  ++sess_gen_[slot];
+  dir_erase(shards_[sess_shard_[slot]], sess_external_[slot]);
+  sess_next_[slot] = free_sess_;
+  free_sess_ = slot;
+  --live_sessions_;
+  ++stats_.sessions_destroyed;
+}
+
+// --- journal ---------------------------------------------------------------
+
+// tsn-lint: hotpath
+void SessionStore::journal_stage(std::uint32_t slot, std::uint32_t seq,
+                                 std::span<const std::byte> bytes) {
+  Staged entry;
+  entry.slot = slot;
+  entry.seq = seq;
+  entry.off = staging_bytes_.size();
+  entry.len = static_cast<std::uint32_t>(bytes.size());
+  staging_bytes_.insert(staging_bytes_.end(), bytes.begin(), bytes.end());
+  staged_.push_back(entry);
+  ++sess_jr_count_[slot];
+}
+
+// tsn-lint: hotpath
+void SessionStore::journal_flush() {
+  if (staged_.empty()) return;
+  const std::size_t base = arena_.size();
+  arena_.insert(arena_.end(), staging_bytes_.begin(), staging_bytes_.end());
+  for (const Staged& entry : staged_) {
+    const std::uint32_t rec = alloc_record();
+    jr_seq_[rec] = entry.seq;
+    jr_off_[rec] = base + entry.off;
+    jr_len_[rec] = entry.len;
+    jr_next_[rec] = kNullSlot;
+    if (sess_jr_tail_[entry.slot] != kNullSlot) {
+      jr_next_[sess_jr_tail_[entry.slot]] = rec;
+    } else {
+      sess_jr_head_[entry.slot] = rec;
+    }
+    sess_jr_tail_[entry.slot] = rec;
+    ++stats_.journal_appends;
+  }
+  stats_.journal_bytes += staging_bytes_.size();
+  ++stats_.journal_flushes;
+  staged_.clear();
+  staging_bytes_.clear();
+}
+
+// --- orders ----------------------------------------------------------------
+
+// tsn-lint: hotpath
+OrderVerdict SessionStore::register_order(std::uint32_t slot, proto::OrderId client_id,
+                                          proto::OrderId exchange_id, std::uint16_t symbol_idx) {
+  if (client_find(slot, client_id) != kNullSlot) return OrderVerdict::kDuplicateClientId;
+  const std::uint32_t order = alloc_order();
+  ord_client_[order] = client_id;
+  ord_exch_[order] = exchange_id;
+  ord_session_[order] = slot;
+  ord_symbol_[order] = symbol_idx;
+  ord_prev_[order] = kNullSlot;
+  ord_next_[order] = sess_order_head_[slot];
+  if (sess_order_head_[slot] != kNullSlot) ord_prev_[sess_order_head_[slot]] = order;
+  sess_order_head_[slot] = order;
+  ++sess_order_count_[slot];
+  client_insert(slot, client_id, order);
+  exch_insert(exchange_id, order);
+  ++stats_.orders_registered;
+  return OrderVerdict::kAccepted;
+}
+
+// tsn-lint: hotpath
+bool SessionStore::client_id_used(std::uint32_t slot, proto::OrderId client_id) const noexcept {
+  return client_find(slot, client_id) != kNullSlot;
+}
+
+// tsn-lint: hotpath
+std::uint32_t SessionStore::find_open(std::uint32_t slot, proto::OrderId client_id) const noexcept {
+  const std::uint32_t pos = client_find(slot, client_id);
+  if (pos == kNullSlot) return kNullSlot;
+  const std::uint32_t value = client_index_.value[pos];
+  return value == kClosedOrder ? kNullSlot : value;
+}
+
+// tsn-lint: hotpath
+std::uint32_t SessionStore::find_by_exchange(proto::OrderId exchange_id) const noexcept {
+  return exch_find(exchange_id);
+}
+
+// tsn-lint: hotpath
+void SessionStore::unlink_order(std::uint32_t order_slot) noexcept {
+  const std::uint32_t prev = ord_prev_[order_slot];
+  const std::uint32_t next = ord_next_[order_slot];
+  if (prev != kNullSlot) {
+    ord_next_[prev] = next;
+  } else {
+    sess_order_head_[ord_session_[order_slot]] = next;
+  }
+  if (next != kNullSlot) ord_prev_[next] = prev;
+  --sess_order_count_[ord_session_[order_slot]];
+}
+
+// tsn-lint: hotpath
+void SessionStore::close_order(std::uint32_t order_slot) {
+  const std::uint32_t slot = ord_session_[order_slot];
+  client_set(slot, ord_client_[order_slot], kClosedOrder);
+  exch_erase(ord_exch_[order_slot]);
+  unlink_order(order_slot);
+  ord_next_[order_slot] = free_ord_;
+  free_ord_ = order_slot;
+}
+
+void SessionStore::collect_open_client_ids(std::uint32_t slot,
+                                           std::vector<proto::OrderId>& out) const {
+  out.clear();
+  for (std::uint32_t order = sess_order_head_[slot]; order != kNullSlot;
+       order = ord_next_[order]) {
+    out.push_back(ord_client_[order]);
+  }
+  std::sort(out.begin(), out.end());
+}
+
+}  // namespace tsn::exchange

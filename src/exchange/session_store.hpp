@@ -1,0 +1,361 @@
+// Pooled, sharded session/order/journal state for a million-session
+// exchange front end (ROADMAP item 2).
+//
+// PR 5 kept one heap object per session (journal vector, per-session
+// unordered maps); fine for a handful of resilient sessions, hopeless for
+// the 10^5–10^6 concurrent gateway sessions the paper's Design 2/3 fan-in
+// assumes. This store rewrites that state as slab-allocated, cache-line-
+// aligned SoA columns with freelist reuse — the same recipe as
+// `book/order_book.*`:
+//
+//   session slab   external id | token | gen | tx_seq | conn | flags |
+//                  order chain head/count | journal chain head/tail/count |
+//                  shard | prev | next
+//   order slab     client id | exchange id | session | symbol | prev | next
+//   journal slab   seq | offset | length | next        (+ one shared byte arena)
+//
+// The session directory is sharded: session ids hash to one of S shards,
+// each with its own open-addressing index and an intrusive bind-ordered
+// list of *connected* sessions, so id lookups and liveness /
+// cancel-on-disconnect sweeps touch O(shard), never O(population).
+//
+// Journaling is batched: `journal_stage` appends a sequenced message's
+// bytes to a shared staging ring; `journal_flush` commits the whole ring —
+// one arena append plus chain links — so the per-message journal cost
+// amortizes across every session that sent in the same instant (the
+// exchange schedules one flush per instant, like its feed flush). Replay
+// walks a session's record chain and hands back the original bytes
+// verbatim, preserving PR 5's byte-identical exactly-once replay contract.
+//
+// Client-order-id state (the dedupe set plus the open-order lookup) is one
+// global open-addressing table keyed by (session slot, generation, client
+// id): a live entry holds the order slot, a terminal entry a tombstone
+// value that keeps rejecting duplicate ids forever. `destroy` bumps the
+// session's generation, which invalidates its keys lazily (they are
+// dropped at the next rehash).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "book/order_book.hpp"  // book::Column / CacheAlignedAllocator
+#include "proto/types.hpp"
+
+namespace tsn::exchange {
+
+using book::Column;
+
+struct SessionStoreConfig {
+  // Directory shard count; rounded up to a power of two.
+  std::uint32_t shards = 1;
+};
+
+enum class LoginVerdict : std::uint8_t {
+  kNew,    // first login for this session id: a row was created
+  kMatch,  // existing row, token matches (resume/takeover decided by caller)
+  kInUse,  // existing row, wrong token: the kSessionInUse reject
+};
+
+enum class OrderVerdict : std::uint8_t {
+  kAccepted,
+  kDuplicateClientId,  // the id was used before, live or terminal
+};
+
+struct SessionStoreStats {
+  std::uint64_t sessions_created = 0;
+  std::uint64_t sessions_destroyed = 0;
+  std::uint64_t orders_registered = 0;
+  std::uint64_t journal_appends = 0;
+  std::uint64_t journal_flushes = 0;
+  std::uint64_t journal_bytes = 0;
+};
+
+class SessionStore {
+ public:
+  static constexpr std::uint32_t kNullSlot = 0xffffffffu;
+
+  explicit SessionStore(SessionStoreConfig config = {});
+
+  // Pre-sizes every slab, index, the staging ring and the journal arena so
+  // the first `sessions` sessions with `orders` concurrently open orders
+  // and `journal_bytes` of journaled traffic never grow mid-update.
+  void reserve(std::size_t sessions, std::size_t orders, std::size_t journal_bytes);
+
+  // --- directory -------------------------------------------------------
+  [[nodiscard]] std::uint32_t lookup(std::uint32_t session_id) const noexcept;
+
+  struct LoginResult {
+    std::uint32_t slot = kNullSlot;  // kNullSlot only for kInUse
+    LoginVerdict verdict = LoginVerdict::kNew;
+  };
+  // Resolves a login: creates the row on first sight, verifies the token
+  // otherwise. On kInUse nothing changes and slot is kNullSlot.
+  LoginResult login(std::uint32_t session_id, std::uint64_t token);
+
+  // Attaches a live connection (joining the shard's connected list at the
+  // tail) / detaches it. Rebinding an already-bound session moves it to
+  // the tail, which is exactly the order a fresh TCP connection would give.
+  void bind(std::uint32_t slot, std::uint32_t conn) noexcept;
+  void unbind(std::uint32_t slot) noexcept;
+
+  // Full removal: closes every open order, frees the journal chain, bumps
+  // the generation (lazily invalidating dedupe marks) and recycles the row.
+  // The exchange never destroys sessions — ids are resumable forever — but
+  // the differential suite exercises slot reuse through this.
+  void destroy(std::uint32_t slot);
+
+  [[nodiscard]] std::uint32_t shard_count() const noexcept {
+    return static_cast<std::uint32_t>(shards_.size());
+  }
+  [[nodiscard]] std::uint32_t shard_of(std::uint32_t session_id) const noexcept {
+    return static_cast<std::uint32_t>(mix32(session_id) & shard_mask_);
+  }
+  // Visits the shard's connected sessions in bind order. `fn(slot)` may not
+  // bind/unbind/destroy (the sweep caller collects first, then acts).
+  template <typename Fn>
+  void for_each_connected(std::uint32_t shard, Fn&& fn) const {
+    for (std::uint32_t s = shards_[shard].head; s != kNullSlot; s = sess_next_[s]) fn(s);
+  }
+  [[nodiscard]] std::size_t connected_count(std::uint32_t shard) const noexcept {
+    return shards_[shard].connected;
+  }
+
+  // --- session row accessors -------------------------------------------
+  [[nodiscard]] std::uint32_t session_id(std::uint32_t slot) const noexcept {
+    return sess_external_[slot];
+  }
+  [[nodiscard]] std::uint64_t token(std::uint32_t slot) const noexcept {
+    return sess_token_[slot];
+  }
+  [[nodiscard]] std::uint32_t conn(std::uint32_t slot) const noexcept { return sess_conn_[slot]; }
+  [[nodiscard]] bool logged_in(std::uint32_t slot) const noexcept {
+    return (sess_flags_[slot] & kFlagLoggedIn) != 0;
+  }
+  void set_logged_in(std::uint32_t slot, bool logged_in) noexcept {
+    if (logged_in) {
+      sess_flags_[slot] |= kFlagLoggedIn;
+    } else {
+      sess_flags_[slot] &= static_cast<std::uint8_t>(~kFlagLoggedIn);
+    }
+  }
+  // Consumes and returns the next sequenced-application sequence number.
+  [[nodiscard]] std::uint32_t next_seq(std::uint32_t slot) noexcept {
+    return sess_tx_seq_[slot]++;
+  }
+  [[nodiscard]] std::uint32_t tx_seq(std::uint32_t slot) const noexcept {
+    return sess_tx_seq_[slot];
+  }
+  [[nodiscard]] std::size_t session_count() const noexcept { return live_sessions_; }
+
+  // --- shared journal ---------------------------------------------------
+  // Stages one sequenced message for the session. Bytes are copied into the
+  // staging ring; the chain/arena commit happens at the next flush. Entries
+  // for one session must be staged in ascending seq order (the exchange's
+  // tx_seq counter guarantees this).
+  void journal_stage(std::uint32_t slot, std::uint32_t seq, std::span<const std::byte> bytes);
+  [[nodiscard]] bool journal_dirty() const noexcept { return !staged_.empty(); }
+  // Group commit: appends the staging ring to the arena and links every
+  // staged record into its session's chain, in staging order.
+  void journal_flush();
+  // Replays entries with seq > last_seen in append order: fn(seq, bytes).
+  // Flushes first, so same-instant sends are visible.
+  template <typename Fn>
+  void replay(std::uint32_t slot, std::uint32_t last_seen, Fn&& fn) {
+    if (!staged_.empty()) journal_flush();
+    for (std::uint32_t r = sess_jr_head_[slot]; r != kNullSlot; r = jr_next_[r]) {
+      if (jr_seq_[r] > last_seen) {
+        fn(jr_seq_[r], std::span<const std::byte>{arena_.data() + jr_off_[r], jr_len_[r]});
+      }
+    }
+  }
+  [[nodiscard]] std::uint32_t journal_entries(std::uint32_t slot) const noexcept {
+    return sess_jr_count_[slot];  // committed + staged
+  }
+
+  // --- open orders / client-id dedupe ----------------------------------
+  // Registers an accepted order under the session. kDuplicateClientId if
+  // the client id was ever used by this session (live OR terminal) — the
+  // idempotent-resubmission contract.
+  OrderVerdict register_order(std::uint32_t slot, proto::OrderId client_id,
+                              proto::OrderId exchange_id, std::uint16_t symbol_idx);
+  [[nodiscard]] bool client_id_used(std::uint32_t slot, proto::OrderId client_id) const noexcept;
+  // Order slot if the client id maps to a live order of the session.
+  [[nodiscard]] std::uint32_t find_open(std::uint32_t slot,
+                                        proto::OrderId client_id) const noexcept;
+  // Order slot for a live exchange order id (any session).
+  [[nodiscard]] std::uint32_t find_by_exchange(proto::OrderId exchange_id) const noexcept;
+  // Terminal transition: frees the order row and the exchange-id entry but
+  // keeps the client-id mark so duplicates stay rejected.
+  void close_order(std::uint32_t order_slot);
+
+  [[nodiscard]] proto::OrderId order_client_id(std::uint32_t order_slot) const noexcept {
+    return ord_client_[order_slot];
+  }
+  [[nodiscard]] proto::OrderId order_exchange_id(std::uint32_t order_slot) const noexcept {
+    return ord_exch_[order_slot];
+  }
+  [[nodiscard]] std::uint32_t order_session(std::uint32_t order_slot) const noexcept {
+    return ord_session_[order_slot];
+  }
+  [[nodiscard]] std::uint16_t order_symbol(std::uint32_t order_slot) const noexcept {
+    return ord_symbol_[order_slot];
+  }
+  [[nodiscard]] std::uint32_t open_order_count(std::uint32_t slot) const noexcept {
+    return sess_order_count_[slot];
+  }
+  [[nodiscard]] std::size_t open_orders_total() const noexcept { return exch_index_.count; }
+  // Fills `out` (cleared first) with the session's open client order ids,
+  // sorted ascending — the deterministic cancel-on-disconnect sweep order.
+  void collect_open_client_ids(std::uint32_t slot, std::vector<proto::OrderId>& out) const;
+
+  [[nodiscard]] const SessionStoreStats& stats() const noexcept { return stats_; }
+
+ private:
+  static constexpr std::uint8_t kFlagLoggedIn = 0x01;
+  // Client-index value for a terminal order: the id stays used forever.
+  static constexpr std::uint32_t kClosedOrder = 0xfffffffeu;
+
+  // 32-bit avalanche (Murmur3 finalizer): shard choice and directory probes.
+  [[nodiscard]] static std::uint32_t mix32(std::uint32_t x) noexcept {
+    x ^= x >> 16;
+    x *= 0x85ebca6bu;
+    x ^= x >> 13;
+    x *= 0xc2b2ae35u;
+    x ^= x >> 16;
+    return x;
+  }
+  [[nodiscard]] static std::uint64_t mix64(std::uint64_t x) noexcept {
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ULL;
+    x ^= x >> 33;
+    return x;
+  }
+  // Avalanche the id BEFORE folding in (slot, gen): clients commonly derive
+  // ids from their session number (e.g. session<<32 | seq), and slots are
+  // handed out in login order, so a plain xor of the raw parts cancels to a
+  // handful of distinct pre-mix keys across the whole population — every
+  // session then probes the same chain. mix64 is bijective, so mixing first
+  // keeps distinct ids distinct no matter how structured they are.
+  [[nodiscard]] static std::uint64_t client_key_hash(std::uint32_t slot, std::uint32_t gen,
+                                                    proto::OrderId client_id) noexcept {
+    return mix64(mix64(client_id) +
+                 ((static_cast<std::uint64_t>(gen) << 32) | slot) * 0x9e3779b97f4a7c15ULL);
+  }
+
+  // Open-addressing session-id -> slot map, one per shard (linear probing,
+  // tombstones, power-of-two capacity; never iterated).
+  struct Shard {
+    Column<std::uint32_t> keys;
+    Column<std::uint32_t> slots;
+    Column<std::uint8_t> states;  // 0 empty, 1 full, 2 tombstone
+    std::size_t count = 0;
+    std::size_t occupied = 0;
+    // Intrusive bind-ordered list of connected sessions.
+    std::uint32_t head = kNullSlot;
+    std::uint32_t tail = kNullSlot;
+    std::size_t connected = 0;
+  };
+
+  // Exchange-order-id -> order-slot map (global, tombstoned).
+  struct ExchIndex {
+    Column<proto::OrderId> keys;
+    Column<std::uint32_t> slots;
+    Column<std::uint8_t> states;
+    std::size_t count = 0;
+    std::size_t occupied = 0;
+  };
+
+  // (session slot, generation, client id) -> live order slot or kClosedOrder.
+  struct ClientIndex {
+    Column<std::uint32_t> sess;
+    Column<std::uint32_t> gen;
+    Column<proto::OrderId> client;
+    Column<std::uint32_t> value;
+    Column<std::uint8_t> states;  // 0 empty, 1 full (no erase; stale gens dropped at rehash)
+    std::size_t count = 0;
+  };
+
+  struct Staged {
+    std::uint32_t slot = 0;
+    std::uint32_t seq = 0;
+    std::uint64_t off = 0;  // offset into staging_bytes_
+    std::uint32_t len = 0;
+  };
+
+  std::uint32_t alloc_session();
+  std::uint32_t alloc_order();
+  std::uint32_t alloc_record();
+  void grow_sessions(std::size_t new_capacity);
+  void grow_orders(std::size_t new_capacity);
+  void grow_records(std::size_t new_capacity);
+
+  [[nodiscard]] std::uint32_t dir_find(const Shard& shard, std::uint32_t session_id) const noexcept;
+  void dir_insert(Shard& shard, std::uint32_t session_id, std::uint32_t slot);
+  void dir_erase(Shard& shard, std::uint32_t session_id) noexcept;
+  void dir_grow(Shard& shard, std::size_t min_capacity);
+
+  [[nodiscard]] std::uint32_t exch_find(proto::OrderId id) const noexcept;
+  void exch_insert(proto::OrderId id, std::uint32_t slot);
+  void exch_erase(proto::OrderId id) noexcept;
+  void exch_grow(std::size_t min_capacity);
+
+  [[nodiscard]] std::uint32_t client_find(std::uint32_t slot, proto::OrderId id) const noexcept;
+  void client_insert(std::uint32_t slot, proto::OrderId id, std::uint32_t value);
+  void client_insert_raw(std::uint32_t slot, std::uint32_t gen, proto::OrderId id,
+                         std::uint32_t value);
+  void client_set(std::uint32_t slot, proto::OrderId id, std::uint32_t value) noexcept;
+  void client_grow(std::size_t min_capacity);
+
+  void unlink_order(std::uint32_t order_slot) noexcept;
+
+  std::uint32_t shard_mask_ = 0;
+  std::vector<Shard> shards_;
+
+  // Session slab (parallel columns; slot = row).
+  Column<std::uint32_t> sess_external_;
+  Column<std::uint64_t> sess_token_;
+  Column<std::uint32_t> sess_gen_;
+  Column<std::uint32_t> sess_tx_seq_;
+  Column<std::uint32_t> sess_conn_;
+  Column<std::uint8_t> sess_flags_;
+  Column<std::uint32_t> sess_order_head_;
+  Column<std::uint32_t> sess_order_count_;
+  Column<std::uint32_t> sess_jr_head_;
+  Column<std::uint32_t> sess_jr_tail_;
+  Column<std::uint32_t> sess_jr_count_;
+  Column<std::uint32_t> sess_shard_;
+  Column<std::uint32_t> sess_prev_;  // connected-list link
+  Column<std::uint32_t> sess_next_;  // connected-list link / freelist link
+  std::uint32_t free_sess_ = kNullSlot;
+  std::size_t live_sessions_ = 0;
+
+  // Order slab.
+  Column<proto::OrderId> ord_client_;
+  Column<proto::OrderId> ord_exch_;
+  Column<std::uint32_t> ord_session_;
+  Column<std::uint16_t> ord_symbol_;
+  Column<std::uint32_t> ord_prev_;
+  Column<std::uint32_t> ord_next_;  // session chain / freelist link
+  std::uint32_t free_ord_ = kNullSlot;
+
+  // Journal record slab + shared byte arena + staging ring.
+  Column<std::uint32_t> jr_seq_;
+  Column<std::uint64_t> jr_off_;
+  Column<std::uint32_t> jr_len_;
+  Column<std::uint32_t> jr_next_;
+  std::uint32_t free_jr_ = kNullSlot;
+  std::vector<std::byte> arena_;
+  std::vector<Staged> staged_;
+  std::vector<std::byte> staging_bytes_;
+
+  ExchIndex exch_index_;
+  ClientIndex client_index_;
+
+  SessionStoreStats stats_;
+};
+
+}  // namespace tsn::exchange

@@ -24,6 +24,8 @@ std::string_view fault_kind_name(FaultKind kind) noexcept {
       return "mroute_evict";
     case FaultKind::kSessionKill:
       return "session_kill";
+    case FaultKind::kSessionStorm:
+      return "session_storm";
   }
   return "?";
 }
@@ -44,6 +46,11 @@ void FaultInjector::register_switch(l2::CommoditySwitch& sw) {
 
 void FaultInjector::register_session(std::string name, std::function<void()> kill) {
   sessions_.insert_or_assign(std::move(name), std::move(kill));
+}
+
+void FaultInjector::register_storm(std::string name,
+                                   std::function<std::uint32_t(std::uint32_t)> storm) {
+  storms_.insert_or_assign(std::move(name), std::move(storm));
 }
 
 net::FaultHook& FaultInjector::hook_for(const std::string& target) const {
@@ -165,6 +172,19 @@ void FaultInjector::kill_session_at(const std::string& session, sim::Time at) {
   });
 }
 
+void FaultInjector::storm_at(const std::string& name, sim::Time at, std::uint32_t count) {
+  const auto it = storms_.find(name);
+  if (it == storms_.end()) {
+    throw std::invalid_argument{"fault target is not a storm: " + name};
+  }
+  ++stats_.faults_scheduled;
+  // Copy the callback: the map entry could be re-registered before firing.
+  engine_.schedule_at(at, [this, storm = it->second, name, count] {
+    const std::uint32_t dropped = storm(count);
+    record(FaultKind::kSessionStorm, name, static_cast<double>(dropped));
+  });
+}
+
 std::string FaultInjector::log_json() const {
   telemetry::JsonWriter writer;
   writer.begin_array();
@@ -186,7 +206,7 @@ void FaultInjector::register_metrics(telemetry::Registry& registry,
                  [this] { return static_cast<double>(stats_.faults_scheduled); });
   registry.gauge(prefix + ".fired",
                  [this] { return static_cast<double>(stats_.faults_fired); });
-  for (std::size_t k = 0; k < 7; ++k) {
+  for (std::size_t k = 0; k < 8; ++k) {
     const auto kind = static_cast<FaultKind>(k);
     registry.gauge(prefix + "." + std::string{fault_kind_name(kind)},
                    [this, k] { return static_cast<double>(kind_counts_[k]); });

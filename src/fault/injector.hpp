@@ -34,7 +34,8 @@ enum class FaultKind : std::uint8_t {
   kLossClear,  // loss override removed (back to configured loss)
   kPortStall,  // switch egress port held for `value` nanoseconds
   kMrouteEvict,
-  kSessionKill,  // registered session killer invoked (order-entry uplink death)
+  kSessionKill,   // registered session killer invoked (order-entry uplink death)
+  kSessionStorm,  // registered storm callback dropped `value` sessions at once
 };
 
 [[nodiscard]] std::string_view fault_kind_name(FaultKind kind) noexcept;
@@ -108,6 +109,15 @@ class FaultInjector {
   // the peer sees silence, not a FIN).
   void kill_session_at(const std::string& session, sim::Time at);
 
+  // Registers a correlated-reconnect storm target: `storm(count)` drops up
+  // to `count` live sessions in one instant and returns how many it got
+  // (e.g. exchange::LoadGen::storm — a rack switch reboot seen from the
+  // exchange floor).
+  void register_storm(std::string name, std::function<std::uint32_t(std::uint32_t)> storm);
+
+  // Fires a registered storm at `at`; the log records the sessions dropped.
+  void storm_at(const std::string& name, sim::Time at, std::uint32_t count);
+
   // --- observability ---------------------------------------------------
   [[nodiscard]] const std::vector<FaultEvent>& log() const noexcept { return log_; }
   [[nodiscard]] const InjectorStats& stats() const noexcept { return stats_; }
@@ -128,9 +138,10 @@ class FaultInjector {
   std::map<std::string, net::FaultHook*> hooks_;
   std::map<std::string, l2::CommoditySwitch*> switches_;
   std::map<std::string, std::function<void()>> sessions_;
+  std::map<std::string, std::function<std::uint32_t(std::uint32_t)>> storms_;
   std::vector<FaultEvent> log_;
   InjectorStats stats_;
-  std::uint64_t kind_counts_[7] = {};
+  std::uint64_t kind_counts_[8] = {};
 };
 
 }  // namespace tsn::fault

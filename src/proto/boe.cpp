@@ -70,6 +70,13 @@ std::size_t encoded_size(const Message& message) noexcept {
 std::vector<std::byte> encode(const Message& message, std::uint32_t seq) {
   std::vector<std::byte> out;
   out.reserve(encoded_size(message));
+  encode_into(message, seq, out);
+  return out;
+}
+
+// tsn-lint: hotpath
+void encode_into(const Message& message, std::uint32_t seq, std::vector<std::byte>& out) {
+  const std::size_t base = out.size();
   net::WireWriter w{out};
   w.u16_le(kMagic);
   w.u16_le(static_cast<std::uint16_t>(encoded_size(message)));
@@ -127,9 +134,8 @@ std::vector<std::byte> encode(const Message& message, std::uint32_t seq) {
         // LoginAccepted / Heartbeat / Logout have empty bodies.
       },
       message);
-  TSN_DCHECK(out.size() == encoded_size(message),
+  TSN_DCHECK(out.size() - base == encoded_size(message),
              "encoded BOE message must match its declared length field");
-  return out;
 }
 
 std::size_t complete_length(std::span<const std::byte> data) noexcept {

@@ -155,6 +155,10 @@ using Message = std::variant<LoginRequest, LoginAccepted, LoginRejected, Heartbe
 // Encodes header + body. `seq` is the session sequence number.
 [[nodiscard]] std::vector<std::byte> encode(const Message& message, std::uint32_t seq);
 
+// Appending variant: encodes onto the end of `out` (not cleared), reusing
+// its capacity — the per-message encode on the million-session send path.
+void encode_into(const Message& message, std::uint32_t seq, std::vector<std::byte>& out);
+
 struct Decoded {
   Message message;
   std::uint32_t seq = 0;

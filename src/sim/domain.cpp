@@ -26,12 +26,17 @@ void Domain::post_to(DomainId dst, Time at, Action action) {
 }
 
 std::uint64_t Domain::run_window(Time window_end) {
+  // The shard-local context is installed on *this* thread for the whole
+  // window: every span a worker-run event records lands in the shard's own
+  // sink instead of vanishing with the worker's empty thread-local.
+  if (context_ != nullptr) context_->enter();
   std::uint64_t count = 0;
   while (true) {
     const EventQueue::HeapEntry* next = queue_.peek_live();
     if (next == nullptr || next->at >= window_end) break;
     if (queue_.pop_one(now_, fired_)) ++count;
   }
+  if (context_ != nullptr) context_->leave();
   return count;
 }
 

@@ -22,6 +22,25 @@ namespace tsn::sim {
 
 class ShardedEngine;
 
+// Ambient per-shard execution context. A domain's events may run on any
+// worker thread in windowed mode, but thread-local state (telemetry's
+// ambient trace sink, most notably) installed on the coordinating thread
+// does not follow them there — spans recorded inside worker-run events were
+// silently dropped. A ShardContext travels with the domain instead: the
+// engine brackets every batch of events the domain executes with enter() /
+// leave() *on the executing thread*, whichever thread that is. The sim
+// layer defines only the hook; upper layers (telemetry) implement it, so
+// sim stays free of telemetry dependencies.
+class ShardContext {
+ public:
+  virtual ~ShardContext() = default;
+  ShardContext() = default;
+  ShardContext(const ShardContext&) = delete;
+  ShardContext& operator=(const ShardContext&) = delete;
+  virtual void enter() noexcept = 0;
+  virtual void leave() noexcept = 0;
+};
+
 class Domain final : public Scheduler {
  public:
   [[nodiscard]] Time now() const noexcept override { return now_; }
@@ -47,6 +66,14 @@ class Domain final : public Scheduler {
   // Pre-warms this shard's pool slabs and heap vector.
   void reserve(std::size_t events) { queue_.reserve(events); }
 
+  // Installs (or clears, with nullptr) the shard-local execution context.
+  // Both run modes bracket this domain's event execution with it, so e.g. a
+  // telemetry::DomainTraceContext captures the shard's spans regardless of
+  // which thread — coordinator or worker — runs them. Not owned; must
+  // outlive the engine's runs. Set between runs, not during one.
+  void set_context(ShardContext* context) noexcept { context_ = context; }
+  [[nodiscard]] ShardContext* context() const noexcept { return context_; }
+
   [[nodiscard]] std::size_t pending_events() const noexcept { return queue_.live(); }
   [[nodiscard]] std::uint64_t events_fired() const noexcept { return fired_; }
   [[nodiscard]] std::size_t pool_capacity() const noexcept { return queue_.pool_capacity(); }
@@ -68,8 +95,18 @@ class Domain final : public Scheduler {
   // Golden-mode single step: pops this shard's head event (which the merged
   // loop has established is the global minimum). Advances now_. Runs on the
   // calling thread, so an ambient ScopedTraceSink there applies to every
-  // shard — exactly the plain-Engine tracing behavior.
-  void pop_head() { queue_.pop_one(now_, fired_); }
+  // shard — exactly the plain-Engine tracing behavior. A shard-local
+  // context, when installed, brackets the event here too, so golden and
+  // windowed runs attribute spans to the same per-shard sinks.
+  void pop_head() {
+    if (context_ == nullptr) {
+      queue_.pop_one(now_, fired_);
+      return;
+    }
+    context_->enter();
+    queue_.pop_one(now_, fired_);
+    context_->leave();
+  }
 
   // Next live event's (at, seq), or nullptr when the shard is idle.
   [[nodiscard]] const EventQueue::HeapEntry* peek() { return queue_.peek_live(); }
@@ -83,6 +120,7 @@ class Domain final : public Scheduler {
   // shard back at its own.
   std::uint64_t* seq_ = &own_seq_;
   std::uint64_t fired_ = 0;
+  ShardContext* context_ = nullptr;
   DomainId id_ = kMainDomain;
 };
 

@@ -33,6 +33,7 @@
 #include <string_view>
 #include <vector>
 
+#include "sim/domain.hpp"
 #include "sim/time.hpp"
 
 namespace tsn::telemetry {
@@ -124,6 +125,29 @@ class ScopedTraceSink {
 
  private:
   TraceSink* prev_;
+};
+
+// Shard-local trace sink: install on a Domain (`domain.set_context(&ctx)`)
+// and the engine swaps this sink into the ambient thread-local around every
+// batch of events that shard executes — on whichever thread runs it. This
+// is how sharded runs keep spans: a ScopedTraceSink on the coordinating
+// thread never follows a domain onto a windowed-mode worker, so spans
+// recorded there used to be dropped. With one context per domain, golden
+// and windowed runs deposit identical per-shard span sequences (windowed
+// mode may interleave *across* shards differently, which is why the
+// cross-mode contract compares per-sink contents, not a global stream).
+class DomainTraceContext final : public sim::ShardContext {
+ public:
+  explicit DomainTraceContext(TraceSink& sink) noexcept : sink_(&sink) {}
+  void enter() noexcept override {
+    prev_ = detail::g_sink;
+    detail::g_sink = sink_;
+  }
+  void leave() noexcept override { detail::g_sink = prev_; }
+
+ private:
+  TraceSink* sink_;
+  TraceSink* prev_ = nullptr;
 };
 
 // RAII: sets the ambient trace id (what PacketFactory stamps onto new

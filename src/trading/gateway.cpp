@@ -65,6 +65,7 @@ void Gateway::kill_upstream() {
 
 void Gateway::on_upstream_closed(net::TcpCloseReason /*reason*/) {
   ++stats_.disconnects;
+  last_disconnect_at_ = engine_.now();
   // A peer FIN leaves the endpoint half-open with retransmit timers still
   // armed; abort it so the flow reaches kClosed and reap_closed() can
   // collect it. Re-notification is suppressed by the endpoint itself.
@@ -296,6 +297,9 @@ void Gateway::register_metrics(telemetry::Registry& registry, const std::string&
                  [this] { return static_cast<double>(stats_.reconnect_attempts); });
   registry.gauge(prefix + ".reconnects_completed",
                  [this] { return static_cast<double>(stats_.reconnects_completed); });
+  registry.gauge(prefix + ".last_recovery_ms", [this] {
+    return static_cast<double>(last_recovery_duration_.picos()) * 1e-9;
+  });
   registry.gauge(prefix + ".reconnects_given_up",
                  [this] { return static_cast<double>(stats_.reconnects_given_up); });
   registry.gauge(prefix + ".replays_requested",
@@ -357,6 +361,7 @@ void Gateway::on_sequence_reset() {
   upstream_logged_in_ = true;
   set_upstream_state(UpstreamState::kReady);
   ++stats_.reconnects_completed;
+  last_recovery_duration_ = engine_.now() - last_disconnect_at_;
   // Replay is complete, so every order the exchange ever answered is now
   // acked. What's left marked sent-but-unacked never reached the matcher:
   // resubmit it verbatim — the client-order-id dedupe upstream makes this

@@ -111,6 +111,12 @@ class Gateway {
   void kill_upstream();
 
   [[nodiscard]] const GatewayStats& stats() const noexcept { return stats_; }
+  // Disconnect-to-ready time of the most recent completed recovery (login +
+  // replay + resubmission), zero until a reconnect has completed. The
+  // session-scale drills bound this; here it is per-gateway observability.
+  [[nodiscard]] sim::Duration last_recovery_duration() const noexcept {
+    return last_recovery_duration_;
+  }
   [[nodiscard]] bool upstream_ready() const noexcept { return upstream_logged_in_; }
   [[nodiscard]] UpstreamState upstream_state() const noexcept { return upstream_state_; }
   [[nodiscard]] std::size_t pending_upstream_depth() const noexcept {
@@ -173,6 +179,8 @@ class Gateway {
   std::size_t pending_upstream_hwm_ = 0;
 
   UpstreamState upstream_state_ = UpstreamState::kIdle;
+  sim::Time last_disconnect_at_;  // set on upstream death, consumed on recovery
+  sim::Duration last_recovery_duration_ = sim::Duration::zero();
   bool ever_logged_in_ = false;   // first LoginAccepted vs resumed session
   int backoff_attempt_ = 0;       // consecutive failed attempts (resets on ready)
   std::uint32_t last_applied_seq_ = 0;  // highest sequenced response applied

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "book/order_book.hpp"
+#include "exchange/session_store.hpp"
 #include "net/fabric.hpp"
 #include "net/nic.hpp"
 #include "net/packet.hpp"
@@ -191,6 +192,80 @@ TEST(HotPathAlloc, WarmBookUpdateMixIsAllocationFree) {
   EXPECT_EQ(allocations() - before, 0u)
       << "warm SoA book updates must not touch the heap";
   EXPECT_GT(book.executions(), 0u);
+}
+
+TEST(HotPathAlloc, WarmSessionStoreCycleIsAllocationFree) {
+  // The pooled session store's contract (DESIGN.md "Session scale-out"):
+  // with reserve() front-loading the slabs, indexes and journal arena, the
+  // per-session lifecycle — login, bind, order register/close with dedupe,
+  // journal stage + group flush, replay, flap (unbind/bind) and even
+  // destroy + re-login (slot reuse, generation bump) — is allocation-free.
+  exchange::SessionStore store{exchange::SessionStoreConfig{.shards = 16}};
+  store.reserve(1'024, 8'192, std::size_t{1} << 20);
+
+  constexpr std::uint32_t kPop = 256;
+  constexpr std::uint32_t kBase = 7'000'000;
+  std::uint64_t next_client = 1;
+  std::uint64_t next_exch = 1;
+  std::uint32_t next_conn = 1;
+  std::vector<std::uint32_t> tx(kPop, 0);
+  std::vector<proto::OrderId> scratch;
+  std::array<std::byte, 24> payload{};
+  payload.fill(std::byte{0x5a});
+  std::uint64_t replayed = 0;
+
+  const auto token_of = [](std::uint32_t s) { return 0xfeedULL + s; };
+  for (std::uint32_t s = 0; s < kPop; ++s) {
+    const auto result = store.login(kBase + s, token_of(s));
+    store.bind(result.slot, next_conn++);
+  }
+
+  auto churn = [&](int rounds) {
+    for (int round = 0; round < rounds; ++round) {
+      for (std::uint32_t s = 0; s < kPop; ++s) {
+        const std::uint32_t slot = store.lookup(kBase + s);
+        // Register one fresh order (plus a duplicate probe) and retire it.
+        const proto::OrderId client_id = next_client++;
+        ASSERT_EQ(store.register_order(slot, client_id, next_exch++, 0),
+                  exchange::OrderVerdict::kAccepted);
+        ASSERT_EQ(store.register_order(slot, client_id, next_exch, 0),
+                  exchange::OrderVerdict::kDuplicateClientId);
+        store.collect_open_client_ids(slot, scratch);
+        store.close_order(store.find_open(slot, client_id));
+        // Stage a sequenced send; every eighth session group-flushes.
+        store.journal_stage(slot, ++tx[s], payload);
+        if (s % 8 == 7) store.journal_flush();
+        // Flap: drop the connection, come back, replay the tail.
+        if (s % 16 == static_cast<std::uint32_t>(round) % 16) {
+          store.unbind(slot);
+          store.bind(slot, next_conn++);
+          store.replay(slot, tx[s] > 2 ? tx[s] - 2 : 0,
+                       [&replayed](std::uint32_t, std::span<const std::byte>) {
+                         ++replayed;
+                       });
+        }
+      }
+      store.journal_flush();
+      // A couple of full teardowns: destroy bumps the generation and the
+      // re-login must reuse the slot and directory entry without growing.
+      for (std::uint32_t k = 0; k < 2; ++k) {
+        const std::uint32_t s = (static_cast<std::uint32_t>(round) * 2 + k) % kPop;
+        store.destroy(store.lookup(kBase + s));
+        tx[s] = 0;
+        const auto back = store.login(kBase + s, token_of(s));
+        ASSERT_EQ(back.verdict, exchange::LoginVerdict::kNew);
+        store.bind(back.slot, next_conn++);
+      }
+    }
+  };
+  churn(4);  // warm: freelists, staging ring, scratch capacities
+
+  const std::uint64_t before = allocations();
+  churn(8);
+  EXPECT_EQ(allocations() - before, 0u)
+      << "warm session login/order/journal/replay/destroy cycles must not touch the heap";
+  EXPECT_GT(replayed, 0u);
+  EXPECT_EQ(store.session_count(), kPop);
 }
 
 TEST(HotPathAlloc, WarmBatchDecodeIsAllocationFree) {

@@ -8,11 +8,13 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <utility>
 #include <vector>
 
 #include "sim/domain.hpp"
 #include "sim/engine.hpp"
+#include "telemetry/trace.hpp"
 
 namespace tsn::sim {
 namespace {
@@ -215,6 +217,68 @@ TEST(ShardedEngine, PostToIsDeliveredAtTheRequestedTime) {
   });
   engine.run();
   EXPECT_EQ(delivered, Time::zero() + nanos(std::int64_t{15}));
+}
+
+// The PR 7 leftover, fixed: a ScopedTraceSink on the coordinating thread
+// never follows a domain onto a windowed-mode worker thread, so spans
+// recorded there were silently dropped. Shard-local sinks installed via
+// Domain::set_context travel with the domain instead: windowed runs at any
+// worker count must deposit exactly the span sequences a golden run does.
+TEST(ShardedEngine, ShardContextKeepsSpansAcrossWorkerThreads) {
+  constexpr std::uint32_t kDomains = 4;
+  constexpr int kEventsPerDomain = 6;
+
+  // Each event records one kSoftware span through the *ambient* sink —
+  // exactly how instrumented hops do it — so where the span lands depends
+  // entirely on what is installed on the executing thread.
+  const auto run_mode = [&](SyncMode mode, std::uint32_t workers,
+                            std::array<telemetry::TraceSink, kDomains>& sinks) {
+    ShardedEngine engine{{.domains = kDomains, .num_workers = workers, .mode = mode}};
+    std::array<std::unique_ptr<telemetry::DomainTraceContext>, kDomains> contexts;
+    for (DomainId d = 0; d < kDomains; ++d) {
+      contexts[d] = std::make_unique<telemetry::DomainTraceContext>(sinks[d]);
+      engine.domain(d).set_context(contexts[d].get());
+    }
+    for (DomainId d = 0; d < kDomains; ++d) {
+      Domain& dom = engine.domain(d);
+      for (int k = 0; k < kEventsPerDomain; ++k) {
+        dom.schedule_at(Time::zero() + nanos(std::int64_t{10} * (k + 1)), [&dom] {
+          telemetry::TraceSink* sink = telemetry::sink();
+          ASSERT_NE(sink, nullptr) << "event ran with no ambient sink installed";
+          const telemetry::TraceId trace = sink->begin_trace(dom.now());
+          sink->record(telemetry::Span{trace, "hop", telemetry::SpanKind::kSoftware,
+                                       dom.now(), dom.now() + nanos(std::int64_t{3})});
+        });
+      }
+    }
+    engine.note_cross_domain_delay(kHop);
+    engine.run();
+  };
+
+  std::array<telemetry::TraceSink, kDomains> golden;
+  run_mode(SyncMode::kGolden, 1, golden);
+  for (DomainId d = 0; d < kDomains; ++d) {
+    ASSERT_EQ(golden[d].spans().size(), kEventsPerDomain) << "domain " << d;
+  }
+
+  for (const std::uint32_t workers : {1u, 2u, 4u}) {
+    std::array<telemetry::TraceSink, kDomains> windowed;
+    run_mode(SyncMode::kWindowed, workers, windowed);
+    for (DomainId d = 0; d < kDomains; ++d) {
+      ASSERT_EQ(windowed[d].spans().size(), golden[d].spans().size())
+          << "domain " << d << " workers " << workers;
+      // Same per-shard sequences, span for span — not just equal counts.
+      for (std::size_t i = 0; i < golden[d].spans().size(); ++i) {
+        const telemetry::Span& g = golden[d].spans()[i];
+        const telemetry::Span& w = windowed[d].spans()[i];
+        EXPECT_EQ(w.trace, g.trace);
+        EXPECT_EQ(w.t_in, g.t_in);
+        EXPECT_EQ(w.t_out, g.t_out);
+      }
+      EXPECT_EQ(windowed[d].to_json(), golden[d].to_json())
+          << "domain " << d << " workers " << workers;
+    }
+  }
 }
 
 TEST(ShardedEngine, StopRequestHaltsAllShards) {

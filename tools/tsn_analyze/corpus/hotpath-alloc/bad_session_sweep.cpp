@@ -1,0 +1,39 @@
+#include <map>
+#include <string>
+#include <vector>
+
+namespace demo {
+
+// A session-directory sweep written the tempting-but-wrong way: per-tick
+// containers and strings on the liveness path. The pooled SessionStore keeps
+// reusable scratch members for exactly these.
+struct SessionSweep {
+  std::map<unsigned, long> last_seen_;
+  std::vector<unsigned> scratch_;
+
+  // tsn-lint: hotpath
+  void sweep_shard(long now, long deadline) {
+    std::vector<unsigned> dead;  // lint-expect: hotpath-alloc
+    for (const auto& [session, seen] : last_seen_) {
+      if (now - seen > deadline) dead.push_back(session);  // lint-expect: hotpath-alloc
+    }
+    for (unsigned session : dead) kill(session);
+  }
+
+  // tsn-lint: hotpath
+  void journal_append(unsigned session, const char* bytes, std::size_t n) {
+    std::string copy(bytes, n);  // lint-expect: hotpath-alloc
+    append(session, copy);
+  }
+
+  // tsn-lint: hotpath
+  void remember(unsigned session, long now) {
+    scratch_.push_back(session);  // lint-expect: hotpath-alloc
+    last_seen_[session] = now;
+  }
+
+  void kill(unsigned session);
+  void append(unsigned session, const std::string& bytes);
+};
+
+}  // namespace demo
