@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <tuple>
 #include <utility>
 
 #include "telemetry/trace.hpp"
@@ -22,6 +23,15 @@ struct Exchange::Unit {
         group_b_(group_b),
         builder_(index, mtu, [this, &owner](std::vector<std::byte> payload,
                                             const proto::pitch::UnitHeader& header) {
+          if (owner.feed_muted_) {
+            // Hot standby: the datagram is fully built (message sequences
+            // advanced) but never transmitted. At promotion the unmuted
+            // builder continues the stream exactly where the primary's left
+            // off, so A/B consumers see one continuous feed.
+            ++owner.stats_.feed_datagrams_muted;
+            (void)header;
+            return;
+          }
           owner.feed_stack_->send_multicast(group_, owner.config_.feed_port, payload);
           ++owner.stats_.feed_datagrams;
           if (owner.config_.dual_publish) {
@@ -202,11 +212,11 @@ bool Exchange::lists(const proto::Symbol& symbol) const noexcept {
 }
 
 std::uint32_t Exchange::now_seconds() const noexcept {
-  return static_cast<std::uint32_t>(engine_.now().picos() / kPicosPerSecond);
+  return static_cast<std::uint32_t>(now_ps() / kPicosPerSecond);
 }
 
 std::uint32_t Exchange::now_offset_ns() const noexcept {
-  return static_cast<std::uint32_t>((engine_.now().picos() % kPicosPerSecond) / 1000);
+  return static_cast<std::uint32_t>((now_ps() % kPicosPerSecond) / 1000);
 }
 
 void Exchange::publish(const proto::pitch::Message& message, std::uint8_t unit_index) {
@@ -231,6 +241,7 @@ void Exchange::schedule_flush(std::uint8_t unit_index) {
   engine_.schedule_in(sim::Duration::zero(), [this, unit_index] {
     Unit& u = *units_.at(unit_index);
     u.flush_scheduled = false;
+    if (halted_) return;  // a crashed/fenced process emits nothing further
     // Each feed datagram flush is a trace origin: the datagram (and every
     // frame replicated from it downstream) carries a fresh trace id, so a
     // tick-to-trade chain can be reconstructed hop by hop.
@@ -253,6 +264,7 @@ void Exchange::start_snapshots() {
 }
 
 void Exchange::snapshot_tick() {
+  if (halted_) return;  // stops the cycle; nothing reschedules it
   // One snapshot cycle per unit: begin (with the live resume point), the
   // unit's resting orders, end. Each cycle rides its own datagrams on the
   // snapshot group so receivers never confuse it with the live stream.
@@ -319,6 +331,7 @@ void Exchange::check_liveness(Connection& conn, sim::Time now) {
 }
 
 void Exchange::heartbeat_tick() {
+  if (halted_) return;  // stops liveness sweeps; nothing reschedules them
   const sim::Time now = engine_.now();
   if (!config_.sharded_liveness_sweep) {
     // Legacy sweep: every connection, every tick — PR 5's exact semantics.
@@ -367,6 +380,8 @@ void Exchange::register_metrics(telemetry::Registry& registry, const std::string
                  [this] { return static_cast<double>(stats_.feed_datagrams); });
   registry.gauge(prefix + ".feed_datagrams_b",
                  [this] { return static_cast<double>(stats_.feed_datagrams_b); });
+  registry.gauge(prefix + ".feed_datagrams_muted",
+                 [this] { return static_cast<double>(stats_.feed_datagrams_muted); });
   registry.gauge(prefix + ".orders_received",
                  [this] { return static_cast<double>(stats_.orders_received); });
   registry.gauge(prefix + ".orders_accepted",
@@ -513,6 +528,13 @@ void Exchange::close_direct(std::uint32_t conn) {
 }
 
 void Exchange::on_accept_session(net::TcpEndpoint& endpoint) {
+  if (halted_ || !accepting_) {
+    // A dead process's kernel (or a fenced/following standby) refuses the
+    // session: FIN right back so the gateway fails over to its next
+    // endpoint instead of waiting out a timeout.
+    endpoint.close();
+    return;
+  }
   auto conn = std::make_unique<Connection>();
   conn->endpoint = &endpoint;
   conn->index = static_cast<std::uint32_t>(connections_.size());
@@ -585,6 +607,11 @@ void Exchange::schedule_journal_flush() {
 }
 
 void Exchange::declare_session_dead(std::uint32_t session) {
+  // Replicate the death verdict itself (not the cancels it causes): the
+  // backup runs the same deterministic sweep and journals the same bytes.
+  if (input_listener_ != nullptr) {
+    input_listener_->on_admitted_session_dead(store_.session_id(session));
+  }
   store_.set_logged_in(session, false);
   const std::uint32_t ci = store_.conn(session);
   if (ci != SessionStore::kNullSlot) {
@@ -623,7 +650,12 @@ void Exchange::on_session_message(Connection& conn, const proto::boe::Message& m
     return;  // liveness only: the data handler already refreshed the timer
   }
   if (std::get_if<Logout>(&message) != nullptr) {
-    if (conn.session != SessionStore::kNullSlot) store_.set_logged_in(conn.session, false);
+    if (conn.session != SessionStore::kNullSlot) {
+      if (input_listener_ != nullptr) {
+        input_listener_->on_admitted_message(store_.session_id(conn.session), message);
+      }
+      store_.set_logged_in(conn.session, false);
+    }
     return;
   }
   if (const auto* replay = std::get_if<ReplayRequest>(&message)) {
@@ -637,6 +669,9 @@ void Exchange::on_session_message(Connection& conn, const proto::boe::Message& m
       send_conn(conn, OrderRejected{order->client_order_id, RejectReason::kNotLoggedIn});
       return;
     }
+    if (input_listener_ != nullptr) {
+      input_listener_->on_admitted_message(store_.session_id(conn.session), message);
+    }
     handle_new_order(conn.session, *order);
     return;
   }
@@ -647,6 +682,9 @@ void Exchange::on_session_message(Connection& conn, const proto::boe::Message& m
       send_conn(conn, CancelRejected{cancel->client_order_id, RejectReason::kTooLateToCancel});
       return;
     }
+    if (input_listener_ != nullptr) {
+      input_listener_->on_admitted_message(store_.session_id(conn.session), message);
+    }
     handle_cancel(conn.session, *cancel);
     return;
   }
@@ -654,6 +692,9 @@ void Exchange::on_session_message(Connection& conn, const proto::boe::Message& m
     if (conn.session == SessionStore::kNullSlot) {
       send_conn(conn, CancelRejected{modify->client_order_id, RejectReason::kUnknownOrder});
       return;
+    }
+    if (input_listener_ != nullptr) {
+      input_listener_->on_admitted_message(store_.session_id(conn.session), message);
     }
     handle_modify(conn.session, *modify);
     return;
@@ -701,6 +742,13 @@ void Exchange::handle_login(Connection& conn, const proto::boe::LoginRequest& lo
   if (conn.in_unbound_list) unlink_unbound(conn);
   store_.bind(session, conn.index);
   store_.set_logged_in(session, true);
+  // Every successful admission (first login, resume, takeover) replicates:
+  // the backup mirrors the row creation / logged-in transition. The
+  // idempotent duplicate-login return above changes no state and is not
+  // replicated.
+  if (input_listener_ != nullptr) {
+    input_listener_->on_admitted_login(login.session_id, login.token);
+  }
   send_conn(conn, LoginAccepted{});
 }
 
@@ -745,7 +793,7 @@ void Exchange::handle_new_order(std::uint32_t session, const proto::boe::NewOrde
   OrderAccepted ack;
   ack.client_order_id = request.client_order_id;
   ack.exchange_order_id = exchange_id;
-  ack.transact_time_ns = static_cast<std::uint64_t>(engine_.now().picos() / 1000);
+  ack.transact_time_ns = static_cast<std::uint64_t>(now_ps() / 1000);
   send_app(session, ack);
 
   store_.register_order(session, request.client_order_id, exchange_id, symbol_it->second);
@@ -807,6 +855,126 @@ void Exchange::handle_modify(std::uint32_t session, const proto::boe::ModifyOrde
     return;
   }
   send_app(session, OrderModified{request.client_order_id, request.quantity, request.price});
+}
+
+// --- hot-standby replication & failover ------------------------------------
+
+void Exchange::halt_connections() {
+  // Every live leg FINs — for crash() that is the host kernel reaping the
+  // dead process's sockets, for fence() a voluntary resignation — so
+  // gateways get a fast closed notification and re-home instead of waiting
+  // out a session timeout. Deliberately no declare_session_dead: the store
+  // and books freeze as-is (a halted matcher cannot run cancel-on-
+  // disconnect), keeping the state digest comparable post-mortem.
+  for (auto& conn : connections_) {
+    if (conn->dead) continue;
+    conn->dead = true;
+    if (conn->in_unbound_list) unlink_unbound(*conn);
+    if (conn->endpoint != nullptr) conn->endpoint->close();
+  }
+}
+
+void Exchange::crash() {
+  if (halted_) return;
+  halted_ = true;
+  halt_connections();
+}
+
+void Exchange::fence() {
+  if (halted_) return;
+  halted_ = true;
+  fenced_ = true;
+  feed_muted_ = true;
+  accepting_ = false;
+  halt_connections();
+}
+
+void Exchange::apply_replicated_login(std::uint32_t session_id, std::uint64_t token,
+                                      std::int64_t at_ps) {
+  replicated_now_ps_ = at_ps;
+  const auto result = store_.login(session_id, token);
+  if (result.verdict != LoginVerdict::kInUse) store_.set_logged_in(result.slot, true);
+  replicated_now_ps_ = -1;
+}
+
+void Exchange::apply_replicated_message(std::uint32_t session_id,
+                                        const proto::boe::Message& message, std::int64_t at_ps) {
+  using namespace proto::boe;
+  const std::uint32_t session = store_.lookup(session_id);
+  if (session == SessionStore::kNullSlot) return;  // login record lost upstream
+  replicated_now_ps_ = at_ps;
+  if (std::get_if<Logout>(&message) != nullptr) {
+    store_.set_logged_in(session, false);
+  } else if (const auto* order = std::get_if<NewOrder>(&message)) {
+    handle_new_order(session, *order);
+  } else if (const auto* cancel = std::get_if<CancelOrder>(&message)) {
+    handle_cancel(session, *cancel);
+  } else if (const auto* modify = std::get_if<ModifyOrder>(&message)) {
+    handle_modify(session, *modify);
+  }
+  replicated_now_ps_ = -1;
+}
+
+void Exchange::apply_replicated_session_dead(std::uint32_t session_id, std::int64_t at_ps) {
+  const std::uint32_t session = store_.lookup(session_id);
+  if (session == SessionStore::kNullSlot) return;
+  replicated_now_ps_ = at_ps;
+  declare_session_dead(session);
+  replicated_now_ps_ = -1;
+}
+
+std::uint64_t Exchange::state_digest() const {
+  constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+  std::uint64_t h = store_.state_digest();
+  auto fold = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xff;
+      h *= kPrime;
+    }
+  };
+  fold(next_order_id_);
+  // config_.symbols order is construction order: identical on both halves
+  // of a pair built from the same config.
+  for (const auto& spec : config_.symbols) {
+    const book::OrderBook& b = *books_.at(spec.symbol);
+    b.for_each_order([&](const book::Order& order) {
+      fold(order.id);
+      fold(static_cast<std::uint64_t>(order.side));
+      fold(static_cast<std::uint64_t>(order.price));
+      fold(order.quantity);
+    });
+  }
+  return h;
+}
+
+std::uint64_t Exchange::econ_digest() const {
+  constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto fold = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xff;
+      h *= kPrime;
+    }
+  };
+  std::vector<std::tuple<std::uint8_t, std::int64_t, std::uint64_t>> rows;
+  for (const auto& spec : config_.symbols) {
+    rows.clear();
+    books_.at(spec.symbol)->for_each_order([&](const book::Order& order) {
+      rows.emplace_back(static_cast<std::uint8_t>(order.side),
+                        static_cast<std::int64_t>(order.price), order.quantity);
+    });
+    // Sorted: a resubmitted order re-enters at the back of its price level,
+    // so raw book order differs from a never-failed control — economically
+    // equal books must still digest equal.
+    std::sort(rows.begin(), rows.end());
+    fold(rows.size());
+    for (const auto& [side, price, qty] : rows) {
+      fold(side);
+      fold(static_cast<std::uint64_t>(price));
+      fold(qty);
+    }
+  }
+  return h;
 }
 
 }  // namespace tsn::exchange

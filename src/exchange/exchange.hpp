@@ -52,6 +52,22 @@ class DirectClient {
   virtual void on_direct_closed(std::uint32_t conn) { (void)conn; }
 };
 
+// Admission tap for hot-standby replication: the primary exchange reports
+// every state-changing admitted input — successful logins, messages
+// dispatched for a bound session, and session-death declarations — in
+// admission order, inside the same event cascade that produces the client's
+// acknowledgement. A ReplicaStream forwards the taps to a backup exchange,
+// which applies them through the identical handlers, so the pair's state
+// digests stay byte-equal at every replication sequence point.
+class InputListener {
+ public:
+  virtual ~InputListener() = default;
+  virtual void on_admitted_login(std::uint32_t session_id, std::uint64_t token) = 0;
+  virtual void on_admitted_message(std::uint32_t session_id,
+                                   const proto::boe::Message& message) = 0;
+  virtual void on_admitted_session_dead(std::uint32_t session_id) = 0;
+};
+
 struct SymbolSpec {
   proto::Symbol symbol;
   proto::InstrumentKind kind = proto::InstrumentKind::kEquity;
@@ -123,7 +139,8 @@ struct ExchangeConfig {
 struct ExchangeStats {
   std::uint64_t feed_messages = 0;
   std::uint64_t feed_datagrams = 0;
-  std::uint64_t feed_datagrams_b = 0;  // B-line copies (dual_publish only)
+  std::uint64_t feed_datagrams_b = 0;      // B-line copies (dual_publish only)
+  std::uint64_t feed_datagrams_muted = 0;  // built but suppressed (hot standby)
   std::uint64_t orders_received = 0;
   std::uint64_t orders_accepted = 0;
   std::uint64_t orders_rejected = 0;
@@ -205,6 +222,51 @@ class Exchange {
   // Pooled session/order/journal state (read-only; tests and benches).
   [[nodiscard]] const SessionStore& session_store() const noexcept { return store_; }
 
+  // --- hot-standby replication & failover ------------------------------
+  // Primary side: taps every admitted input (borrowed; may be null).
+  void set_input_listener(InputListener* listener) noexcept { input_listener_ = listener; }
+  // Backup side: feed datagrams are built (sequences advance in lockstep
+  // with the primary) but not transmitted until promotion unmutes them —
+  // the promoted backup then continues the A/B streams seamlessly.
+  void set_feed_muted(bool muted) noexcept { feed_muted_ = muted; }
+  [[nodiscard]] bool feed_muted() const noexcept { return feed_muted_; }
+  // While not accepting, new order-port connections are closed immediately
+  // (a follower must not admit inputs of its own); promotion re-opens.
+  void set_accepting(bool accepting) noexcept { accepting_ = accepting; }
+
+  // Backup side: applies one replicated admission through the identical
+  // handlers the primary ran, with the exchange clock pinned to the
+  // primary's admission instant `at_ps` so every timestamped byte (feed
+  // time offsets, journaled ack transact times) comes out byte-identical.
+  void apply_replicated_login(std::uint32_t session_id, std::uint64_t token,
+                              std::int64_t at_ps);
+  void apply_replicated_message(std::uint32_t session_id, const proto::boe::Message& message,
+                                std::int64_t at_ps);
+  void apply_replicated_session_dead(std::uint32_t session_id, std::int64_t at_ps);
+
+  // Process death (fault::FaultInjector kProcessCrash): freezes all state —
+  // no sends, no matching, no ticks — while the "kernel" FINs every live
+  // leg and any later accepted connection, exactly what a dead box looks
+  // like from a gateway. No cancel-on-disconnect runs: a dead matcher
+  // cannot pull its own orders.
+  void crash();
+  // Epoch fencing: a stale primary that learns a higher-epoch leader exists
+  // silences itself — feed muted, accepts refused, live legs closed so
+  // clients re-home — but its books stay intact for post-mortem parity.
+  void fence();
+  [[nodiscard]] bool halted() const noexcept { return halted_; }
+  [[nodiscard]] bool fenced() const noexcept { return fenced_; }
+
+  // Replication-parity digest: session-store rows + order-id allocator +
+  // full book content, folded in deterministic (slot/config) order. Equal
+  // digests mean the pair would serve identical state from here on.
+  [[nodiscard]] std::uint64_t state_digest() const;
+  // Economic digest for failover-vs-control parity: per-symbol sorted
+  // (side, price, quantity) book tuples. Excludes exchange order ids —
+  // resubmitted orders draw fresh ids (and may lose time priority), but the
+  // surviving economic book must match a rig that never failed.
+  [[nodiscard]] std::uint64_t econ_digest() const;
+
   // Registers feed/order-flow/session gauges under "<prefix>".
   void register_metrics(telemetry::Registry& registry, const std::string& prefix) const;
 
@@ -246,6 +308,12 @@ class Exchange {
   // Commits staged journal entries after the current event cascade (one
   // group flush per instant, like the feed flush).
   void schedule_journal_flush();
+  // Exchange-local clock in picos: the engine's, unless an apply_replicated_*
+  // call has pinned it to the primary's admission instant.
+  [[nodiscard]] std::int64_t now_ps() const noexcept {
+    return replicated_now_ps_ >= 0 ? replicated_now_ps_ : engine_.now().picos();
+  }
+  void halt_connections();
   [[nodiscard]] std::uint32_t now_seconds() const noexcept;
   [[nodiscard]] std::uint32_t now_offset_ns() const noexcept;
 
@@ -290,6 +358,14 @@ class Exchange {
   bool snapshots_running_ = false;
   std::uint64_t snapshots_published_ = 0;
   bool heartbeats_running_ = false;
+
+  // --- hot-standby replication & failover state ---
+  InputListener* input_listener_ = nullptr;
+  bool feed_muted_ = false;
+  bool accepting_ = true;
+  bool halted_ = false;  // crashed or fenced: every activity source returns early
+  bool fenced_ = false;
+  std::int64_t replicated_now_ps_ = -1;  // <0: use the engine clock
 };
 
 }  // namespace tsn::exchange

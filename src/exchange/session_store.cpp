@@ -149,7 +149,11 @@ std::uint32_t SessionStore::dir_find(const Shard& shard, std::uint32_t session_i
 
 void SessionStore::dir_insert(Shard& shard, std::uint32_t session_id, std::uint32_t slot) {
   if ((shard.occupied + 1) * 10 >= shard.keys.size() * 7) {
-    dir_grow(shard, shard.keys.size() * 2);
+    // Load trip dominated by tombstones (churn, not growth): rehash in
+    // place to reclaim them instead of doubling — a long-lived table under
+    // login/destroy churn would otherwise grow without bound.
+    const bool mostly_dead = shard.count * 2 < shard.keys.size();
+    dir_grow(shard, mostly_dead ? shard.keys.size() : shard.keys.size() * 2);
   }
   const std::size_t mask = shard.keys.size() - 1;
   std::size_t pos = mix32(session_id) & mask;
@@ -208,7 +212,11 @@ std::uint32_t SessionStore::exch_find(proto::OrderId id) const noexcept {
 
 void SessionStore::exch_insert(proto::OrderId id, std::uint32_t slot) {
   if ((exch_index_.occupied + 1) * 10 >= exch_index_.keys.size() * 7) {
-    exch_grow(exch_index_.keys.size() * 2);
+    // Same compaction rule as dir_insert: order churn (register + close)
+    // leaves tombstones, and a bounded open-order book must not drag an
+    // ever-doubling index behind it.
+    const bool mostly_dead = exch_index_.count * 2 < exch_index_.keys.size();
+    exch_grow(mostly_dead ? exch_index_.keys.size() : exch_index_.keys.size() * 2);
   }
   const std::size_t mask = exch_index_.keys.size() - 1;
   std::size_t pos = mix64(id) & mask;
@@ -348,7 +356,7 @@ SessionStore::LoginResult SessionStore::login(std::uint32_t session_id, std::uin
   sess_token_[slot] = token;
   sess_tx_seq_[slot] = 1;
   sess_conn_[slot] = kNullSlot;
-  sess_flags_[slot] = 0;
+  sess_flags_[slot] = kFlagLive;
   sess_order_head_[slot] = kNullSlot;
   sess_order_count_[slot] = 0;
   sess_jr_head_[slot] = kNullSlot;
@@ -428,6 +436,7 @@ void SessionStore::destroy(std::uint32_t slot) {
   sess_jr_count_[slot] = 0;
   // Generation bump lazily invalidates this session's client-id marks.
   ++sess_gen_[slot];
+  sess_flags_[slot] = 0;
   dir_erase(shards_[sess_shard_[slot]], sess_external_[slot]);
   sess_next_[slot] = free_sess_;
   free_sess_ = slot;
@@ -546,6 +555,30 @@ void SessionStore::collect_open_client_ids(std::uint32_t slot,
     out.push_back(ord_client_[order]);
   }
   std::sort(out.begin(), out.end());
+}
+
+std::uint64_t SessionStore::state_digest() const noexcept {
+  constexpr std::uint64_t kOffset = 0xcbf29ce484222325ULL;
+  constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+  std::uint64_t h = kOffset;
+  auto fold = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xff;
+      h *= kPrime;
+    }
+  };
+  fold(live_sessions_);
+  for (std::uint32_t slot = 0; slot < sess_external_.size(); ++slot) {
+    if ((sess_flags_[slot] & kFlagLive) == 0) continue;
+    fold(sess_external_[slot]);
+    fold(sess_token_[slot]);
+    fold(sess_gen_[slot]);
+    fold(sess_tx_seq_[slot]);
+    fold((sess_flags_[slot] & kFlagLoggedIn) != 0 ? 1 : 0);
+    fold(sess_order_count_[slot]);
+    fold(sess_jr_count_[slot]);
+  }
+  return h;
 }
 
 }  // namespace tsn::exchange

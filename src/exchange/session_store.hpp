@@ -148,6 +148,31 @@ class SessionStore {
     return sess_tx_seq_[slot];
   }
   [[nodiscard]] std::size_t session_count() const noexcept { return live_sessions_; }
+  [[nodiscard]] std::uint32_t generation(std::uint32_t slot) const noexcept {
+    return sess_gen_[slot];
+  }
+  // Test-only: parks the generation counter so the wraparound suite can
+  // drive it across 0xffffffff without performing four billion destroys.
+  // Never call on a session with live client-id marks — existing marks keep
+  // their old generation and would resurrect if the counter revisits it.
+  void debug_set_generation(std::uint32_t slot, std::uint32_t gen) noexcept {
+    sess_gen_[slot] = gen;
+  }
+  // Test-only: exchange-index table capacity, so the churn suite can assert
+  // the tombstone-compacting rehash keeps it bounded.
+  [[nodiscard]] std::size_t debug_exchange_index_capacity() const noexcept {
+    return exch_index_.keys.size();
+  }
+
+  // Order-independent? No — deliberately order-DEPENDENT: a 64-bit FNV-1a
+  // fold over every live session row in slot order (external id, token,
+  // generation, tx_seq, logged-in, open orders, journal entries). Two
+  // stores that processed the same admitted input sequence hold the same
+  // rows in the same slots, so primary and backup digests are equal at
+  // every replication sequence point; any divergence — a lost login, a
+  // skipped order, a stray ack — shifts the fold. Connection indexes are
+  // excluded (the backup has no TCP legs).
+  [[nodiscard]] std::uint64_t state_digest() const noexcept;
 
   // --- shared journal ---------------------------------------------------
   // Stages one sequenced message for the session. Bytes are copied into the
@@ -214,6 +239,9 @@ class SessionStore {
 
  private:
   static constexpr std::uint8_t kFlagLoggedIn = 0x01;
+  // Row is allocated to a session (not on the freelist): the digest walk
+  // and other slot-order scans test this instead of probing the directory.
+  static constexpr std::uint8_t kFlagLive = 0x02;
   // Client-index value for a terminal order: the id stays used forever.
   static constexpr std::uint32_t kClosedOrder = 0xfffffffeu;
 

@@ -26,6 +26,10 @@ std::string_view fault_kind_name(FaultKind kind) noexcept {
       return "session_kill";
     case FaultKind::kSessionStorm:
       return "session_storm";
+    case FaultKind::kProcessCrash:
+      return "process_crash";
+    case FaultKind::kLinkPartition:
+      return "link_partition";
   }
   return "?";
 }
@@ -46,6 +50,10 @@ void FaultInjector::register_switch(l2::CommoditySwitch& sw) {
 
 void FaultInjector::register_session(std::string name, std::function<void()> kill) {
   sessions_.insert_or_assign(std::move(name), std::move(kill));
+}
+
+void FaultInjector::register_process(std::string name, std::function<void()> crash) {
+  processes_.insert_or_assign(std::move(name), std::move(crash));
 }
 
 void FaultInjector::register_storm(std::string name,
@@ -185,6 +193,45 @@ void FaultInjector::storm_at(const std::string& name, sim::Time at, std::uint32_
   });
 }
 
+void FaultInjector::crash_process_at(const std::string& process, sim::Time at) {
+  const auto it = processes_.find(process);
+  if (it == processes_.end()) {
+    throw std::invalid_argument{"fault target is not a process: " + process};
+  }
+  ++stats_.faults_scheduled;
+  // Copy the crasher: the map entry could be re-registered before firing.
+  engine_.schedule_at(at, [this, crash = it->second, process] {
+    crash();
+    record(FaultKind::kProcessCrash, process, 0.0);
+  });
+}
+
+void FaultInjector::partition_at(const std::string& link_a, const std::string& link_b,
+                                 sim::Time at) {
+  net::FaultHook& a = hook_for(link_a);
+  net::FaultHook& b = hook_for(link_b);
+  ++stats_.faults_scheduled;
+  const std::string target = link_a + "|" + link_b;
+  engine_.schedule_at(at, [this, &a, &b, target] {
+    a.set_admin_up(false);
+    b.set_admin_up(false);
+    record(FaultKind::kLinkPartition, target, 1.0);
+  });
+}
+
+void FaultInjector::heal_at(const std::string& link_a, const std::string& link_b,
+                            sim::Time at) {
+  net::FaultHook& a = hook_for(link_a);
+  net::FaultHook& b = hook_for(link_b);
+  ++stats_.faults_scheduled;
+  const std::string target = link_a + "|" + link_b;
+  engine_.schedule_at(at, [this, &a, &b, target] {
+    a.set_admin_up(true);
+    b.set_admin_up(true);
+    record(FaultKind::kLinkPartition, target, 0.0);
+  });
+}
+
 std::string FaultInjector::log_json() const {
   telemetry::JsonWriter writer;
   writer.begin_array();
@@ -206,7 +253,7 @@ void FaultInjector::register_metrics(telemetry::Registry& registry,
                  [this] { return static_cast<double>(stats_.faults_scheduled); });
   registry.gauge(prefix + ".fired",
                  [this] { return static_cast<double>(stats_.faults_fired); });
-  for (std::size_t k = 0; k < 8; ++k) {
+  for (std::size_t k = 0; k < kFaultKindCount; ++k) {
     const auto kind = static_cast<FaultKind>(k);
     registry.gauge(prefix + "." + std::string{fault_kind_name(kind)},
                    [this, k] { return static_cast<double>(kind_counts_[k]); });

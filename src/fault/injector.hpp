@@ -36,7 +36,11 @@ enum class FaultKind : std::uint8_t {
   kMrouteEvict,
   kSessionKill,   // registered session killer invoked (order-entry uplink death)
   kSessionStorm,  // registered storm callback dropped `value` sessions at once
+  kProcessCrash,    // registered process crash invoked (whole-box death, kernel FINs)
+  kLinkPartition,   // both directions of a cable admin-toggled (1=partition, 0=heal)
 };
+
+inline constexpr std::size_t kFaultKindCount = 10;
 
 [[nodiscard]] std::string_view fault_kind_name(FaultKind kind) noexcept;
 
@@ -75,6 +79,11 @@ class FaultInjector {
   // invoking it must drop the session's transport immediately. Session
   // faults model order-entry path death (§2) rather than link loss.
   void register_session(std::string name, std::function<void()> kill);
+  // Registers a whole-process crash switch (e.g. Exchange::crash): invoking
+  // it must stop the process cold — no further sends, no further event
+  // handling — while the host kernel keeps FIN/RST-ing new connections, the
+  // way a dead matching engine looks from the outside.
+  void register_process(std::string name, std::function<void()> crash);
 
   [[nodiscard]] bool has_target(const std::string& name) const noexcept {
     return hooks_.count(name) != 0;
@@ -118,6 +127,16 @@ class FaultInjector {
   // Fires a registered storm at `at`; the log records the sessions dropped.
   void storm_at(const std::string& name, sim::Time at, std::uint32_t count);
 
+  // Crashes a registered process at `at`.
+  void crash_process_at(const std::string& process, sim::Time at);
+
+  // Partitions a bidirectional path at `at` by admin-downing both named
+  // link directions in one instant; `heal_at` brings both back. Logged as a
+  // single kLinkPartition event with target "a|b" and value 1.0 (partition)
+  // or 0.0 (heal), so a drill's partition windows read directly off the log.
+  void partition_at(const std::string& link_a, const std::string& link_b, sim::Time at);
+  void heal_at(const std::string& link_a, const std::string& link_b, sim::Time at);
+
   // --- observability ---------------------------------------------------
   [[nodiscard]] const std::vector<FaultEvent>& log() const noexcept { return log_; }
   [[nodiscard]] const InjectorStats& stats() const noexcept { return stats_; }
@@ -139,9 +158,10 @@ class FaultInjector {
   std::map<std::string, l2::CommoditySwitch*> switches_;
   std::map<std::string, std::function<void()>> sessions_;
   std::map<std::string, std::function<std::uint32_t(std::uint32_t)>> storms_;
+  std::map<std::string, std::function<void()>> processes_;
   std::vector<FaultEvent> log_;
   InjectorStats stats_;
-  std::uint64_t kind_counts_[8] = {};
+  std::uint64_t kind_counts_[kFaultKindCount] = {};
 };
 
 }  // namespace tsn::fault

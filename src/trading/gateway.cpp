@@ -10,7 +10,6 @@ namespace tsn::trading {
 Gateway::Gateway(sim::Scheduler& engine, GatewayConfig config)
     : engine_(engine),
       config_(std::move(config)),
-      reconnect_rng_(config_.reconnect_jitter_seed),
       risk_(config_.risk_limits) {
   host_ = std::make_unique<net::Host>(engine_, config_.name, config_.software_latency);
   client_nic_ = &host_->add_nic("clients", config_.client_mac, config_.client_ip);
@@ -33,8 +32,20 @@ std::uint32_t Gateway::upstream_session_id() const noexcept {
 }
 
 void Gateway::connect_upstream() {
-  upstream_ = &upstream_stack_->connect_tcp(config_.exchange_mac, config_.exchange_ip,
-                                            config_.exchange_port, 0);
+  // Endpoint rotation: the initial connect and the first retry target the
+  // primary (a transient blip should not migrate the session); from the
+  // second retry on, walk primary -> backups -> primary so a promoted
+  // standby is reached within (1 + backups) backoff steps.
+  UpstreamEndpoint target{config_.exchange_mac, config_.exchange_ip, config_.exchange_port};
+  upstream_endpoint_index_ = 0;
+  if (!config_.backup_exchanges.empty() && backoff_attempt_ > 1) {
+    const std::size_t ring = 1 + config_.backup_exchanges.size();
+    upstream_endpoint_index_ = static_cast<std::size_t>(backoff_attempt_ - 1) % ring;
+    if (upstream_endpoint_index_ > 0) {
+      target = config_.backup_exchanges[upstream_endpoint_index_ - 1];
+    }
+  }
+  upstream_ = &upstream_stack_->connect_tcp(target.mac, target.ip, target.port, 0);
   upstream_->set_data_handler([this](std::span<const std::byte> bytes, sim::Time) {
     on_upstream_bytes(bytes);
   });
@@ -49,6 +60,22 @@ void Gateway::connect_upstream() {
       proto::boe::LoginRequest{upstream_session_id(), config_.login_token}, upstream_seq_++);
   upstream_->send(login);
   last_upstream_tx_ = engine_.now();
+  arm_login_timeout();
+}
+
+void Gateway::arm_login_timeout() {
+  if (config_.reconnect_response_timeout <= sim::Duration::zero()) return;
+  engine_.schedule_in(config_.reconnect_response_timeout, [this, self = upstream_] {
+    // Guard on endpoint identity: a timeout armed for a leg that already
+    // died (and was replaced) must not abort its successor.
+    if (self != upstream_ || upstream_ == nullptr) return;
+    if (upstream_state_ != UpstreamState::kLoggingIn &&
+        upstream_state_ != UpstreamState::kReplaying) {
+      return;
+    }
+    ++stats_.login_timeouts;
+    kill_upstream();  // closed handler fires and the backoff machine resumes
+  });
 }
 
 void Gateway::start() {
@@ -96,9 +123,27 @@ void Gateway::schedule_reconnect() {
   for (int i = 1; i < backoff_attempt_; ++i) scale *= config_.reconnect_backoff_multiplier;
   double picos = static_cast<double>(config_.reconnect_backoff_initial.picos()) * scale;
   picos = std::min(picos, static_cast<double>(config_.reconnect_backoff_max.picos()));
-  picos *= 1.0 + config_.reconnect_jitter * (2.0 * reconnect_rng_.uniform() - 1.0);
+  picos *= reconnect_jitter_factor();
   const auto backoff = sim::Duration{static_cast<std::int64_t>(picos)};
   engine_.schedule_in(backoff, [this] { reconnect_now(); });
+}
+
+double Gateway::reconnect_jitter_factor() noexcept {
+  // Stateless draw keyed on (seed, session id, outage number, attempt):
+  // every gateway's jitter is a pure function of who it is and where it is
+  // in its own reconnect history. A storm of re-homing gateways therefore
+  // replays byte-identically regardless of the order their backoff timers
+  // happen to fire — a shared RNG stream would make each draw depend on
+  // every *other* gateway's wake order.
+  std::uint64_t h = config_.reconnect_jitter_seed;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  };
+  mix(upstream_session_id());
+  mix(stats_.disconnects);
+  mix(static_cast<std::uint64_t>(backoff_attempt_));
+  sim::Rng rng{h};
+  return 1.0 + config_.reconnect_jitter * (2.0 * rng.uniform() - 1.0);
 }
 
 void Gateway::reconnect_now() {
@@ -314,6 +359,10 @@ void Gateway::register_metrics(telemetry::Registry& registry, const std::string&
                  [this] { return static_cast<double>(stats_.duplicate_resubmit_acks); });
   registry.gauge(prefix + ".orders_shed",
                  [this] { return static_cast<double>(stats_.orders_shed); });
+  registry.gauge(prefix + ".login_timeouts",
+                 [this] { return static_cast<double>(stats_.login_timeouts); });
+  registry.gauge(prefix + ".upstream_endpoint",
+                 [this] { return static_cast<double>(upstream_endpoint_index_); });
   registry.gauge(prefix + ".cancels_shed",
                  [this] { return static_cast<double>(stats_.cancels_shed); });
   registry.gauge(prefix + ".pending_upstream_depth",

@@ -22,6 +22,15 @@
 
 namespace tsn::trading {
 
+// One exchange front door the gateway can home to. Index 0 is implicitly
+// the primary (GatewayConfig::exchange_*); entries in backup_exchanges are
+// the hot standbys tried in rotation when reconnects to the primary fail.
+struct UpstreamEndpoint {
+  net::MacAddr mac;
+  net::Ipv4Addr ip;
+  std::uint16_t port = 34000;
+};
+
 struct GatewayConfig {
   std::string name = "gw";
   std::uint16_t listen_port = 35000;
@@ -49,6 +58,16 @@ struct GatewayConfig {
   // (with deterministic jitter from reconnect_jitter_seed), re-login, and
   // reconcile in-flight orders through replay + idempotent resubmission.
   bool reconnect_enabled = true;
+  // Hot-standby exchanges: reconnect attempt 1 retries the primary, later
+  // attempts rotate through primary and backups, so a promoted standby is
+  // found within a bounded number of backoff steps.
+  std::vector<UpstreamEndpoint> backup_exchanges;
+  // When positive, a login that gets no LoginAccepted/SequenceReset within
+  // this window is aborted and treated as a failed attempt. Covers the
+  // crash window where the TCP leg is accepted but the exchange dies before
+  // answering (the kernel of a dead box still completes handshakes it had
+  // queued). Zero disables.
+  sim::Duration reconnect_response_timeout = sim::Duration::zero();
   sim::Duration reconnect_backoff_initial = sim::millis(std::int64_t{2});
   double reconnect_backoff_multiplier = 2.0;
   sim::Duration reconnect_backoff_max = sim::millis(std::int64_t{50});
@@ -90,6 +109,7 @@ struct GatewayStats {
   std::uint64_t duplicate_resubmit_acks = 0;  // dedupe rejects swallowed for resubmissions
   std::uint64_t orders_shed = 0;              // NewOrders dropped by the pending bound
   std::uint64_t cancels_shed = 0;             // cancels/modifies dropped by the bound
+  std::uint64_t login_timeouts = 0;           // logins abandoned by the response timeout
 };
 
 class Gateway {
@@ -126,6 +146,11 @@ class Gateway {
     return pending_upstream_hwm_;
   }
   [[nodiscard]] const GatewayConfig& config() const noexcept { return config_; }
+  // Which front door the current (or most recent) upstream leg targets:
+  // 0 = primary, k = backup_exchanges[k - 1]. Drills assert re-homing.
+  [[nodiscard]] std::size_t upstream_endpoint_index() const noexcept {
+    return upstream_endpoint_index_;
+  }
   // Firm-wide exposure view (§4.2).
   [[nodiscard]] const RiskEngine& risk() const noexcept { return risk_; }
 
@@ -153,6 +178,8 @@ class Gateway {
   void on_upstream_closed(net::TcpCloseReason reason);
   void schedule_reconnect();
   void reconnect_now();
+  [[nodiscard]] double reconnect_jitter_factor() noexcept;
+  void arm_login_timeout();
   void on_login_accepted();
   void on_sequence_reset();
   void flush_pending_upstream();
@@ -184,7 +211,7 @@ class Gateway {
   bool ever_logged_in_ = false;   // first LoginAccepted vs resumed session
   int backoff_attempt_ = 0;       // consecutive failed attempts (resets on ready)
   std::uint32_t last_applied_seq_ = 0;  // highest sequenced response applied
-  sim::Rng reconnect_rng_;
+  std::size_t upstream_endpoint_index_ = 0;  // 0 = primary, k = backups[k-1]
 
   struct OrderRoute {
     StrategySession* session = nullptr;

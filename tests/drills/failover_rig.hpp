@@ -1,0 +1,422 @@
+// Hot-standby failover drill rig (the PR 10 tentpole's proving ground).
+//
+// Topology: a primary/backup exchange pair joined by a replication bridge
+// (ReplicaStream -> ReplicaApplier over its own cable, partitionable by the
+// fault injector), a FailoverController watching the backup's heartbeat
+// watermark, and two client gateways — a seller and a buyer — reaching both
+// exchanges' order NICs through an L2 switch so the PR 5 reconnect
+// machinery can re-home them to whichever box answers. A feed consumer
+// hangs off both exchanges' feed NICs: the backup publishes muted (its
+// PITCH sequences advance in lockstep, datagrams dropped) until promotion,
+// so the consumer sees one seamless sequence across the failover.
+//
+// Every drill runs the same scripted two-sided timeline through real
+// sessions (no direct book pokes — an order the replication channel never
+// saw could not reach the backup). The control variant (kNone) is the
+// identical rig with no fault: parity assertions compare the promoted
+// backup's book and the strategies' fills against a never-failed run.
+//
+// Timeline (sim clock):
+//   1.0ms  seller 100: sell 100 @ 100.50   (rests)
+//   2.0ms  buyer  200: buy  100 @ 100.50   (fills 100)
+//   2.5ms  seller 101: sell 200 @ 101      (rests)
+//   2.6ms  seller 102: sell 300 @ 102      (rests)
+//   3.6ms  seller 103: sell 100 @ 103      (rests)
+//   3.8ms  seller 104: sell 100 @ 104      (acked just before the fault)
+//   4.0ms  seller 105: sell 100 @ 105      (in flight AT the crash instant)
+//   4.2ms  seller 106: sell 100 @ 106      (queued during the outage)
+//   4.4ms  buyer  201: buy   50 @ 101      (fills 50 after recovery)
+//  16.0ms  seller 107: sell 120 @ 100.45
+//  20.0ms  buyer  202: buy  120 @ 100.45   (fills 120)
+//  40.0ms  end of drill
+//
+// Faults:
+//   kCrashPrimary         process crash at 4.0ms (box dies, kernel FINs)
+//   kPartitionHeal        replication bridge partitioned 5ms..10ms while the
+//                         primary stays up: split-brain, resolved by the
+//                         backup's epoch bump fencing the stale primary on
+//                         heal. The partition window is deliberately
+//                         order-free — orders admitted by a partitioned
+//                         primary are acked but unreplicated (documented
+//                         limitation; see DESIGN.md).
+//   kCrashDuringPromotion same partition at 5ms, then the primary dies at
+//                         7.5ms — inside the backup's promotion window.
+#pragma once
+
+#include "sim/engine.hpp"
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <variant>
+#include <vector>
+
+#include "exchange/exchange.hpp"
+#include "exchange/failover.hpp"
+#include "exchange/replica.hpp"
+#include "fault/injector.hpp"
+#include "l2/commodity_switch.hpp"
+#include "net/fabric.hpp"
+#include "net/stack.hpp"
+#include "proto/pitch.hpp"
+#include "telemetry/metrics.hpp"
+#include "trading/gateway.hpp"
+
+namespace tsn::drills {
+
+enum class FailoverFault {
+  kNone,                  // control rig: same script, no fault
+  kCrashPrimary,          // whole-box death mid-burst
+  kPartitionHeal,         // replication split-brain, healed
+  kCrashDuringPromotion,  // partition, then crash inside the promotion window
+};
+
+class FailoverRig {
+ public:
+  explicit FailoverRig(FailoverFault fault)
+      : fault_(fault),
+        primary_(engine_, exchange_config("PRIM", 1, net::Ipv4Addr{10, 2, 0, 1}, 2,
+                                          net::Ipv4Addr{10, 2, 0, 2})),
+        backup_(engine_, exchange_config("BACK", 3, net::Ipv4Addr{10, 2, 0, 3}, 4,
+                                         net::Ipv4Addr{10, 2, 0, 4})),
+        osw_(engine_, "osw", switch_config()),
+        stream_(engine_, primary_, stream_config()),
+        applier_(engine_, backup_, applier_config()),
+        controller_(engine_, backup_, applier_, failover_config()),
+        seller_gw_(engine_, gateway_config("gw-sell", 20, 21)),
+        buyer_gw_(engine_, gateway_config("gw-buy", 22, 23)),
+        seller_(engine_, "strat-sell", 30, seller_gw_),
+        buyer_(engine_, "strat-buy", 31, buyer_gw_) {
+    // Hot standby: feed muted (sequences advance, datagrams dropped) and the
+    // order listener refuses accepts until the controller promotes it.
+    backup_.set_feed_muted(true);
+    backup_.set_accepting(false);
+
+    // Order plane: both exchanges and both gateways on one switch, so the
+    // same gateway NIC can reach whichever box currently leads.
+    fabric_.connect(osw_, 0, primary_.order_nic(), 0, net::LinkConfig{});
+    fabric_.connect(osw_, 1, backup_.order_nic(), 0, net::LinkConfig{});
+    fabric_.connect(osw_, 2, seller_gw_.upstream_nic(), 0, net::LinkConfig{});
+    fabric_.connect(osw_, 3, buyer_gw_.upstream_nic(), 0, net::LinkConfig{});
+    osw_.bind_host(primary_.order_nic().ip(), primary_.order_nic().mac(), 0);
+    osw_.bind_host(backup_.order_nic().ip(), backup_.order_nic().mac(), 1);
+    osw_.bind_host(seller_gw_.upstream_nic().ip(), seller_gw_.upstream_nic().mac(), 2);
+    osw_.bind_host(buyer_gw_.upstream_nic().ip(), buyer_gw_.upstream_nic().mac(), 3);
+
+    // Replication bridge: its own cable, so a partition severs exactly the
+    // pair's view of each other and nothing else.
+    const net::Cable bridge =
+        fabric_.connect(stream_.nic(), 0, applier_.nic(), 0, net::LinkConfig{});
+    bridge_ab_ = bridge.a_to_b;
+    bridge_ba_ = bridge.b_to_a;
+
+    // Feed plane: the consumer hears both boxes (ports 0 and 1); only the
+    // unmuted one actually emits, so the PITCH sequence is gapless across
+    // the handover.
+    fabric_.connect(primary_.feed_nic(), 0, feed_nic_, 0, net::LinkConfig{});
+    fabric_.connect(backup_.feed_nic(), 0, feed_nic_, 1, net::LinkConfig{});
+    feed_nic_.subscribe_multicast_mac(net::multicast_mac(primary_.unit_group(0)));
+    feed_.bind_udp(primary_.config().feed_port,
+                   [this](const net::Ipv4Header&, const net::UdpHeader&,
+                          std::span<const std::byte> payload, sim::Time) {
+                     on_feed_datagram(payload);
+                   });
+
+    injector_.register_link(*bridge_ab_);
+    injector_.register_link(*bridge_ba_);
+    // One process = the primary exchange and its replication stream; the
+    // crash callback kills both in the same instant, before any same-tick
+    // admissions (crash events are scheduled at drill setup, so they sort
+    // first at a tied timestamp).
+    injector_.register_process("primary", [this] {
+      primary_.crash();
+      stream_.crash();
+    });
+
+    seller_.wire(fabric_);
+    buyer_.wire(fabric_);
+  }
+
+  void run() {
+    primary_.start_heartbeats();
+    backup_.start_heartbeats();
+    stream_.start();
+    applier_.start();
+    controller_.start();
+    seller_gw_.start();
+    buyer_gw_.start();
+    seller_.login();
+    buyer_.login();
+
+    schedule_fault();
+
+    sell_at(1000, 100, 100, 100.50);
+    buy_at(2000, 200, 100, 100.50);
+    sell_at(2500, 101, 200, 101.0);
+    sell_at(2600, 102, 300, 102.0);
+    sell_at(3600, 103, 100, 103.0);
+    sell_at(3800, 104, 100, 104.0);
+    sell_at(4000, 105, 100, 105.0);
+    sell_at(4200, 106, 100, 106.0);
+    buy_at(4400, 201, 50, 101.0);
+    sell_at(16000, 107, 120, 100.45);
+    buy_at(20000, 202, 120, 100.45);
+    engine_.run_until(at_us(40000));
+  }
+
+  // Every component's gauges in one registry: the byte-identity surface.
+  void register_all(telemetry::Registry& registry) {
+    primary_.register_metrics(registry, "prim");
+    backup_.register_metrics(registry, "back");
+    stream_.register_metrics(registry, "repl.stream");
+    applier_.register_metrics(registry, "repl.applier");
+    controller_.register_metrics(registry, "failover");
+    seller_gw_.register_metrics(registry, "gw.sell");
+    buyer_gw_.register_metrics(registry, "gw.buy");
+    injector_.register_metrics(registry, "fault");
+  }
+
+  [[nodiscard]] sim::Engine& engine() noexcept { return engine_; }
+  [[nodiscard]] exchange::Exchange& primary() noexcept { return primary_; }
+  [[nodiscard]] exchange::Exchange& backup() noexcept { return backup_; }
+  [[nodiscard]] exchange::ReplicaStream& stream() noexcept { return stream_; }
+  [[nodiscard]] exchange::ReplicaApplier& applier() noexcept { return applier_; }
+  [[nodiscard]] exchange::FailoverController& controller() noexcept { return controller_; }
+  [[nodiscard]] trading::Gateway& seller_gw() noexcept { return seller_gw_; }
+  [[nodiscard]] trading::Gateway& buyer_gw() noexcept { return buyer_gw_; }
+  [[nodiscard]] fault::FaultInjector& injector() noexcept { return injector_; }
+
+  // The surviving authority: the backup after a fault, the primary in the
+  // control run.
+  [[nodiscard]] exchange::Exchange& authority() noexcept {
+    return fault_ == FailoverFault::kNone ? primary_ : backup_;
+  }
+  [[nodiscard]] std::int64_t seller_position() const {
+    return seller_gw_.risk().position(proto::Symbol{"AAA"});
+  }
+  [[nodiscard]] std::int64_t buyer_position() const {
+    return buyer_gw_.risk().position(proto::Symbol{"AAA"});
+  }
+  template <typename T>
+  [[nodiscard]] std::vector<T> seller_received() const {
+    return seller_.received<T>();
+  }
+  template <typename T>
+  [[nodiscard]] std::vector<T> buyer_received() const {
+    return buyer_.received<T>();
+  }
+
+  [[nodiscard]] std::size_t feed_datagrams() const noexcept { return feed_datagrams_; }
+  [[nodiscard]] std::size_t feed_messages() const noexcept { return feed_messages_; }
+  [[nodiscard]] std::size_t feed_gaps() const noexcept { return feed_gaps_; }
+
+  // Observes a component's state at a scripted instant (e.g. "was the
+  // controller mid-promotion when the crash landed?").
+  void probe_at(std::int64_t us, std::function<void()> probe) {
+    engine_.schedule_at(at_us(us), std::move(probe));
+  }
+
+  [[nodiscard]] static sim::Time at_us(std::int64_t us) {
+    return sim::Time::zero() + sim::micros(us);
+  }
+
+ private:
+  // A strategy leg: one TCP session into its gateway, capturing every
+  // response for the parity assertions.
+  class Strategy {
+   public:
+    Strategy(sim::Engine& engine, std::string name, std::uint64_t host_id,
+             trading::Gateway& gw)
+        : nic_(engine, std::move(name), net::MacAddr::from_host_id(host_id),
+               net::Ipv4Addr{10, 2, 0, static_cast<std::uint8_t>(host_id)}),
+          stack_(nic_),
+          gw_(gw) {}
+
+    void wire(net::Fabric& fabric) {
+      fabric.connect(nic_, 0, gw_.client_nic(), 0, net::LinkConfig{});
+    }
+
+    void login() {
+      ep_ = &stack_.connect_tcp(gw_.client_nic().mac(), gw_.client_nic().ip(),
+                                gw_.config().listen_port, 0);
+      ep_->set_data_handler([this](std::span<const std::byte> bytes, sim::Time) {
+        parser_.feed(bytes);
+        while (auto decoded = parser_.next()) msgs_.push_back(decoded->message);
+      });
+      ep_->send(proto::boe::encode(
+          proto::boe::Message{proto::boe::LoginRequest{1, 1}}, seq_++));
+    }
+
+    void send_order(proto::OrderId id, proto::Side side, proto::Quantity qty,
+                    double dollars) {
+      ep_->send(proto::boe::encode(
+          proto::boe::Message{proto::boe::NewOrder{id, side, qty, proto::Symbol{"AAA"},
+                                                   proto::price_from_dollars(dollars),
+                                                   proto::boe::TimeInForce::kDay}},
+          seq_++));
+    }
+
+    template <typename T>
+    [[nodiscard]] std::vector<T> received() const {
+      std::vector<T> out;
+      for (const auto& msg : msgs_) {
+        if (const auto* typed = std::get_if<T>(&msg)) out.push_back(*typed);
+      }
+      return out;
+    }
+
+   private:
+    net::Nic nic_;
+    net::NetStack stack_;
+    trading::Gateway& gw_;
+    net::TcpEndpoint* ep_ = nullptr;
+    proto::boe::StreamParser parser_;
+    std::vector<proto::boe::Message> msgs_;
+    std::uint32_t seq_ = 1;
+  };
+
+  static exchange::ExchangeConfig exchange_config(const char* name, std::uint64_t feed_host,
+                                                  net::Ipv4Addr feed_ip,
+                                                  std::uint64_t order_host,
+                                                  net::Ipv4Addr order_ip) {
+    exchange::ExchangeConfig config;
+    config.name = name;
+    config.symbols = {{proto::Symbol{"AAA"}, proto::InstrumentKind::kEquity,
+                       proto::price_from_dollars(100)}};
+    config.feed_partitioning = std::make_shared<proto::HashPartition>(1);
+    config.heartbeat_interval = sim::micros(std::int64_t{1500});
+    config.session_timeout = sim::millis(std::int64_t{20});
+    config.feed_mac = net::MacAddr::from_host_id(feed_host);
+    config.feed_ip = feed_ip;
+    config.order_mac = net::MacAddr::from_host_id(order_host);
+    config.order_ip = order_ip;
+    return config;
+  }
+
+  static l2::CommoditySwitchConfig switch_config() {
+    l2::CommoditySwitchConfig config;
+    config.port_count = 8;
+    return config;
+  }
+
+  exchange::ReplicaConfig stream_config() const {
+    exchange::ReplicaConfig config;
+    config.name = "repl-pri";
+    config.local_mac = net::MacAddr::from_host_id(5);
+    config.local_ip = net::Ipv4Addr{10, 2, 0, 5};
+    config.peer_mac = net::MacAddr::from_host_id(6);
+    config.peer_ip = net::Ipv4Addr{10, 2, 0, 6};
+    config.local_port = 36000;
+    config.peer_port = 36001;
+    return config;
+  }
+
+  exchange::ReplicaConfig applier_config() const {
+    exchange::ReplicaConfig config;
+    config.name = "repl-bak";
+    config.local_mac = net::MacAddr::from_host_id(6);
+    config.local_ip = net::Ipv4Addr{10, 2, 0, 6};
+    config.peer_mac = net::MacAddr::from_host_id(5);
+    config.peer_ip = net::Ipv4Addr{10, 2, 0, 5};
+    config.local_port = 36001;
+    config.peer_port = 36000;
+    return config;
+  }
+
+  static exchange::FailoverConfig failover_config() {
+    exchange::FailoverConfig config;
+    config.poll_interval = sim::micros(std::int64_t{200});
+    config.suspect_after = sim::millis(std::int64_t{2});
+    config.promote_after = sim::millis(std::int64_t{1});
+    config.promote_replay = sim::micros(std::int64_t{200});
+    return config;
+  }
+
+  trading::GatewayConfig gateway_config(const char* name, std::uint8_t client_host,
+                                        std::uint8_t upstream_host) {
+    trading::GatewayConfig config;
+    config.name = name;
+    config.exchange_mac = primary_.order_nic().mac();
+    config.exchange_ip = primary_.order_nic().ip();
+    config.exchange_port = primary_.config().order_port;
+    config.backup_exchanges = {{backup_.order_nic().mac(), backup_.order_nic().ip(),
+                                backup_.config().order_port}};
+    config.client_mac = net::MacAddr::from_host_id(client_host);
+    config.client_ip = net::Ipv4Addr{10, 2, 0, client_host};
+    config.upstream_mac = net::MacAddr::from_host_id(upstream_host);
+    config.upstream_ip = net::Ipv4Addr{10, 2, 0, upstream_host};
+    config.heartbeat_interval = sim::micros(std::int64_t{1500});
+    config.reconnect_backoff_initial = sim::millis(std::int64_t{2});
+    // A dead box's kernel can complete handshakes it had queued; don't hang
+    // in kLoggingIn waiting for an answer that will never come.
+    config.reconnect_response_timeout = sim::millis(std::int64_t{1});
+    config.reconnect_max_attempts = 20;
+    return config;
+  }
+
+  void schedule_fault() {
+    switch (fault_) {
+      case FailoverFault::kNone:
+        break;
+      case FailoverFault::kCrashPrimary:
+        injector_.crash_process_at("primary", at_us(4000));
+        break;
+      case FailoverFault::kPartitionHeal:
+        injector_.partition_at(bridge_ab_->name(), bridge_ba_->name(), at_us(5000));
+        injector_.heal_at(bridge_ab_->name(), bridge_ba_->name(), at_us(10000));
+        break;
+      case FailoverFault::kCrashDuringPromotion:
+        injector_.partition_at(bridge_ab_->name(), bridge_ba_->name(), at_us(5000));
+        injector_.crash_process_at("primary", at_us(7500));
+        injector_.heal_at(bridge_ab_->name(), bridge_ba_->name(), at_us(10000));
+        break;
+    }
+  }
+
+  void on_feed_datagram(std::span<const std::byte> payload) {
+    ++feed_datagrams_;
+    if (const auto header = proto::pitch::peek_header(payload)) {
+      if (feed_next_seq_ != 0 && header->sequence != feed_next_seq_) ++feed_gaps_;
+      feed_next_seq_ = header->sequence + header->count;
+      feed_messages_ += header->count;
+    }
+  }
+
+  void sell_at(std::int64_t us, proto::OrderId id, proto::Quantity qty, double dollars) {
+    engine_.schedule_at(at_us(us), [this, id, qty, dollars] {
+      seller_.send_order(id, proto::Side::kSell, qty, dollars);
+    });
+  }
+
+  void buy_at(std::int64_t us, proto::OrderId id, proto::Quantity qty, double dollars) {
+    engine_.schedule_at(at_us(us), [this, id, qty, dollars] {
+      buyer_.send_order(id, proto::Side::kBuy, qty, dollars);
+    });
+  }
+
+  FailoverFault fault_;
+  sim::Engine engine_;
+  net::Fabric fabric_{engine_};
+  exchange::Exchange primary_;
+  exchange::Exchange backup_;
+  l2::CommoditySwitch osw_;
+  exchange::ReplicaStream stream_;
+  exchange::ReplicaApplier applier_;
+  exchange::FailoverController controller_;
+  trading::Gateway seller_gw_;
+  trading::Gateway buyer_gw_;
+  Strategy seller_;
+  Strategy buyer_;
+  fault::FaultInjector injector_{engine_};
+  net::Link* bridge_ab_ = nullptr;
+  net::Link* bridge_ba_ = nullptr;
+
+  net::Nic feed_nic_{engine_, "feedsub", net::MacAddr::from_host_id(40),
+                     net::Ipv4Addr{10, 2, 0, 40}};
+  net::NetStack feed_{feed_nic_};
+  std::size_t feed_datagrams_ = 0;
+  std::size_t feed_messages_ = 0;
+  std::size_t feed_gaps_ = 0;
+  std::uint32_t feed_next_seq_ = 0;
+};
+
+}  // namespace tsn::drills

@@ -46,6 +46,54 @@ TEST(FaultReplay, SameSeedSameDrillIsByteIdentical) {
   EXPECT_EQ(first.metrics_json, second.metrics_json);
 }
 
+// Schema check: every FaultKind value — including the failover additions
+// process_crash and link_partition — must round-trip through the JSON
+// export under the exact name fault_kind_name spells. A kind that fires but
+// exports as "?" (or not at all) would silently weaken every byte-identity
+// comparison built on the log.
+TEST(FaultReplay, EveryFaultKindRoundTripsThroughLogJson) {
+  sim::Engine engine;
+  net::Link link_a{engine, "bridge-ab", net::LinkConfig{}};
+  net::Link link_b{engine, "bridge-ba", net::LinkConfig{}};
+  l2::CommoditySwitch tor{engine, "tor", l2::CommoditySwitchConfig{}};
+  fault::FaultInjector injector{engine};
+  injector.register_link(link_a);
+  injector.register_link(link_b);
+  injector.register_switch(tor);
+  injector.register_session("sess", [] {});
+  injector.register_storm("storm", [](std::uint32_t count) { return count; });
+  injector.register_process("proc", [] {});
+
+  const auto at_us = [](std::int64_t us) { return sim::Time::zero() + sim::micros(us); };
+  injector.down_at("bridge-ab", at_us(100));             // link_down
+  injector.up_at("bridge-ab", at_us(200));               // link_up
+  injector.set_loss_at("bridge-ab", at_us(300), 0.25);   // loss_set
+  injector.clear_loss_at("bridge-ab", at_us(400));       // loss_clear
+  injector.stall_port_at("tor", 0, at_us(500), sim::micros(std::int64_t{10}));  // port_stall
+  injector.evict_mroute_at("tor", net::Ipv4Addr{0xe1000001}, at_us(600));       // mroute_evict
+  injector.kill_session_at("sess", at_us(700));          // session_kill
+  injector.storm_at("storm", at_us(800), 3);             // session_storm
+  injector.crash_process_at("proc", at_us(900));         // process_crash
+  injector.partition_at("bridge-ab", "bridge-ba", at_us(1000));  // link_partition (1.0)
+  injector.heal_at("bridge-ab", "bridge-ba", at_us(1100));       // link_partition (0.0)
+  engine.run_until(at_us(2000));
+
+  const std::string json = injector.log_json();
+  for (std::size_t k = 0; k < fault::kFaultKindCount; ++k) {
+    const auto name = fault::fault_kind_name(static_cast<fault::FaultKind>(k));
+    EXPECT_NE(name, "?") << "FaultKind " << k << " has no export name";
+    const std::string needle = "\"kind\":\"" + std::string{name} + "\"";
+    EXPECT_NE(json.find(needle), std::string::npos)
+        << "kind " << name << " missing from fault log: " << json;
+  }
+  // The export never leaks an unnamed kind.
+  EXPECT_EQ(json.find("\"kind\":\"?\""), std::string::npos);
+  // Partition windows read directly off the log: one combined target with
+  // value 1 (partition) then 0 (heal).
+  EXPECT_NE(json.find("\"target\":\"bridge-ab|bridge-ba\",\"value\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"target\":\"bridge-ab|bridge-ba\",\"value\":0"), std::string::npos);
+}
+
 TEST(FaultReplay, DifferentSeedsDiverge) {
   const DrillOutcome baseline = run_acceptance_drill();
 

@@ -8,6 +8,7 @@
 // order*, open-order sets, dedupe marks and byte-exact replay streams.
 // Destroy + re-login exercises slot reuse and the generation-bump dedupe
 // invalidation; multiple shard counts exercise the directory sharding.
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <map>
@@ -223,6 +224,98 @@ TEST_P(SessionStoreDifferentialTest, OpSoupMatchesOracle) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SessionStoreDifferentialTest,
                          ::testing::Values(1u, 2u, 3u, 4u, 17u, 42u, 1001u, 9999u));
+
+// The generation counter is the dedupe-mark invalidator: client-id marks
+// carry the generation they were registered under, and destroy bumps the
+// slot's counter so old marks die. Park the counter at the top of its range
+// and drive it across the 32-bit wrap: marks from the 0xfffffffe and
+// 0xffffffff incarnations must stay dead after the counter re-enters low
+// values, and a rehash (which sweeps stale-generation marks) must keep the
+// live incarnation's marks intact.
+TEST(SessionStoreGeneration, WraparoundKeepsDedupeSound) {
+  SessionStore store(SessionStoreConfig{.shards = 1});
+  const std::uint32_t ext = kIdBase;
+  const auto first = store.login(ext, 1);
+  ASSERT_EQ(first.verdict, LoginVerdict::kNew);
+  const std::uint32_t slot = first.slot;
+  store.debug_set_generation(slot, 0xfffffffeu);
+  ASSERT_EQ(store.register_order(slot, 100, 1'000, 0), OrderVerdict::kAccepted);
+  ASSERT_EQ(store.register_order(slot, 100, 1'001, 0), OrderVerdict::kDuplicateClientId);
+
+  store.destroy(slot);  // generation -> 0xffffffff
+  const auto second = store.login(ext, 1);
+  ASSERT_EQ(second.verdict, LoginVerdict::kNew);
+  ASSERT_EQ(second.slot, slot);  // LIFO freelist hands the slot straight back
+  EXPECT_EQ(store.generation(slot), 0xffffffffu);
+  EXPECT_FALSE(store.client_id_used(slot, 100));  // old incarnation's mark is dead
+  ASSERT_EQ(store.register_order(slot, 100, 1'002, 0), OrderVerdict::kAccepted);
+
+  store.destroy(slot);  // generation wraps: 0xffffffff -> 0
+  const auto third = store.login(ext, 1);
+  ASSERT_EQ(third.slot, slot);
+  EXPECT_EQ(store.generation(slot), 0u);
+  EXPECT_FALSE(store.client_id_used(slot, 100));
+  ASSERT_EQ(store.register_order(slot, 100, 1'003, 0), OrderVerdict::kAccepted);
+
+  // Force a client-index rehash (the stale-generation sweep) and confirm it
+  // keeps exactly the live incarnation's marks.
+  for (proto::OrderId id = 200; id < 400; ++id) {
+    ASSERT_EQ(store.register_order(slot, id, 10'000 + id, 0), OrderVerdict::kAccepted);
+  }
+  EXPECT_TRUE(store.client_id_used(slot, 100));
+  EXPECT_FALSE(store.client_id_used(slot, 150));
+  ASSERT_EQ(store.register_order(slot, 100, 20'000, 0), OrderVerdict::kDuplicateClientId);
+}
+
+// Tombstone-heavy churn: a bounded set of open orders cycling through the
+// exchange-id index piles up tombstones to the load-factor trip over and
+// over. The trip must compact in place (rehash at unchanged capacity, drop
+// tombstones), not double forever; lookups stay correct against a std::map
+// oracle throughout.
+TEST(SessionStoreExchangeIndex, TombstoneChurnCompactsAndStaysCorrect) {
+  sim::Rng rng(7);
+  SessionStore store(SessionStoreConfig{.shards = 1});
+  const std::uint32_t ext = kIdBase + 1;
+  const std::uint32_t slot = store.login(ext, 9).slot;
+  std::map<proto::OrderId, proto::OrderId> open;  // exchange id -> client id
+  proto::OrderId next_client = 1;
+  proto::OrderId next_exchange = 1;
+  std::size_t capacity_hwm = 0;
+  for (int op = 0; op < 20'000; ++op) {
+    if (open.size() < 24 && (open.empty() || rng.bernoulli(0.55))) {
+      const proto::OrderId cid = next_client++;
+      const proto::OrderId eid = next_exchange++;
+      ASSERT_EQ(store.register_order(slot, cid, eid, 0), OrderVerdict::kAccepted);
+      open[eid] = cid;
+    } else {
+      auto it = open.begin();
+      std::advance(it, static_cast<long>(rng.next_below(open.size())));
+      const std::uint32_t order = store.find_by_exchange(it->first);
+      ASSERT_NE(order, SessionStore::kNullSlot);
+      ASSERT_EQ(store.order_client_id(order), it->second);
+      store.close_order(order);
+      open.erase(it);
+    }
+    capacity_hwm = std::max(capacity_hwm, store.debug_exchange_index_capacity());
+    if (op % 500 == 0) {
+      ASSERT_EQ(store.open_orders_total(), open.size());
+      for (const auto& [eid, cid] : open) {
+        const std::uint32_t order = store.find_by_exchange(eid);
+        ASSERT_NE(order, SessionStore::kNullSlot);
+        ASSERT_EQ(store.order_client_id(order), cid);
+        ASSERT_EQ(store.find_open(slot, cid), order);
+      }
+      for (proto::OrderId eid = 1; eid < next_exchange; ++eid) {
+        if (!open.contains(eid)) {
+          ASSERT_EQ(store.find_by_exchange(eid), SessionStore::kNullSlot) << "eid " << eid;
+        }
+      }
+    }
+  }
+  // 24 live orders need 64 table entries at the 70% trip; the compacting
+  // rehash keeps the index there no matter how many ids churn through.
+  EXPECT_LE(capacity_hwm, 64u);
+}
 
 // Directory shards round up to a power of two and ids spread across them.
 TEST(SessionStoreShards, RoundsUpAndSpreads) {

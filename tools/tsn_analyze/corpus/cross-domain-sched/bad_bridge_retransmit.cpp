@@ -1,0 +1,29 @@
+// Shaped like the hot-standby replication bridge: a stream on the primary's
+// shard reacting to a status datagram from the applier's shard. The
+// tempting bug is to schedule the retransmit (or the fence) directly onto
+// the peer's queue "because the record belongs over there" — in windowed
+// mode that queue may be mid-drain on another worker, and the push bypasses
+// the mailbox order the parity digests depend on.
+struct ReplicationBridge {
+  tsn::sim::ShardedEngine* engine;
+  std::size_t backup_shard = 1;
+  std::size_t primary_shard = 0;
+  std::vector<tsn::sim::Domain*> domains;
+
+  void on_status_gap(tsn::sim::Domain& self) {
+    // Retransmit must be scheduled on the *stream's* own domain (the wire
+    // delay happens on the link); reaching into the applier's shard skips
+    // the lookahead bound.
+    engine->domain(backup_shard).schedule_in(tsn::sim::nanos(50), [] {});  // lint-expect: cross-domain-sched
+    // Fencing the stale primary from the applier's callback: same trap in
+    // the other direction, through a shard table this time.
+    domains[primary_shard]->schedule_at(self.now(), [] {});  // lint-expect: cross-domain-sched
+  }
+
+  void on_status_gap_sanctioned(tsn::sim::Domain& self) {
+    // The sanctioned shapes: react on your own clock, cross the bridge via
+    // post_to so the engine checks the arrival against the lookahead.
+    self.schedule_in(tsn::sim::nanos(50), [] {});
+    self.post_to(backup_shard, self.now() + tsn::sim::micros(2), [] {});
+  }
+};
